@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+Each ``test_fig*`` module wraps one figure-regeneration harness from
+:mod:`repro.bench` with pytest-benchmark (wall-clock of the simulation) and
+asserts the paper's *shape* claims on the simulated-time results.
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def heap_dir(tmp_path):
+    return tmp_path / "heaps"

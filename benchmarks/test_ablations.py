@@ -1,0 +1,24 @@
+"""Benchmarks for the DESIGN.md §8 ablations."""
+
+from repro.bench.ablation_latency import run as run_latency
+from repro.bench.ablation_pjo import run as run_pjo
+
+
+def test_ablation_pjo_optimisations(benchmark, heap_dir):
+    result = benchmark.pedantic(
+        run_pjo, kwargs={"count": 30, "heap_dir": heap_dir},
+        rounds=1, iterations=1)
+    # Field-level tracking must pay off on updates...
+    assert result.update_gain() > 1.2
+    # ...and the fully optimised variant must not lose anywhere big.
+    full = result.throughput["tracking+dedup"]
+    bare = result.throughput["neither"]
+    assert full["Update"] > bare["Update"]
+
+
+def test_ablation_latency_sensitivity(benchmark, heap_dir):
+    result = benchmark.pedantic(
+        run_latency, kwargs={"count": 300, "heap_dir": heap_dir},
+        rounds=1, iterations=1)
+    # Every headline direction holds at 1x, 2x and 4x NVM latency.
+    assert result.all_directions_hold()

@@ -1,0 +1,13 @@
+"""Figure 4 benchmark: DataNucleus retrieve breakdown."""
+
+from repro.bench.fig04_jpa_breakdown import run
+
+
+def test_fig04_breakdown(benchmark):
+    result = benchmark.pedantic(run, kwargs={"count": 60},
+                                rounds=1, iterations=1)
+    # Paper shape: transformation is the largest share (41.9%), clearly
+    # bigger than the database's (24.0%).
+    assert result.shares["transformation"] > result.shares["database"]
+    assert result.shares["transformation"] > 30.0
+    assert result.shares["other"] > 10.0

@@ -1,0 +1,16 @@
+"""Figure 6 benchmark: PCJ create breakdown."""
+
+from repro.bench.fig06_pcj_breakdown import run
+
+
+def test_fig06_breakdown(benchmark):
+    result = benchmark.pedantic(run, kwargs={"count": 1500},
+                                rounds=1, iterations=1)
+    shares = result.shares
+    # Paper shape: real data manipulation is a sliver (1.8%); metadata and
+    # GC bookkeeping are first-class costs (36.8% / 14.8%).
+    assert shares["data"] < 10.0
+    assert shares["metadata"] > shares["data"]
+    assert shares["metadata"] > 15.0
+    assert 5.0 < shares["gc"] < 30.0
+    assert shares["transaction"] > 10.0

@@ -1,0 +1,19 @@
+"""Figure 15 benchmark: PJH vs PCJ speedups on the five data types."""
+
+from repro.bench.fig15_pjh_vs_pcj import DATA_TYPES, OPERATIONS, run
+
+
+def test_fig15_speedups(benchmark, heap_dir):
+    result = benchmark.pedantic(
+        run, kwargs={"count": 800, "heap_dir": heap_dir},
+        rounds=1, iterations=1)
+    # Paper shape: PJH outperforms PCJ on every data type and operation;
+    # gets win by at least ~6x, sets/creates typically by much more.
+    for data_type in DATA_TYPES:
+        for op in OPERATIONS:
+            assert result.speedup(data_type, op) > 1.0, (data_type, op)
+    assert all(result.speedup(t, "Get") >= 3.0 for t in DATA_TYPES)
+    best = max(result.speedup(t, op)
+               for t in DATA_TYPES for op in OPERATIONS)
+    assert best >= 10.0  # the paper's headline is 256.3x; ours is smaller
+                         # but still an order of magnitude (see EXPERIMENTS.md)

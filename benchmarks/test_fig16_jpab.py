@@ -1,0 +1,21 @@
+"""Figure 16 benchmark: JPAB throughput, H2-JPA vs H2-PJO."""
+
+from repro.bench.fig16_jpab import run
+from repro.jpab import ALL_TESTS, OPERATIONS
+
+
+def test_fig16_jpab(benchmark, heap_dir):
+    result = benchmark.pedantic(
+        run, kwargs={"count": 30, "heap_dir": heap_dir},
+        rounds=1, iterations=1)
+    # Paper shape: "PJO outperforms H2-JPA in all test cases", up to 3.24x.
+    for test in ALL_TESTS:
+        for op in OPERATIONS:
+            assert result.speedup(test.name, op) > 1.0, (test.name, op)
+    best = max(result.speedup(t.name, op)
+               for t in ALL_TESTS for op in OPERATIONS)
+    assert best > 2.0
+    # Create is the most modest win (the paper's bars agree).
+    for test in ALL_TESTS:
+        assert result.speedup(test.name, "Create") <= \
+            result.speedup(test.name, "Update")

@@ -1,0 +1,24 @@
+"""Figure 17 benchmark: BasicTest time breakdown, JPA vs PJO."""
+
+from repro.bench.fig17_basictest_breakdown import run
+from repro.jpab import OPERATIONS
+
+
+def test_fig17_breakdown(benchmark, heap_dir):
+    result = benchmark.pedantic(
+        run, kwargs={"count": 40, "heap_dir": heap_dir},
+        rounds=1, iterations=1)
+    for op in OPERATIONS:
+        jpa = result.cells[("H2-JPA", op)]
+        pjo = result.cells[("H2-PJO", op)]
+        # Paper shape: the transformation phase is removed under PJO...
+        assert pjo["transformation"] == 0.0
+        assert jpa["transformation"] > 0.0
+        # ...and total time drops.
+        assert sum(pjo.values()) < sum(jpa.values())
+    # "The execution time in H2 also decreases for most cases."
+    faster_execution = sum(
+        1 for op in OPERATIONS
+        if result.cells[("H2-PJO", op)]["database"]
+        < result.cells[("H2-JPA", op)]["database"])
+    assert faster_execution >= len(OPERATIONS) // 2

@@ -1,0 +1,19 @@
+"""Figure 18 benchmark: heap loading time, UG vs zeroing safety."""
+
+from repro.bench.fig18_heap_loading import run
+
+
+def test_fig18_loading(benchmark, heap_dir):
+    counts = [2000, 4000, 8000]
+    result = benchmark.pedantic(
+        run, kwargs={"object_counts": counts, "heap_dir": heap_dir},
+        rounds=1, iterations=1)
+    ug = [result.series[c]["UG"] for c in counts]
+    zero = [result.series[c]["Zero"] for c in counts]
+    # Paper shape: UG flat in the object count (within noise)...
+    assert max(ug) < min(ug) * 1.5 + 0.01
+    # ...zeroing grows linearly: 4x the objects ~= 4x the time.
+    assert zero[-1] > zero[0] * 2.5
+    # And zeroing is always the slower level.
+    for u, z in zip(ug, zero):
+        assert z > u

@@ -1,0 +1,13 @@
+"""TPCC-lite macro-benchmark."""
+
+from repro.bench.tpcc_bench import run
+
+
+def test_tpcc_bench(benchmark, heap_dir):
+    result = benchmark.pedantic(
+        run, kwargs={"transactions": 40, "heap_dir": heap_dir},
+        rounds=1, iterations=1)
+    # Both providers compute the identical business state...
+    assert result.states_agree
+    # ...and PJO wins the macro-workload too.
+    assert result.speedup > 1.0

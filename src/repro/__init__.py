@@ -1,0 +1,32 @@
+"""Espresso: Brewing Java For More Non-Volatility with Non-volatile Memory.
+
+A from-scratch Python reproduction of Wu et al., ASPLOS 2018: a persistent
+Java heap (PJH) with crash-consistent allocation and garbage collection, the
+PJO persistent-object layer, and the baselines the paper evaluates against
+(a PCJ-style persistent collections library and a JPA provider over an
+H2-style SQL database), all running on a simulated NVM substrate.
+
+Entry points:
+
+* :class:`repro.Espresso` — one "JVM" with the persistence extensions.
+* :mod:`repro.pcj` — the Persistent Collections for Java baseline.
+* :mod:`repro.jpa` / :mod:`repro.pjo` — coarse-grained persistence layers.
+* :mod:`repro.bench` — harnesses regenerating every figure in the paper.
+"""
+
+from repro.api import Espresso
+from repro.core.safety import SafetyLevel, persistent_type
+from repro.runtime.klass import FieldDescriptor, FieldKind, Klass, field
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Espresso",
+    "FieldDescriptor",
+    "FieldKind",
+    "Klass",
+    "SafetyLevel",
+    "field",
+    "persistent_type",
+    "__version__",
+]

@@ -1,0 +1,219 @@
+"""Espresso: the user-facing facade tying the VM and PJH together.
+
+One :class:`Espresso` object plays the role of one JVM process with the
+paper's extensions: ``new``/``pnew``, the Table 1 heap-management APIs
+(spelled both Java-style — ``createHeap`` — and Python-style —
+``create_heap``), the §3.5 flush APIs, and restart/crash simulation for
+exercising recovery.
+
+Quickstart (the paper's Figure 11)::
+
+    from repro import Espresso, FieldKind, field
+
+    jvm = Espresso(heap_dir="/tmp/heaps")
+    Person = jvm.define_class("Person", [field("id", FieldKind.INT),
+                                         field("name", FieldKind.REF)])
+    if jvm.existsHeap("Jimmy"):
+        jvm.loadHeap("Jimmy")
+        p = jvm.checkcast(jvm.getRoot("Jimmy_info"), "Person")
+    else:
+        jvm.createHeap("Jimmy", 1024 * 1024)
+        p = jvm.pnew(Person)
+        jvm.set_field(p, "id", 1)
+        jvm.set_field(p, "name", jvm.pnew_string("Jimmy"))
+        jvm.setRoot("Jimmy_info", p)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.core.flush_api import (
+    flush_array_element,
+    flush_field,
+    flush_object,
+    flush_reachable,
+)
+from repro.core.heap_manager import HeapManager
+from repro.core.persistent_heap import PersistentHeap
+from repro.core.safety import SafetyLevel
+from repro.nvm.clock import Clock
+from repro.nvm.latency import DEFAULT_LATENCY, LatencyConfig
+from repro.runtime.dram_heap import HeapConfig
+from repro.runtime.klass import FieldDescriptor, FieldKind, Klass
+from repro.runtime.objects import ObjectHandle
+from repro.runtime.vm import EspressoVM
+
+
+class Espresso:
+    """One simulated JVM with Espresso's persistence extensions."""
+
+    def __init__(self, heap_dir: Union[str, Path],
+                 clock: Optional[Clock] = None,
+                 latency: LatencyConfig = DEFAULT_LATENCY,
+                 heap_config: HeapConfig = HeapConfig(),
+                 alias_aware: bool = True) -> None:
+        self.vm = EspressoVM(clock=clock, latency=latency,
+                             heap_config=heap_config, alias_aware=alias_aware)
+        self.heaps = HeapManager(self.vm, heap_dir)
+        self.heap_dir = Path(heap_dir)
+
+    # -- class definition ---------------------------------------------------
+    def define_class(self, name: str,
+                     fields: Sequence[FieldDescriptor] = (),
+                     super_klass: Optional[Klass] = None) -> Klass:
+        return self.vm.define_class(name, fields, super_klass)
+
+    # -- allocation -----------------------------------------------------------
+    def new(self, klass: Union[Klass, str]) -> ObjectHandle:
+        return self.vm.new(klass)
+
+    def new_array(self, element: Union[Klass, FieldKind],
+                  length: int) -> ObjectHandle:
+        return self.vm.new_array(element, length)
+
+    def new_string(self, text: str) -> ObjectHandle:
+        return self.vm.new_string(text)
+
+    def pnew(self, klass: Union[Klass, str],
+             heap: Optional[str] = None) -> ObjectHandle:
+        return self.vm.pnew(klass, heap)
+
+    def pnew_array(self, element: Union[Klass, FieldKind], length: int,
+                   heap: Optional[str] = None) -> ObjectHandle:
+        return self.vm.pnew_array(element, length, heap)
+
+    def pnew_string(self, text: str,
+                    heap: Optional[str] = None) -> ObjectHandle:
+        return self.vm.pnew_string(text, heap)
+
+    def new_multi_array(self, element, dims) -> ObjectHandle:
+        return self.vm.new_multi_array(element, dims)
+
+    def pnew_multi_array(self, element, dims,
+                         heap: Optional[str] = None) -> ObjectHandle:
+        return self.vm.pnew_multi_array(element, dims, heap)
+
+    def get_declared_field(self, handle: ObjectHandle, field_name: str):
+        """Figure 12's reflective field access: returns an object with
+        .flush(obj)/.get(obj)/.set(obj, v)."""
+        from repro.core.flush_api import get_declared_field
+        return get_declared_field(self.vm, handle, field_name)
+
+    # -- object access (delegation) ---------------------------------------------
+    def set_field(self, handle, name, value):
+        self.vm.set_field(handle, name, value)
+
+    def get_field(self, handle, name):
+        return self.vm.get_field(handle, name)
+
+    def array_get(self, handle, index):
+        return self.vm.array_get(handle, index)
+
+    def array_set(self, handle, index, value):
+        self.vm.array_set(handle, index, value)
+
+    def array_length(self, handle):
+        return self.vm.array_length(handle)
+
+    def read_string(self, handle):
+        return self.vm.read_string(handle)
+
+    def checkcast(self, handle, target):
+        return self.vm.checkcast(handle, target)
+
+    def instance_of(self, handle, target):
+        return self.vm.instance_of(handle, target)
+
+    # -- Table 1 heap management APIs (Java spelling + Python spelling) ------------
+    def createHeap(self, name: str, size_bytes: int,
+                   safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
+                   region_words: int = 1024) -> PersistentHeap:
+        return self.heaps.create_heap(name, size_bytes, safety, region_words)
+
+    create_heap = createHeap
+
+    def loadHeap(self, name: str,
+                 safety: SafetyLevel = SafetyLevel.USER_GUARANTEED
+                 ) -> PersistentHeap:
+        return self.heaps.load_heap(name, safety)
+
+    load_heap = loadHeap
+
+    def existsHeap(self, name: str) -> bool:
+        return self.heaps.exists_heap(name)
+
+    exists_heap = existsHeap
+
+    def setRoot(self, root_name: str, value: Optional[ObjectHandle],
+                heap: Optional[str] = None) -> None:
+        self.heaps.set_root(root_name, value, heap)
+
+    set_root = setRoot
+
+    def getRoot(self, root_name: str,
+                heap: Optional[str] = None) -> Optional[ObjectHandle]:
+        return self.heaps.get_root(root_name, heap)
+
+    get_root = getRoot
+
+    # -- §3.5 flush APIs --------------------------------------------------------------
+    def flush_field(self, handle: ObjectHandle, field_name: str) -> None:
+        flush_field(self.vm, handle, field_name)
+
+    def flush_array_element(self, handle: ObjectHandle, index: int) -> None:
+        flush_array_element(self.vm, handle, index)
+
+    def flush_object(self, handle: ObjectHandle) -> None:
+        flush_object(self.vm, handle)
+
+    def flush_reachable(self, handle: ObjectHandle) -> int:
+        return flush_reachable(self.vm, handle)
+
+    # -- GC --------------------------------------------------------------------------------
+    def system_gc(self) -> None:
+        """java.lang.System.gc(): collect the DRAM heap."""
+        self.vm.full_gc()
+
+    def persistent_gc(self, heap: Optional[str] = None):
+        """Force a collection of a PJH instance (System.gc() on PJH)."""
+        service = self.vm._service_for(heap)
+        return service.collect()
+
+    # -- restart / crash simulation ------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Gracefully persist and unload every mounted heap."""
+        for name in list(self.heaps.mounted_names()):
+            self.heaps.unload_heap(name)
+
+    def crash(self) -> None:
+        """Power loss: every mounted heap loses its unflushed lines."""
+        for name in list(self.heaps.mounted_names()):
+            self.heaps.unload_heap(name, crash=True)
+
+    def restart(self) -> "Espresso":
+        """Shut down gracefully and come back as a fresh 'JVM process'."""
+        self.shutdown()
+        return Espresso(self.heap_dir)
+
+    def crash_and_restart(self) -> "Espresso":
+        """Crash and come back as a fresh 'JVM process'."""
+        self.crash()
+        return Espresso(self.heap_dir)
+
+    # -- context manager: `with Espresso(...) as jvm:` shuts down cleanly ----
+    def __enter__(self) -> "Espresso":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.shutdown()
+        else:
+            # Something went wrong mid-flight: persist only what was
+            # explicitly flushed, exactly like a crash would.
+            self.crash()
+
+    @property
+    def clock(self) -> Clock:
+        return self.vm.clock

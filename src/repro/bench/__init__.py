@@ -1,0 +1,20 @@
+"""Benchmark harnesses regenerating every table and figure in the paper.
+
+One module per figure (see DESIGN.md §4 for the experiment index):
+
+========================  ====================================
+``fig04_jpa_breakdown``   Figure 4 — DataNucleus commit breakdown
+``fig06_pcj_breakdown``   Figure 6 — PCJ create breakdown
+``fig15_pjh_vs_pcj``      Figure 15 — PJH vs PCJ speedups
+``fig16_jpab``            Figure 16 — JPAB throughput, JPA vs PJO
+``fig17_basictest_breakdown``  Figure 17 — BasicTest time breakdown
+``fig18_heap_loading``    Figure 18 — heap loading time, UG vs zeroing
+``gc_cost``               §6.4 — recoverable-GC pause-time overhead
+``tpcc_bench``            TPCC-lite macro-benchmark (both providers)
+``ablation_pjo``          dedup + field-tracking on/off
+``ablation_latency``      headline speedups vs NVM media latency
+========================  ====================================
+
+Run any of them as a script (``python -m repro.bench.fig15_pjh_vs_pcj``) or
+all of them via ``python -m repro.bench.all_figures``.
+"""

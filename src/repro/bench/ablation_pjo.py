@@ -1,0 +1,78 @@
+"""Ablation: PJO's §5 optimisations — field-level tracking and data
+deduplication — switched on and off.
+
+The paper motivates both qualitatively ("write latency in emerging NVM will
+be several times larger than DRAM while read latency rivals DRAM"); this
+harness quantifies each on the JPAB BasicTest update workload (tracking)
+and on post-commit memory/read behaviour (dedup).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict
+
+from repro.jpab import BASIC_TEST, CrudDriver, make_pjo_em
+from repro.nvm.clock import Clock
+
+from repro.bench.harness import format_table
+
+VARIANTS = [
+    ("tracking+dedup", True, True),
+    ("tracking only", True, False),
+    ("dedup only", False, True),
+    ("neither", False, False),
+]
+
+
+@dataclass
+class AblationResult:
+    count: int
+    # variant name -> {operation: ops/ms}
+    throughput: Dict[str, Dict[str, float]]
+
+    def update_gain(self) -> float:
+        """Update-op gain of field tracking over full-row shipping."""
+        return (self.throughput["tracking+dedup"]["Update"]
+                / self.throughput["dedup only"]["Update"])
+
+
+def run(count: int = 60, heap_dir: Path | None = None) -> AblationResult:
+    root = heap_dir if heap_dir is not None else Path(tempfile.mkdtemp())
+    throughput: Dict[str, Dict[str, float]] = {}
+    for name, tracking, dedup in VARIANTS:
+        clock = Clock()
+        em = make_pjo_em(clock, BASIC_TEST.entities,
+                         root / name.replace(" ", "_").replace("+", "_"),
+                         field_tracking=tracking, deduplication=dedup)
+        driver = CrudDriver(em, BASIC_TEST, count)
+        results: Dict[str, float] = {}
+        for operation in ("Create", "Retrieve", "Update", "Delete"):
+            start = clock.now_ns
+            ops = getattr(driver, operation.lower())()
+            elapsed = clock.now_ns - start
+            results[operation] = ops / (elapsed / 1e6) if elapsed else 0.0
+        throughput[name] = results
+    return AblationResult(count=count, throughput=throughput)
+
+
+def main(count: int = 60) -> AblationResult:
+    result = run(count)
+    rows = []
+    for name, _t, _d in VARIANTS:
+        ops = result.throughput[name]
+        rows.append((name, f"{ops['Create']:.1f}", f"{ops['Retrieve']:.1f}",
+                     f"{ops['Update']:.1f}", f"{ops['Delete']:.1f}"))
+    print(format_table(
+        ["PJO variant", "Create", "Retrieve", "Update", "Delete"],
+        rows,
+        title=(f"Ablation — PJO optimisations (ops/ms, JPAB BasicTest, "
+               f"{result.count} entities); field tracking gains "
+               f"{result.update_gain():.2f}x on Update")))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Regenerate every figure in one go: ``python -m repro.bench.all_figures``."""
+
+from __future__ import annotations
+
+from repro.bench import (
+    ablation_latency,
+    ablation_pjo,
+    fig04_jpa_breakdown,
+    fig06_pcj_breakdown,
+    fig15_pjh_vs_pcj,
+    fig16_jpab,
+    fig17_basictest_breakdown,
+    fig18_heap_loading,
+    gc_cost,
+    tpcc_bench,
+)
+
+
+def main() -> None:
+    for module in (fig04_jpa_breakdown, fig06_pcj_breakdown,
+                   fig15_pjh_vs_pcj, fig16_jpab,
+                   fig17_basictest_breakdown, fig18_heap_loading, gc_cost,
+                   tpcc_bench, ablation_pjo, ablation_latency):
+        module.main()
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Figure 4: breakdown for the commit/retrieve phase of DataNucleus.
+
+Paper: "We test its retrieve operation using the JPA Performance Benchmark.
+... the user-oriented operations on the database only account for 24.0%.
+In contrast, the transformation from objects to SQL statements takes 41.9%."
+
+We run the JPAB BasicTest retrieve workload against the JPA provider and
+report the clock's category breakdown: ``database`` (execution inside H2),
+``transformation`` (object<->SQL translation) and ``other`` (provider
+bookkeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.jpab import BASIC_TEST, CrudDriver, make_jpa_em
+from repro.nvm.clock import Clock
+
+from repro.bench.harness import breakdown_percentages, format_table
+
+PAPER_REFERENCE = {"database": 24.0, "transformation": 41.9, "other": 34.1}
+
+
+@dataclass
+class Fig04Result:
+    shares: Dict[str, float]
+    total_ns: float
+    count: int
+
+
+def run(count: int = 200) -> Fig04Result:
+    clock = Clock()
+    em = make_jpa_em(clock, BASIC_TEST.entities)
+    driver = CrudDriver(em, BASIC_TEST, count)
+    driver.create()
+    snapshot = clock.breakdown()
+    start = clock.now_ns
+    driver.retrieve()
+    delta = clock.breakdown_since(snapshot)
+    shares = breakdown_percentages(delta, ["database", "transformation"])
+    return Fig04Result(shares=shares, total_ns=clock.now_ns - start,
+                       count=count)
+
+
+def main(count: int = 200) -> Fig04Result:
+    result = run(count)
+    rows = [(phase.capitalize(),
+             f"{result.shares.get(phase, 0.0):.1f}%",
+             f"{PAPER_REFERENCE[phase]:.1f}%")
+            for phase in ("database", "transformation", "other")]
+    print(format_table(
+        ["Phase", "Measured", "Paper"],
+        rows,
+        title=(f"Figure 4 — DataNucleus retrieve breakdown "
+               f"({result.count} retrieves, "
+               f"{result.total_ns / 1e6:.2f} simulated ms)")))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Figure 16(a-d): JPAB throughput, H2-JPA vs H2-PJO.
+
+Paper §6.3: "the evaluation result indicates that PJO (H2-PJO) outperforms
+H2-JPA in all test cases and provides up to 3.24x speedup", across the four
+JPAB tests (Basic/Ext/Collection/Node) and the four CRUD operations.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.jpab import (
+    ALL_TESTS,
+    OPERATIONS,
+    make_jpa_em,
+    make_pjo_em,
+    run_jpab_test,
+)
+
+from repro.bench.harness import format_table
+
+
+@dataclass
+class Fig16Result:
+    count: int
+    # (test, op) -> (jpa_throughput, pjo_throughput, speedup)
+    cells: Dict[Tuple[str, str], Tuple[float, float, float]] = field(
+        default_factory=dict)
+
+    def speedup(self, test: str, op: str) -> float:
+        return self.cells[(test, op)][2]
+
+
+def run(count: int = 60, heap_dir: Path | None = None) -> Fig16Result:
+    result = Fig16Result(count=count)
+    root = heap_dir if heap_dir is not None else Path(tempfile.mkdtemp())
+    for test in ALL_TESTS:
+        jpa = run_jpab_test(
+            test, lambda clock: make_jpa_em(clock, test.entities),
+            count, "H2-JPA")
+        pjo = run_jpab_test(
+            test, lambda clock: make_pjo_em(clock, test.entities,
+                                            root / f"fig16-{test.name}"),
+            count, "H2-PJO")
+        for op in OPERATIONS:
+            jpa_tp = jpa.operations[op].throughput
+            pjo_tp = pjo.operations[op].throughput
+            result.cells[(test.name, op)] = (
+                jpa_tp, pjo_tp, pjo_tp / jpa_tp if jpa_tp else float("inf"))
+    return result
+
+
+def main(count: int = 60) -> Fig16Result:
+    result = run(count)
+    rows = []
+    for test in ALL_TESTS:
+        for op in OPERATIONS:
+            jpa_tp, pjo_tp, speedup = result.cells[(test.name, op)]
+            rows.append((test.name, op, f"{jpa_tp:.1f}", f"{pjo_tp:.1f}",
+                         f"{speedup:.2f}x"))
+    print(format_table(
+        ["Test", "Operation", "H2-JPA ops/ms", "H2-PJO ops/ms", "Speedup"],
+        rows,
+        title=(f"Figure 16 — JPAB throughput, H2-JPA vs H2-PJO "
+               f"({result.count} entities per test; paper: PJO wins all, "
+               f"up to 3.24x)")))
+    return result
+
+
+if __name__ == "__main__":
+    main()

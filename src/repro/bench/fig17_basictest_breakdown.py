@@ -1,0 +1,79 @@
+"""Figure 17: breakdown analysis for BasicTest (both providers).
+
+Paper: per-operation time split into *Execution* (in the H2 database),
+*Transformation* (object<->SQL) and *Other*; "the transformation overhead
+is significantly reduced thanks to PJO.  Furthermore, the execution time in
+H2 also decreases for most cases, which can be attributed to the interface
+change from the JDBC interfaces to our DBPersistable abstractions."
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.jpab import BASIC_TEST, OPERATIONS, make_jpa_em, make_pjo_em, \
+    run_jpab_test
+
+from repro.bench.harness import format_table
+
+PHASES = ["database", "transformation", "other"]
+
+
+@dataclass
+class Fig17Result:
+    count: int
+    # (provider, op) -> {phase: simulated ms}
+    cells: Dict[Tuple[str, str], Dict[str, float]] = field(
+        default_factory=dict)
+
+
+def run(count: int = 100, heap_dir: Path | None = None) -> Fig17Result:
+    root = heap_dir if heap_dir is not None else Path(tempfile.mkdtemp())
+    result = Fig17Result(count=count)
+    jpa = run_jpab_test(
+        BASIC_TEST, lambda clock: make_jpa_em(clock, BASIC_TEST.entities),
+        count, "H2-JPA")
+    pjo = run_jpab_test(
+        BASIC_TEST,
+        lambda clock: make_pjo_em(clock, BASIC_TEST.entities,
+                                  root / "fig17"),
+        count, "H2-PJO")
+    for provider, test_result in (("H2-JPA", jpa), ("H2-PJO", pjo)):
+        for op in OPERATIONS:
+            breakdown = test_result.operations[op].breakdown
+            total = sum(breakdown.values())
+            known = {phase: breakdown.get(phase, 0.0) / 1e6
+                     for phase in ("database", "transformation")}
+            known["other"] = (total - sum(breakdown.get(p, 0.0) for p in
+                                          ("database", "transformation"))) / 1e6
+            result.cells[(provider, op)] = known
+    return result
+
+
+def main(count: int = 100) -> Fig17Result:
+    result = run(count)
+    rows = []
+    for op in OPERATIONS:
+        for provider in ("H2-JPA", "H2-PJO"):
+            cell = result.cells[(provider, op)]
+            total = sum(cell.values())
+            rows.append((op, provider,
+                         f"{cell['database']:.3f}",
+                         f"{cell['transformation']:.3f}",
+                         f"{cell['other']:.3f}",
+                         f"{total:.3f}"))
+    print(format_table(
+        ["Operation", "Provider", "Execution (ms)", "Transformation (ms)",
+         "Other (ms)", "Total (ms)"],
+        rows,
+        title=(f"Figure 17 — BasicTest breakdown, simulated ms for "
+               f"{result.count} entities (paper: transformation vanishes "
+               f"under PJO; execution also drops)")))
+    return result
+
+
+if __name__ == "__main__":
+    main()

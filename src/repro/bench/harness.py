@@ -1,0 +1,55 @@
+"""Shared plumbing for the figure-regeneration benchmarks.
+
+Every ``fig*`` module exposes ``run(...) -> <structured result>`` plus a
+``main()`` that prints the same rows/series the paper's figure reports.
+Results are *simulated* time from the deterministic clock, so repeated runs
+are bit-identical; the paper's absolute numbers are not reproduced (its
+substrate was a Xeon + NVDIMM, ours is a simulator) — the shapes are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Plain ASCII table (no external deps)."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def breakdown_percentages(breakdown: Dict[str, float],
+                          order: Sequence[str]) -> Dict[str, float]:
+    """Normalise a clock breakdown into percentages over *order* + Other."""
+    total = sum(breakdown.values())
+    if total <= 0:
+        return {key: 0.0 for key in list(order) + ["other"]}
+    known = {key: 100.0 * breakdown.get(key, 0.0) / total for key in order}
+    known["other"] = 100.0 * (
+        total - sum(breakdown.get(key, 0.0) for key in order)) / total
+    return known

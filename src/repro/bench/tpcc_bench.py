@@ -1,0 +1,60 @@
+"""Macro-benchmark: TPCC-lite on H2-JPA vs H2-PJO.
+
+Beyond the paper's JPAB microbenchmarks, this runs the order-processing
+workload its §3.3 alludes to ("a typical TPCC workload only requires nine
+different data classes") through both providers, verifying that they land
+on the identical business state and comparing throughput.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.tpcc import TpccResult, run_tpcc
+
+from repro.bench.harness import format_table
+
+
+@dataclass
+class TpccBenchResult:
+    jpa: TpccResult
+    pjo: TpccResult
+
+    @property
+    def speedup(self) -> float:
+        return self.pjo.tx_per_ms / self.jpa.tx_per_ms
+
+    @property
+    def states_agree(self) -> bool:
+        return self.jpa.snapshot == self.pjo.snapshot
+
+
+def run(transactions: int = 60, seed: int = 7,
+        heap_dir: Path | None = None) -> TpccBenchResult:
+    root = heap_dir if heap_dir is not None else Path(tempfile.mkdtemp())
+    jpa = run_tpcc("jpa", transactions, seed, root / "jpa")
+    pjo = run_tpcc("pjo", transactions, seed, root / "pjo")
+    return TpccBenchResult(jpa=jpa, pjo=pjo)
+
+
+def main(transactions: int = 60) -> TpccBenchResult:
+    result = run(transactions)
+    rows = [
+        ("H2-JPA", f"{result.jpa.tx_per_ms:.2f}",
+         result.jpa.snapshot["orders"], result.jpa.snapshot["history_rows"]),
+        ("H2-PJO", f"{result.pjo.tx_per_ms:.2f}",
+         result.pjo.snapshot["orders"], result.pjo.snapshot["history_rows"]),
+    ]
+    print(format_table(
+        ["Provider", "tx/ms", "Orders", "Payments"],
+        rows,
+        title=(f"TPCC-lite ({transactions} mixed transactions, seeded) — "
+               f"PJO speedup {result.speedup:.2f}x, states agree: "
+               f"{result.states_agree}")))
+    return result
+
+
+if __name__ == "__main__":
+    main()

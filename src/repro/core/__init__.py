@@ -1,0 +1,52 @@
+"""PJH — the Persistent Java Heap (the paper's primary contribution).
+
+A PJH instance is an NVM-resident heap with a metadata area, a name table
+(Klass + root entries), a Klass segment, and a data heap, plus the
+crash-consistent allocation and garbage collection of §4 and the memory
+safety levels and flush APIs of §3.4-3.5.
+"""
+
+from repro.core.flush_api import (
+    flush_array_element,
+    flush_field,
+    flush_object,
+    flush_reachable,
+)
+from repro.core.heap_manager import HeapManager, LoadReport
+from repro.core.metadata import HeapLayout, MetadataArea, plan_layout
+from repro.core.persistent_heap import PersistentHeap
+from repro.core.pgc import PersistentGC, PersistentGCResult
+from repro.core.recovery import RecoveryReport, recover
+from repro.core.safety import (
+    SafetyLevel,
+    SafetyPolicy,
+    TypeBasedPolicy,
+    UserGuaranteedPolicy,
+    ZeroingPolicy,
+    annotated_type_names,
+    persistent_type,
+)
+
+__all__ = [
+    "HeapLayout",
+    "HeapManager",
+    "LoadReport",
+    "MetadataArea",
+    "PersistentGC",
+    "PersistentGCResult",
+    "PersistentHeap",
+    "RecoveryReport",
+    "SafetyLevel",
+    "SafetyPolicy",
+    "TypeBasedPolicy",
+    "UserGuaranteedPolicy",
+    "ZeroingPolicy",
+    "annotated_type_names",
+    "persistent_type",
+    "flush_array_element",
+    "flush_field",
+    "flush_object",
+    "flush_reachable",
+    "plan_layout",
+    "recover",
+]

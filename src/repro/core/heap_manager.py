@@ -1,0 +1,324 @@
+"""Heap management APIs: createHeap / loadHeap / existsHeap (paper Table 1).
+
+The manager owns the external name manager (name -> durable image), mounts
+PJH devices into the VM's address space at their *address hint*, and drives
+the load pipeline of §3.3/§4.3:
+
+    map (or remap) -> class reinitialisation in place -> recovery (if the
+    heap is flagged mid-GC) -> truncation of a torn trailing allocation ->
+    zeroing scan (if the heap uses zeroing safety) -> attach to the VM.
+
+Remapping — the paper's "thorough scan ... to update pointers" when the
+address hint is occupied — is implemented for clean heaps; a heap that is
+both mid-collection *and* displaced cannot be remapped (load it in a fresh
+VM where its hint is free), which mirrors the paper's observation that
+remap "may rarely happen thanks to the large virtual address space".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, Optional
+
+from repro.errors import (
+    HeapCorruptionError,
+    HeapExistsError,
+    HeapNotFoundError,
+    IllegalStateException,
+)
+from repro.nvm.device import NvmDevice
+from repro.nvm.namespace import NameManager
+from repro.runtime import layout as obj_layout
+from repro.runtime.objects import ObjectHandle
+from repro.runtime.vm import EspressoVM
+
+from repro.core.metadata import MetadataArea, plan_layout
+from repro.core.persistent_heap import PersistentHeap
+from repro.core.recovery import RecoveryReport, recover
+from repro.core.safety import SafetyLevel, policy_for
+
+# PJH instances are mapped high, far above the DRAM heap, so that the
+# address hint is almost always free on reload (the 64-bit-OS argument).
+PJH_BASE_START = 0x2000_0000
+
+WORD_BYTES = 8
+
+
+@dataclass
+class LoadReport:
+    """What happened during loadHeap (feeds Figure 18 and the tests)."""
+
+    heap_name: str = ""
+    remapped: bool = False
+    klasses_reinitialized: int = 0
+    recovery: RecoveryReport = dc_field(default_factory=RecoveryReport)
+    truncated_words: int = 0
+    nullified_pointers: int = 0
+    load_ns: float = 0.0
+
+
+class HeapManager:
+    """createHeap/loadHeap/existsHeap/setRoot/getRoot for one VM."""
+
+    def __init__(self, vm: EspressoVM, heap_dir) -> None:
+        self.vm = vm
+        self.names = NameManager(heap_dir)
+        self._mounted: Dict[str, PersistentHeap] = {}
+
+    # ------------------------------------------------------------------
+    # Table 1 APIs
+    # ------------------------------------------------------------------
+    def exists_heap(self, name: str) -> bool:
+        return self.names.exists(name) or name in self._mounted
+
+    def create_heap(self, name: str, size_bytes: int,
+                    safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
+                    region_words: int = 1024) -> PersistentHeap:
+        if self.exists_heap(name):
+            raise HeapExistsError(f"heap {name!r} already exists")
+        size_words = size_bytes // WORD_BYTES
+        heap_layout = plan_layout(size_words, region_words)
+        base = self.vm.memory.find_free_base(size_words, start=PJH_BASE_START)
+        device = NvmDevice(size_words, self.vm.clock, self.vm.latency,
+                           name=f"pjh:{name}")
+        self.vm.memory.map(base, device)
+        self.names.register(name, size_words, base)
+        heap = PersistentHeap(name, self.vm, device, base,
+                              safety=policy_for(safety))
+        heap.initialize_fresh(heap_layout)
+        self.vm.attach_persistent_space(heap)
+        self._mounted[name] = heap
+        return heap
+
+    def load_heap(self, name: str,
+                  safety: SafetyLevel = SafetyLevel.USER_GUARANTEED
+                  ) -> PersistentHeap:
+        heap, _report = self.load_heap_with_report(name, safety)
+        return heap
+
+    def load_heap_with_report(self, name: str,
+                              safety: SafetyLevel = SafetyLevel.USER_GUARANTEED
+                              ):
+        if name in self._mounted:
+            raise IllegalStateException(f"heap {name!r} is already loaded")
+        if not self.names.exists(name):
+            raise HeapNotFoundError(f"no heap named {name!r}")
+        report = LoadReport(heap_name=name)
+        start_ns = self.vm.clock.now_ns
+
+        attrs = self.names.attributes(name)
+        size_words = attrs["size_words"]
+        device = NvmDevice(size_words, self.vm.clock, self.vm.latency,
+                           name=f"pjh:{name}")
+        device.load_image(self.names.load_image(name))
+        probe = MetadataArea(device)
+        probe.validate()
+        hint = probe.address_hint
+
+        if self.vm.memory.is_free(hint, size_words):
+            base = hint
+        else:
+            base = self.vm.memory.find_free_base(size_words,
+                                                 start=PJH_BASE_START)
+            report.remapped = True
+        self.vm.memory.map(base, device)
+        heap = PersistentHeap(name, self.vm, device, base,
+                              safety=policy_for(safety))
+
+        if report.remapped:
+            if probe.gc_in_progress:
+                self.vm.memory.unmap(device)
+                raise IllegalStateException(
+                    f"heap {name!r} needs recovery but its address hint "
+                    f"{hint:#x} is occupied; load it in a fresh VM")
+            _remap_pointers(heap, old_base=hint, new_base=base)
+
+        heap.mount_existing()
+        report.klasses_reinitialized = heap.klass_segment.reinitialize_all(
+            self.vm.metaspace)
+        report.recovery = recover(heap)
+        report.truncated_words = heap.validate_and_truncate()
+        if heap.safety.scan_on_load():
+            report.nullified_pointers = heap.zeroing_scan()
+        if report.remapped:
+            heap.metadata.set_address_hint(base)
+            self.names.update_address_hint(name, base)
+
+        self.vm.attach_persistent_space(heap)
+        self._mounted[name] = heap
+        report.load_ns = self.vm.clock.now_ns - start_ns
+        return heap, report
+
+    def set_root(self, root_name: str, value: Optional[ObjectHandle],
+                 heap: Optional[str] = None) -> None:
+        """Mark an object as a named entry point (paper Table 1 setRoot)."""
+        address = obj_layout.NULL if value is None else value.address
+        target = self._route(address, heap)
+        target.set_root(root_name, address)
+
+    def get_root(self, root_name: str,
+                 heap: Optional[str] = None) -> Optional[ObjectHandle]:
+        """Fetch a root object; the caller is responsible for type casting
+        (the return is an untyped handle, like the paper's ``Object``)."""
+        if heap is not None:
+            heaps = [self._heap(heap)]
+        else:
+            heaps = list(self._mounted.values())
+        for candidate in heaps:
+            value = candidate.get_root(root_name)
+            if value is not None:
+                return self.vm.handle(value)
+        return None
+
+    # ------------------------------------------------------------------
+    # Lifecycle beyond the paper's API (save / crash / unload)
+    # ------------------------------------------------------------------
+    def heap(self, name: str) -> PersistentHeap:
+        return self._heap(name)
+
+    def _heap(self, name: str) -> PersistentHeap:
+        try:
+            return self._mounted[name]
+        except KeyError:
+            raise HeapNotFoundError(f"heap {name!r} is not loaded") from None
+
+    def _route(self, address: int, heap: Optional[str]) -> PersistentHeap:
+        if heap is not None:
+            return self._heap(heap)
+        if address != obj_layout.NULL:
+            for candidate in self._mounted.values():
+                if candidate.in_heap_range(address):
+                    return candidate
+        service = self.vm.current_persistent_space()
+        if isinstance(service, PersistentHeap):
+            return service
+        raise IllegalStateException("no PJH instance to route the root to")
+
+    def save_heap(self, name: str) -> None:
+        """Graceful persist: flush all dirty lines, then store the image."""
+        heap = self._heap(name)
+        heap.device.persist_all()
+        self.names.save_image(name, heap.device.durable_image())
+
+    def crash_heap(self, name: str) -> None:
+        """Power-loss simulation: unflushed lines vanish, image is saved."""
+        heap = self._heap(name)
+        heap.device.crash()
+        self.names.save_image(name, heap.device.durable_image())
+
+    def unload_heap(self, name: str, crash: bool = False) -> None:
+        heap = self._heap(name)
+        if crash:
+            self.crash_heap(name)
+        else:
+            self.save_heap(name)
+        self.vm.detach_persistent_space(heap)
+        self.vm.memory.unmap(heap.device)
+        del self._mounted[name]
+
+    def remove_heap(self, name: str) -> None:
+        if name in self._mounted:
+            heap = self._mounted.pop(name)
+            self.vm.detach_persistent_space(heap)
+            self.vm.memory.unmap(heap.device)
+        if self.names.exists(name):
+            self.names.remove(name)
+
+    def mounted_names(self):
+        return sorted(self._mounted)
+
+
+# ----------------------------------------------------------------------
+# Remap: rewrite every internal pointer by the relocation delta (§3.3)
+# ----------------------------------------------------------------------
+def _remap_pointers(heap: PersistentHeap, old_base: int, new_base: int) -> None:
+    """Rewrite all pointers of a *clean* heap after relocation.
+
+    Walk order matters: Klass records first (self-contained), then the name
+    table (so Klass entries point at relocated records), then — after the
+    registry can resolve the relocated class pointers — every data object.
+    """
+    from repro.core.klass_segment import KlassSegment, record_words, _R_SUPER, \
+        _R_ELEMENT_KLASS, _R_FIELD_COUNT
+    from repro.core.name_table import ENTRY_WORDS, _TYPE, _VALUE
+
+    device = heap.device
+    metadata = MetadataArea(device)
+    layout = metadata.layout()
+    delta = new_base - old_base
+    old_end = old_base + layout.size_words
+
+    def in_old(value: int) -> bool:
+        return old_base <= value < old_end
+
+    def shift(offset: int) -> None:
+        value = device.read(offset)
+        if value != obj_layout.NULL and in_old(value):
+            device.write(offset, value + delta)
+
+    # 1) Klass segment records.
+    cursor = layout.klass_segment_offset
+    seg_top = metadata.klass_segment_top
+    record_starts = []
+    while cursor < seg_top:
+        record_starts.append(cursor)
+        shift(cursor + _R_SUPER)
+        shift(cursor + _R_ELEMENT_KLASS)
+        field_count = device.read(cursor + _R_FIELD_COUNT)
+        cursor += record_words(field_count)
+
+    # 2) Name table values (Klass entries and root entries alike).
+    for index in range(metadata.name_table_count):
+        entry = layout.name_table_offset + index * ENTRY_WORDS
+        if device.read(entry + _TYPE) != 0:
+            shift(entry + _VALUE)
+
+    # 3) Data heap objects: klass pointers and reference fields.  We decode
+    #    sizes through a throwaway registry built from the relocated records.
+    from repro.runtime.klass import FieldKind
+    from repro.runtime.metaspace import KlassRegistry
+
+    temp_registry = KlassRegistry()
+    temp_heap = PersistentHeap(heap.name, heap.vm, device, new_base)
+    temp_heap.metadata = metadata
+    temp_heap.layout = layout
+    # Deserialise records in address order against the temp registry.
+    seg = KlassSegment.__new__(KlassSegment)
+    seg.device = device
+    seg.metadata = metadata
+    seg.base_address = new_base
+    seg.registry = temp_registry
+    seg.offset = layout.klass_segment_offset
+    seg.limit = seg.offset + layout.klass_segment_words
+    seg._by_name = {}
+    klasses = {}
+    for start in record_starts:
+        klass = seg._deserialize(new_base + start)
+        temp_registry.register(klass, new_base + start)
+        klasses[new_base + start] = klass
+
+    data_start = layout.data_offset
+    top_offset = metadata.top - old_base
+    cursor = data_start
+    while cursor < top_offset:
+        if device.read(cursor + obj_layout.KLASS_WORD_OFFSET) == 0:
+            break  # zeroed tail below the TLAB high watermark
+        shift(cursor + obj_layout.KLASS_WORD_OFFSET)
+        klass = temp_registry.resolve(
+            device.read(cursor + obj_layout.KLASS_WORD_OFFSET))
+        if klass.is_array:
+            length = device.read(cursor + obj_layout.ARRAY_LENGTH_OFFSET)
+            size = klass.array_words(length)
+            if klass.element_kind is FieldKind.REF:
+                for i in range(length):
+                    shift(cursor + obj_layout.ARRAY_HEADER_WORDS + i)
+        else:
+            size = klass.instance_words
+            for off in klass.ref_field_offsets():
+                shift(cursor + off)
+        cursor += size
+
+    # 4) Metadata: the replicated top and the address hint.
+    metadata.set_top(metadata.top + delta)
+    metadata.set_address_hint(new_base)
+    device.persist_all()

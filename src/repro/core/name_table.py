@@ -1,0 +1,155 @@
+"""The PJH name table: string constants -> Klass entries and root entries.
+
+Paper §3.1: "A Klass entry stores the start address of a Klass in the Klass
+segment, which is set by JVM when an object is created in NVM while its
+Klass does not exist in the Klass segment.  A root entry stores the address
+of a root object, which should be set and managed by users.  Root objects
+are essential especially after a system reboot, since they are the only
+known entry points to access the objects in data heap."
+
+Entries are fixed-size records in NVM.  Publication is crash consistent:
+a new entry's payload is written and flushed *before* the persisted entry
+count is bumped, so a crash can never expose a half-written entry; updating
+an existing entry's value is a single word store + flush (atomic at word
+granularity, like the paper's 8-byte flush APIs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import IllegalArgumentException, OutOfMemoryError
+from repro.nvm.device import NvmDevice
+from repro.runtime.objects import MemoryRoot, RootSlot
+
+ENTRY_TYPE_EMPTY = 0
+ENTRY_TYPE_KLASS = 1
+ENTRY_TYPE_ROOT = 2
+
+_NAME_WORDS = 8
+MAX_NAME_BYTES = _NAME_WORDS * 8
+ENTRY_WORDS = 4 + _NAME_WORDS
+
+_TYPE = 0
+_VALUE = 1
+_NAME_LEN = 2
+_HASH = 3
+_NAME = 4
+
+
+def _pack_name(name: str) -> Tuple[np.ndarray, int]:
+    raw = name.encode("utf-8")
+    if len(raw) > MAX_NAME_BYTES:
+        raise IllegalArgumentException(
+            f"name {name!r} exceeds {MAX_NAME_BYTES} UTF-8 bytes")
+    padded = raw + b"\x00" * (MAX_NAME_BYTES - len(raw))
+    words = np.frombuffer(padded, dtype="<i8").copy()
+    return words, len(raw)
+
+
+def _unpack_name(words: np.ndarray, length: int) -> str:
+    raw = words.astype("<i8").tobytes()[:length]
+    return raw.decode("utf-8")
+
+
+def _name_hash(name: str) -> int:
+    # Java's String.hashCode, good enough and deterministic.
+    h = 0
+    for ch in name:
+        h = (31 * h + ord(ch)) & 0x7FFF_FFFF
+    return h
+
+
+class NameTable:
+    """Fixed-capacity persistent table of (type, name) -> value mappings."""
+
+    def __init__(self, device: NvmDevice, metadata, offset: int,
+                 capacity: int, base_address: int, memory) -> None:
+        self.device = device
+        self.metadata = metadata
+        self.offset = offset
+        self.capacity = capacity
+        self.base_address = base_address
+        self.memory = memory  # the VM AddressSpace, for root slots
+        # Volatile acceleration index: (type, name) -> entry index.
+        self._index: dict = {}
+        self._rebuild_index()
+
+    # -- internals -----------------------------------------------------------
+    def _entry_offset(self, index: int) -> int:
+        return self.offset + index * ENTRY_WORDS
+
+    def _rebuild_index(self) -> None:
+        self._index.clear()
+        for index in range(self.metadata.name_table_count):
+            entry = self._entry_offset(index)
+            entry_type = self.device.read(entry + _TYPE)
+            if entry_type == ENTRY_TYPE_EMPTY:
+                continue
+            length = self.device.read(entry + _NAME_LEN)
+            words = self.device.read_block(entry + _NAME, _NAME_WORDS)
+            name = _unpack_name(words, length)
+            self._index[(entry_type, name)] = index
+
+    # -- queries ---------------------------------------------------------------
+    def lookup(self, entry_type: int, name: str) -> Optional[int]:
+        """Return the stored value address, or None."""
+        index = self._index.get((entry_type, name))
+        if index is None:
+            return None
+        return self.device.read(self._entry_offset(index) + _VALUE)
+
+    def entry_index(self, entry_type: int, name: str) -> Optional[int]:
+        return self._index.get((entry_type, name))
+
+    def value_slot_address(self, index: int) -> int:
+        """Absolute address of an entry's value word (GC root slot)."""
+        return self.base_address + self._entry_offset(index) + _VALUE
+
+    def entries(self, entry_type: Optional[int] = None
+                ) -> Iterator[Tuple[str, int, int]]:
+        """Yield (name, value, index) for live entries, optionally filtered."""
+        for (etype, name), index in sorted(self._index.items(),
+                                           key=lambda kv: kv[1]):
+            if entry_type is None or etype == entry_type:
+                value = self.device.read(self._entry_offset(index) + _VALUE)
+                yield name, value, index
+
+    def root_slots(self) -> List[RootSlot]:
+        """GC root slots over every root entry's value word."""
+        return [MemoryRoot(self.memory, self.value_slot_address(index))
+                for (etype, _name), index in self._index.items()
+                if etype == ENTRY_TYPE_ROOT]
+
+    # -- mutation ---------------------------------------------------------------
+    def put(self, entry_type: int, name: str, value: int) -> int:
+        """Insert or update; returns the entry index.
+
+        New entries are published crash-consistently: payload flushed first,
+        persisted count bumped last.
+        """
+        existing = self._index.get((entry_type, name))
+        if existing is not None:
+            entry = self._entry_offset(existing)
+            self.device.write(entry + _VALUE, value)
+            self.device.clflush(entry + _VALUE)
+            self.device.fence()
+            return existing
+        count = self.metadata.name_table_count
+        if count >= self.capacity:
+            raise OutOfMemoryError(
+                f"name table full ({self.capacity} entries)")
+        entry = self._entry_offset(count)
+        words, length = _pack_name(name)
+        self.device.write(entry + _TYPE, entry_type)
+        self.device.write(entry + _VALUE, value)
+        self.device.write(entry + _NAME_LEN, length)
+        self.device.write(entry + _HASH, _name_hash(name))
+        self.device.write_block(entry + _NAME, words)
+        self.device.clflush(entry, ENTRY_WORDS)
+        self.device.fence()
+        self.metadata.set_name_table_count(count + 1)
+        self._index[(entry_type, name)] = count
+        return count

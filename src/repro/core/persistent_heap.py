@@ -1,0 +1,307 @@
+"""A PJH instance: the persistent space, its components, and allocation.
+
+This class implements the :class:`~repro.runtime.vm.PersistentSpaceService`
+protocol, so an instance plugs straight into an
+:class:`~repro.runtime.vm.EspressoVM` and ``vm.pnew(...)`` allocates here.
+
+Crash-consistent allocation follows §4.1 of the paper:
+
+1. the Klass pointer is fetched (and, on first use of a class, its Klass is
+   created in the Klass segment);
+2. memory is bump-allocated and the replicated ``top`` in the metadata area
+   is persisted *immediately* (clflush + sfence) so a crash cannot make
+   allocated objects "unallocated ... and truncated during recovery";
+3. the header (and zeroed body) is initialised and the Klass pointer update
+   persisted, so an object below the durable ``top`` never refers to
+   corrupted Klass metadata.
+
+A crash exactly between steps 2 and 3 leaves one object below ``top`` whose
+header never became durable; :meth:`validate_and_truncate` detects it on
+load (its klass word resolves to nothing) and truncates the heap at that
+object — the recovery behaviour the paper's ordering argument implies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import OutOfMemoryError
+from repro.nvm.device import NvmDevice
+from repro.runtime import layout as obj_layout
+from repro.runtime.klass import Klass
+from repro.runtime.objects import RootSlot
+from repro.runtime.spaces import Space
+from repro.runtime.vm import EspressoVM, PersistentSpaceService
+
+from repro.core.klass_segment import KlassSegment
+from repro.core.metadata import HeapLayout, MetadataArea
+from repro.core.name_table import ENTRY_TYPE_ROOT, NameTable
+from repro.core.safety import SafetyPolicy, UserGuaranteedPolicy
+
+
+class PersistentHeap(PersistentSpaceService):
+    """One mounted PJH instance (device + metadata + segments + data heap)."""
+
+    def __init__(self, name: str, vm: EspressoVM, device: NvmDevice,
+                 base_address: int,
+                 safety: Optional[SafetyPolicy] = None) -> None:
+        self.name = name
+        self.vm = vm
+        self.device = device
+        self.base_address = base_address
+        self.metadata = MetadataArea(device)
+        self.safety = safety if safety is not None else UserGuaranteedPolicy()
+        self.layout: HeapLayout = None  # type: ignore[assignment]
+        self.name_table: NameTable = None  # type: ignore[assignment]
+        self.klass_segment: KlassSegment = None  # type: ignore[assignment]
+        self.data_space: Space = None  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # Mounting
+    # ------------------------------------------------------------------
+    def _mount_components(self) -> None:
+        self.layout = self.metadata.layout()
+        self.name_table = NameTable(
+            self.device, self.metadata, self.layout.name_table_offset,
+            self.layout.name_table_capacity, self.base_address, self.vm.memory)
+        self.klass_segment = KlassSegment(
+            self.device, self.metadata, self.name_table, self.base_address,
+            self.vm.registry)
+        self.data_space = Space(
+            f"pjh:{self.name}", self.base_address + self.layout.data_offset,
+            self.layout.data_words)
+        self.data_space.set_top(self.metadata.top)
+        self._durable_top_watermark = self.metadata.top
+
+    def initialize_fresh(self, heap_layout: HeapLayout) -> None:
+        """First-time setup of a newly created heap."""
+        self.metadata.initialize(heap_layout, self.base_address)
+        self._mount_components()
+
+    def mount_existing(self) -> None:
+        """Attach to a loaded image (validation done by the heap manager)."""
+        self.metadata.validate()
+        self._mount_components()
+
+    # ------------------------------------------------------------------
+    # PersistentSpaceService protocol
+    # ------------------------------------------------------------------
+    def contains(self, address: int) -> bool:
+        return self.data_space.contains(address)
+
+    def in_heap_range(self, address: int) -> bool:
+        """Anywhere inside the mapped device (data, segments, tables)."""
+        return (self.base_address <= address
+                < self.base_address + self.device.size_words)
+
+    def persistent_klass_for(self, volatile_klass: Klass) -> Klass:
+        return self.klass_segment.persistent_klass_for(volatile_klass)
+
+    def root_slots(self) -> Sequence[RootSlot]:
+        return self.name_table.root_slots()
+
+    def on_ref_store(self, slot_address: int, value_address: int,
+                     value_is_volatile: bool) -> None:
+        self.safety.check_ref_store(slot_address, value_address,
+                                    value_is_volatile)
+
+    def on_class_defined(self, klass: Klass) -> None:
+        self.klass_segment.link_alias_if_known(klass)
+
+    # ------------------------------------------------------------------
+    # Crash-consistent allocation (paper §4.1)
+    # ------------------------------------------------------------------
+    def allocate_instance(self, klass: Klass) -> int:
+        self.safety.check_pnew(klass)
+        address = self._allocate_raw(klass.instance_words)
+        self._init_object(address, klass, None)
+        return address
+
+    def allocate_array(self, klass: Klass, length: int) -> int:
+        self.safety.check_pnew(klass)
+        address = self._allocate_raw(klass.array_words(length))
+        self._init_object(address, klass, length)
+        return address
+
+    # Allocation proceeds TLAB-style: the durable top replica is advanced
+    # in chunks of this many words, so the clflush+sfence of step 2 is paid
+    # once per chunk rather than once per object (HotSpot allocates out of
+    # thread-local buffers the same way).  The durable top is therefore a
+    # *high watermark*: never below the true top, so no live object can be
+    # truncated, while the zeroed tail beyond the true top is dropped by
+    # validate_and_truncate on load.
+    TLAB_WORDS = 256
+
+    def _allocate_raw(self, size_words: int) -> int:
+        address = self.data_space.allocate(size_words)
+        if address is None:
+            self.collect()
+            address = self.data_space.allocate(size_words)
+        if address is None:
+            raise OutOfMemoryError(
+                f"PJH {self.name!r} cannot satisfy {size_words}-word "
+                f"allocation ({self.data_space.free_words} words free)")
+        # Step 2: persist the replicated top before anything else.
+        top = self.data_space.top
+        if top > self._durable_top_watermark:
+            chunks = (top - self.data_space.base
+                      + self.TLAB_WORDS - 1) // self.TLAB_WORDS
+            watermark = min(self.data_space.end,
+                            self.data_space.base + chunks * self.TLAB_WORDS)
+            self.metadata.set_top(watermark)
+            # Scan hint: load-time tail validation walks from here instead
+            # of from the heap base, keeping UG loads O(#Klasses) (Fig 18).
+            # Top first, hint second: a crash in between leaves the hint
+            # one TLAB behind, which only lengthens the walk slightly.
+            self.metadata.set_alloc_scan_hint(address)
+            self._durable_top_watermark = watermark
+        self.vm.failpoints.hit("pjh.alloc.top_persisted")
+        return address
+
+    def _init_object(self, address: int, klass: Klass,
+                     length: Optional[int]) -> None:
+        # Step 3: initialise the header (and zero the body), then persist
+        # the header.  Per the paper (§3.5), pnew only guarantees the
+        # heap-related metadata — here the header line, so the Klass
+        # pointer update is durable — while field data stays volatile
+        # until the application flushes it explicitly.
+        size = (klass.instance_words if length is None
+                else klass.array_words(length))
+        offset = address - self.base_address
+        self.device.write_block(offset, np.zeros(size, dtype=np.int64))
+        self.device.write(offset + obj_layout.MARK_WORD_OFFSET,
+                          obj_layout.mark_encode())
+        self.device.write(offset + obj_layout.KLASS_WORD_OFFSET, klass.address)
+        if length is not None:
+            self.device.write(offset + obj_layout.ARRAY_LENGTH_OFFSET, length)
+        self.device.clflush(offset, obj_layout.ARRAY_HEADER_WORDS
+                            if length is not None else obj_layout.HEADER_WORDS)
+        self.device.fence()
+        self.vm.failpoints.hit("pjh.alloc.object_persisted")
+
+    # ------------------------------------------------------------------
+    # Persistence primitives (the flush APIs build on these)
+    # ------------------------------------------------------------------
+    def flush_words(self, address: int, count: int = 1,
+                    fence: bool = True) -> None:
+        self.device.clflush(address - self.base_address, count)
+        if fence:
+            self.device.fence()
+
+    def fence(self) -> None:
+        self.device.fence()
+
+    # ------------------------------------------------------------------
+    # Heap walking and load-time validation
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator[int]:
+        """Yield the address of every object below top, in address order."""
+        cursor = self.data_space.base
+        access = self.vm.access
+        while cursor < self.data_space.top:
+            yield cursor
+            cursor += access.object_words(cursor)
+
+    def validate_and_truncate(self) -> int:
+        """Drop a trailing object whose header never became durable.
+
+        Returns the number of words truncated (0 in the common case).
+        """
+        registry = self.vm.registry
+        cursor = self.data_space.base
+        hint = self.metadata.alloc_scan_hint
+        if self.data_space.base <= hint <= self.data_space.top:
+            cursor = hint
+        top = self.data_space.top
+        while cursor < top:
+            klass_ptr = self.device.read(
+                cursor - self.base_address + obj_layout.KLASS_WORD_OFFSET)
+            if not registry.knows(klass_ptr):
+                break  # header never became durable
+            size = self.vm.access.object_words(cursor)
+            if cursor + size > top:
+                break  # body overruns the durable top
+            cursor += size
+        if cursor < top:
+            truncated = top - cursor
+            self.data_space.set_top(cursor)
+            self.metadata.set_top(cursor)
+            self._durable_top_watermark = cursor
+            return truncated
+        return 0
+
+    def zeroing_scan(self) -> int:
+        """Nullify every pointer that leaves this PJH (zeroing safety).
+
+        Returns the number of pointers nullified.  Cost is proportional to
+        the number of objects — the linear curve of Figure 18.
+        """
+        memory = self.vm.memory
+        nullified = 0
+        for address in self.walk():
+            for slot in self.vm.access.ref_slot_addresses(address):
+                value = memory.read(slot)
+                if value != obj_layout.NULL and not self.in_heap_range(value):
+                    memory.write(slot, obj_layout.NULL)
+                    nullified += 1
+        if nullified:
+            self.device.persist_all()
+        return nullified
+
+    # ------------------------------------------------------------------
+    # Roots API backing (setRoot/getRoot go through the heap manager)
+    # ------------------------------------------------------------------
+    def set_root(self, root_name: str, address: int) -> None:
+        self.name_table.put(ENTRY_TYPE_ROOT, root_name, address)
+
+    def get_root(self, root_name: str) -> Optional[int]:
+        value = self.name_table.lookup(ENTRY_TYPE_ROOT, root_name)
+        if value == obj_layout.NULL:
+            return None
+        return value
+
+    # ------------------------------------------------------------------
+    # GC entry (implemented in repro.core.pgc; bound here for allocation)
+    # ------------------------------------------------------------------
+    def collect(self):
+        from repro.core.pgc import PersistentGC
+        result = PersistentGC(self).collect()
+        self._durable_top_watermark = self.metadata.top
+        return result
+
+    @property
+    def used_words(self) -> int:
+        return self.data_space.used_words
+
+    def stats(self) -> dict:
+        """Operational snapshot of the heap: sizes, object census, device
+        traffic.  The walk is O(objects); intended for tooling, not hot
+        paths.
+        """
+        objects = 0
+        by_klass: dict = {}
+        for address in self.walk():
+            objects += 1
+            name = self.vm.access.klass_of(address).name
+            by_klass[name] = by_klass.get(name, 0) + 1
+        device = self.device.stats
+        return {
+            "name": self.name,
+            "base_address": self.base_address,
+            "data_words": self.layout.data_words,
+            "used_words": self.data_space.used_words,
+            "free_words": self.data_space.free_words,
+            "objects": objects,
+            "objects_by_class": by_klass,
+            "klasses": self.klass_segment.klass_count(),
+            "roots": len(self.name_table.root_slots()),
+            "global_timestamp": self.metadata.global_timestamp,
+            "device": {"reads": device.reads, "writes": device.writes,
+                       "flushes": device.flushes, "fences": device.fences},
+        }
+
+    def __repr__(self) -> str:
+        return (f"PersistentHeap({self.name!r}, base={self.base_address:#x}, "
+                f"used={self.data_space.used_words}/{self.layout.data_words})")

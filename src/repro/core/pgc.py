@@ -1,0 +1,250 @@
+"""Crash-consistent garbage collection for PJH (paper §4.2).
+
+The collection itself is the region-based mark-summary-compact engine of
+:mod:`repro.runtime.old_gc`; this module supplies the NVM persistence hooks
+that make it recoverable:
+
+* the mark bitmaps are persisted, then the heap is flagged as mid-collection
+  and the global timestamp is bumped — making every object "stale";
+* the (idempotent) summary additionally computes a *root redo log*: the new
+  address of every root-table entry, persisted before any object moves;
+* each copied object is persisted destination-first, then its source header
+  is stamped with the new timestamp — "the timestamp of an object does not
+  become valid until its whole content has been copied and persisted";
+* each fully evacuated region is recorded in the persistent *region bitmap*
+  so recovery can tell "a destination region which is half-overwritten"
+  from "a source region which is half-copied";
+* a region where some destination overlaps its own source is processed
+  behind a durable *region cursor*, with self-overlapping objects moved by
+  a chunked forward copy under a durable progress record (DESIGN.md
+  discusses why this is the crash-safe realisation of the paper's undo-log
+  argument for same-region slides, robust to objects of any size).
+
+Setting ``flush_enabled=False`` removes every clflush/fence from the
+collection — the baseline of the §6.4 "cost of recoverable GC" experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.runtime import layout as obj_layout
+from repro.runtime.bitmap import LiveMap
+from repro.runtime.old_gc import CompactionEngine, CompactStats, GCHooks
+
+
+class NvmGCHooks(GCHooks):
+    """GCHooks persisting every protocol step into the heap's NVM device."""
+
+    def __init__(self, heap, flush_enabled: bool = True,
+                 recovery: bool = False) -> None:
+        from repro.core.metadata import MetadataArea
+        self.heap = heap
+        self.device = heap.device
+        # A non-flushing metadata view implements the §6.4 baseline where
+        # every clflush is removed from the collection.
+        self.metadata = (heap.metadata if flush_enabled
+                         else MetadataArea(heap.device, flushing=False))
+        self.layout = heap.layout
+        self.flush_enabled = flush_enabled
+        self.recovery = recovery
+        self._per_map_words = self.layout.bitmap_words // 2
+
+    # -- small persistence helpers -----------------------------------------
+    # GC persistence uses clflushopt semantics: issue-cost flushes drained
+    # by the fence (the collector is a bulk operation; transactional paths
+    # elsewhere stay on synchronous clflush).
+    def _flush(self, offset: int, count: int = 1, fence: bool = True) -> None:
+        if not self.flush_enabled:
+            return
+        self.device.clflush(offset, count, asynchronous=True)
+        if fence:
+            self.device.fence()
+
+    def failpoint(self, site: str) -> None:
+        self.heap.vm.failpoints.hit(site)
+
+    # -- mark --------------------------------------------------------------
+    def on_mark_complete(self, livemap: LiveMap) -> int:
+        # Clear leftover per-collection state while the flag is still down.
+        self._clear_region_bitmap()
+        self.metadata.set_region_cursor(-1, 0)
+        self.metadata.clear_move_record()
+        self.metadata.clear_root_redo()
+        # Persist the bitmaps: the durable sketch of the pre-GC heap.
+        begin_words = livemap.begin.to_words()
+        live_words = livemap.live.to_words()
+        off = self.layout.bitmap_offset
+        self.device.write_block(off, begin_words)
+        self.device.write_block(off + self._per_map_words, live_words)
+        self._flush(off, self.layout.bitmap_words)
+        self.failpoint("pgc.bitmaps_persisted")
+        # Bump the timestamp (0 is reserved for fresh objects) and raise the
+        # in-progress flag; from here on the heap is recoverable.
+        timestamp = self.metadata.global_timestamp + 1
+        if timestamp > obj_layout.MAX_TIMESTAMP:
+            timestamp = 1
+        self.metadata.set_global_timestamp(timestamp)
+        self.metadata.set_gc_in_progress(True)
+        self.failpoint("pgc.flag_raised")
+        return timestamp
+
+    def load_livemap(self, livemap: LiveMap) -> None:
+        """Recovery: rebuild the livemap from its persisted words."""
+        off = self.layout.bitmap_offset
+        width = livemap.begin.num_words  # <= the reserved per-map stride
+        livemap.begin.load_words(self.device.read_block(off, width))
+        livemap.live.load_words(
+            self.device.read_block(off + self._per_map_words, width))
+
+    # -- summary / root redo ---------------------------------------------------
+    def on_summary(self, engine: CompactionEngine) -> None:
+        if self.recovery and self.metadata.root_redo_valid:
+            return  # the redo log from the crashed run is still valid
+        # Either a live collection, or a recovery from a crash that hit
+        # *before* the redo was persisted — in which case no object has
+        # moved yet (compaction starts only after on_summary), so the root
+        # values are still pre-GC and the redo can be recomputed verbatim.
+        pairs: List[Tuple[int, int]] = []
+        for _name, value, index in self.heap.name_table.entries():
+            if (value != obj_layout.NULL
+                    and engine.space.contains(value)
+                    and engine.livemap.is_marked(value)):
+                slot = self.heap.name_table.value_slot_address(index)
+                pairs.append((slot - self.heap.base_address,
+                              engine.new_address(value)))
+        off = self.layout.root_redo_offset
+        if pairs:
+            flat = np.array([w for pair in pairs for w in pair],
+                            dtype=np.int64)
+            self.device.write_block(off, flat)
+            self._flush(off, len(flat))
+        self.metadata.set_root_redo(len(pairs))
+        self.failpoint("pgc.redo_persisted")
+
+    def apply_root_redo(self) -> int:
+        """Blindly (hence idempotently) apply the persisted root updates."""
+        if not self.metadata.root_redo_valid:
+            return 0
+        count = self.metadata.root_redo_count
+        off = self.layout.root_redo_offset
+        for i in range(count):
+            slot_offset = self.device.read(off + 2 * i)
+            new_value = self.device.read(off + 2 * i + 1)
+            self.device.write(slot_offset, new_value)
+            self._flush(slot_offset, 1, fence=False)
+        if count and self.flush_enabled:
+            self.device.fence()
+        return count
+
+    # -- region bitmap --------------------------------------------------------
+    def _region_bit(self, region: int) -> Tuple[int, int]:
+        return (self.layout.region_bitmap_offset + (region >> 6),
+                1 << (region & 63))
+
+    def is_region_done(self, region: int) -> bool:
+        offset, bit = self._region_bit(region)
+        return bool(self.device.read(offset) & bit)
+
+    def region_done(self, region: int) -> None:
+        offset, bit = self._region_bit(region)
+        self.device.write(offset, self.device.read(offset) | bit)
+        self._flush(offset)
+
+    def _clear_region_bitmap(self) -> None:
+        off = self.layout.region_bitmap_offset
+        count = self.layout.region_bitmap_words
+        self.device.write_block(off, np.zeros(count, dtype=np.int64))
+        self._flush(off, count)
+
+    # -- object persistence -------------------------------------------------------
+    def persist_range(self, address: int, size_words: int) -> None:
+        self._flush(address - self.heap.base_address, size_words)
+
+    def persist_headers(self, addresses) -> None:
+        if not self.flush_enabled:
+            return
+        for address in addresses:
+            self.device.clflush(address - self.heap.base_address, 1,
+                                asynchronous=True)
+        self.device.fence()
+
+    # -- serialized-protocol state ---------------------------------------------
+    def region_cursor(self):
+        return self.metadata.region_cursor()
+
+    def set_region_cursor(self, region: int, index: int) -> None:
+        self.metadata.set_region_cursor(region, index)
+
+    def move_record(self):
+        # Stored base-relative so the record survives a remap; returned
+        # absolute, as the engine works with absolute addresses.
+        record = self.metadata.move_record()
+        if record is None:
+            return None
+        src, dst, size, progress = record
+        return (src + self.heap.base_address,
+                dst + self.heap.base_address, size, progress)
+
+    def set_move_record(self, src: int, dst: int, size: int,
+                        progress: int) -> None:
+        self.metadata.set_move_record(src - self.heap.base_address,
+                                      dst - self.heap.base_address,
+                                      size, progress)
+
+    def set_move_progress(self, progress: int) -> None:
+        self.metadata.set_move_progress(progress)
+
+    def clear_move_record(self) -> None:
+        self.metadata.clear_move_record()
+
+    # -- finish ------------------------------------------------------------------------
+    def on_finish(self, new_top: int) -> None:
+        self.apply_root_redo()
+        self.failpoint("pgc.redo_applied")
+        self.metadata.set_top(new_top)
+        self.metadata.set_alloc_scan_hint(new_top)
+        self.failpoint("pgc.top_persisted")
+        self.metadata.set_gc_in_progress(False)
+        self.failpoint("pgc.flag_cleared")
+        self.metadata.clear_root_redo()
+
+
+@dataclass
+class PersistentGCResult:
+    stats: CompactStats
+    pause_ns: float
+    flushes: int
+    fences: int
+
+
+class PersistentGC:
+    """One collection of a PJH instance."""
+
+    def __init__(self, heap, flush_enabled: bool = True) -> None:
+        self.heap = heap
+        self.flush_enabled = flush_enabled
+
+    def collect(self) -> PersistentGCResult:
+        heap = self.heap
+        vm = heap.vm
+        hooks = NvmGCHooks(heap, flush_enabled=self.flush_enabled)
+        engine = CompactionEngine(
+            vm.access, heap.data_space, heap.layout.region_words, hooks=hooks)
+        roots = list(heap.root_slots()) + vm.gc_roots_for_persistent()
+        start_ns = vm.clock.now_ns
+        flushes_before = heap.device.stats.flushes
+        fences_before = heap.device.stats.fences
+        with vm.clock.scope("gc"):
+            stats = engine.collect(roots)
+        # PJH objects moved: the PJH->DRAM remembered set addresses are stale.
+        vm.rebuild_pjh_to_dram_remset(heap.walk())
+        return PersistentGCResult(
+            stats=stats,
+            pause_ns=vm.clock.now_ns - start_ns,
+            flushes=heap.device.stats.flushes - flushes_before,
+            fences=heap.device.stats.fences - fences_before,
+        )

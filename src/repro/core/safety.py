@@ -1,0 +1,125 @@
+"""Memory-safety levels for NVM->DRAM pointers (paper §3.4).
+
+PJH decouples the persistence of an object from that of its fields: a
+persistent object may hold a reference into DRAM, which is garbage after a
+reboot.  The paper offers four levels; we implement them as pluggable
+policies on a heap instance:
+
+* **User-guaranteed** — nothing is checked; fastest loads (flat curve in
+  Figure 18), undefined behaviour if the user dereferences a stale pointer.
+* **Zeroing** — at load time the whole data heap is scanned and every
+  pointer that leaves the PJH is nullified, so a careless access raises
+  ``NullPointerException`` instead of corrupting memory.  Load time grows
+  linearly with object count (Figure 18's Zero curve).
+* **Type-based** — only classes registered as persistent may be allocated
+  with ``pnew``, and stores of volatile references into persistent objects
+  are rejected outright (NV-Heaps-style invariant).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional, Set
+
+from repro.errors import UnsafePointerError
+from repro.runtime.klass import Klass
+
+
+class SafetyLevel(enum.Enum):
+    USER_GUARANTEED = "user-guaranteed"
+    ZEROING = "zeroing"
+    TYPE_BASED = "type-based"
+
+
+class SafetyPolicy:
+    """Behaviour hooks; the base class is the user-guaranteed level."""
+
+    level = SafetyLevel.USER_GUARANTEED
+
+    def scan_on_load(self) -> bool:
+        return False
+
+    def check_pnew(self, klass: Klass) -> None:
+        """Veto allocation of non-persistent classes (type-based only)."""
+
+    def check_ref_store(self, slot_address: int, value_address: int,
+                        value_is_volatile: bool) -> None:
+        """Veto NVM->DRAM stores (type-based only)."""
+
+
+class UserGuaranteedPolicy(SafetyPolicy):
+    """Paper: best performance, burden of checking on the programmer."""
+
+
+class ZeroingPolicy(SafetyPolicy):
+    """Paper: out-pointers nullified during a pre-load check phase."""
+
+    level = SafetyLevel.ZEROING
+
+    def scan_on_load(self) -> bool:
+        return True
+
+
+# The @persistent_type annotation registry (paper §3.4: "a library atop
+# Java to allow [users to define] classes with simple annotations, and only
+# objects with those classes will be persisted into PJH").
+_ANNOTATED_TYPES: Set[str] = set()
+
+# Runtime-internal classes every type-based heap needs.
+_ALWAYS_ALLOWED = {"java.lang.Object", "java.lang.String"}
+
+
+def persistent_type(target):
+    """Annotate a class (or class name) as persistable under type-based
+    safety.  Usable as a decorator on Python entity classes or called with
+    a plain class-name string for VM-defined classes.
+    """
+    name = target if isinstance(target, str) else target.__name__
+    _ANNOTATED_TYPES.add(name)
+    return target
+
+
+def annotated_type_names() -> Set[str]:
+    return set(_ANNOTATED_TYPES)
+
+
+class TypeBasedPolicy(SafetyPolicy):
+    """Paper: a library restricting persistence to annotated classes.
+
+    Guarantees no pointer within PJH points out of it, "a similar safety
+    level to NV-Heaps".  Allowed classes come from the per-policy allow
+    list plus the global :func:`persistent_type` annotation registry.
+    """
+
+    level = SafetyLevel.TYPE_BASED
+
+    def __init__(self, allowed: Optional[Iterable[str]] = None) -> None:
+        self.allowed: Set[str] = set(allowed or ())
+
+    def allow(self, name: str) -> None:
+        self.allowed.add(name)
+
+    def check_pnew(self, klass: Klass) -> None:
+        if klass.is_array:
+            return  # arrays of allowed element types ride on element checks
+        name = klass.name
+        if name in self.allowed or name in _ALWAYS_ALLOWED \
+                or name in _ANNOTATED_TYPES:
+            return
+        raise UnsafePointerError(
+            f"type-based safety: {name!r} is not annotated as persistent")
+
+    def check_ref_store(self, slot_address: int, value_address: int,
+                        value_is_volatile: bool) -> None:
+        if value_is_volatile:
+            raise UnsafePointerError(
+                f"type-based safety: storing a volatile reference "
+                f"({value_address:#x}) into persistent memory is forbidden")
+
+
+def policy_for(level: SafetyLevel) -> SafetyPolicy:
+    if level is SafetyLevel.USER_GUARANTEED:
+        return UserGuaranteedPolicy()
+    if level is SafetyLevel.ZEROING:
+        return ZeroingPolicy()
+    return TypeBasedPolicy()

@@ -1,0 +1,85 @@
+"""Java-flavoured exception hierarchy for the Espresso reproduction.
+
+The original system is a modified JVM, so the error conditions it raises are
+Java exceptions.  We mirror the ones that matter for the paper's semantics
+(e.g. the alias-Klass discussion hinges on when ``ClassCastException`` is or
+is not thrown) plus the runtime errors our substrates need.
+"""
+
+from __future__ import annotations
+
+
+class EspressoError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class JavaThrowable(EspressoError):
+    """Base class for the Java-exception lookalikes."""
+
+
+class ClassCastException(JavaThrowable):
+    """Raised by ``checkcast`` when the target type does not match.
+
+    The alias-Klass machinery exists precisely to avoid raising this for
+    logically-identical classes that live both in DRAM and NVM (paper §3.2).
+    """
+
+
+class NullPointerException(JavaThrowable):
+    """Raised when dereferencing a null reference.
+
+    Under zeroing safety, stale NVM->DRAM pointers are nullified at load time
+    so a careless access raises this instead of corrupting memory (§3.4).
+    """
+
+
+class OutOfMemoryError(JavaThrowable):
+    """Raised when a heap space cannot satisfy an allocation."""
+
+
+class IllegalStateException(JavaThrowable):
+    """Raised on API misuse (e.g. commit without an active transaction)."""
+
+
+class IllegalArgumentException(JavaThrowable):
+    """Raised on malformed arguments to public APIs."""
+
+
+class ArrayIndexOutOfBoundsException(JavaThrowable):
+    """Raised on out-of-range array element access."""
+
+
+class NoSuchFieldException(JavaThrowable):
+    """Raised when reflective field lookup fails (flush API, enhancer)."""
+
+
+class HeapExistsError(EspressoError):
+    """Raised by ``createHeap`` when the name is already taken."""
+
+
+class HeapNotFoundError(EspressoError):
+    """Raised by ``loadHeap`` when the name manager has no such heap."""
+
+
+class HeapCorruptionError(EspressoError):
+    """Raised when a persistent image fails validation on load."""
+
+
+class SimulatedCrash(EspressoError):
+    """Raised by a failpoint to model a machine crash.
+
+    Everything not yet flushed to the durable domain of the NVM device is
+    lost; tests catch this, reload the heap and run recovery.
+    """
+
+
+class TransactionAbort(EspressoError):
+    """Raised to roll back an ACID transaction (PCJ, PJO, H2)."""
+
+
+class SqlError(EspressoError):
+    """Raised by the H2 substrate on parse or execution errors."""
+
+
+class UnsafePointerError(EspressoError):
+    """Raised by the type-based safety checker on an NVM->DRAM store."""

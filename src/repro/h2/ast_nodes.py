@@ -1,0 +1,169 @@
+"""AST node definitions for the SQL subset the engine executes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.h2.values import SqlType
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    index: int
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # = <> < <= > >= AND OR + - * /
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # NOT, -
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    options: Tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """SQL LIKE: ``%`` matches any run, ``_`` any single character."""
+
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate select item: COUNT/SUM/AVG/MIN/MAX over a column
+    (or ``*`` for COUNT)."""
+
+    function: str
+    column: str  # "*" only for COUNT
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+class Statement:
+    """Base class for statement nodes."""
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    sql_type: SqlType
+    primary_key: bool = False
+    not_null: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    table: str
+    columns: Tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    table: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateIndex(Statement):
+    name: str
+    table: str
+    column: str
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    columns: Tuple[str, ...]
+    values: Tuple[Tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    table: str
+    columns: Tuple[str, ...]  # ("*",) for all columns
+    where: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+    aggregates: Tuple[Aggregate, ...] = ()
+    # With GROUP BY, plain columns must be grouping columns; output rows are
+    # (group columns..., aggregates...) per group.
+    group_by: Tuple[str, ...] = ()
+    # HAVING filters groups; it may reference group columns and the
+    # aggregate result names (e.g. "COUNT(*) > 2" via a ColumnRef-like
+    # aggregate test is not supported — use aggregates by position).
+    having: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Begin(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class Commit(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class Rollback(Statement):
+    pass

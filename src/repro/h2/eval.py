@@ -1,0 +1,189 @@
+"""Shared SQL expression evaluation and rendering.
+
+The engine evaluates WHERE predicates against table rows; the PJO provider
+evaluates the *same* predicate ASTs against entity objects (its query
+pushed-down-to-objects path).  One evaluator keeps the semantics — SQL
+three-valued logic, LIKE patterns, arithmetic — identical in both worlds.
+
+:func:`render_expression` is the inverse of the parser for expressions: it
+serialises an AST back to SQL text (quoting keyword-colliding identifiers),
+which is how the JPA provider pushes entity-level predicates down to SQL.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.errors import SqlError
+from repro.nvm.clock import Clock
+
+from repro.h2.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Param,
+    UnaryOp,
+)
+from repro.h2.values import sql_literal
+
+ColumnResolver = Callable[[str], Any]
+
+_like_cache: Dict[str, "re.Pattern"] = {}
+
+
+def like_regex(pattern: str) -> "re.Pattern":
+    """Translate a SQL LIKE pattern (``%``, ``_``) into a compiled regex."""
+    cached = _like_cache.get(pattern)
+    if cached is None:
+        parts = []
+        for ch in pattern:
+            if ch == "%":
+                parts.append(".*")
+            elif ch == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(ch))
+        cached = re.compile("".join(parts), re.DOTALL)
+        _like_cache[pattern] = cached
+    return cached
+
+
+class ExpressionEvaluator:
+    """Evaluate expression ASTs with SQL semantics.
+
+    ``None`` doubles as SQL's UNKNOWN truth value, exactly as in the
+    standard: comparisons against NULL are UNKNOWN, the connectives
+    propagate it, and a WHERE predicate accepts a row only on ``True``.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None,
+                 cpu_op_ns: float = 1.5) -> None:
+        self.clock = clock
+        self.cpu_op_ns = cpu_op_ns
+
+    def _charge(self, ops: float = 1.0) -> None:
+        if self.clock is not None:
+            self.clock.charge(self.cpu_op_ns * ops)
+
+    def evaluate(self, expr: Expr, resolve: ColumnResolver,
+                 params: Sequence[Any] = ()) -> Any:
+        self._charge()
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, Param):
+            if expr.index >= len(params):
+                raise SqlError(
+                    f"statement needs parameter #{expr.index + 1}, "
+                    f"got {len(params)}")
+            return params[expr.index]
+        if isinstance(expr, ColumnRef):
+            return resolve(expr.name)
+        if isinstance(expr, UnaryOp):
+            value = self.evaluate(expr.operand, resolve, params)
+            if expr.op == "NOT":
+                return None if value is None else not value
+            if expr.op == "-":
+                return None if value is None else -value
+            raise SqlError(f"unknown unary operator {expr.op}")
+        if isinstance(expr, IsNull):
+            value = self.evaluate(expr.operand, resolve, params)
+            return (value is not None) if expr.negated else (value is None)
+        if isinstance(expr, InList):
+            value = self.evaluate(expr.operand, resolve, params)
+            return any(self.evaluate(option, resolve, params) == value
+                       for option in expr.options)
+        if isinstance(expr, Like):
+            value = self.evaluate(expr.operand, resolve, params)
+            pattern = self.evaluate(expr.pattern, resolve, params)
+            if value is None or pattern is None:
+                return None
+            self._charge(4)
+            matched = like_regex(pattern).fullmatch(str(value)) is not None
+            return (not matched) if expr.negated else matched
+        if isinstance(expr, BinaryOp):
+            if expr.op == "AND":
+                left = self.evaluate(expr.left, resolve, params)
+                if left is False:
+                    return False
+                right = self.evaluate(expr.right, resolve, params)
+                if right is False:
+                    return False
+                return None if left is None or right is None else True
+            if expr.op == "OR":
+                left = self.evaluate(expr.left, resolve, params)
+                if left is True:
+                    return True
+                right = self.evaluate(expr.right, resolve, params)
+                if right is True:
+                    return True
+                return None if left is None or right is None else False
+            left = self.evaluate(expr.left, resolve, params)
+            right = self.evaluate(expr.right, resolve, params)
+            if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+                if left is None or right is None:
+                    return None  # comparisons against NULL are UNKNOWN
+                if expr.op == "=":
+                    return left == right
+                if expr.op == "<>":
+                    return left != right
+                if expr.op == "<":
+                    return left < right
+                if expr.op == "<=":
+                    return left <= right
+                if expr.op == ">":
+                    return left > right
+                return left >= right
+            if left is None or right is None:
+                return None
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "/":
+                if right == 0:
+                    raise SqlError("division by zero")
+                return left / right
+        raise SqlError(f"cannot evaluate {expr!r}")
+
+
+def quote_identifier(name: str) -> str:
+    from repro.h2.tokenizer import KEYWORDS
+    if name.upper() in KEYWORDS:
+        escaped = name.replace('"', '""')
+        return f'"{escaped}"'
+    return name
+
+
+def render_expression(expr: Expr) -> str:
+    """Serialise an expression AST back to SQL text (parse round-trips)."""
+    if isinstance(expr, Literal):
+        return sql_literal(expr.value)
+    if isinstance(expr, Param):
+        return "?"
+    if isinstance(expr, ColumnRef):
+        return quote_identifier(expr.name)
+    if isinstance(expr, UnaryOp):
+        if expr.op == "NOT":
+            return f"NOT ({render_expression(expr.operand)})"
+        return f"-({render_expression(expr.operand)})"
+    if isinstance(expr, IsNull):
+        middle = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"({render_expression(expr.operand)}) {middle}"
+    if isinstance(expr, InList):
+        options = ", ".join(render_expression(o) for o in expr.options)
+        return f"({render_expression(expr.operand)}) IN ({options})"
+    if isinstance(expr, Like):
+        middle = "NOT LIKE" if expr.negated else "LIKE"
+        return (f"({render_expression(expr.operand)}) {middle} "
+                f"{render_expression(expr.pattern)}")
+    if isinstance(expr, BinaryOp):
+        return (f"({render_expression(expr.left)}) {expr.op} "
+                f"({render_expression(expr.right)})")
+    raise SqlError(f"cannot render {expr!r}")

@@ -1,0 +1,467 @@
+"""Recursive-descent parser for the engine's SQL subset.
+
+Supported statements: CREATE TABLE [IF NOT EXISTS], DROP TABLE [IF EXISTS],
+CREATE [UNIQUE] INDEX, INSERT (multi-row), SELECT ([DISTINCT] column list /
+* / aggregates COUNT-SUM-AVG-MIN-MAX, WHERE, ORDER BY, LIMIT [OFFSET]),
+UPDATE, DELETE, BEGIN/COMMIT/ROLLBACK.
+
+Expression grammar (precedence low to high):
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := [NOT] predicate
+    predicate  := additive [(=|<>|!=|<|<=|>|>=) additive
+                            | IS [NOT] NULL | [NOT] LIKE additive
+                            | [NOT] BETWEEN additive AND additive
+                            | IN (expr, ...)]
+    additive   := term ((+|-) term)*
+    term       := factor ((*|/) factor)*
+    factor     := literal | ? | column | ( or_expr ) | - factor
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SqlError
+from repro.nvm.clock import Clock
+
+from repro.h2.ast_nodes import (
+    Aggregate,
+    Begin,
+    BinaryOp,
+    ColumnDef,
+    ColumnRef,
+    Commit,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    DropTable,
+    InList,
+    Insert,
+    IsNull,
+    Like,
+    Literal,
+    OrderItem,
+    Param,
+    Rollback,
+    Select,
+    Statement,
+    UnaryOp,
+    Update,
+)
+
+from repro.h2.tokenizer import Token, TokenType, tokenize
+from repro.h2.values import SqlType
+
+_AGGREGATE_KEYWORDS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+_NS_PER_TOKEN_FACTOR = 4.0
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self._param_count = 0
+        self._in_having = False
+
+    # -- cursor helpers ------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise SqlError(f"expected {word}, got {self.peek().text!r}")
+
+    def accept_op(self, op: str) -> bool:
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.text == op:
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            raise SqlError(f"expected {op!r}, got {self.peek().text!r}")
+
+    def identifier(self) -> str:
+        token = self.peek()
+        if token.type is TokenType.IDENT:
+            self.advance()
+            return token.text
+        # Unreserved keywords usable as identifiers would go here.
+        raise SqlError(f"expected identifier, got {token.text!r}")
+
+    # -- entry --------------------------------------------------------------
+    def parse_statement(self) -> Statement:
+        token = self.peek()
+        if token.is_keyword("CREATE"):
+            return self._create()
+        if token.is_keyword("DROP"):
+            return self._drop()
+        if token.is_keyword("INSERT"):
+            return self._insert()
+        if token.is_keyword("SELECT"):
+            return self._select()
+        if token.is_keyword("UPDATE"):
+            return self._update()
+        if token.is_keyword("DELETE"):
+            return self._delete()
+        if token.is_keyword("BEGIN"):
+            self.advance()
+            return Begin()
+        if token.is_keyword("COMMIT"):
+            self.advance()
+            return Commit()
+        if token.is_keyword("ROLLBACK"):
+            self.advance()
+            return Rollback()
+        raise SqlError(f"unsupported statement starting with {token.text!r}")
+
+    def finish(self) -> None:
+        self.accept_op(";")
+        if self.peek().type is not TokenType.EOF:
+            raise SqlError(f"trailing input at {self.peek().text!r}")
+
+    # -- DDL -----------------------------------------------------------------
+    def _create(self) -> Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            if_not_exists = False
+            if self.accept_keyword("IF"):
+                self.expect_keyword("NOT")
+                self.expect_keyword("EXISTS")
+                if_not_exists = True
+            table = self.identifier()
+            self.expect_op("(")
+            columns: List[ColumnDef] = []
+            while True:
+                name = self.identifier()
+                type_token = self.advance()
+                if type_token.type not in (TokenType.IDENT, TokenType.KEYWORD):
+                    raise SqlError(f"expected type after column {name!r}")
+                sql_type = SqlType.parse(type_token.text)
+                if self.accept_op("("):  # VARCHAR(255): size is cosmetic
+                    self.advance()
+                    self.expect_op(")")
+                primary = False
+                not_null = False
+                while True:
+                    if self.accept_keyword("PRIMARY"):
+                        self.expect_keyword("KEY")
+                        primary = True
+                    elif self.accept_keyword("NOT"):
+                        self.expect_keyword("NULL")
+                        not_null = True
+                    else:
+                        break
+                columns.append(ColumnDef(name, sql_type, primary, not_null))
+                if not self.accept_op(","):
+                    break
+            self.expect_op(")")
+            return CreateTable(table, tuple(columns), if_not_exists)
+        unique = self.accept_keyword("UNIQUE")
+        self.expect_keyword("INDEX")
+        name = self.identifier()
+        self.expect_keyword("ON")
+        table = self.identifier()
+        self.expect_op("(")
+        column = self.identifier()
+        self.expect_op(")")
+        return CreateIndex(name, table, column, unique)
+
+    def _drop(self) -> Statement:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        return DropTable(self.identifier(), if_exists)
+
+    # -- DML ------------------------------------------------------------------
+    def _insert(self) -> Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.identifier()
+        columns: List[str] = []
+        if self.accept_op("("):
+            while True:
+                columns.append(self.identifier())
+                if not self.accept_op(","):
+                    break
+            self.expect_op(")")
+        self.expect_keyword("VALUES")
+        rows: List[Tuple] = []
+        while True:
+            self.expect_op("(")
+            row: List = []
+            while True:
+                row.append(self.expression())
+                if not self.accept_op(","):
+                    break
+            self.expect_op(")")
+            rows.append(tuple(row))
+            if not self.accept_op(","):
+                break
+        return Insert(table, tuple(columns), tuple(rows))
+
+    def _having_expression(self):
+        """A predicate over group columns and aggregate results; aggregate
+        terms like COUNT(*) parse into ColumnRef("COUNT(*)") so the engine
+        can resolve them against the aggregated row."""
+        self._in_having = True
+        try:
+            return self.expression()
+        finally:
+            self._in_having = False
+
+    def _aggregate_item(self) -> Aggregate:
+        function = self.advance().text  # the aggregate keyword
+        self.expect_op("(")
+        if self.accept_op("*"):
+            if function != "COUNT":
+                raise SqlError(f"{function}(*) is not valid SQL")
+            column = "*"
+        else:
+            column = self.identifier()
+        self.expect_op(")")
+        return Aggregate(function, column)
+
+    def _select(self) -> Select:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        columns: List[str] = []
+        aggregates: List[Aggregate] = []
+        if self.accept_op("*"):
+            columns = ["*"]
+        else:
+            while True:
+                token = self.peek()
+                if token.type is TokenType.KEYWORD \
+                        and token.text in _AGGREGATE_KEYWORDS:
+                    aggregates.append(self._aggregate_item())
+                else:
+                    columns.append(self.identifier())
+                if not self.accept_op(","):
+                    break
+            if aggregates and distinct:
+                raise SqlError("DISTINCT with aggregates is not supported")
+        self.expect_keyword("FROM")
+        table = self.identifier()
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        group_by: List[str] = []
+        having = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            while True:
+                group_by.append(self.identifier())
+                if not self.accept_op(","):
+                    break
+            if self.accept_keyword("HAVING"):
+                having = self._having_expression()
+        if aggregates and columns and not group_by:
+            raise SqlError(
+                "mixing aggregates and plain columns requires GROUP BY")
+        if group_by:
+            if not aggregates:
+                raise SqlError("GROUP BY without aggregates — use DISTINCT")
+            for column in columns:
+                if column not in group_by:
+                    raise SqlError(
+                        f"column {column!r} must appear in GROUP BY")
+        order: List[OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                column = self.identifier()
+                descending = False
+                if self.accept_keyword("DESC"):
+                    descending = True
+                else:
+                    self.accept_keyword("ASC")
+                order.append(OrderItem(column, descending))
+                if not self.accept_op(","):
+                    break
+        limit = None
+        offset = None
+        if self.accept_keyword("LIMIT"):
+            token = self.advance()
+            if token.type is not TokenType.NUMBER:
+                raise SqlError("LIMIT expects a number")
+            limit = int(token.text)
+            if self.accept_keyword("OFFSET"):
+                token = self.advance()
+                if token.type is not TokenType.NUMBER:
+                    raise SqlError("OFFSET expects a number")
+                offset = int(token.text)
+        return Select(table, tuple(columns), where, tuple(order), limit,
+                      offset=offset, distinct=distinct,
+                      aggregates=tuple(aggregates), group_by=tuple(group_by),
+                      having=having)
+
+    def _update(self) -> Update:
+        self.expect_keyword("UPDATE")
+        table = self.identifier()
+        self.expect_keyword("SET")
+        assignments: List[Tuple[str, object]] = []
+        while True:
+            column = self.identifier()
+            self.expect_op("=")
+            assignments.append((column, self.expression()))
+            if not self.accept_op(","):
+                break
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return Update(table, tuple(assignments), where)
+
+    def _delete(self) -> Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.identifier()
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return Delete(table, where)
+
+    # -- expressions ---------------------------------------------------------
+    def expression(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        while self.accept_keyword("OR"):
+            left = BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self):
+        left = self._not_expr()
+        while self.accept_keyword("AND"):
+            left = BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self):
+        if self.accept_keyword("NOT"):
+            return UnaryOp("NOT", self._not_expr())
+        return self._predicate()
+
+    def _predicate(self):
+        left = self._additive()
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.text in (
+                "=", "<>", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            op = "<>" if token.text == "!=" else token.text
+            return BinaryOp(op, left, self._additive())
+        if self.accept_keyword("IS"):
+            negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return IsNull(left, negated)
+        negated = False
+        if self.peek().is_keyword("NOT"):
+            lookahead = self.tokens[self.pos + 1]
+            if lookahead.is_keyword("LIKE") or lookahead.is_keyword("BETWEEN"):
+                self.advance()
+                negated = True
+        if self.accept_keyword("LIKE"):
+            return Like(left, self._additive(), negated)
+        if self.accept_keyword("BETWEEN"):
+            # Desugared: x BETWEEN a AND b  ->  x >= a AND x <= b.
+            low = self._additive()
+            self.expect_keyword("AND")
+            high = self._additive()
+            between = BinaryOp("AND", BinaryOp(">=", left, low),
+                               BinaryOp("<=", left, high))
+            return UnaryOp("NOT", between) if negated else between
+        if negated:
+            raise SqlError("dangling NOT in predicate")
+        if self.accept_keyword("IN"):
+            self.expect_op("(")
+            options = []
+            while True:
+                options.append(self.expression())
+                if not self.accept_op(","):
+                    break
+            self.expect_op(")")
+            return InList(left, tuple(options))
+        return left
+
+    def _additive(self):
+        left = self._term()
+        while True:
+            if self.accept_op("+"):
+                left = BinaryOp("+", left, self._term())
+            elif self.accept_op("-"):
+                left = BinaryOp("-", left, self._term())
+            else:
+                return left
+
+    def _term(self):
+        left = self._factor()
+        while True:
+            if self.accept_op("*"):
+                left = BinaryOp("*", left, self._factor())
+            elif self.accept_op("/"):
+                left = BinaryOp("/", left, self._factor())
+            else:
+                return left
+
+    def _factor(self):
+        token = self.peek()
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            text = token.text
+            if "." in text or "e" in text or "E" in text:
+                return Literal(float(text))
+            return Literal(int(text))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.text)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.type is TokenType.PARAM:
+            self.advance()
+            param = Param(self._param_count)
+            self._param_count += 1
+            return param
+        if self.accept_op("("):
+            inner = self.expression()
+            self.expect_op(")")
+            return inner
+        if self.accept_op("-"):
+            return UnaryOp("-", self._factor())
+        if token.type is TokenType.IDENT:
+            self.advance()
+            return ColumnRef(token.text)
+        if self._in_having and token.type is TokenType.KEYWORD \
+                and token.text in _AGGREGATE_KEYWORDS:
+            aggregate = self._aggregate_item()
+            return ColumnRef(f"{aggregate.function}({aggregate.column})")
+        raise SqlError(f"unexpected token {token.text!r} in expression")
+
+
+def parse(sql: str, clock: Optional[Clock] = None,
+          cpu_op_ns: float = 1.5) -> Statement:
+    """Tokenize + parse one statement, charging simulated parse time."""
+    tokens = tokenize(sql, clock, cpu_op_ns)
+    if clock is not None:
+        clock.charge(len(tokens) * cpu_op_ns * _NS_PER_TOKEN_FACTOR)
+    parser = Parser(tokens)
+    statement = parser.parse_statement()
+    parser.finish()
+    return statement

@@ -1,0 +1,149 @@
+"""SQL lexer for the H2-style engine.
+
+Tokenizing charges simulated CPU time per character, because in the JPA
+architecture of Figure 1 the database *re-parses* the SQL text the provider
+just serialised — cost the PJO path deletes wholesale (Figure 17).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import SqlError
+from repro.nvm.clock import Clock
+
+KEYWORDS = {
+    "SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "TABLE",
+    "INDEX", "INTO", "VALUES", "FROM", "WHERE", "SET", "AND", "OR", "NOT",
+    "NULL", "TRUE", "FALSE", "PRIMARY", "KEY", "ORDER", "BY", "ASC", "DESC",
+    "LIMIT", "OFFSET", "ON", "BEGIN", "COMMIT", "ROLLBACK", "IS", "IN",
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "LIKE", "BETWEEN", "DISTINCT",
+    "GROUP", "HAVING",
+    "UNIQUE", "IF", "EXISTS",
+}
+
+_PUNCT = {"(", ")", ",", "*", "=", "<", ">", "+", "-", "/", "?", ".", ";"}
+_TWO_CHAR = {"<=", ">=", "<>", "!="}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PARAM = "param"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text == word
+
+
+# Cost of lexing one character of SQL text, in CPU-op units.
+_NS_PER_CHAR_FACTOR = 0.6
+
+
+def tokenize(sql: str, clock: Optional[Clock] = None,
+             cpu_op_ns: float = 1.5) -> List[Token]:
+    if clock is not None:
+        clock.charge(len(sql) * cpu_op_ns * _NS_PER_CHAR_FACTOR)
+    tokens: List[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql[i:i + 2] == "--":
+            newline = sql.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        start = i
+        if ch.isalpha() or ch == "_":
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = sql[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i > start:
+                    seen_exp = True
+                    i += 1
+                    if i < n and sql[i] in "+-":
+                        i += 1
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, sql[start:i], start))
+            continue
+        if ch == '"':
+            # Quoted identifier: keywords lose their reserved meaning.
+            i += 1
+            chunks: List[str] = []
+            while True:
+                if i >= n:
+                    raise SqlError(f"unterminated quoted identifier at {start}")
+                if sql[i] == '"':
+                    if i + 1 < n and sql[i + 1] == '"':
+                        chunks.append('"')
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chunks.append(sql[i])
+                i += 1
+            tokens.append(Token(TokenType.IDENT, "".join(chunks), start))
+            continue
+        if ch == "'":
+            i += 1
+            chunks: List[str] = []
+            while True:
+                if i >= n:
+                    raise SqlError(f"unterminated string at {start}")
+                if sql[i] == "'":
+                    if i + 1 < n and sql[i + 1] == "'":
+                        chunks.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chunks.append(sql[i])
+                i += 1
+            tokens.append(Token(TokenType.STRING, "".join(chunks), start))
+            continue
+        if sql[i:i + 2] in _TWO_CHAR:
+            tokens.append(Token(TokenType.OPERATOR, sql[i:i + 2], start))
+            i += 2
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenType.PARAM, "?", start))
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.OPERATOR, ch, start))
+            i += 1
+            continue
+        raise SqlError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

@@ -1,0 +1,144 @@
+"""Write-ahead log for the H2-style engine.
+
+Physical undo/redo logging at word granularity: before a data word range is
+mutated, its old and new images are appended to the WAL and flushed; the
+data-page write itself may linger in the (volatile) cache.  A transaction
+becomes durable when its COMMIT record is flushed.  On open, recovery
+replays the log: committed transactions are redone (their page writes may
+never have been flushed), the trailing uncommitted transaction is undone.
+
+Record formats (word 0 is the type):
+    BEGIN  := [1, tx_id]
+    WRITE  := [2, tx_id, device_offset, count, old..., new...]
+    COMMIT := [3, tx_id]
+    ABORT  := [4, tx_id]
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import IllegalStateException, SqlError
+from repro.nvm.device import NvmDevice
+
+REC_BEGIN = 1
+REC_WRITE = 2
+REC_COMMIT = 3
+REC_ABORT = 4
+
+_USED = 0  # wal-region-relative offset of the used-words counter
+_HEADER_WORDS = 8
+
+
+class WriteAheadLog:
+    """WAL over a fixed region [offset, offset+capacity) of the device."""
+
+    def __init__(self, device: NvmDevice, offset: int, capacity: int) -> None:
+        self.device = device
+        self.offset = offset
+        self.capacity = capacity
+        self._data = offset + _HEADER_WORDS
+
+    # -- used counter ----------------------------------------------------------
+    @property
+    def used(self) -> int:
+        return self.device.read(self.offset + _USED)
+
+    def _set_used(self, value: int, flush: bool = True) -> None:
+        self.device.write(self.offset + _USED, value)
+        if flush:
+            self.device.clflush(self.offset + _USED)
+
+    # -- appending ---------------------------------------------------------------
+    def _append(self, words: List[int], flush: bool) -> None:
+        used = self.used
+        if _HEADER_WORDS + used + len(words) > self.capacity:
+            raise SqlError("WAL full — checkpoint required (log too small "
+                           "for this transaction)")
+        target = self._data + used
+        self.device.write_block(target, np.array(words, dtype=np.int64))
+        if flush:
+            self.device.clflush(target, len(words))
+        self._set_used(used + len(words), flush)
+        if flush:
+            self.device.fence()
+
+    def log_begin(self, tx_id: int) -> None:
+        # Flushed like every other record: an unflushed BEGIN would leave a
+        # zeroed hole that truncates the scan in front of later, committed
+        # records.
+        self._append([REC_BEGIN, tx_id], flush=True)
+
+    def log_write(self, tx_id: int, device_offset: int,
+                  old: np.ndarray, new: np.ndarray) -> None:
+        if len(old) != len(new):
+            raise IllegalStateException("old/new images differ in length")
+        words = ([REC_WRITE, tx_id, device_offset, len(old)]
+                 + [int(w) for w in old] + [int(w) for w in new])
+        self._append(words, flush=True)
+
+    def log_commit(self, tx_id: int) -> None:
+        self._append([REC_COMMIT, tx_id], flush=True)
+
+    def log_abort(self, tx_id: int) -> None:
+        self._append([REC_ABORT, tx_id], flush=True)
+
+    # -- checkpoint -----------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Flush every dirty line, then truncate the log."""
+        self.device.persist_all()
+        self._set_used(0)
+        self.device.fence()
+
+    # -- recovery ---------------------------------------------------------------------
+    def scan(self) -> List[Tuple]:
+        """Parse the log into (type, tx_id, offset, old, new) tuples."""
+        records: List[Tuple] = []
+        cursor = 0
+        used = self.used
+        while cursor < used:
+            rec_type = self.device.read(self._data + cursor)
+            tx_id = self.device.read(self._data + cursor + 1)
+            if rec_type in (REC_BEGIN, REC_COMMIT, REC_ABORT):
+                records.append((rec_type, tx_id, None, None, None))
+                cursor += 2
+            elif rec_type == REC_WRITE:
+                offset = self.device.read(self._data + cursor + 2)
+                count = self.device.read(self._data + cursor + 3)
+                old = self.device.read_block(self._data + cursor + 4, count)
+                new = self.device.read_block(
+                    self._data + cursor + 4 + count, count)
+                records.append((REC_WRITE, tx_id, offset, old, new))
+                cursor += 4 + 2 * count
+            else:
+                break  # torn tail: the used counter outran the flushed data
+        return records
+
+    def recover(self) -> Tuple[int, int]:
+        """Redo committed transactions, undo the unfinished one.
+
+        Aborted transactions need no work here: their undo images were
+        applied and flushed before the ABORT record was logged.  Because
+        execution is serial, at most the *last* transaction in the log can
+        be unfinished, so undoing it after the redo pass is safe.
+
+        Returns (redone_writes, undone_writes).
+        """
+        records = self.scan()
+        finished: Dict[int, int] = {}
+        for rec_type, tx_id, *_ in records:
+            if rec_type in (REC_COMMIT, REC_ABORT):
+                finished[tx_id] = rec_type
+        redone = undone = 0
+        for rec_type, tx_id, offset, old, new in records:
+            if rec_type == REC_WRITE and finished.get(tx_id) == REC_COMMIT:
+                self.device.write_block(offset, new)
+                redone += 1
+        for rec_type, tx_id, offset, old, new in reversed(records):
+            if rec_type == REC_WRITE and tx_id not in finished:
+                self.device.write_block(offset, old)
+                undone += 1
+        self.checkpoint()
+        return redone, undone

@@ -1,0 +1,112 @@
+"""JPA-style annotations: the ``@persistable`` programming model.
+
+Paper Figure 2: "programmers are allowed to declare their own classes,
+sub-classes and even collections with some annotations", and DataNucleus'
+*enhancer* rewrites the annotated classes to implement ``Persistable``,
+inserting control fields (the StateManager reference) and instrumenting
+field access.
+
+In Python the decorator *is* the enhancer: ``@entity`` collects the column
+descriptors, synthesises the metadata, and the descriptors themselves do
+the field-access instrumentation (dirty tracking for field-level updates,
+and — under PJO with data deduplication — redirection of reads to the
+persisted copy, Figure 14d).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Type
+
+from repro.h2.values import SqlType
+
+_STATE = "_espresso_state"
+
+
+class Attribute:
+    """Base descriptor for persistent attributes (the enhancer's hook)."""
+
+    def __init__(self) -> None:
+        self.name: str = ""
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.name = name
+
+    # -- instrumented access ------------------------------------------------
+    def __get__(self, instance: Any, owner: Optional[type] = None) -> Any:
+        if instance is None:
+            return self
+        state = getattr(instance, _STATE, None)
+        if state is not None and state.reads_from_persistent(self.name):
+            return state.read_persistent(self.name)
+        return instance.__dict__.get(self.name)
+
+    def __set__(self, instance: Any, value: Any) -> None:
+        instance.__dict__[self.name] = value
+        state = getattr(instance, _STATE, None)
+        if state is not None:
+            state.mark_dirty(self.name)
+
+
+class Column(Attribute):
+    """A basic column: one SQL-typed value."""
+
+    def __init__(self, sql_type: SqlType, primary_key: bool = False,
+                 not_null: bool = False) -> None:
+        super().__init__()
+        self.sql_type = sql_type
+        self.primary_key = primary_key
+        self.not_null = not_null
+
+
+def Id(sql_type: SqlType = SqlType.BIGINT) -> Column:
+    """Primary-key column (JPA's @Id)."""
+    return Column(sql_type, primary_key=True, not_null=True)
+
+
+def Basic(sql_type: SqlType, not_null: bool = False) -> Column:
+    """Plain persistent field (JPA's @Basic/@Column)."""
+    return Column(sql_type, not_null=not_null)
+
+
+class ElementCollection(Attribute):
+    """A collection of basic values, stored in a side table
+    (JPA's @ElementCollection — CollectionTest's shape)."""
+
+    def __init__(self, element_type: SqlType) -> None:
+        super().__init__()
+        self.element_type = element_type
+
+
+class ManyToOne(Attribute):
+    """A foreign-key-like reference to another entity
+    (NodeTest's shape).  Stored as the target's primary key."""
+
+    def __init__(self, target: "str | type") -> None:
+        super().__init__()
+        self.target = target
+
+
+def entity(table: Optional[str] = None):
+    """Class decorator: the @persistable annotation + enhancer in one.
+
+    Collects attribute descriptors (inherited ones first — single-table
+    inheritance with a DTYPE discriminator, like DataNucleus' default),
+    builds the :class:`~repro.jpa.model.EntityMeta`, and registers the
+    class in the global entity registry.
+    """
+    def decorate(cls: type) -> type:
+        from repro.jpa.model import build_meta, register_entity
+        meta = build_meta(cls, table)
+        cls._espresso_meta = meta
+        register_entity(cls, meta)
+        return cls
+    return decorate
+
+
+def state_of(instance: Any):
+    """The instance's StateManager, if it has been enhanced/managed."""
+    return getattr(instance, _STATE, None)
+
+
+def attach_state(instance: Any, state) -> None:
+    object.__setattr__(instance, _STATE, state)

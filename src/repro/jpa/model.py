@@ -1,0 +1,127 @@
+"""Entity metadata: what the enhancer extracts from annotated classes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.errors import IllegalArgumentException
+from repro.h2.values import SqlType
+
+from repro.jpa.annotations import Attribute, Column, ElementCollection, ManyToOne
+
+DISCRIMINATOR = "DTYPE"
+
+
+@dataclass
+class EntityMeta:
+    """Schema-level description of one entity class."""
+
+    cls: type
+    table: str
+    columns: Tuple[Tuple[str, Column], ...]          # basic columns, pk first
+    collections: Tuple[Tuple[str, ElementCollection], ...]
+    references: Tuple[Tuple[str, ManyToOne], ...]
+    base_meta: Optional["EntityMeta"] = None         # inheritance root
+
+    @property
+    def pk_field(self) -> str:
+        return self.columns[0][0]
+
+    @property
+    def pk_column(self) -> Column:
+        return self.columns[0][1]
+
+    @property
+    def root(self) -> "EntityMeta":
+        return self.base_meta.root if self.base_meta is not None else self
+
+    @property
+    def uses_inheritance(self) -> bool:
+        return self.base_meta is not None or bool(_subclasses_of(self.cls))
+
+    def collection_table(self, field_name: str) -> str:
+        return f"{self.root.table}_{field_name}"
+
+    def all_field_names(self) -> List[str]:
+        names = [name for name, _ in self.columns]
+        names += [name for name, _ in self.collections]
+        names += [name for name, _ in self.references]
+        return names
+
+
+_REGISTRY: Dict[type, EntityMeta] = {}
+_BY_NAME: Dict[str, EntityMeta] = {}
+
+
+def register_entity(cls: type, meta: EntityMeta) -> None:
+    _REGISTRY[cls] = meta
+    _BY_NAME[cls.__name__] = meta
+
+
+def meta_of(cls: type) -> EntityMeta:
+    try:
+        return _REGISTRY[cls]
+    except KeyError:
+        raise IllegalArgumentException(
+            f"{cls.__name__} is not an @entity class") from None
+
+
+def meta_by_name(name: str) -> EntityMeta:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise IllegalArgumentException(f"unknown entity {name!r}") from None
+
+
+def _subclasses_of(cls: type) -> List[type]:
+    return [c for c in _REGISTRY if c is not cls and issubclass(c, cls)]
+
+
+def build_meta(cls: type, table: Optional[str]) -> EntityMeta:
+    """Collect descriptors in MRO order (base first: single-table layout)."""
+    columns: List[Tuple[str, Column]] = []
+    collections: List[Tuple[str, ElementCollection]] = []
+    references: List[Tuple[str, ManyToOne]] = []
+    seen = set()
+    for klass in reversed(cls.__mro__):
+        for name, attr in vars(klass).items():
+            if not isinstance(attr, Attribute) or name in seen:
+                continue
+            seen.add(name)
+            if isinstance(attr, Column):
+                columns.append((name, attr))
+            elif isinstance(attr, ElementCollection):
+                collections.append((name, attr))
+            elif isinstance(attr, ManyToOne):
+                references.append((name, attr))
+    pk = [i for i, (_n, c) in enumerate(columns) if c.primary_key]
+    if len(pk) != 1:
+        raise IllegalArgumentException(
+            f"{cls.__name__} needs exactly one Id column")
+    # Primary key first, rest in declaration order.
+    columns.insert(0, columns.pop(pk[0]))
+
+    base_meta: Optional[EntityMeta] = None
+    for base in cls.__mro__[1:]:
+        if base in _REGISTRY:
+            base_meta = _REGISTRY[base]
+            break
+    resolved_table = table or (base_meta.root.table if base_meta
+                               else cls.__name__)
+    return EntityMeta(cls, resolved_table, tuple(columns),
+                      tuple(collections), tuple(references), base_meta)
+
+
+def reference_pk_type(attr: ManyToOne) -> SqlType:
+    """The SQL type of the FK column: the target entity's pk type."""
+    target = attr.target
+    if isinstance(target, str):
+        return meta_by_name(target).pk_column.sql_type
+    return meta_of(target).pk_column.sql_type
+
+
+def resolve_target_meta(attr: ManyToOne) -> EntityMeta:
+    if isinstance(attr.target, str):
+        return meta_by_name(attr.target)
+    return meta_of(attr.target)

@@ -1,0 +1,72 @@
+"""Entity-level query predicates (a JPQL-lite WHERE clause).
+
+``em.query(Person, "phone = ? AND id > ?", ("+44", 3))`` parses the
+predicate with the database's own expression grammar, validates the field
+references against the entity metadata, and hands the AST to the provider:
+the JPA provider renders it back to SQL and pushes it down; the PJO
+provider evaluates it directly over the DBPersistable objects — same
+semantics, no SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.errors import IllegalArgumentException, SqlError
+from repro.h2.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    UnaryOp,
+)
+from repro.h2.parser import Parser
+from repro.h2.tokenizer import TokenType, tokenize
+
+
+def parse_predicate(text: str) -> Expr:
+    """Parse a WHERE-clause expression (no statement keywords)."""
+    tokens = tokenize(text)
+    parser = Parser(tokens)
+    expr = parser.expression()
+    if parser.peek().type is not TokenType.EOF:
+        raise SqlError(f"trailing input in predicate: {parser.peek().text!r}")
+    return expr
+
+
+def referenced_fields(expr: Expr) -> Set[str]:
+    """Every entity field the predicate mentions."""
+    fields: Set[str] = set()
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, ColumnRef):
+            fields.add(node.name)
+        elif isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, IsNull):
+            walk(node.operand)
+        elif isinstance(node, Like):
+            walk(node.operand)
+            walk(node.pattern)
+        elif isinstance(node, InList):
+            walk(node.operand)
+            for option in node.options:
+                walk(option)
+
+    walk(expr)
+    return fields
+
+
+def validate_fields(meta, expr: Expr) -> None:
+    from repro.jpa.sql_mapping import schema_columns
+    schema = {name for name, *_rest in schema_columns(meta)}
+    unknown = referenced_fields(expr) - schema
+    if unknown:
+        raise IllegalArgumentException(
+            f"{meta.cls.__name__} has no persistent field(s) "
+            f"{sorted(unknown)}")

@@ -1,0 +1,170 @@
+"""Object -> SQL transformation: the overhead JPA pays on NVM.
+
+Paper §2.1: at commit DataNucleus "will find all modified (including newly
+added) objects from its management list and translate all updates into SQL
+statements" — and Figure 4 measures this transformation at ~42% of the
+commit, versus ~24% of actual database work.  This module is that
+translation layer: it renders entities into SQL *text* (which the engine
+then re-tokenizes and re-parses), charging simulated CPU time per character
+under the ``transformation`` clock scope at the call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.h2.tokenizer import KEYWORDS
+from repro.h2.values import SqlType, sql_literal
+
+
+def ident(name: str) -> str:
+    """Render an identifier, quoting it when it collides with a keyword
+    (entity fields like ``order`` are legal in JPA and must survive SQL)."""
+    if name.upper() in KEYWORDS:
+        escaped = name.replace('"', '""')
+        return f'"{escaped}"'
+    return name
+
+from repro.jpa.model import DISCRIMINATOR, EntityMeta, meta_of, \
+    reference_pk_type, resolve_target_meta
+
+# CPU cost factor per generated SQL character, in cpu-op units.  This
+# prices everything the provider does per character of SQL it emits:
+# reflective field reads, type conversion, literal rendering, string
+# concatenation and JDBC marshalling.  Calibrated so that the commit-phase
+# breakdown reproduces Figure 4's shape (transformation ~42% vs database
+# ~24% of total time) on the JPAB retrieve/create workloads.
+NS_PER_SQL_CHAR_FACTOR = 75.0
+
+
+def schema_columns(meta: EntityMeta) -> List[Tuple[str, SqlType, bool, bool]]:
+    """(name, type, pk, not_null) for the root table, inheritance included."""
+    root = meta.root
+    columns: List[Tuple[str, SqlType, bool, bool]] = []
+    seen = set()
+
+    def add_meta(m: EntityMeta) -> None:
+        for name, col in m.columns:
+            if name not in seen:
+                seen.add(name)
+                columns.append((name, col.sql_type, col.primary_key,
+                                col.not_null))
+        for name, ref in m.references:
+            if name not in seen:
+                seen.add(name)
+                columns.append((name, reference_pk_type(ref), False, False))
+
+    add_meta(root)
+    from repro.jpa.model import _REGISTRY
+    subclasses = sorted((c for c in _REGISTRY
+                         if c is not root.cls and issubclass(c, root.cls)),
+                        key=lambda c: c.__name__)
+    if subclasses:
+        columns.insert(1, (DISCRIMINATOR, SqlType.VARCHAR, False, False))
+    for sub in subclasses:
+        add_meta(meta_of(sub))
+    if not subclasses and meta.base_meta is None and _needs_dtype(meta):
+        columns.insert(1, (DISCRIMINATOR, SqlType.VARCHAR, False, False))
+    return columns
+
+
+def _needs_dtype(meta: EntityMeta) -> bool:
+    return meta.uses_inheritance
+
+
+def create_table_sql(meta: EntityMeta) -> str:
+    parts = []
+    for name, sql_type, pk, not_null in schema_columns(meta):
+        rendered = f"{ident(name)} {sql_type.value}"
+        if pk:
+            rendered += " PRIMARY KEY"
+        elif not_null:
+            rendered += " NOT NULL"
+        parts.append(rendered)
+    return (f"CREATE TABLE IF NOT EXISTS {meta.root.table} "
+            f"({', '.join(parts)})")
+
+
+def collection_table_sql(meta: EntityMeta, field_name: str) -> str:
+    _, collection = next(c for c in meta.collections if c[0] == field_name)
+    pk_type = meta.pk_column.sql_type.value
+    return (f"CREATE TABLE IF NOT EXISTS {meta.collection_table(field_name)} "
+            f"(owner_id {pk_type} NOT NULL, idx INTEGER NOT NULL, "
+            f"element {collection.element_type.value})")
+
+
+def _entity_row(meta: EntityMeta, instance: Any,
+                table_columns) -> List[Tuple[str, Any]]:
+    """(column, value) pairs for this instance against the full table."""
+    own_fields = {name for name, _ in meta.columns}
+    own_refs = dict(meta.references)
+    pairs: List[Tuple[str, Any]] = []
+    for name, _sql_type, _pk, _nn in table_columns:
+        if name == DISCRIMINATOR:
+            pairs.append((name, type(instance).__name__))
+        elif name in own_fields:
+            pairs.append((name, getattr(instance, name)))
+        elif name in own_refs:
+            target = getattr(instance, name)
+            target_pk = (None if target is None
+                         else getattr(target,
+                                      resolve_target_meta(own_refs[name])
+                                      .pk_field))
+            pairs.append((name, target_pk))
+        else:
+            pairs.append((name, None))  # a sibling subclass's column
+    return pairs
+
+
+def insert_sql(meta: EntityMeta, instance: Any) -> str:
+    table_columns = schema_columns(meta)
+    pairs = _entity_row(meta, instance, table_columns)
+    names = ", ".join(ident(name) for name, _ in pairs)
+    values = ", ".join(sql_literal(value) for _, value in pairs)
+    return f"INSERT INTO {meta.root.table} ({names}) VALUES ({values})"
+
+
+def update_sql(meta: EntityMeta, instance: Any) -> str:
+    """Full-row UPDATE: stock JPA rewrites every column, not just dirty ones."""
+    table_columns = schema_columns(meta)
+    pairs = _entity_row(meta, instance, table_columns)
+    pk_name = meta.pk_field
+    sets = ", ".join(f"{ident(name)} = {sql_literal(value)}"
+                     for name, value in pairs
+                     if name != pk_name)
+    pk_value = sql_literal(getattr(instance, pk_name))
+    return (f"UPDATE {meta.root.table} SET {sets} "
+            f"WHERE {ident(pk_name)} = {pk_value}")
+
+
+def select_sql(meta: EntityMeta, pk_value: Any) -> str:
+    return (f"SELECT * FROM {meta.root.table} "
+            f"WHERE {ident(meta.pk_field)} = {sql_literal(pk_value)}")
+
+
+def delete_sql(meta: EntityMeta, pk_value: Any) -> str:
+    return (f"DELETE FROM {meta.root.table} "
+            f"WHERE {ident(meta.pk_field)} = {sql_literal(pk_value)}")
+
+
+def collection_delete_sql(meta: EntityMeta, field_name: str,
+                          pk_value: Any) -> str:
+    return (f"DELETE FROM {meta.collection_table(field_name)} "
+            f"WHERE owner_id = {sql_literal(pk_value)}")
+
+
+def collection_insert_sql(meta: EntityMeta, field_name: str, pk_value: Any,
+                          elements: Sequence[Any]) -> Optional[str]:
+    if not elements:
+        return None
+    rows = ", ".join(
+        f"({sql_literal(pk_value)}, {i}, {sql_literal(element)})"
+        for i, element in enumerate(elements))
+    return (f"INSERT INTO {meta.collection_table(field_name)} "
+            f"(owner_id, idx, element) VALUES {rows}")
+
+
+def collection_select_sql(meta: EntityMeta, field_name: str,
+                          pk_value: Any) -> str:
+    return (f"SELECT element FROM {meta.collection_table(field_name)} "
+            f"WHERE owner_id = {sql_literal(pk_value)} ORDER BY idx")

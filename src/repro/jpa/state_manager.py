@@ -1,0 +1,86 @@
+"""Per-object StateManager (paper §2.1/§5).
+
+"Each managed object will also be associated with a StateManager for state
+management.  The reference to StateManager is inserted into Persistable
+objects by the enhancer."
+
+The StateManager tracks lifecycle state and — for PJO — the field-level
+dirty bitmap (§5 "Field-level tracking") and the data-deduplication
+redirection (§5 "Data deduplication"): after a commit the volatile field
+values can be dropped and reads served from the persisted copy; a write
+then creates a shadow, non-persistent field (copy-on-write), because NVM
+writes are several times more expensive than reads.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional, Set
+
+
+class LifecycleState(enum.Enum):
+    TRANSIENT = "transient"
+    NEW = "new"            # persist() called, not yet flushed
+    MANAGED = "managed"    # known to the database
+    REMOVED = "removed"
+    DETACHED = "detached"
+
+
+class StateManager:
+    """Control-field state attached to an enhanced entity instance."""
+
+    def __init__(self, instance: Any, meta) -> None:
+        self.instance = instance
+        self.meta = meta
+        self.state = LifecycleState.TRANSIENT
+        self.dirty_fields: Set[str] = set()
+        # PJO extras:
+        self.persistent_reader: Optional[Callable[[str], Any]] = None
+        self.deduplicated_fields: Set[str] = set()
+
+    # -- dirty tracking -------------------------------------------------------
+    def mark_dirty(self, field_name: str) -> None:
+        if self.state in (LifecycleState.NEW, LifecycleState.MANAGED):
+            self.dirty_fields.add(field_name)
+        # A write to a deduplicated field materialises a shadow copy
+        # (the instance dict now holds it), so reads stop redirecting.
+        self.deduplicated_fields.discard(field_name)
+
+    def clear_dirty(self) -> None:
+        self.dirty_fields.clear()
+
+    @property
+    def dirty_bitmap(self) -> Set[str]:
+        """The modified-field set shipped to the backend at commit."""
+        return set(self.dirty_fields)
+
+    # -- data deduplication (PJO) ------------------------------------------------
+    def enable_dedup(self, reader: Callable[[str], Any],
+                     field_names) -> None:
+        """Redirect reads of *field_names* to the persisted copy and drop
+        the volatile values (Figure 14d)."""
+        self.persistent_reader = reader
+        self.deduplicated_fields = set(field_names)
+        for name in field_names:
+            self.instance.__dict__.pop(name, None)
+
+    def reads_from_persistent(self, field_name: str) -> bool:
+        return (field_name in self.deduplicated_fields
+                and self.persistent_reader is not None)
+
+    def read_persistent(self, field_name: str) -> Any:
+        assert self.persistent_reader is not None
+        return self.persistent_reader(field_name)
+
+    def detach(self) -> None:
+        """Detach (JPA semantics): the entity keeps its state.
+
+        Deduplicated fields are materialised back into the instance before
+        the persistent reader becomes invalid (e.g. across em.clear() or a
+        heap unload)."""
+        for field_name in sorted(self.deduplicated_fields):
+            self.instance.__dict__[field_name] = \
+                self.read_persistent(field_name)
+        self.deduplicated_fields.clear()
+        self.persistent_reader = None
+        self.state = LifecycleState.DETACHED

@@ -1,0 +1,51 @@
+"""JPAB — the JPA Performance Benchmark port (paper §6.3, Table 2)."""
+
+from repro.jpab.model import (
+    ALL_ENTITIES,
+    BasicPerson,
+    CollectionPerson,
+    ExtEmployee,
+    ExtManager,
+    ExtPerson,
+    Node,
+)
+from repro.jpab.runner import (
+    OPERATIONS,
+    OperationResult,
+    TestResult,
+    make_jpa_em,
+    make_pjo_em,
+    run_jpab_test,
+)
+from repro.jpab.workload import (
+    ALL_TESTS,
+    BASIC_TEST,
+    COLLECTION_TEST,
+    CrudDriver,
+    EXT_TEST,
+    JpabTest,
+    NODE_TEST,
+)
+
+__all__ = [
+    "ALL_ENTITIES",
+    "ALL_TESTS",
+    "BASIC_TEST",
+    "BasicPerson",
+    "COLLECTION_TEST",
+    "CollectionPerson",
+    "CrudDriver",
+    "EXT_TEST",
+    "ExtEmployee",
+    "ExtManager",
+    "ExtPerson",
+    "JpabTest",
+    "NODE_TEST",
+    "Node",
+    "OPERATIONS",
+    "OperationResult",
+    "TestResult",
+    "make_jpa_em",
+    "make_pjo_em",
+    "run_jpab_test",
+]

@@ -1,0 +1,94 @@
+"""JPAB entity models (paper Table 2).
+
+Four test shapes from the JPA Performance Benchmark [33]:
+
+* **BasicTest** — plain user-defined classes (``BasicPerson``);
+* **ExtTest** — classes with inheritance relationships
+  (``ExtPerson`` <- ``ExtEmployee`` <- ``ExtManager``, single-table);
+* **CollectionTest** — classes containing collection members
+  (``CollectionPerson`` with an @ElementCollection of phone numbers);
+* **NodeTest** — classes with foreign-key-like references
+  (``Node`` with a ManyToOne ``next``).
+"""
+
+from __future__ import annotations
+
+from repro.h2.values import SqlType
+from repro.jpa.annotations import Basic, ElementCollection, Id, ManyToOne, entity
+
+
+@entity(table="BasicPerson")
+class BasicPerson:
+    id = Id(SqlType.BIGINT)
+    first_name = Basic(SqlType.VARCHAR)
+    last_name = Basic(SqlType.VARCHAR)
+    phone = Basic(SqlType.VARCHAR)
+
+    def __init__(self, id: int, first_name: str, last_name: str,
+                 phone: str) -> None:
+        self.id = id
+        self.first_name = first_name
+        self.last_name = last_name
+        self.phone = phone
+
+
+@entity(table="ExtPerson")
+class ExtPerson:
+    id = Id(SqlType.BIGINT)
+    first_name = Basic(SqlType.VARCHAR)
+    last_name = Basic(SqlType.VARCHAR)
+
+    def __init__(self, id: int, first_name: str, last_name: str) -> None:
+        self.id = id
+        self.first_name = first_name
+        self.last_name = last_name
+
+
+@entity()
+class ExtEmployee(ExtPerson):
+    salary = Basic(SqlType.DOUBLE)
+    department = Basic(SqlType.VARCHAR)
+
+    def __init__(self, id: int, first_name: str, last_name: str,
+                 salary: float, department: str) -> None:
+        super().__init__(id, first_name, last_name)
+        self.salary = salary
+        self.department = department
+
+
+@entity()
+class ExtManager(ExtEmployee):
+    bonus = Basic(SqlType.DOUBLE)
+
+    def __init__(self, id: int, first_name: str, last_name: str,
+                 salary: float, department: str, bonus: float) -> None:
+        super().__init__(id, first_name, last_name, salary, department)
+        self.bonus = bonus
+
+
+@entity(table="CollectionPerson")
+class CollectionPerson:
+    id = Id(SqlType.BIGINT)
+    name = Basic(SqlType.VARCHAR)
+    phones = ElementCollection(SqlType.VARCHAR)
+
+    def __init__(self, id: int, name: str, phones) -> None:
+        self.id = id
+        self.name = name
+        self.phones = list(phones)
+
+
+@entity(table="Node")
+class Node:
+    id = Id(SqlType.BIGINT)
+    name = Basic(SqlType.VARCHAR)
+    next = ManyToOne("Node")
+
+    def __init__(self, id: int, name: str, next: "Node | None" = None) -> None:
+        self.id = id
+        self.name = name
+        self.next = next
+
+
+ALL_ENTITIES = [BasicPerson, ExtPerson, ExtEmployee, ExtManager,
+                CollectionPerson, Node]

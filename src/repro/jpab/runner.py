@@ -1,0 +1,84 @@
+"""JPAB runner: throughput per operation, for either provider.
+
+The paper's Figure 16 reports JPAB throughput of H2-JPA vs H2-PJO for the
+four tests x four CRUD operations; Figure 17 breaks BasicTest down into
+Execution (database) / Transformation / Other time.  This runner produces
+both: per-operation simulated time + the clock's category breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from repro.h2.engine import Database
+from repro.jpa.entity_manager import JpaEntityManager
+from repro.nvm.clock import Clock
+from repro.pjo.provider import PjoEntityManager
+
+from repro.jpab.workload import CrudDriver, JpabTest
+
+OPERATIONS = ["Create", "Retrieve", "Update", "Delete"]
+_RUN_ORDER = ["Create", "Retrieve", "Update", "Delete"]
+
+
+@dataclass
+class OperationResult:
+    operation: str
+    ops: int
+    sim_ns: float
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Operations per simulated millisecond."""
+        if self.sim_ns <= 0:
+            return 0.0
+        return self.ops / (self.sim_ns / 1e6)
+
+
+@dataclass
+class TestResult:
+    provider: str
+    test: str
+    operations: Dict[str, OperationResult] = field(default_factory=dict)
+
+
+def make_jpa_em(clock: Clock, entities) -> JpaEntityManager:
+    database = Database(size_words=1 << 21, clock=clock)
+    em = JpaEntityManager(database)
+    em.create_schema(entities)
+    return em
+
+
+def make_pjo_em(clock: Clock, entities, heap_dir,
+                field_tracking: bool = True,
+                deduplication: bool = True) -> PjoEntityManager:
+    from repro.api import Espresso
+    jvm = Espresso(heap_dir, clock=clock)
+    jvm.createHeap("jpab", 32 * 1024 * 1024)
+    em = PjoEntityManager(jvm, field_tracking=field_tracking,
+                          deduplication=deduplication)
+    em.create_schema(entities)
+    return em
+
+
+def run_jpab_test(test: JpabTest, em_factory: Callable[[Clock], object],
+                  count: int, provider: str) -> TestResult:
+    """One JPAB test end to end (Create -> Retrieve -> Update -> Delete)."""
+    clock = Clock()
+    em = em_factory(clock)
+    driver = CrudDriver(em, test, count)
+    result = TestResult(provider=provider, test=test.name)
+    for operation in _RUN_ORDER:
+        action = getattr(driver, operation.lower())
+        start = clock.now_ns
+        snapshot = clock.breakdown()
+        ops = action()
+        result.operations[operation] = OperationResult(
+            operation=operation,
+            ops=ops,
+            sim_ns=clock.now_ns - start,
+            breakdown=clock.breakdown_since(snapshot),
+        )
+    return result

@@ -1,0 +1,165 @@
+"""JPAB CRUD drivers: the same workload against either provider.
+
+JPAB runs "normal CRUD operations" (paper §6.3) against a JPA-compatible
+EntityManager.  Each test defines how to construct and mutate its entities;
+the driver supplies the four operations — Create (batched transactional
+persists), Retrieve (finds against a cleared identity map), Update (find,
+modify, commit) and Delete (find, remove, commit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence, Type
+
+from repro.jpa.entity_manager import AbstractEntityManager
+
+from repro.jpab.model import (
+    BasicPerson,
+    CollectionPerson,
+    ExtEmployee,
+    ExtManager,
+    ExtPerson,
+    Node,
+)
+
+BATCH = 10  # entities per transaction, JPAB-style
+
+
+@dataclass(frozen=True)
+class JpabTest:
+    """One of the four JPAB tests: its entities and object factories."""
+
+    name: str
+    description: str
+    entities: Sequence[Type]
+    find_class: Type
+    make: Callable[[int], Any]
+    mutate: Callable[[Any, int], None]
+
+
+def _make_basic(i: int) -> BasicPerson:
+    return BasicPerson(i, f"First{i}", f"Last{i}", f"+1-555-{i:06d}")
+
+
+def _mutate_basic(person: BasicPerson, i: int) -> None:
+    person.phone = f"+1-999-{i:06d}"
+
+
+def _make_ext(i: int):
+    if i % 3 == 0:
+        return ExtPerson(i, f"First{i}", f"Last{i}")
+    if i % 3 == 1:
+        return ExtEmployee(i, f"First{i}", f"Last{i}", 1000.0 + i, f"dept{i % 7}")
+    return ExtManager(i, f"First{i}", f"Last{i}", 2000.0 + i, f"dept{i % 7}",
+                      500.0 + i)
+
+
+def _mutate_ext(person, i: int) -> None:
+    person.last_name = f"Updated{i}"
+    if isinstance(person, ExtEmployee):
+        person.salary = 3000.0 + i
+
+
+def _make_collection(i: int) -> CollectionPerson:
+    return CollectionPerson(i, f"Person{i}",
+                            [f"+1-555-{i:06d}-{j}" for j in range(3)])
+
+
+def _mutate_collection(person: CollectionPerson, i: int) -> None:
+    # Assignment (not in-place mutation) so the enhancer sees the write.
+    person.phones = list(person.phones) + [f"+1-777-{i:06d}"]
+
+
+def _make_node(i: int) -> Node:
+    # Chains of BATCH nodes: node i points at node i-1 within its batch.
+    return Node(i, f"node{i}")
+
+
+def _mutate_node(node: Node, i: int) -> None:
+    node.name = f"renamed{i}"
+
+
+BASIC_TEST = JpabTest(
+    "BasicTest", "Testing over basic user-defined classes",
+    [BasicPerson], BasicPerson, _make_basic, _mutate_basic)
+EXT_TEST = JpabTest(
+    "ExtTest", "Testing over classes with inheritance relationships",
+    [ExtPerson, ExtEmployee, ExtManager], ExtPerson, _make_ext, _mutate_ext)
+COLLECTION_TEST = JpabTest(
+    "CollectionTest", "Testing over classes containing collection members",
+    [CollectionPerson], CollectionPerson, _make_collection,
+    _mutate_collection)
+NODE_TEST = JpabTest(
+    "NodeTest", "Testing over classes with foreign-key-like references",
+    [Node], Node, _make_node, _mutate_node)
+
+ALL_TESTS = [BASIC_TEST, EXT_TEST, COLLECTION_TEST, NODE_TEST]
+
+
+class CrudDriver:
+    """Runs the four JPAB operations for one test on one EntityManager."""
+
+    def __init__(self, em: AbstractEntityManager, test: JpabTest,
+                 count: int) -> None:
+        self.em = em
+        self.test = test
+        self.count = count
+
+    def create(self) -> int:
+        em, test = self.em, self.test
+        done = 0
+        previous = None
+        for start in range(0, self.count, BATCH):
+            tx = em.get_transaction()
+            tx.begin()
+            previous = None  # chains do not cross transactions
+            for i in range(start, min(start + BATCH, self.count)):
+                obj = test.make(i)
+                if isinstance(obj, Node):
+                    obj.next = previous
+                    previous = obj
+                em.persist(obj)
+                done += 1
+            tx.commit()
+        return done
+
+    def retrieve(self) -> int:
+        em, test = self.em, self.test
+        em.clear()  # force real loads, not identity-map hits
+        found = 0
+        for i in range(self.count):
+            obj = em.find(test.find_class, i)
+            if obj is not None:
+                found += 1
+        return found
+
+    def update(self) -> int:
+        em, test = self.em, self.test
+        em.clear()
+        done = 0
+        for start in range(0, self.count, BATCH):
+            tx = em.get_transaction()
+            tx.begin()
+            for i in range(start, min(start + BATCH, self.count)):
+                obj = em.find(test.find_class, i)
+                if obj is not None:
+                    test.mutate(obj, i)
+                    done += 1
+            tx.commit()
+        return done
+
+    def delete(self) -> int:
+        em, test = self.em, self.test
+        em.clear()
+        done = 0
+        for start in range(0, self.count, BATCH):
+            tx = em.get_transaction()
+            tx.begin()
+            for i in range(start, min(start + BATCH, self.count)):
+                obj = em.find(test.find_class, i)
+                if obj is not None:
+                    em.remove(obj)
+                    done += 1
+            tx.commit()
+        return done

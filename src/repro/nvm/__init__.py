@@ -1,0 +1,38 @@
+"""Simulated NVM substrate: devices, latency model, clock, crash injection.
+
+This package stands in for the hardware the paper ran on (a Viking NVDIMM
+behind volatile CPU caches) and for the ``clflush``/``sfence`` instructions
+its crash-consistency protocols rely on.  See DESIGN.md §2 for the
+substitution argument.
+"""
+
+from repro.nvm.clock import Clock
+from repro.nvm.device import (
+    LINE_WORDS,
+    WORD_BYTES,
+    AddressSpace,
+    DeviceStats,
+    DramDevice,
+    Mapping,
+    MemoryDevice,
+    NvmDevice,
+)
+from repro.nvm.failpoints import FailpointRegistry
+from repro.nvm.latency import DEFAULT_LATENCY, LatencyConfig
+from repro.nvm.namespace import NameManager
+
+__all__ = [
+    "AddressSpace",
+    "Clock",
+    "DEFAULT_LATENCY",
+    "DeviceStats",
+    "DramDevice",
+    "FailpointRegistry",
+    "LatencyConfig",
+    "LINE_WORDS",
+    "Mapping",
+    "MemoryDevice",
+    "NameManager",
+    "NvmDevice",
+    "WORD_BYTES",
+]

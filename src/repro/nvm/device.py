@@ -1,0 +1,396 @@
+"""Simulated memory devices and the address space that maps them.
+
+The unit of addressing is one 64-bit *word*; a cache line is eight words
+(64 bytes), matching the granularity of ``clflush``.  Two device kinds exist:
+
+* :class:`DramDevice` — volatile; contents vanish on :meth:`crash`.
+* :class:`NvmDevice` — keeps a *live* array (what the CPU sees through its
+  caches) and a *durable* array (what the NVDIMM actually holds).  A store
+  only reaches the durable array when its cache line is explicitly flushed
+  with :meth:`clflush`.  :meth:`crash` discards every unflushed line — the
+  adversarial model the paper's crash-consistency protocols are designed
+  against.
+
+Every access charges simulated nanoseconds to a shared
+:class:`~repro.nvm.clock.Clock` according to a
+:class:`~repro.nvm.latency.LatencyConfig`, so benchmark figures come out
+deterministic.
+
+An :class:`AddressSpace` maps devices at chosen base addresses and routes
+reads/writes, mirroring ``mmap`` of a PJH instance at its *address hint*
+(paper §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import IllegalArgumentException
+from repro.nvm.clock import Clock
+from repro.nvm.latency import DEFAULT_LATENCY, LatencyConfig
+
+WORD_BYTES = 8
+LINE_WORDS = 8  # one clflush covers 8 words = 64 bytes
+
+_U64 = 1 << 64
+_I64_MAX = (1 << 63) - 1
+
+
+def _wrap_i64(value: int) -> int:
+    """Reinterpret an arbitrary int as a signed 64-bit word (raw bits)."""
+    value &= _U64 - 1
+    return value - _U64 if value > _I64_MAX else value
+
+
+@dataclass
+class DeviceStats:
+    """Operation counters for one device."""
+
+    reads: int = 0
+    writes: int = 0
+    flushes: int = 0
+    fences: int = 0
+
+    def snapshot(self) -> "DeviceStats":
+        return DeviceStats(self.reads, self.writes, self.flushes, self.fences)
+
+
+class MemoryDevice:
+    """Common behaviour for simulated word-addressable memory."""
+
+    volatile = True
+
+    # CPU cache model: this many 64-byte lines of the device can be "hot".
+    # Repeated touches of hot lines (headers, chased pointers) cost
+    # cache_hit_ns instead of full media latency — without this, interpreted
+    # header re-reads would dominate every workload in a way no real CPU
+    # exhibits.  LRU, deterministic, cleared on crash.
+    CACHE_LINES = 2048
+
+    def __init__(self, size_words: int, clock: Clock,
+                 latency: LatencyConfig = DEFAULT_LATENCY,
+                 name: str = "mem") -> None:
+        if size_words <= 0:
+            raise IllegalArgumentException(f"device size must be > 0, got {size_words}")
+        self.name = name
+        self.size_words = int(size_words)
+        self.clock = clock
+        self.latency = latency
+        self.stats = DeviceStats()
+        self._words = np.zeros(self.size_words, dtype=np.int64)
+        self._hot: Dict[int, None] = {}  # insertion-ordered LRU of lines
+
+    # -- latency hooks (overridden per device kind) --------------------
+    def _read_cost(self) -> float:
+        return self.latency.dram_read_ns
+
+    def _write_cost(self) -> float:
+        return self.latency.dram_write_ns
+
+    # -- cache model ------------------------------------------------------
+    def _touch(self, line: int) -> bool:
+        """Mark *line* hot; True when it already was (a cache hit)."""
+        hot = self._hot
+        if line in hot:
+            del hot[line]  # refresh recency
+            hot[line] = None
+            return True
+        hot[line] = None
+        if len(hot) > self.CACHE_LINES:
+            del hot[next(iter(hot))]
+        return False
+
+    def _charge_read(self, offset: int, count: int) -> None:
+        first = offset // LINE_WORDS
+        last = (offset + count - 1) // LINE_WORDS
+        cost = 0.0
+        hit_ns = self.latency.cache_hit_ns
+        miss_ns = self._read_cost()
+        for line in range(first, last + 1):
+            cost += hit_ns if self._touch(line) else miss_ns
+        self.clock.charge(cost)
+
+    def _charge_write(self, offset: int, count: int) -> None:
+        # Stores go through the write-back cache: charged per word (store
+        # bandwidth), and the touched lines become hot.
+        first = offset // LINE_WORDS
+        last = (offset + count - 1) // LINE_WORDS
+        for line in range(first, last + 1):
+            self._touch(line)
+        self.clock.charge(self._write_cost() * count)
+
+    # -- word access ----------------------------------------------------
+    def _check(self, offset: int, count: int = 1) -> None:
+        if offset < 0 or offset + count > self.size_words:
+            raise IllegalArgumentException(
+                f"{self.name}: access [{offset}, {offset + count}) outside "
+                f"[0, {self.size_words})")
+
+    def read(self, offset: int) -> int:
+        self._check(offset)
+        self.stats.reads += 1
+        self._charge_read(offset, 1)
+        return int(self._words[offset])
+
+    def write(self, offset: int, value: int) -> None:
+        self._check(offset)
+        self.stats.writes += 1
+        self._charge_write(offset, 1)
+        self._words[offset] = _wrap_i64(value)
+
+    def read_block(self, offset: int, count: int) -> np.ndarray:
+        """Read *count* words; charged per word, copied in one step."""
+        self._check(offset, count)
+        self.stats.reads += count
+        self._charge_read(offset, count)
+        return self._words[offset:offset + count].copy()
+
+    def write_block(self, offset: int, values: np.ndarray) -> None:
+        count = len(values)
+        self._check(offset, count)
+        self.stats.writes += count
+        self._charge_write(offset, count)
+        self._words[offset:offset + count] = values
+
+    def fill(self, offset: int, count: int, value: int = 0) -> None:
+        self._check(offset, count)
+        self.stats.writes += count
+        self._charge_write(offset, count)
+        self._words[offset:offset + count] = value
+
+    # -- lifecycle -------------------------------------------------------
+    def crash(self) -> None:
+        """Model a machine crash."""
+        self._words[:] = 0
+        self._hot.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, {self.size_words} words)"
+
+
+class DramDevice(MemoryDevice):
+    """Volatile DRAM: everything is lost on crash."""
+
+    volatile = True
+
+
+class NvmDevice(MemoryDevice):
+    """Simulated NVDIMM with explicit persistence.
+
+    Stores land in the *live* array (``self._words``) and their cache line
+    becomes *dirty*.  ``clflush`` copies a line into the durable array.  On
+    ``crash()`` the live array is rebuilt from the durable one, so every
+    unflushed store is lost.  ``fence()`` only charges time and counts — in
+    this single-threaded simulator store order is already program order, but
+    the protocols still issue fences exactly where the paper requires them
+    and the §6.4 benchmark prices them.
+    """
+
+    volatile = False
+
+    def __init__(self, size_words: int, clock: Clock,
+                 latency: LatencyConfig = DEFAULT_LATENCY,
+                 name: str = "nvm") -> None:
+        super().__init__(size_words, clock, latency, name)
+        self._durable = np.zeros(self.size_words, dtype=np.int64)
+        self._dirty_lines: Set[int] = set()
+
+    # -- latency ----------------------------------------------------------
+    def _read_cost(self) -> float:
+        return self.latency.nvm_read_ns
+
+    def _write_cost(self) -> float:
+        return self.latency.nvm_write_ns
+
+    # -- dirtiness tracking ------------------------------------------------
+    def _mark_dirty(self, offset: int, count: int = 1) -> None:
+        first = offset // LINE_WORDS
+        last = (offset + count - 1) // LINE_WORDS
+        if first == last:
+            self._dirty_lines.add(first)
+        else:
+            self._dirty_lines.update(range(first, last + 1))
+
+    def write(self, offset: int, value: int) -> None:
+        super().write(offset, value)
+        self._mark_dirty(offset)
+
+    def write_block(self, offset: int, values: np.ndarray) -> None:
+        super().write_block(offset, values)
+        self._mark_dirty(offset, len(values))
+
+    def fill(self, offset: int, count: int, value: int = 0) -> None:
+        super().fill(offset, count, value)
+        self._mark_dirty(offset, count)
+
+    # -- persistence primitives ---------------------------------------------
+    def clflush(self, offset: int, count: int = 1,
+                asynchronous: bool = False) -> None:
+        """Flush every cache line covering ``[offset, offset+count)``.
+
+        With *asynchronous* (clflushopt semantics) only the issue cost is
+        charged — the write-back overlaps with further work and is ordered
+        by the next :meth:`fence`.  Durability in the simulator is
+        immediate either way; only the accounting differs.
+        """
+        self._check(offset, count)
+        first = offset // LINE_WORDS
+        last = (offset + count - 1) // LINE_WORDS
+        cost = (self.latency.clflush_issue_ns if asynchronous
+                else self.latency.clflush_ns)
+        for line in range(first, last + 1):
+            self.stats.flushes += 1
+            self.clock.charge(cost)
+            start = line * LINE_WORDS
+            end = min(start + LINE_WORDS, self.size_words)
+            self._durable[start:end] = self._words[start:end]
+            self._dirty_lines.discard(line)
+
+    def fence(self) -> None:
+        """sfence: order prior flushes before later stores."""
+        self.stats.fences += 1
+        self.clock.charge(self.latency.sfence_ns)
+
+    def persist_all(self) -> None:
+        """Flush every dirty line (used for checkpoint-style image saves)."""
+        for line in sorted(self._dirty_lines):
+            start = line * LINE_WORDS
+            end = min(start + LINE_WORDS, self.size_words)
+            self.stats.flushes += 1
+            self.clock.charge(self.latency.clflush_ns)
+            self._durable[start:end] = self._words[start:end]
+        self._dirty_lines.clear()
+
+    @property
+    def dirty_line_count(self) -> int:
+        return len(self._dirty_lines)
+
+    # -- crash / restart ------------------------------------------------------
+    def crash(self) -> None:
+        """Lose every store that was not explicitly flushed."""
+        self._words = self._durable.copy()
+        self._dirty_lines.clear()
+        self._hot.clear()
+
+    def durable_image(self) -> np.ndarray:
+        """Copy of the durable contents (what survives power loss)."""
+        return self._durable.copy()
+
+    def load_image(self, image: np.ndarray) -> None:
+        """Restore durable + live contents from a saved image."""
+        if len(image) > self.size_words:
+            raise IllegalArgumentException(
+                f"image of {len(image)} words exceeds device of {self.size_words}")
+        self._durable[:len(image)] = image
+        self._durable[len(image):] = 0
+        self._words = self._durable.copy()
+        self._dirty_lines.clear()
+
+    def durable_word(self, offset: int) -> int:
+        """Read straight from the durable array (no charge: test helper)."""
+        self._check(offset)
+        return int(self._durable[offset])
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One device mapped at a base address."""
+
+    base: int
+    device: MemoryDevice
+
+    @property
+    def end(self) -> int:
+        return self.base + self.device.size_words
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+class AddressSpace:
+    """Routes absolute word addresses to mapped devices.
+
+    Address 0 is reserved as the null reference, so mappings must start at a
+    positive base.
+    """
+
+    def __init__(self) -> None:
+        self._mappings: List[Mapping] = []
+
+    def map(self, base: int, device: MemoryDevice) -> Mapping:
+        if base <= 0:
+            raise IllegalArgumentException("mapping base must be positive (0 is null)")
+        new = Mapping(base, device)
+        for existing in self._mappings:
+            if new.base < existing.end and existing.base < new.end:
+                raise IllegalArgumentException(
+                    f"mapping [{new.base}, {new.end}) overlaps "
+                    f"[{existing.base}, {existing.end}) of {existing.device.name}")
+        self._mappings.append(new)
+        return new
+
+    def unmap(self, device: MemoryDevice) -> None:
+        self._mappings = [m for m in self._mappings if m.device is not device]
+
+    def is_free(self, base: int, size_words: int) -> bool:
+        end = base + size_words
+        return all(base >= m.end or end <= m.base for m in self._mappings)
+
+    def find_free_base(self, size_words: int, alignment: int = LINE_WORDS,
+                       start: int = LINE_WORDS) -> int:
+        """Lowest aligned base where *size_words* fits."""
+        candidate = max(start, alignment)
+        for mapping in sorted(self._mappings, key=lambda m: m.base):
+            if candidate + size_words <= mapping.base:
+                break
+            candidate = max(candidate, mapping.end)
+            rem = candidate % alignment
+            if rem:
+                candidate += alignment - rem
+        return candidate
+
+    def mapping_at(self, address: int) -> Mapping:
+        for mapping in self._mappings:
+            if mapping.contains(address):
+                return mapping
+        raise IllegalArgumentException(f"address {address:#x} is not mapped")
+
+    def mapping_of(self, device: MemoryDevice) -> Optional[Mapping]:
+        for mapping in self._mappings:
+            if mapping.device is device:
+                return mapping
+        return None
+
+    @property
+    def mappings(self) -> Tuple[Mapping, ...]:
+        return tuple(self._mappings)
+
+    # -- routed access -------------------------------------------------------
+    def read(self, address: int) -> int:
+        mapping = self.mapping_at(address)
+        return mapping.device.read(address - mapping.base)
+
+    def write(self, address: int, value: int) -> None:
+        mapping = self.mapping_at(address)
+        mapping.device.write(address - mapping.base, value)
+
+    def read_block(self, address: int, count: int) -> np.ndarray:
+        mapping = self.mapping_at(address)
+        return mapping.device.read_block(address - mapping.base, count)
+
+    def write_block(self, address: int, values: np.ndarray) -> None:
+        mapping = self.mapping_at(address)
+        mapping.device.write_block(address - mapping.base, values)
+
+    def device_of(self, address: int) -> MemoryDevice:
+        return self.mapping_at(address).device
+
+    def is_persistent(self, address: int) -> bool:
+        """True when *address* lands in a non-volatile device."""
+        try:
+            return not self.mapping_at(address).device.volatile
+        except IllegalArgumentException:
+            return False

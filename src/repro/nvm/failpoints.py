@@ -1,0 +1,76 @@
+"""Crash-injection failpoints.
+
+The crash-consistency protocols (§4 of the paper) are only as good as their
+behaviour when the machine dies at the worst possible moment.  The runtime
+marks every interesting moment with ``failpoints.hit("site.name")``; tests
+install triggers that raise :class:`~repro.errors.SimulatedCrash` on the
+N-th hit of a site, then exercise recovery.
+
+A :class:`FailpointRegistry` is deliberately tiny: a counter per site and an
+optional trigger.  The sweep helper in the tests walks N from 1 upward until
+a full run completes without hitting the trigger, guaranteeing a crash is
+injected *between every pair of consecutive persistence events*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import SimulatedCrash
+
+Trigger = Callable[[str, int], None]
+
+
+class FailpointRegistry:
+    """Counts hits per named site and fires an installed trigger."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+        self._trigger: Optional[Trigger] = None
+        self._armed = False
+
+    def hit(self, site: str) -> None:
+        """Record one pass through *site*; may raise via the trigger."""
+        if not self._armed:
+            return
+        count = self._counts.get(site, 0) + 1
+        self._counts[site] = count
+        if self._trigger is not None:
+            self._trigger(site, count)
+
+    # -- installation --------------------------------------------------------
+    def install(self, trigger: Trigger) -> None:
+        self._trigger = trigger
+        self._armed = True
+
+    def crash_on_hit(self, site: str, nth: int) -> None:
+        """Raise :class:`SimulatedCrash` on the *nth* hit of *site*."""
+
+        def trigger(hit_site: str, count: int) -> None:
+            if hit_site == site and count == nth:
+                raise SimulatedCrash(f"injected crash at {site} hit #{count}")
+
+        self.install(trigger)
+
+    def crash_on_global_hit(self, nth: int) -> None:
+        """Raise on the *nth* hit of *any* site (exhaustive sweeps)."""
+        state = {"total": 0}
+
+        def trigger(hit_site: str, count: int) -> None:
+            state["total"] += 1
+            if state["total"] == nth:
+                raise SimulatedCrash(
+                    f"injected crash at global hit #{nth} ({hit_site})")
+
+        self.install(trigger)
+
+    def clear(self) -> None:
+        self._trigger = None
+        self._armed = False
+        self._counts.clear()
+
+    def count(self, site: str) -> int:
+        return self._counts.get(site, 0)
+
+    def total_hits(self) -> int:
+        return sum(self._counts.values())

@@ -1,0 +1,40 @@
+"""PCJ — Persistent Collections for Java (the paper's fine-grained baseline).
+
+A from-scratch reimplementation of the design the paper critiques in §2.2:
+a separate ``PersistentObject`` type system over off-heap objects managed by
+an NVML-like pool, with per-operation ACID transactions and a
+reference-counting collector.  Figure 6's cost breakdown and Figure 15's
+PJH-vs-PCJ speedups are measured against this package.
+"""
+
+from repro.pcj.base import PersistentObject
+from repro.pcj.collections import (
+    PersistentArray,
+    PersistentArrayList,
+    PersistentHashmap,
+    PersistentLongArray,
+    PersistentTuple,
+)
+from repro.pcj.nvml import MemoryPool
+from repro.pcj.types import (
+    PersistentBoolean,
+    PersistentDouble,
+    PersistentInteger,
+    PersistentLong,
+    PersistentString,
+)
+
+__all__ = [
+    "MemoryPool",
+    "PersistentArray",
+    "PersistentArrayList",
+    "PersistentBoolean",
+    "PersistentDouble",
+    "PersistentHashmap",
+    "PersistentInteger",
+    "PersistentLong",
+    "PersistentLongArray",
+    "PersistentObject",
+    "PersistentString",
+    "PersistentTuple",
+]

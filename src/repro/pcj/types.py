@@ -1,0 +1,135 @@
+"""PCJ's boxed persistent primitives (paper §2.2, Figure 5).
+
+``PersistentInteger``, ``PersistentLong``, ``PersistentString`` et al. are
+the types user classes must be rewritten against — "the type of id and name
+should be modified into PersistentInteger and PersistentString
+respectively" — which is the reengineering burden Espresso removes.
+"""
+
+from __future__ import annotations
+
+from repro.pcj.base import PersistentObject
+from repro.pcj.nvml import MemoryPool
+from repro.runtime.objects import bits_to_float, float_to_bits
+
+
+class PersistentLong(PersistentObject):
+    """Boxed 64-bit integer (the Figure 6 microbenchmark type)."""
+
+    TYPE_NAME = "PersistentLong"
+
+    def __init__(self, pool: MemoryPool, value: int = 0) -> None:
+        self._pending = int(value)
+        super().__init__(pool, 1)
+
+    def _init_payload(self) -> None:
+        self.pool.device.write(self.offset, self._pending)
+        self.pool.device.clflush(self.offset)
+
+    def long_value(self) -> int:
+        return self._read_word(0)
+
+    def set(self, value: int) -> None:
+        self._write_word(0, int(value))
+
+
+class PersistentInteger(PersistentLong):
+    TYPE_NAME = "PersistentInteger"
+
+    def int_value(self) -> int:
+        return self.long_value()
+
+
+class PersistentBoolean(PersistentLong):
+    TYPE_NAME = "PersistentBoolean"
+
+    def __init__(self, pool: MemoryPool, value: bool = False) -> None:
+        super().__init__(pool, 1 if value else 0)
+
+    def boolean_value(self) -> bool:
+        return bool(self.long_value())
+
+
+class PersistentDouble(PersistentObject):
+    TYPE_NAME = "PersistentDouble"
+
+    def __init__(self, pool: MemoryPool, value: float = 0.0) -> None:
+        self._pending = float_to_bits(float(value))
+        super().__init__(pool, 1)
+
+    def _init_payload(self) -> None:
+        self.pool.device.write(self.offset, self._pending)
+        self.pool.device.clflush(self.offset)
+
+    def double_value(self) -> float:
+        return bits_to_float(self._read_word(0))
+
+    def set(self, value: float) -> None:
+        self._write_word(0, float_to_bits(float(value)))
+
+
+class PersistentString(PersistentObject):
+    """Immutable persistent string: [length, one char per word]."""
+
+    TYPE_NAME = "PersistentString"
+
+    def __init__(self, pool: MemoryPool, text: str = "") -> None:
+        self._pending = text
+        super().__init__(pool, 1 + len(text))
+
+    def _init_payload(self) -> None:
+        device = self.pool.device
+        device.write(self.offset, len(self._pending))
+        for i, ch in enumerate(self._pending):
+            device.write(self.offset + 1 + i, ord(ch))
+        device.clflush(self.offset, 1 + len(self._pending))
+
+    def length(self) -> int:
+        return self._read_word(0)
+
+    def str_value(self) -> str:
+        n = self._read_word(0)
+        with self.pool.clock.scope("data"):
+            return "".join(
+                chr(self.pool.device.read(self.offset + 1 + i))
+                for i in range(n))
+
+
+def pcj_hash(pool: MemoryPool, offset: int) -> int:
+    """Content hash of a persistent object (for hashmap keys).
+
+    Boxed values hash by content; anything else hashes by identity
+    (its pool offset), matching reference semantics.
+    """
+    from repro.pcj.nvml import HDR_TYPE
+    cls = pool.type_classes.get(pool.header_word(offset, HDR_TYPE))
+    if cls is not None and issubclass(cls, PersistentLong):
+        return pool.device.read(offset) & 0x7FFF_FFFF
+    if cls is PersistentString:
+        n = pool.device.read(offset)
+        h = 0
+        for i in range(n):
+            h = (31 * h + pool.device.read(offset + 1 + i)) & 0x7FFF_FFFF
+        return h
+    return offset & 0x7FFF_FFFF
+
+
+def pcj_equals(pool: MemoryPool, a: int, b: int) -> bool:
+    """Content equality for boxed values, identity otherwise."""
+    if a == b:
+        return True
+    from repro.pcj.nvml import HDR_TYPE
+    ta = pool.header_word(a, HDR_TYPE)
+    tb = pool.header_word(b, HDR_TYPE)
+    if ta != tb:
+        return False
+    cls = pool.type_classes.get(ta)
+    if cls is not None and issubclass(cls, PersistentLong):
+        return pool.device.read(a) == pool.device.read(b)
+    if cls is PersistentString:
+        na = pool.device.read(a)
+        if na != pool.device.read(b):
+            return False
+        return all(pool.device.read(a + 1 + i) == pool.device.read(b + 1 + i)
+                   for i in range(na))
+    return False

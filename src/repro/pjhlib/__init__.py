@@ -1,0 +1,31 @@
+"""PJH-native data structures mirroring PCJ's collections (paper §6.2).
+
+"PCJ provides an independent type system ... including tuples, generic
+arrays and hashmaps.  We also implement similar data structures atop our
+PJH.  Since PCJ provides ACID semantics for all operations, we also add
+ACID guarantee by providing a simple undo log to make a fair comparison."
+
+Everything here is plain Java-on-PJH: ordinary classes allocated with
+``pnew``, a small undo log written in "Java" (VM field operations), and the
+flush APIs of §3.5 — no off-heap objects, no native metadata.
+"""
+
+from repro.pjhlib.collections import (
+    PjhArrayList,
+    PjhHashmap,
+    PjhLong,
+    PjhLongArray,
+    PjhString,
+    PjhTuple,
+)
+from repro.pjhlib.txn import PjhTransaction
+
+__all__ = [
+    "PjhArrayList",
+    "PjhHashmap",
+    "PjhLong",
+    "PjhLongArray",
+    "PjhString",
+    "PjhTransaction",
+    "PjhTuple",
+]

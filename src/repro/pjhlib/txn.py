@@ -1,0 +1,102 @@
+"""A simple Java-level undo log for ACID operations on PJH objects.
+
+This is the paper's "transaction libraries written in Java" (§2.2): because
+persistent objects live *inside* the Java heap, the log is itself a pair of
+``pnew``-allocated arrays, and logging a slot costs two field stores plus a
+flush — compare :meth:`repro.pcj.nvml.MemoryPool.tx_add_range`, which must
+round-trip through a native allocator's log area.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IllegalStateException, TransactionAbort
+from repro.runtime.klass import FieldKind
+from repro.runtime.vm import EspressoVM
+
+
+class PjhTransaction:
+    """Undo-log transaction over raw PJH slots.
+
+    The log records (absolute slot address, old word) pairs in a persistent
+    long array; a persistent count word publishes them.  ``recover`` replays
+    the log in reverse, so a crash mid-transaction rolls back.
+    """
+
+    def __init__(self, jvm, capacity: int = 1024,
+                 heap: str | None = None) -> None:
+        self.jvm = jvm
+        self.vm: EspressoVM = jvm.vm
+        self.capacity = capacity
+        self._entries = jvm.pnew_array(FieldKind.INT, capacity * 2, heap)
+        self._meta = jvm.pnew_array(FieldKind.INT, 2, heap)  # [active, count]
+        self._heap = jvm.vm.service_of(self._entries.address)
+        self._count = 0
+        # Nesting depth (volatile): an outer EntityManager transaction may
+        # span several collection operations that each begin/commit; only
+        # the outermost level touches the persistent active flag.
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return bool(self.vm.array_get(self._meta, 0))
+
+    def begin(self) -> None:
+        if self._depth > 0:
+            self._depth += 1
+            return
+        if self.active:
+            raise IllegalStateException("transaction already active")
+        self.vm.array_set(self._meta, 1, 0)
+        self.vm.array_set(self._meta, 0, 1)
+        self._heap.flush_words(self._meta.address, 5, fence=True)
+        self._count = 0
+        self._depth = 1
+
+    def log_slot(self, slot_address: int) -> None:
+        """Record the pre-image of one word before overwriting it."""
+        if not self.active:
+            raise IllegalStateException("log_slot outside a transaction")
+        if self._count >= self.capacity:
+            raise TransactionAbort("PJH undo log overflow")
+        old = self.vm.memory.read(slot_address)
+        self.vm.array_set(self._entries, self._count * 2, slot_address)
+        self.vm.array_set(self._entries, self._count * 2 + 1, old)
+        entry_slot = self.vm.access.element_slot(
+            self._entries.address, self._count * 2)
+        self._heap.flush_words(entry_slot, 2, fence=False)
+        self._count += 1
+        self.vm.array_set(self._meta, 1, self._count)
+        self._heap.flush_words(self._meta.address, 5, fence=True)
+
+    def commit(self) -> None:
+        if not self.active:
+            raise IllegalStateException("commit outside a transaction")
+        if self._depth > 1:
+            self._depth -= 1
+            return
+        self.vm.array_set(self._meta, 0, 0)
+        self.vm.array_set(self._meta, 1, 0)
+        self._heap.flush_words(self._meta.address, 5, fence=True)
+        self._count = 0
+        self._depth = 0
+
+    def abort(self) -> None:
+        """Roll back: apply the undo entries in reverse (whole transaction,
+        regardless of nesting depth)."""
+        count = self.vm.array_get(self._meta, 1)
+        for i in reversed(range(count)):
+            slot = self.vm.array_get(self._entries, i * 2)
+            old = self.vm.array_get(self._entries, i * 2 + 1)
+            self.vm.memory.write(slot, old)
+            self._heap.flush_words(slot, 1, fence=False)
+        self._heap.fence()
+        self._depth = 1
+        self.commit()
+
+    def recover(self) -> bool:
+        """Roll back a transaction interrupted by a crash; True if one was."""
+        if not self.active:
+            return False
+        self.abort()
+        return True

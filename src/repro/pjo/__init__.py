@@ -1,0 +1,25 @@
+"""PJO — Persistent Java Objects atop PJH (the paper's §5 contribution).
+
+Same annotations and EntityManager API as :mod:`repro.jpa`, but the flush
+path ships ``DBPersistable`` objects straight into the persistent Java heap
+— no SQL transformation — with data deduplication and field-level tracking
+as switchable optimisations.
+"""
+
+from repro.pjo.dbpersistable import (
+    box_collection,
+    box_value,
+    dbp_klass,
+    unbox_collection,
+    unbox_value,
+)
+from repro.pjo.provider import PjoEntityManager
+
+__all__ = [
+    "PjoEntityManager",
+    "box_collection",
+    "box_value",
+    "dbp_klass",
+    "unbox_collection",
+    "unbox_value",
+]

@@ -1,0 +1,32 @@
+"""Managed-runtime substrate: the mini-JVM the persistent heap extends.
+
+Implements the HotSpot-like machinery the paper's design is a delta on:
+Klass metadata and constant pools (§3.1-3.2), the Parallel Scavenge heap
+with young/old generations (§3.1), the copying young collector and the
+region-based mark-summary-compact old collector (§4.2), and the VM facade
+with ``new``/``pnew`` and alias-aware type checks.
+"""
+
+from repro.runtime.dram_heap import HeapConfig, ParallelScavengeHeap
+from repro.runtime.klass import (
+    FieldDescriptor,
+    FieldKind,
+    Klass,
+    Residence,
+    field,
+)
+from repro.runtime.objects import ObjectHandle
+from repro.runtime.vm import EspressoVM, PersistentSpaceService
+
+__all__ = [
+    "EspressoVM",
+    "FieldDescriptor",
+    "FieldKind",
+    "HeapConfig",
+    "Klass",
+    "ObjectHandle",
+    "ParallelScavengeHeap",
+    "PersistentSpaceService",
+    "Residence",
+    "field",
+]

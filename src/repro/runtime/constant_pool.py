@@ -1,0 +1,43 @@
+"""Constant-pool class-symbol resolution, including the alias-Klass hazard.
+
+Paper §3.2: each Klass carries a constant pool whose class-symbol slots hold,
+after resolution, the address of the corresponding Klass.  Because PJH lets
+the *same* class exist as two Klasses (one in DRAM, one in NVM), the single
+slot flip-flops between the two — which is exactly the bug of Figure 10: a
+redundant ``(Person) a`` cast throws ``ClassCastException`` because the slot
+now holds the NVM Klass while ``a``'s header holds the DRAM one.
+
+We model one shared pool per VM (sufficient to reproduce the behaviour: the
+hazard needs only "one slot per symbol").  ``resolve`` returns the Klass for
+the requested residence and *overwrites the slot* like the stock JVM does;
+``resolved_slot`` is what ``checkcast`` compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import IllegalArgumentException
+from repro.runtime.klass import Klass
+
+
+class ConstantPool:
+    """Class-symbol slots: symbol -> most recently resolved Klass."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[str, Klass] = {}
+
+    def resolve(self, symbol: str, klass: Klass) -> Klass:
+        """Record *klass* as the resolution of *symbol* and return it."""
+        if klass.name != symbol:
+            raise IllegalArgumentException(
+                f"resolving symbol {symbol!r} to Klass {klass.name!r}")
+        self._slots[symbol] = klass
+        return klass
+
+    def resolved_slot(self, symbol: str) -> Optional[Klass]:
+        """The Klass currently sitting in the symbol's slot, if resolved."""
+        return self._slots.get(symbol)
+
+    def clear(self) -> None:
+        self._slots.clear()

@@ -1,0 +1,79 @@
+"""Object layout constants and header encoding.
+
+Mirrors the HotSpot object model the paper builds on: every object starts
+with a *mark word* and a *class pointer* (paper §3.1: "the class pointer is
+stored in the header of an object, right next to the real data fields").
+
+Our mark word packs, in one 64-bit word:
+
+* bits 0-1   — tag: ``00`` normal, ``11`` forwarded (young-GC forwarding
+  pointer, reusing the HotSpot trick of hijacking the mark word);
+* bits 2-33  — GC timestamp (32 bits).  The paper §4.2 reuses header bits
+  "reserved for PSGC ... useless once the object is promoted" to implement
+  the timestamp-based crash-consistent copy protocol;
+* bits 34-39 — age (6 bits), used by the young collector for promotion.
+
+When forwarded, the whole word is ``(new_address << 2) | 0b11``.
+"""
+
+from __future__ import annotations
+
+HEADER_WORDS = 2
+MARK_WORD_OFFSET = 0
+KLASS_WORD_OFFSET = 1
+
+# Arrays add a length word after the header.
+ARRAY_LENGTH_OFFSET = 2
+ARRAY_HEADER_WORDS = 3
+
+NULL = 0
+
+_TAG_MASK = 0b11
+_TAG_NORMAL = 0b00
+_TAG_FORWARDED = 0b11
+
+_TS_SHIFT = 2
+_TS_BITS = 32
+_TS_MASK = (1 << _TS_BITS) - 1
+
+_AGE_SHIFT = _TS_SHIFT + _TS_BITS
+_AGE_BITS = 6
+_AGE_MASK = (1 << _AGE_BITS) - 1
+
+MAX_TIMESTAMP = _TS_MASK
+MAX_AGE = _AGE_MASK
+
+
+def mark_encode(timestamp: int = 0, age: int = 0) -> int:
+    """Pack a normal (non-forwarded) mark word."""
+    return ((age & _AGE_MASK) << _AGE_SHIFT) | ((timestamp & _TS_MASK) << _TS_SHIFT)
+
+
+def mark_is_forwarded(mark: int) -> bool:
+    return (mark & _TAG_MASK) == _TAG_FORWARDED
+
+
+def mark_forwarding(new_address: int) -> int:
+    """Encode a forwarding pointer into the mark word."""
+    return (new_address << 2) | _TAG_FORWARDED
+
+
+def mark_forwardee(mark: int) -> int:
+    """Extract the forwarding destination from a forwarded mark word."""
+    return mark >> 2
+
+
+def mark_timestamp(mark: int) -> int:
+    return (mark >> _TS_SHIFT) & _TS_MASK
+
+
+def mark_with_timestamp(mark: int, timestamp: int) -> int:
+    return (mark & ~(_TS_MASK << _TS_SHIFT)) | ((timestamp & _TS_MASK) << _TS_SHIFT)
+
+
+def mark_age(mark: int) -> int:
+    return (mark >> _AGE_SHIFT) & _AGE_MASK
+
+
+def mark_with_age(mark: int, age: int) -> int:
+    return (mark & ~(_AGE_MASK << _AGE_SHIFT)) | ((age & _AGE_MASK) << _AGE_SHIFT)

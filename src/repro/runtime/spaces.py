@@ -1,0 +1,66 @@
+"""Bump-pointer allocation spaces.
+
+A :class:`Space` is pure bookkeeping over a contiguous range of absolute
+addresses: a base, a size and a ``top`` pointer.  The Parallel Scavenge heap
+composes them — eden plus two survivor halves for the young generation, one
+space for the old generation — and PJH adds its persistent data heap as
+another (whose ``top`` is additionally replicated in NVM, §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import IllegalArgumentException
+
+
+class Space:
+    """Contiguous bump-allocated address range."""
+
+    def __init__(self, name: str, base: int, size_words: int) -> None:
+        if base <= 0 or size_words <= 0:
+            raise IllegalArgumentException(
+                f"space {name!r}: base and size must be positive")
+        self.name = name
+        self.base = base
+        self.size_words = size_words
+        self.top = base
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_words
+
+    @property
+    def used_words(self) -> int:
+        return self.top - self.base
+
+    @property
+    def free_words(self) -> int:
+        return self.end - self.top
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def allocate(self, size_words: int) -> Optional[int]:
+        """Bump-allocate; ``None`` when the space cannot fit the request."""
+        if size_words <= 0:
+            raise IllegalArgumentException(f"allocation of {size_words} words")
+        if self.top + size_words > self.end:
+            return None
+        address = self.top
+        self.top += size_words
+        return address
+
+    def reset(self) -> None:
+        """Empty the space (young-GC from-space recycling)."""
+        self.top = self.base
+
+    def set_top(self, top: int) -> None:
+        if top < self.base or top > self.end:
+            raise IllegalArgumentException(
+                f"top {top:#x} outside {self.name} [{self.base:#x}, {self.end:#x}]")
+        self.top = top
+
+    def __repr__(self) -> str:
+        return (f"Space({self.name!r}, base={self.base:#x}, "
+                f"used={self.used_words}/{self.size_words})")

@@ -1,0 +1,51 @@
+"""Type checks extended with the alias-Klass relation.
+
+Paper §3.2: objects of the same class can live in both DRAM and NVM, giving
+two distinct Klasses for one logical class.  The constant pool holds a single
+slot per class symbol, so a perfectly legal cast can compare an object's
+DRAM Klass against the freshly resolved NVM Klass and wrongly throw
+``ClassCastException`` (Figure 10).  Espresso adds an *alias check* to type
+checking; we reproduce both behaviours behind a switch so the bug itself is
+testable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ClassCastException
+from repro.runtime.klass import Klass
+
+
+def _same_or_alias(klass: Klass, target: Klass, alias_aware: bool) -> bool:
+    if klass is target:
+        return True
+    return alias_aware and klass.is_alias_of(target)
+
+
+def is_instance_of(klass: Klass, target: Klass, alias_aware: bool = True) -> bool:
+    """``instanceof``: walk the superclass chain, honouring aliases.
+
+    With *alias_aware* false this is the stock JVM check that misfires when
+    the constant-pool slot holds the twin Klass.
+    """
+    current: Optional[Klass] = klass
+    while current is not None:
+        if _same_or_alias(current, target, alias_aware):
+            return True
+        # The twin's superclass chain is equivalent; following the local
+        # chain suffices because aliases are checked level by level.
+        current = current.super_klass
+    if klass.is_array and target.is_array:
+        if klass.element_klass is not None and target.element_klass is not None:
+            return is_instance_of(klass.element_klass, target.element_klass,
+                                  alias_aware)
+    return False
+
+
+def checkcast(klass: Klass, target: Klass, alias_aware: bool = True) -> None:
+    """``checkcast``: raise :class:`ClassCastException` unless compatible."""
+    if not is_instance_of(klass, target, alias_aware):
+        raise ClassCastException(
+            f"{klass.name} ({klass.residence.value}) cannot be cast to "
+            f"{target.name} ({target.residence.value})")

@@ -1,0 +1,1 @@
+"""Operational tooling around PJH instances (inspection, dumping)."""

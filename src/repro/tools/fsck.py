@@ -1,0 +1,141 @@
+"""fsck for PJH: structural consistency checking of a persistent heap.
+
+Validates, on a mounted heap:
+
+* every object below top has a resolvable Klass pointer and a size that
+  stays inside the data space;
+* every reference field points to null, to a valid object *start* within
+  this heap, or (user-guaranteed level) anywhere outside the heap;
+* every root-table entry points to null or a valid object start;
+* every Klass entry resolves into the Klass segment;
+* the metadata invariants hold (top within bounds, no GC flag leaking
+  outside a collection, cursor/move records clear when idle).
+
+The crash-recovery test suites run this after every induced crash, so
+"recovery succeeded" means *structurally valid heap*, not merely "the
+values I looked at were right".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.core.name_table import ENTRY_TYPE_KLASS, ENTRY_TYPE_ROOT
+from repro.runtime import layout
+
+
+@dataclass
+class FsckReport:
+    objects: int = 0
+    references: int = 0
+    out_pointers: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors
+
+    def error(self, message: str) -> None:
+        self.errors.append(message)
+
+
+def fsck_heap(heap) -> FsckReport:
+    """Check one mounted :class:`~repro.core.persistent_heap.PersistentHeap`."""
+    report = FsckReport()
+    vm = heap.vm
+    registry = vm.registry
+    space = heap.data_space
+
+    # Pass 1: walk objects, record valid starts.
+    starts: Set[int] = set()
+    cursor = space.base
+    while cursor < space.top:
+        klass_ptr = vm.memory.read(cursor + layout.KLASS_WORD_OFFSET)
+        if not registry.knows(klass_ptr):
+            report.error(f"object @{cursor:#x}: unresolvable klass pointer "
+                         f"{klass_ptr:#x}")
+            break
+        klass = registry.resolve(klass_ptr)
+        try:
+            size = vm.access.object_words(cursor)
+        except Exception as exc:  # corrupt length word, etc.
+            report.error(f"object @{cursor:#x} ({klass.name}): "
+                         f"unsizeable: {exc}")
+            break
+        if size <= 0 or cursor + size > space.top:
+            report.error(f"object @{cursor:#x} ({klass.name}): size {size} "
+                         f"overruns top {space.top:#x}")
+            break
+        starts.add(cursor)
+        report.objects += 1
+        cursor += size
+
+    # Pass 2: reference validity.
+    for address in sorted(starts):
+        for slot in vm.access.ref_slot_addresses(address):
+            value = vm.memory.read(slot)
+            if value == layout.NULL:
+                continue
+            report.references += 1
+            if space.contains(value):
+                if value not in starts:
+                    report.error(
+                        f"slot @{slot:#x} points inside the heap but not at "
+                        f"an object start ({value:#x})")
+            elif heap.in_heap_range(value):
+                report.error(
+                    f"slot @{slot:#x} points into heap metadata ({value:#x})")
+            else:
+                report.out_pointers += 1  # legal under UG/zeroing levels
+
+    # Pass 3: name table.
+    for name, value, _index in heap.name_table.entries(ENTRY_TYPE_ROOT):
+        if value != layout.NULL and value not in starts:
+            report.error(f"root {name!r} points at {value:#x}, "
+                         f"not an object start")
+    for name, value, _index in heap.name_table.entries(ENTRY_TYPE_KLASS):
+        if not registry.knows(value):
+            report.error(f"Klass entry {name!r} -> {value:#x} unresolvable")
+
+    # Pass 4: metadata invariants.
+    metadata = heap.metadata
+    if not (space.base <= space.top <= space.end):
+        report.error(f"volatile top {space.top:#x} out of bounds")
+    if metadata.top < space.top:
+        report.error(f"durable top {metadata.top:#x} below volatile "
+                     f"top {space.top:#x} (watermark must be >=)")
+    if metadata.gc_in_progress:
+        report.error("gc_in_progress flag set on an idle heap")
+    if metadata.move_record() is not None:
+        report.error("stale chunked-move record on an idle heap")
+    return report
+
+
+def fsck(heap_dir, name: str) -> FsckReport:
+    """Load *name* from *heap_dir* in a throwaway JVM and check it."""
+    from repro.api import Espresso
+    jvm = Espresso(heap_dir)
+    heap = jvm.heaps.load_heap(name)
+    return fsck_heap(heap)
+
+
+def main(argv=None) -> int:
+    import sys
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 2:
+        print(__doc__)
+        return 1
+    report = fsck(args[0], args[1])
+    print(f"objects: {report.objects}, references: {report.references}, "
+          f"out-pointers: {report.out_pointers}")
+    if report.clean:
+        print("clean")
+        return 0
+    for error in report.errors:
+        print(f"ERROR: {error}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

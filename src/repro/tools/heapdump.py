@@ -1,0 +1,127 @@
+"""heapdump: inspect a persistent heap directory from the command line.
+
+    python -m repro.tools.heapdump <heap_dir>                 # list heaps
+    python -m repro.tools.heapdump <heap_dir> <name>          # heap summary
+    python -m repro.tools.heapdump <heap_dir> <name> --roots  # root graph
+
+The dump loads the heap read-only in a throwaway JVM (user-guaranteed
+safety, no zeroing scan) and never writes the image back.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.api import Espresso
+from repro.nvm.namespace import NameManager
+from repro.runtime import layout
+from repro.runtime.klass import FieldKind
+
+
+def list_heaps(heap_dir: Path) -> List[str]:
+    manager = NameManager(heap_dir)
+    lines = []
+    for name in manager.names():
+        attrs = manager.attributes(name)
+        lines.append(f"{name}: {attrs['size_words'] * 8 // 1024} KiB, "
+                     f"hint {attrs['address_hint']:#x}")
+    return lines
+
+
+def describe_heap(heap_dir: Path, name: str) -> List[str]:
+    jvm = Espresso(heap_dir)
+    heap, report = jvm.heaps.load_heap_with_report(name)
+    stats = heap.stats()
+    lines = [
+        f"heap {name!r} @ {stats['base_address']:#x}",
+        f"  data: {stats['used_words']}/{stats['data_words']} words used "
+        f"({100 * stats['used_words'] / stats['data_words']:.1f}%)",
+        f"  objects: {stats['objects']}  klasses: {stats['klasses']}  "
+        f"roots: {stats['roots']}",
+        f"  gc timestamp: {stats['global_timestamp']}  "
+        f"recovered-on-load: {report.recovery.performed}",
+        "  objects by class:",
+    ]
+    for klass_name, count in sorted(stats["objects_by_class"].items(),
+                                    key=lambda kv: -kv[1]):
+        lines.append(f"    {count:8d}  {klass_name}")
+    return lines
+
+
+def _render_value(jvm, handle, klass, field_name: str) -> str:
+    value = jvm.get_field(handle, field_name)
+    if value is None:
+        return "null"
+    kind = klass.field_descriptor(field_name).kind
+    if kind is FieldKind.REF:
+        target = jvm.vm.klass_of(value)
+        if target.name == "java.lang.String":
+            return repr(jvm.read_string(value))
+        return f"<{target.name}@{value.address:#x}>"
+    return str(value)
+
+
+def dump_roots(heap_dir: Path, name: str, max_depth: int = 2) -> List[str]:
+    jvm = Espresso(heap_dir)
+    heap = jvm.heaps.load_heap(name)
+    lines: List[str] = []
+    from repro.core.name_table import ENTRY_TYPE_ROOT
+    for root_name, value, _index in heap.name_table.entries(ENTRY_TYPE_ROOT):
+        if value == layout.NULL:
+            lines.append(f"{root_name} -> null")
+            continue
+        handle = jvm.vm.handle(value)
+        lines.extend(_dump_object(jvm, handle, root_name, 0, max_depth))
+    return lines
+
+
+def _dump_object(jvm, handle, label: str, depth: int,
+                 max_depth: int) -> List[str]:
+    indent = "  " * depth
+    klass = jvm.vm.klass_of(handle)
+    lines = [f"{indent}{label} -> {klass.name}@{handle.address:#x}"]
+    if depth >= max_depth:
+        return lines
+    if klass.is_array:
+        length = jvm.array_length(handle)
+        shown = min(length, 8)
+        rendered = []
+        for i in range(shown):
+            element = jvm.array_get(handle, i)
+            if klass.element_kind is FieldKind.REF:
+                rendered.append("null" if element is None
+                                else f"@{element.address:#x}")
+            else:
+                rendered.append(str(element))
+        suffix = ", ..." if length > shown else ""
+        lines.append(f"{indent}  [{', '.join(rendered)}{suffix}] "
+                     f"(length {length})")
+    else:
+        for descriptor in klass.all_fields:
+            lines.append(f"{indent}  .{descriptor.name} = "
+                         f"{_render_value(jvm, handle, klass, descriptor.name)}")
+    return lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print(__doc__)
+        return 1
+    heap_dir = Path(args[0])
+    if len(args) == 1:
+        output = list_heaps(heap_dir)
+        print("\n".join(output) if output else "(no heaps)")
+        return 0
+    name = args[1]
+    if "--roots" in args[2:]:
+        print("\n".join(dump_roots(heap_dir, name)))
+    else:
+        print("\n".join(describe_heap(heap_dir, name)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""TPCC-lite: the order-processing workload the paper name-drops.
+
+Paper §3.3: "a typical TPCC workload only requires nine different data
+classes to be persisted" — these are exactly TPC-C's nine tables, modelled
+here as @entity classes and driven by simplified NEW-ORDER / PAYMENT /
+ORDER-STATUS / DELIVERY transactions.  The same workload runs against the
+JPA provider (SQL over H2) and the PJO provider (DBPersistables in PJH),
+making it both an end-to-end correctness test and a macro-benchmark.
+"""
+
+from repro.tpcc.model import (
+    ALL_TPCC_ENTITIES,
+    Customer,
+    District,
+    History,
+    Item,
+    NewOrder,
+    Order,
+    OrderLine,
+    Stock,
+    Warehouse,
+)
+from repro.tpcc.transactions import TpccApplication
+from repro.tpcc.runner import TpccResult, run_tpcc
+
+__all__ = [
+    "ALL_TPCC_ENTITIES",
+    "Customer",
+    "District",
+    "History",
+    "Item",
+    "NewOrder",
+    "Order",
+    "OrderLine",
+    "Stock",
+    "TpccApplication",
+    "TpccResult",
+    "Warehouse",
+    "run_tpcc",
+]

@@ -1,0 +1,156 @@
+"""The nine TPC-C data classes, as JPA/PJO entities.
+
+Composite keys are synthesised into single BIGINT ids (the engine supports
+one primary key column); the id-allocation helpers below keep the composite
+structure recoverable: e.g. a district id encodes (warehouse, district).
+"""
+
+from __future__ import annotations
+
+from repro.h2.values import SqlType
+from repro.jpa.annotations import Basic, Id, ManyToOne, entity
+
+# Id-space strides for synthesised composite keys.
+DISTRICTS_PER_WAREHOUSE = 10
+CUSTOMERS_PER_DISTRICT = 30
+
+
+def district_id(warehouse_id: int, number: int) -> int:
+    return warehouse_id * DISTRICTS_PER_WAREHOUSE + number
+
+
+def customer_id(d_id: int, number: int) -> int:
+    return d_id * CUSTOMERS_PER_DISTRICT + number
+
+
+def stock_id(warehouse_id: int, item_id: int) -> int:
+    return warehouse_id * 1_000_000 + item_id
+
+
+@entity(table="Warehouse")
+class Warehouse:
+    id = Id(SqlType.BIGINT)
+    name = Basic(SqlType.VARCHAR)
+    ytd = Basic(SqlType.DOUBLE)
+
+    def __init__(self, id, name, ytd=0.0):
+        self.id = id
+        self.name = name
+        self.ytd = ytd
+
+
+@entity(table="District")
+class District:
+    id = Id(SqlType.BIGINT)
+    warehouse = ManyToOne("Warehouse")
+    name = Basic(SqlType.VARCHAR)
+    ytd = Basic(SqlType.DOUBLE)
+    next_order_number = Basic(SqlType.INTEGER)
+
+    def __init__(self, id, warehouse, name, ytd=0.0, next_order_number=1):
+        self.id = id
+        self.warehouse = warehouse
+        self.name = name
+        self.ytd = ytd
+        self.next_order_number = next_order_number
+
+
+@entity(table="Customer")
+class Customer:
+    id = Id(SqlType.BIGINT)
+    district = ManyToOne("District")
+    name = Basic(SqlType.VARCHAR)
+    balance = Basic(SqlType.DOUBLE)
+    payment_count = Basic(SqlType.INTEGER)
+
+    def __init__(self, id, district, name, balance=0.0, payment_count=0):
+        self.id = id
+        self.district = district
+        self.name = name
+        self.balance = balance
+        self.payment_count = payment_count
+
+
+@entity(table="Item")
+class Item:
+    id = Id(SqlType.BIGINT)
+    name = Basic(SqlType.VARCHAR)
+    price = Basic(SqlType.DOUBLE)
+
+    def __init__(self, id, name, price):
+        self.id = id
+        self.name = name
+        self.price = price
+
+
+@entity(table="Stock")
+class Stock:
+    id = Id(SqlType.BIGINT)
+    item = ManyToOne("Item")
+    warehouse = ManyToOne("Warehouse")
+    quantity = Basic(SqlType.INTEGER)
+
+    def __init__(self, id, item, warehouse, quantity):
+        self.id = id
+        self.item = item
+        self.warehouse = warehouse
+        self.quantity = quantity
+
+
+@entity(table="TpccOrder")
+class Order:
+    id = Id(SqlType.BIGINT)
+    customer = ManyToOne("Customer")
+    entry_number = Basic(SqlType.INTEGER)
+    line_count = Basic(SqlType.INTEGER)
+    delivered = Basic(SqlType.BOOLEAN)
+
+    def __init__(self, id, customer, entry_number, line_count,
+                 delivered=False):
+        self.id = id
+        self.customer = customer
+        self.entry_number = entry_number
+        self.line_count = line_count
+        self.delivered = delivered
+
+
+@entity(table="OrderLine")
+class OrderLine:
+    id = Id(SqlType.BIGINT)
+    order = ManyToOne("Order")
+    item = ManyToOne("Item")
+    quantity = Basic(SqlType.INTEGER)
+    amount = Basic(SqlType.DOUBLE)
+
+    def __init__(self, id, order, item, quantity, amount):
+        self.id = id
+        self.order = order
+        self.item = item
+        self.quantity = quantity
+        self.amount = amount
+
+
+@entity(table="NewOrder")
+class NewOrder:
+    id = Id(SqlType.BIGINT)
+    order = ManyToOne("Order")
+
+    def __init__(self, id, order):
+        self.id = id
+        self.order = order
+
+
+@entity(table="History")
+class History:
+    id = Id(SqlType.BIGINT)
+    customer = ManyToOne("Customer")
+    amount = Basic(SqlType.DOUBLE)
+
+    def __init__(self, id, customer, amount):
+        self.id = id
+        self.customer = customer
+        self.amount = amount
+
+
+ALL_TPCC_ENTITIES = [Warehouse, District, Customer, Item, Stock, Order,
+                     OrderLine, NewOrder, History]

@@ -1,0 +1,79 @@
+"""Deterministic TPCC-lite workload runner for both providers."""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.h2.engine import Database
+from repro.jpa.entity_manager import JpaEntityManager
+from repro.nvm.clock import Clock
+from repro.pjo.provider import PjoEntityManager
+
+from repro.tpcc.model import customer_id, district_id
+from repro.tpcc.transactions import TpccApplication
+
+
+@dataclass
+class TpccResult:
+    provider: str
+    transactions: int
+    sim_ns: float
+    snapshot: Dict = field(default_factory=dict)
+
+    @property
+    def tx_per_ms(self) -> float:
+        return self.transactions / (self.sim_ns / 1e6) if self.sim_ns else 0.0
+
+
+def _make_em(provider: str, clock: Clock, heap_dir: Path):
+    if provider == "jpa":
+        database = Database(size_words=1 << 22, clock=clock)
+        return JpaEntityManager(database)
+    from repro.api import Espresso
+    jvm = Espresso(heap_dir, clock=clock)
+    jvm.createHeap("tpcc", 64 * 1024 * 1024)
+    return PjoEntityManager(jvm)
+
+
+def run_tpcc(provider: str, transactions: int = 60, seed: int = 7,
+             heap_dir: Optional[Path] = None,
+             warehouses: int = 1, items: int = 15) -> TpccResult:
+    """Run a seeded transaction mix; identical seeds produce identical
+    business outcomes on either provider (the cross-provider test relies
+    on this)."""
+    root = heap_dir if heap_dir is not None else Path(tempfile.mkdtemp())
+    clock = Clock()
+    em = _make_em(provider, clock, root / provider)
+    app = TpccApplication(em)
+    app.populate(warehouses=warehouses, districts_per_warehouse=2,
+                 customers_per_district=3, items=items)
+
+    rng = random.Random(seed)
+    start = clock.now_ns
+    for _ in range(transactions):
+        kind = rng.random()
+        w = rng.randint(1, warehouses)
+        d = rng.randint(0, 1)
+        c = rng.randint(0, 2)
+        if kind < 0.45:
+            lines = [(rng.randint(1, items), rng.randint(1, 5))
+                     for _ in range(rng.randint(1, 4))]
+            app.new_order(w, d, c, lines)
+        elif kind < 0.80:
+            app.payment(w, d, c, round(rng.uniform(1.0, 50.0), 2))
+        elif kind < 0.92:
+            app.order_status(customer_id(district_id(w, d), c))
+        else:
+            app.delivery()
+    sim_ns = clock.now_ns - start
+    em.clear()
+    result = TpccResult(provider=provider, transactions=transactions,
+                        sim_ns=sim_ns, snapshot=app.consistency_snapshot())
+    if provider == "pjo":
+        em.clear()
+        em.jvm.shutdown()  # persist the heap image: the run is durable
+    return result

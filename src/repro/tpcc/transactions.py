@@ -1,0 +1,201 @@
+"""TPCC-lite business transactions over a JPA-compatible EntityManager.
+
+Simplified but recognisable versions of four TPC-C transactions.  All run
+through the standard ``em.get_transaction()`` envelope, so ACID behaviour
+comes from whichever provider backs the EntityManager.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import IllegalArgumentException
+
+from repro.tpcc.model import (
+    CUSTOMERS_PER_DISTRICT,
+    Customer,
+    DISTRICTS_PER_WAREHOUSE,
+    District,
+    History,
+    Item,
+    NewOrder,
+    Order,
+    OrderLine,
+    Stock,
+    Warehouse,
+    customer_id,
+    district_id,
+    stock_id,
+)
+
+
+class TpccApplication:
+    """Schema population + the four transactions, provider-agnostic."""
+
+    def __init__(self, em) -> None:
+        self.em = em
+        self._next_order_id = 1
+        self._next_line_id = 1
+        self._next_history_id = 1
+
+    # ------------------------------------------------------------------
+    # Initial population
+    # ------------------------------------------------------------------
+    def populate(self, warehouses: int = 1,
+                 districts_per_warehouse: int = 2,
+                 customers_per_district: int = 3,
+                 items: int = 20,
+                 initial_stock: int = 100) -> None:
+        if districts_per_warehouse > DISTRICTS_PER_WAREHOUSE:
+            raise IllegalArgumentException("too many districts per warehouse")
+        if customers_per_district > CUSTOMERS_PER_DISTRICT:
+            raise IllegalArgumentException("too many customers per district")
+        em = self.em
+        em.create_schema(
+            [Warehouse, District, Customer, Item, Stock, Order, OrderLine,
+             NewOrder, History])
+        tx = em.get_transaction()
+        tx.begin()
+        item_objects = [Item(i, f"item-{i}", 1.0 + (i % 50) / 10.0)
+                        for i in range(1, items + 1)]
+        for item in item_objects:
+            em.persist(item)
+        for w in range(1, warehouses + 1):
+            warehouse = Warehouse(w, f"warehouse-{w}")
+            em.persist(warehouse)
+            for item in item_objects:
+                em.persist(Stock(stock_id(w, item.id), item, warehouse,
+                                 initial_stock))
+            for d in range(districts_per_warehouse):
+                d_id = district_id(w, d)
+                district = District(d_id, warehouse, f"district-{w}-{d}")
+                em.persist(district)
+                for c in range(customers_per_district):
+                    em.persist(Customer(customer_id(d_id, c), district,
+                                        f"customer-{w}-{d}-{c}"))
+        tx.commit()
+
+    # ------------------------------------------------------------------
+    # NEW-ORDER
+    # ------------------------------------------------------------------
+    def new_order(self, warehouse_id: int, district_number: int,
+                  customer_number: int,
+                  lines: Sequence[Tuple[int, int]]) -> Order:
+        """Place an order: *lines* is a list of (item_id, quantity)."""
+        em = self.em
+        tx = em.get_transaction()
+        tx.begin()
+        d_id = district_id(warehouse_id, district_number)
+        district = em.find(District, d_id)
+        customer = em.find(Customer, customer_id(d_id, customer_number))
+        if district is None or customer is None:
+            tx.rollback()
+            raise IllegalArgumentException("unknown district or customer")
+        entry_number = district.next_order_number
+        district.next_order_number = entry_number + 1
+        order = Order(self._next_order_id, customer, entry_number,
+                      len(lines))
+        self._next_order_id += 1
+        em.persist(order)
+        em.persist(NewOrder(order.id, order))
+        for item_number, quantity in lines:
+            item = em.find(Item, item_number)
+            stock = em.find(Stock, stock_id(warehouse_id, item_number))
+            if item is None or stock is None:
+                tx.rollback()
+                raise IllegalArgumentException(f"unknown item {item_number}")
+            if stock.quantity < quantity:
+                stock.quantity = stock.quantity + 91  # TPC-C's restock rule
+            stock.quantity = stock.quantity - quantity
+            line = OrderLine(self._next_line_id, order, item, quantity,
+                             item.price * quantity)
+            self._next_line_id += 1
+            em.persist(line)
+        tx.commit()
+        return order
+
+    # ------------------------------------------------------------------
+    # PAYMENT
+    # ------------------------------------------------------------------
+    def payment(self, warehouse_id: int, district_number: int,
+                customer_number: int, amount: float) -> None:
+        em = self.em
+        tx = em.get_transaction()
+        tx.begin()
+        d_id = district_id(warehouse_id, district_number)
+        district = em.find(District, d_id)
+        warehouse = em.find(Warehouse, warehouse_id)
+        customer = em.find(Customer, customer_id(d_id, customer_number))
+        warehouse.ytd = warehouse.ytd + amount
+        district.ytd = district.ytd + amount
+        customer.balance = customer.balance - amount
+        customer.payment_count = customer.payment_count + 1
+        em.persist(History(self._next_history_id, customer, amount))
+        self._next_history_id += 1
+        tx.commit()
+
+    # ------------------------------------------------------------------
+    # ORDER-STATUS (read-only)
+    # ------------------------------------------------------------------
+    def order_status(self, customer_pk: int) -> Optional[dict]:
+        em = self.em
+        customer = em.find(Customer, customer_pk)
+        if customer is None:
+            return None
+        orders = [o for o in em.find_all(Order)
+                  if o.customer is not None and o.customer.id == customer_pk]
+        if not orders:
+            return {"customer": customer.name, "balance": customer.balance,
+                    "last_order": None, "lines": []}
+        last = max(orders, key=lambda o: o.entry_number)
+        lines = [line for line in em.find_all(OrderLine)
+                 if line.order is not None and line.order.id == last.id]
+        return {
+            "customer": customer.name,
+            "balance": customer.balance,
+            "last_order": last.id,
+            "lines": [(line.item.id, line.quantity, line.amount)
+                      for line in sorted(lines, key=lambda l: l.id)],
+        }
+
+    # ------------------------------------------------------------------
+    # DELIVERY
+    # ------------------------------------------------------------------
+    def delivery(self) -> int:
+        """Deliver the oldest undelivered order; returns its id or 0."""
+        em = self.em
+        tx = em.get_transaction()
+        tx.begin()
+        pending = em.find_all(NewOrder)
+        if not pending:
+            tx.commit()
+            return 0
+        oldest = min(pending, key=lambda n: n.id)
+        order = oldest.order
+        order.delivered = True
+        em.remove(oldest)
+        tx.commit()
+        return order.id
+
+    # ------------------------------------------------------------------
+    # Consistency checks (TPC-C-style invariants)
+    # ------------------------------------------------------------------
+    def consistency_snapshot(self) -> dict:
+        """Aggregates for cross-provider comparison and invariants."""
+        em = self.em
+        orders = em.find_all(Order)
+        lines = em.find_all(OrderLine)
+        customers = em.find_all(Customer)
+        districts = em.find_all(District)
+        warehouses = em.find_all(Warehouse)
+        return {
+            "orders": len(orders),
+            "order_lines": len(lines),
+            "undelivered": em.count(NewOrder),
+            "history_rows": em.count(History),
+            "line_amount_total": round(sum(l.amount for l in lines), 6),
+            "balance_total": round(sum(c.balance for c in customers), 6),
+            "district_ytd_total": round(sum(d.ytd for d in districts), 6),
+            "warehouse_ytd_total": round(sum(w.ytd for w in warehouses), 6),
+            "line_count_sum": sum(o.line_count for o in orders),
+        }

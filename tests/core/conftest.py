@@ -1,0 +1,56 @@
+"""Shared fixtures for PJH tests."""
+
+import pytest
+
+from repro.api import Espresso
+from repro.runtime.klass import FieldKind, field
+
+HEAP_BYTES = 512 * 1024
+
+
+@pytest.fixture
+def heap_dir(tmp_path):
+    return tmp_path / "heaps"
+
+
+@pytest.fixture
+def jvm(heap_dir):
+    return Espresso(heap_dir)
+
+
+@pytest.fixture
+def mounted(jvm):
+    """A JVM with one mounted PJH called 'test'."""
+    jvm.createHeap("test", HEAP_BYTES)
+    return jvm
+
+
+def define_person(jvm):
+    return jvm.define_class("Person", [field("id", FieldKind.INT),
+                                       field("name", FieldKind.REF)])
+
+
+def define_node(jvm):
+    return jvm.define_class("Node", [field("value", FieldKind.INT),
+                                     field("next", FieldKind.REF)])
+
+
+def pnew_list(jvm, node_klass, values):
+    """Build a persistent linked list, return the head handle."""
+    head = None
+    for v in reversed(values):
+        node = jvm.pnew(node_klass)
+        jvm.set_field(node, "value", v)
+        if head is not None:
+            jvm.set_field(node, "next", head)
+        head = node
+    return head
+
+
+def read_list(jvm, head):
+    out = []
+    node = head
+    while node is not None:
+        out.append(jvm.get_field(node, "value"))
+        node = jvm.get_field(node, "next")
+    return out

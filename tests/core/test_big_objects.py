@@ -1,0 +1,148 @@
+"""Serialized-compaction tests: big objects, self-overlapping moves.
+
+Objects larger than a GC region (big arrays) force the serialized
+per-object protocol with its durable region cursor, and a compaction front
+that has caught up with live data forces chunked self-overlapping moves.
+These tests crash at every point inside those paths and verify recovery.
+"""
+
+import pytest
+
+from repro.api import Espresso
+from repro.errors import SimulatedCrash
+from repro.runtime.klass import FieldKind, field
+
+HEAP_BYTES = 512 * 1024
+REGION_WORDS = 128  # arrays below span many regions
+
+
+def build_heap(heap_dir, garbage_prefix=10):
+    """A heap whose live data includes arrays much larger than a region."""
+    jvm = Espresso(heap_dir)
+    node = jvm.define_class("Big", [field("value", FieldKind.INT),
+                                    field("ref", FieldKind.REF)])
+    jvm.createHeap("big", HEAP_BYTES, region_words=REGION_WORDS)
+    # A little garbage first, so the arrays must slide left (self-overlap).
+    for _ in range(garbage_prefix):
+        jvm.pnew(node).close()
+    expected = {}
+    for k, length in enumerate([300, 500, 900]):  # all > REGION_WORDS
+        arr = jvm.pnew_array(FieldKind.INT, length)
+        for i in range(length):
+            jvm.array_set(arr, i, k * 10000 + i)
+        jvm.flush_object(arr)
+        jvm.setRoot(f"arr{k}", arr)
+        expected[f"arr{k}"] = [k * 10000 + i for i in range(length)]
+        for _ in range(garbage_prefix):
+            jvm.pnew(node).close()
+    # An object array referencing boxed values, also spanning regions.
+    holder = jvm.pnew_array(jvm.vm.object_klass, 200)
+    for i in range(200):
+        boxed = jvm.pnew(node)
+        jvm.set_field(boxed, "value", i)
+        jvm.array_set(holder, i, boxed)
+        jvm.flush_object(boxed)
+        boxed.close()
+    jvm.flush_object(holder)
+    jvm.setRoot("holder", holder)
+    return jvm, expected
+
+
+def verify(heap_dir, expected):
+    from repro.tools.fsck import fsck_heap
+    jvm = Espresso(heap_dir)
+    _heap, report = jvm.heaps.load_heap_with_report("big")
+    structure = fsck_heap(_heap)
+    assert structure.clean, structure.errors
+    for name, values in expected.items():
+        arr = jvm.getRoot(name)
+        got = [jvm.array_get(arr, i) for i in range(len(values))]
+        assert got == values, f"{name} corrupted"
+    holder = jvm.getRoot("holder")
+    for i in range(200):
+        assert jvm.get_field(jvm.array_get(holder, i), "value") == i
+    return report
+
+
+def test_gc_moves_big_objects_correctly(tmp_path):
+    jvm, expected = build_heap(tmp_path / "h")
+    result = jvm.persistent_gc()
+    assert result.stats.serialized_regions > 0
+    assert result.stats.chunked_moves > 0
+    jvm.shutdown()
+    verify(tmp_path / "h", expected)
+
+
+def test_repeated_gc_with_big_objects(tmp_path):
+    jvm, expected = build_heap(tmp_path / "h")
+    node = jvm.vm.metaspace.lookup("Big")
+    for _ in range(3):
+        for _ in range(30):
+            jvm.pnew(node).close()
+        jvm.persistent_gc()
+    jvm.shutdown()
+    verify(tmp_path / "h", expected)
+
+
+@pytest.mark.parametrize("site,hit", [
+    ("gc.move.recorded", 1),
+    ("gc.move.chunk_done", 1),
+    ("gc.move.chunk_done", 2),
+    ("gc.move.chunk_done", 4),
+    ("gc.compact.serial_object_done", 1),
+    ("gc.compact.serial_object_done", 3),
+])
+def test_crash_inside_serialized_protocol(tmp_path, site, hit):
+    jvm, expected = build_heap(tmp_path / "h")
+    jvm.vm.failpoints.crash_on_hit(site, hit)
+    try:
+        jvm.persistent_gc()
+        crashed = False
+    except SimulatedCrash:
+        crashed = True
+    jvm.vm.failpoints.clear()
+    jvm.crash()
+    report = verify(tmp_path / "h", expected)
+    if crashed:
+        assert report.recovery.performed
+
+
+def test_exhaustive_crash_sweep_big_objects(tmp_path):
+    """Crash at every Nth failpoint of a big-object GC (sampled stride)."""
+    n = 1
+    done = False
+    rounds = 0
+    while not done and rounds < 120:
+        rounds += 1
+        subdir = tmp_path / f"round{n}"
+        jvm, expected = build_heap(subdir)
+        jvm.vm.failpoints.crash_on_global_hit(n)
+        try:
+            jvm.persistent_gc()
+            done = True
+        except SimulatedCrash:
+            pass
+        jvm.vm.failpoints.clear()
+        jvm.crash()
+        verify(subdir, expected)
+        n += 7  # stride: still covers every protocol phase
+    assert done, "sweep never completed a full GC"
+
+
+def test_double_crash_during_chunked_move(tmp_path):
+    """Crash mid-move, then crash mid-*recovery* of the same move."""
+    jvm, expected = build_heap(tmp_path / "h")
+    jvm.vm.failpoints.crash_on_hit("gc.move.chunk_done", 2)
+    with pytest.raises(SimulatedCrash):
+        jvm.persistent_gc()
+    jvm.vm.failpoints.clear()
+    jvm.crash()
+
+    jvm2 = Espresso(tmp_path / "h")
+    jvm2.vm.failpoints.crash_on_hit("gc.move.chunk_done", 1)
+    with pytest.raises(SimulatedCrash):
+        jvm2.loadHeap("big")
+    jvm2.vm.failpoints.clear()
+    jvm2.crash()
+
+    verify(tmp_path / "h", expected)

@@ -1,0 +1,131 @@
+"""Tests for the Figure 12 reflective flush API and pmultianewarray."""
+
+import pytest
+
+from repro.api import Espresso
+from repro.errors import IllegalArgumentException, NoSuchFieldException
+from repro.runtime.klass import FieldKind, field
+
+from tests.core.conftest import HEAP_BYTES, define_person
+
+
+class TestFigure12:
+    """The paper's Figure 12 program, line by line."""
+
+    def test_field_flush_pattern(self, mounted):
+        jvm = mounted
+        person = define_person(jvm)
+        # Person x = pnew Person(...);
+        x = jvm.pnew(person)
+        jvm.set_field(x, "id", 77)
+        # Field f = x.getClass().getDeclaredField("id");
+        f = jvm.get_declared_field(x, "id")
+        # f.flush(x);
+        f.flush(x)
+        jvm.setRoot("x", x)
+        jvm.crash()
+        jvm2 = Espresso(jvm.heap_dir)
+        jvm2.loadHeap("test")
+        assert jvm2.get_field(jvm2.getRoot("x"), "id") == 77
+
+    def test_array_flush_pattern(self, mounted):
+        jvm = mounted
+        person = define_person(jvm)
+        # Person[] z = pnew Person[10];
+        z = jvm.pnew_array(person, 10)
+        p = jvm.pnew(person)
+        jvm.set_field(p, "id", 3)
+        jvm.flush_object(p)
+        jvm.array_set(z, 3, p)
+        # Array.flush(z, 3);
+        jvm.flush_array_element(z, 3)
+        jvm.setRoot("z", z)
+        jvm.crash()
+        jvm2 = Espresso(jvm.heap_dir)
+        jvm2.loadHeap("test")
+        element = jvm2.array_get(jvm2.getRoot("z"), 3)
+        assert jvm2.get_field(element, "id") == 3
+
+    def test_reflected_field_get_set(self, mounted):
+        person = define_person(mounted)
+        x = mounted.pnew(person)
+        f = mounted.get_declared_field(x, "id")
+        f.set(x, 9)
+        assert f.get(x) == 9
+        assert mounted.get_field(x, "id") == 9
+
+    def test_unknown_field_rejected(self, mounted):
+        person = define_person(mounted)
+        x = mounted.pnew(person)
+        with pytest.raises(NoSuchFieldException):
+            mounted.get_declared_field(x, "nope")
+
+    def test_reflected_field_reusable_across_instances(self, mounted):
+        person = define_person(mounted)
+        a = mounted.pnew(person)
+        b = mounted.pnew(person)
+        f = mounted.get_declared_field(a, "id")
+        f.set(a, 1)
+        f.set(b, 2)
+        assert (f.get(a), f.get(b)) == (1, 2)
+
+
+class TestMultiArray:
+    def test_2d_persistent_array(self, mounted):
+        grid = mounted.pnew_multi_array(FieldKind.INT, (3, 4))
+        assert mounted.array_length(grid) == 3
+        for i in range(3):
+            row = mounted.array_get(grid, i)
+            assert mounted.array_length(row) == 4
+            mounted.array_set(row, 2, i * 10)
+        assert [mounted.array_get(mounted.array_get(grid, i), 2)
+                for i in range(3)] == [0, 10, 20]
+        assert mounted.vm.in_pjh(grid.address)
+        assert mounted.vm.in_pjh(mounted.array_get(grid, 0).address)
+
+    def test_3d_volatile_array(self, mounted):
+        cube = mounted.new_multi_array(FieldKind.INT, (2, 2, 2))
+        inner = mounted.array_get(mounted.array_get(cube, 1), 1)
+        mounted.array_set(inner, 1, 42)
+        assert mounted.array_get(
+            mounted.array_get(mounted.array_get(cube, 1), 1), 1) == 42
+        assert not mounted.vm.in_pjh(cube.address)
+
+    def test_multi_array_of_refs(self, mounted):
+        person = define_person(mounted)
+        matrix = mounted.pnew_multi_array(person, (2, 2))
+        p = mounted.pnew(person)
+        mounted.array_set(mounted.array_get(matrix, 0), 1, p)
+        fetched = mounted.array_get(mounted.array_get(matrix, 0), 1)
+        assert fetched.same_object(p)
+
+    def test_2d_array_survives_restart(self, mounted):
+        grid = mounted.pnew_multi_array(FieldKind.INT, (2, 3))
+        for i in range(2):
+            row = mounted.array_get(grid, i)
+            for j in range(3):
+                mounted.array_set(row, j, i * 3 + j)
+        mounted.flush_reachable(grid)
+        mounted.setRoot("grid", grid)
+        mounted.crash()
+        jvm2 = Espresso(mounted.heap_dir)
+        jvm2.loadHeap("test")
+        grid2 = jvm2.getRoot("grid")
+        values = [jvm2.array_get(jvm2.array_get(grid2, i), j)
+                  for i in range(2) for j in range(3)]
+        assert values == list(range(6))
+
+    def test_empty_dims_rejected(self, mounted):
+        with pytest.raises(IllegalArgumentException):
+            mounted.pnew_multi_array(FieldKind.INT, ())
+
+    def test_multi_array_survives_persistent_gc(self, mounted):
+        person = define_person(mounted)
+        grid = mounted.pnew_multi_array(FieldKind.INT, (3, 3))
+        mounted.array_set(mounted.array_get(grid, 1), 1, 99)
+        mounted.setRoot("g", grid)
+        for _ in range(20):
+            mounted.pnew(person).close()
+        mounted.persistent_gc()
+        assert mounted.array_get(
+            mounted.array_get(mounted.getRoot("g"), 1), 1) == 99

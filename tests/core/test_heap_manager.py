@@ -1,0 +1,193 @@
+"""Tests for the Table 1 heap-management APIs and the load pipeline."""
+
+import pytest
+
+from repro.api import Espresso
+from repro.errors import (
+    HeapExistsError,
+    HeapNotFoundError,
+    IllegalArgumentException,
+    IllegalStateException,
+)
+from repro.runtime.klass import FieldKind, field
+
+from tests.core.conftest import HEAP_BYTES, define_person
+
+
+class TestCreateExists:
+    def test_create_and_exists(self, jvm):
+        assert not jvm.existsHeap("Jimmy")
+        jvm.createHeap("Jimmy", HEAP_BYTES)
+        assert jvm.existsHeap("Jimmy")
+
+    def test_duplicate_create_rejected(self, mounted):
+        with pytest.raises(HeapExistsError):
+            mounted.createHeap("test", HEAP_BYTES)
+
+    def test_load_missing_heap_rejected(self, jvm):
+        with pytest.raises(HeapNotFoundError):
+            jvm.loadHeap("nope")
+
+    def test_tiny_heap_rejected(self, jvm):
+        with pytest.raises(IllegalArgumentException):
+            jvm.createHeap("tiny", 1024)
+
+    def test_double_load_rejected(self, mounted):
+        with pytest.raises(IllegalStateException):
+            mounted.loadHeap("test")
+
+    def test_multiple_heaps(self, jvm):
+        jvm.createHeap("a", HEAP_BYTES)
+        jvm.createHeap("b", HEAP_BYTES)
+        person = define_person(jvm)
+        pa = jvm.pnew(person, heap="a")
+        pb = jvm.pnew(person, heap="b")
+        assert jvm.heaps.heap("a").contains(pa.address)
+        assert jvm.heaps.heap("b").contains(pb.address)
+        assert not jvm.heaps.heap("a").contains(pb.address)
+
+
+class TestRoots:
+    def test_set_and_get_root(self, mounted):
+        person = define_person(mounted)
+        p = mounted.pnew(person)
+        mounted.set_field(p, "id", 7)
+        mounted.setRoot("me", p)
+        fetched = mounted.getRoot("me")
+        assert fetched.same_object(p)
+        assert mounted.get_field(fetched, "id") == 7
+
+    def test_get_missing_root_is_none(self, mounted):
+        assert mounted.getRoot("missing") is None
+
+    def test_root_update(self, mounted):
+        person = define_person(mounted)
+        a = mounted.pnew(person)
+        b = mounted.pnew(person)
+        mounted.setRoot("r", a)
+        mounted.setRoot("r", b)
+        assert mounted.getRoot("r").same_object(b)
+
+    def test_null_root(self, mounted):
+        person = define_person(mounted)
+        mounted.setRoot("r", mounted.pnew(person))
+        mounted.setRoot("r", None)
+        assert mounted.getRoot("r") is None
+
+
+class TestPersistenceAcrossRestart:
+    def test_figure11_workflow(self, heap_dir):
+        # First run: create heap and objects.
+        jvm = Espresso(heap_dir)
+        person = define_person(jvm)
+        assert not jvm.existsHeap("Jimmy")
+        jvm.createHeap("Jimmy", HEAP_BYTES)
+        p = jvm.pnew(person)
+        jvm.set_field(p, "id", 42)
+        jvm.set_field(p, "name", jvm.pnew_string("Jimmy"))
+        jvm.setRoot("Jimmy_info", p)
+        jvm.shutdown()
+
+        # Second run (fresh "JVM process"): load and fetch.
+        jvm2 = Espresso(heap_dir)
+        define_person(jvm2)
+        assert jvm2.existsHeap("Jimmy")
+        jvm2.loadHeap("Jimmy")
+        p2 = jvm2.getRoot("Jimmy_info")
+        p2 = jvm2.checkcast(p2, "Person")
+        assert jvm2.get_field(p2, "id") == 42
+        assert jvm2.read_string(jvm2.get_field(p2, "name")) == "Jimmy"
+
+    def test_load_reinitializes_klasses_in_place(self, heap_dir):
+        jvm = Espresso(heap_dir)
+        person = define_person(jvm)
+        jvm.createHeap("h", HEAP_BYTES)
+        p = jvm.pnew(person)
+        jvm.setRoot("p", p)
+        klass_addr_before = jvm.vm.access.klass_pointer(p.address)
+        jvm.shutdown()
+
+        jvm2 = Espresso(heap_dir)
+        _heap, report = jvm2.heaps.load_heap_with_report("h")
+        p2 = jvm2.getRoot("p")
+        # Klass pointers stay valid: reinitialised at the same address.
+        assert jvm2.vm.access.klass_pointer(p2.address) == klass_addr_before
+        # One user class + its implicit Object superclass.
+        assert report.klasses_reinitialized >= 2
+
+    def test_load_without_predefined_classes(self, heap_dir):
+        """Objects are usable even if the program never redefines the class."""
+        jvm = Espresso(heap_dir)
+        person = define_person(jvm)
+        jvm.createHeap("h", HEAP_BYTES)
+        p = jvm.pnew(person)
+        jvm.set_field(p, "id", 5)
+        jvm.setRoot("p", p)
+        jvm.shutdown()
+
+        jvm2 = Espresso(heap_dir)  # note: no define_person here
+        jvm2.loadHeap("h")
+        p2 = jvm2.getRoot("p")
+        assert jvm2.get_field(p2, "id") == 5
+        assert jvm2.vm.klass_of(p2).name == "Person"
+
+    def test_graph_survives_restart(self, heap_dir):
+        from tests.core.conftest import define_node, pnew_list, read_list
+        jvm = Espresso(heap_dir)
+        node = define_node(jvm)
+        jvm.createHeap("h", HEAP_BYTES)
+        head = pnew_list(jvm, node, list(range(50)))
+        jvm.setRoot("head", head)
+        jvm.shutdown()
+
+        jvm2 = Espresso(heap_dir)
+        jvm2.loadHeap("h")
+        assert read_list(jvm2, jvm2.getRoot("head")) == list(range(50))
+
+    def test_unload_and_reload_same_vm(self, mounted):
+        person = define_person(mounted)
+        p = mounted.pnew(person)
+        mounted.set_field(p, "id", 3)
+        mounted.setRoot("p", p)
+        mounted.heaps.unload_heap("test")
+        assert "test" not in mounted.heaps.mounted_names()
+        mounted.loadHeap("test")
+        assert mounted.get_field(mounted.getRoot("p"), "id") == 3
+
+
+class TestRemap:
+    def test_remap_when_hint_occupied(self, heap_dir):
+        from tests.core.conftest import define_node, pnew_list, read_list
+        jvm = Espresso(heap_dir)
+        node = define_node(jvm)
+        jvm.createHeap("first", HEAP_BYTES)
+        head = pnew_list(jvm, node, [1, 2, 3, 4, 5])
+        arr = jvm.pnew_array(node, 2)
+        jvm.array_set(arr, 0, head)
+        jvm.setRoot("head", head)
+        jvm.setRoot("arr", arr)
+        jvm.shutdown()
+
+        # A fresh VM where another heap occupies the hint address.
+        jvm2 = Espresso(heap_dir)
+        jvm2.createHeap("squatter", HEAP_BYTES)  # lands on first's hint
+        _heap, report = jvm2.heaps.load_heap_with_report("first")
+        assert report.remapped
+        head2 = jvm2.getRoot("head")
+        assert read_list(jvm2, head2) == [1, 2, 3, 4, 5]
+        arr2 = jvm2.getRoot("arr")
+        assert jvm2.array_get(arr2, 0).same_object(head2)
+        # And the new hint persists: a third VM reloads without remapping.
+        jvm2.shutdown()
+        jvm3 = Espresso(heap_dir)
+        _heap3, report3 = jvm3.heaps.load_heap_with_report("first")
+        assert not report3.remapped
+        assert read_list(jvm3, jvm3.getRoot("head")) == [1, 2, 3, 4, 5]
+
+    def test_no_remap_when_hint_free(self, heap_dir):
+        jvm = Espresso(heap_dir)
+        jvm.createHeap("h", HEAP_BYTES)
+        jvm.shutdown()
+        jvm2 = Espresso(heap_dir)
+        _heap, report = jvm2.heaps.load_heap_with_report("h")
+        assert not report.remapped

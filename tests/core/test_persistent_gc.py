@@ -1,0 +1,165 @@
+"""Persistent GC tests: compaction, liveness, cross-heap references."""
+
+import pytest
+
+from repro.api import Espresso
+from repro.runtime.klass import FieldKind, field
+
+from tests.core.conftest import (
+    HEAP_BYTES,
+    define_node,
+    define_person,
+    pnew_list,
+    read_list,
+)
+
+
+class TestCollection:
+    def test_garbage_reclaimed(self, mounted):
+        person = define_person(mounted)
+        keep = mounted.pnew(person)
+        mounted.setRoot("keep", keep)
+        for _ in range(50):
+            mounted.pnew(person).close()
+        heap = mounted.heaps.heap("test")
+        used_before = heap.used_words
+        result = mounted.persistent_gc()
+        assert heap.used_words < used_before
+        assert result.stats.reclaimed_words > 0
+
+    def test_live_graph_survives_compaction(self, mounted):
+        node = define_node(mounted)
+        head = pnew_list(mounted, node, list(range(40)))
+        mounted.setRoot("head", head)
+        for _ in range(30):
+            mounted.pnew(node).close()  # garbage interleaved
+        mounted.persistent_gc()
+        assert read_list(mounted, head) == list(range(40))
+
+    def test_roots_are_gc_roots(self, mounted):
+        node = define_node(mounted)
+        head = pnew_list(mounted, node, [1, 2, 3])
+        mounted.setRoot("head", head)
+        head.close()  # only the root-table entry keeps it alive
+        mounted.persistent_gc()
+        fetched = mounted.getRoot("head")
+        assert read_list(mounted, fetched) == [1, 2, 3]
+
+    def test_handles_updated_after_compaction(self, mounted):
+        person = define_person(mounted)
+        garbage_first = [mounted.pnew(person) for _ in range(20)]
+        for g in garbage_first:
+            g.close()
+        survivor = mounted.pnew(person)
+        mounted.set_field(survivor, "id", 12)
+        before = survivor.address
+        mounted.persistent_gc()
+        assert survivor.address != before  # it slid down
+        assert mounted.get_field(survivor, "id") == 12
+
+    def test_dram_object_keeps_pjh_object_alive(self, mounted):
+        """A DRAM holder's reference is a GC root (via the remembered set)."""
+        person = define_person(mounted)
+        holder_klass = mounted.define_class(
+            "Holder", [field("ref", FieldKind.REF)])
+        holder = mounted.new(holder_klass)
+        target = mounted.pnew(person)
+        mounted.set_field(target, "id", 77)
+        mounted.set_field(holder, "ref", target)
+        target.close()
+        mounted.persistent_gc()
+        assert mounted.get_field(
+            mounted.get_field(holder, "ref"), "id") == 77
+
+    def test_pjh_to_dram_reference_survives_both_gcs(self, mounted):
+        """NVM->DRAM pointers are legal (user-guaranteed level) and the
+        DRAM full GC fixes them when the DRAM object moves."""
+        person = define_person(mounted)
+        p = mounted.pnew(person)
+        name = mounted.new_string("volatile-name")
+        mounted.set_field(p, "name", name)
+        name.close()
+        mounted.system_gc()   # moves the DRAM string
+        mounted.persistent_gc()
+        assert mounted.read_string(mounted.get_field(p, "name")) \
+            == "volatile-name"
+
+    def test_allocation_triggers_persistent_gc(self, heap_dir):
+        jvm = Espresso(heap_dir)
+        person = define_person(jvm)
+        jvm.createHeap("small", 128 * 1024)
+        keep = jvm.pnew(person)
+        jvm.setRoot("keep", keep)
+        collections_before = None
+        # Churn garbage well beyond the heap size; GC must kick in.
+        for i in range(4000):
+            jvm.pnew(person).close()
+        assert jvm.get_field(keep, "id") == 0
+
+    def test_gc_persists_survivors(self, heap_dir):
+        """Post-GC, moved objects are durable (copy protocol flushes them):
+        a crash right after GC loses nothing that was flushed before."""
+        jvm = Espresso(heap_dir)
+        node = define_node(jvm)
+        jvm.createHeap("h", HEAP_BYTES)
+        head = pnew_list(jvm, node, [9, 8, 7])
+        jvm.flush_reachable(head)
+        jvm.setRoot("head", head)
+        for _ in range(25):
+            jvm.pnew(node).close()
+        jvm.persistent_gc()
+        jvm.crash()
+        jvm2 = Espresso(heap_dir)
+        jvm2.loadHeap("h")
+        assert read_list(jvm2, jvm2.getRoot("head")) == [9, 8, 7]
+
+    def test_repeated_collections(self, mounted):
+        node = define_node(mounted)
+        head = pnew_list(mounted, node, list(range(10)))
+        mounted.setRoot("head", head)
+        for round_no in range(5):
+            for _ in range(20):
+                mounted.pnew(node).close()
+            mounted.persistent_gc()
+            assert read_list(mounted, head) == list(range(10))
+
+    def test_flushes_counted(self, mounted):
+        person = define_person(mounted)
+        mounted.setRoot("keep", mounted.pnew(person))
+        result = mounted.persistent_gc()
+        assert result.flushes > 0
+        assert result.fences > 0
+        assert result.pause_ns > 0
+
+    def test_gc_without_flushes_for_baseline(self, mounted):
+        """The §6.4 baseline: clflush disabled, same functional result."""
+        from repro.core.pgc import PersistentGC
+        node = define_node(mounted)
+        head = pnew_list(mounted, node, [1, 2, 3])
+        mounted.setRoot("head", head)
+        for _ in range(10):
+            mounted.pnew(node).close()
+        heap = mounted.heaps.heap("test")
+        flushes_before = heap.device.stats.flushes
+        PersistentGC(heap, flush_enabled=False).collect()
+        # A handful of flushes may come from allocation paths, none from GC.
+        assert heap.device.stats.flushes == flushes_before
+        assert read_list(mounted, head) == [1, 2, 3]
+
+    def test_timestamp_advances_per_collection(self, mounted):
+        heap = mounted.heaps.heap("test")
+        person = define_person(mounted)
+        mounted.setRoot("keep", mounted.pnew(person))
+        ts0 = heap.metadata.global_timestamp
+        mounted.persistent_gc()
+        ts1 = heap.metadata.global_timestamp
+        mounted.persistent_gc()
+        ts2 = heap.metadata.global_timestamp
+        assert ts1 == ts0 + 1
+        assert ts2 == ts1 + 1
+
+    def test_gc_flag_cleared_after_collection(self, mounted):
+        person = define_person(mounted)
+        mounted.setRoot("keep", mounted.pnew(person))
+        mounted.persistent_gc()
+        assert not mounted.heaps.heap("test").metadata.gc_in_progress

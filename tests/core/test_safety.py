@@ -1,0 +1,151 @@
+"""Memory-safety level tests (paper §3.4)."""
+
+import pytest
+
+from repro.api import Espresso
+from repro.core.safety import SafetyLevel, TypeBasedPolicy
+from repro.errors import NullPointerException, UnsafePointerError
+from repro.runtime.klass import FieldKind, field
+
+from tests.core.conftest import HEAP_BYTES, define_person
+
+
+class TestUserGuaranteed:
+    def test_stale_volatile_pointer_survives_reload(self, heap_dir):
+        """UG level: the dangling pointer is left in place (user's problem)."""
+        jvm = Espresso(heap_dir)
+        person = define_person(jvm)
+        jvm.createHeap("h", HEAP_BYTES)
+        p = jvm.pnew(person)
+        jvm.set_field(p, "name", jvm.new_string("volatile"))  # DRAM ref
+        jvm.flush_object(p)
+        jvm.setRoot("p", p)
+        jvm.shutdown()
+
+        jvm2 = Espresso(heap_dir)
+        jvm2.loadHeap("h", safety=SafetyLevel.USER_GUARANTEED)
+        p2 = jvm2.getRoot("p")
+        raw = jvm2.vm.access.field_word(
+            p2.address, jvm2.vm.klass_of(p2).field_offset("name"))
+        assert raw != 0  # stale pointer still there — undefined if used
+
+    def test_no_scan_on_load(self, heap_dir):
+        jvm = Espresso(heap_dir)
+        define_person(jvm)
+        jvm.createHeap("h", HEAP_BYTES)
+        jvm.shutdown()
+        jvm2 = Espresso(heap_dir)
+        _heap, report = jvm2.heaps.load_heap_with_report("h")
+        assert report.nullified_pointers == 0
+
+
+class TestZeroing:
+    def test_out_pointers_nullified(self, heap_dir):
+        jvm = Espresso(heap_dir)
+        person = define_person(jvm)
+        jvm.createHeap("h", HEAP_BYTES)
+        p = jvm.pnew(person)
+        jvm.set_field(p, "name", jvm.new_string("volatile"))
+        jvm.flush_object(p)
+        jvm.setRoot("p", p)
+        jvm.shutdown()
+
+        jvm2 = Espresso(heap_dir)
+        _heap, report = jvm2.heaps.load_heap_with_report(
+            "h", safety=SafetyLevel.ZEROING)
+        assert report.nullified_pointers == 1
+        p2 = jvm2.getRoot("p")
+        assert jvm2.get_field(p2, "name") is None  # null, not garbage
+
+    def test_null_check_raises_npe_not_corruption(self, heap_dir):
+        """Paper: 'the worst case ... will only get a NullPointerException'."""
+        jvm = Espresso(heap_dir)
+        person = define_person(jvm)
+        jvm.createHeap("h", HEAP_BYTES)
+        p = jvm.pnew(person)
+        jvm.set_field(p, "name", jvm.new_string("x"))
+        jvm.flush_object(p)
+        jvm.setRoot("p", p)
+        jvm.shutdown()
+
+        jvm2 = Espresso(heap_dir)
+        jvm2.loadHeap("h", safety=SafetyLevel.ZEROING)
+        p2 = jvm2.getRoot("p")
+        with pytest.raises(NullPointerException):
+            jvm2.read_string(jvm2.get_field(p2, "name"))
+
+    def test_internal_pointers_kept(self, heap_dir):
+        """Zeroing only nullifies pointers that *leave* the PJH."""
+        jvm = Espresso(heap_dir)
+        person = define_person(jvm)
+        jvm.createHeap("h", HEAP_BYTES)
+        p = jvm.pnew(person)
+        name = jvm.pnew_string("persistent")
+        jvm.set_field(p, "name", name)
+        jvm.flush_reachable(p)
+        jvm.setRoot("p", p)
+        jvm.shutdown()
+
+        jvm2 = Espresso(heap_dir)
+        jvm2.loadHeap("h", safety=SafetyLevel.ZEROING)
+        p2 = jvm2.getRoot("p")
+        assert jvm2.read_string(jvm2.get_field(p2, "name")) == "persistent"
+
+    def test_array_out_pointers_nullified(self, heap_dir):
+        jvm = Espresso(heap_dir)
+        person = define_person(jvm)
+        jvm.createHeap("h", HEAP_BYTES)
+        arr = jvm.pnew_array(person, 3)
+        jvm.array_set(arr, 0, jvm.new(person))    # volatile
+        jvm.array_set(arr, 1, jvm.pnew(person))   # persistent
+        jvm.flush_object(arr)
+        jvm.setRoot("arr", arr)
+        jvm.shutdown()
+
+        jvm2 = Espresso(heap_dir)
+        jvm2.loadHeap("h", safety=SafetyLevel.ZEROING)
+        arr2 = jvm2.getRoot("arr")
+        assert jvm2.array_get(arr2, 0) is None
+        assert jvm2.array_get(arr2, 1) is not None
+
+
+class TestTypeBased:
+    def make_jvm(self, heap_dir, allowed):
+        jvm = Espresso(heap_dir)
+        jvm.createHeap("h", HEAP_BYTES, safety=SafetyLevel.TYPE_BASED)
+        heap = jvm.heaps.heap("h")
+        assert isinstance(heap.safety, TypeBasedPolicy)
+        for name in allowed:
+            heap.safety.allow(name)
+        return jvm
+
+    def test_unannotated_class_rejected(self, heap_dir):
+        jvm = self.make_jvm(heap_dir, allowed=[])
+        person = define_person(jvm)
+        with pytest.raises(UnsafePointerError):
+            jvm.pnew(person)
+
+    def test_annotated_class_allowed(self, heap_dir):
+        jvm = self.make_jvm(heap_dir, allowed=["Person", "java.lang.Object"])
+        person = define_person(jvm)
+        p = jvm.pnew(person)
+        assert jvm.heaps.heap("h").contains(p.address)
+
+    def test_volatile_store_rejected(self, heap_dir):
+        """No pointer within PJH may point out of it (NV-Heaps invariant)."""
+        jvm = self.make_jvm(heap_dir,
+                            allowed=["Person", "java.lang.String", "[J",
+                                     "java.lang.Object"])
+        person = define_person(jvm)
+        p = jvm.pnew(person)
+        with pytest.raises(UnsafePointerError):
+            jvm.set_field(p, "name", jvm.new_string("volatile"))
+
+    def test_persistent_store_allowed(self, heap_dir):
+        jvm = self.make_jvm(jvm_dir := heap_dir,
+                            allowed=["Person", "java.lang.String", "[J",
+                                     "java.lang.Object"])
+        person = define_person(jvm)
+        p = jvm.pnew(person)
+        jvm.set_field(p, "name", jvm.pnew_string("persistent"))
+        assert jvm.read_string(jvm.get_field(p, "name")) == "persistent"

@@ -1,0 +1,122 @@
+"""Tests for GROUP BY aggregation."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.h2.engine import Database
+
+
+@pytest.fixture
+def db():
+    database = Database(size_words=1 << 19)
+    database.execute("CREATE TABLE sales (id BIGINT PRIMARY KEY, "
+                     "region VARCHAR, rep VARCHAR, amount DOUBLE)")
+    rows = [
+        (1, "west", "ada", 100.0),
+        (2, "west", "bob", 50.0),
+        (3, "east", "ada", 70.0),
+        (4, "east", "bob", None),
+        (5, "west", "ada", 30.0),
+    ]
+    for row in rows:
+        database.execute("INSERT INTO sales VALUES (?, ?, ?, ?)", row)
+    return database
+
+
+def test_group_count(db):
+    rs = db.execute("SELECT region, COUNT(*) FROM sales GROUP BY region")
+    assert rs.columns == ["region", "COUNT(*)"]
+    assert rs.rows == [("east", 2), ("west", 3)]
+
+
+def test_group_sum_skips_nulls(db):
+    rs = db.execute("SELECT region, SUM(amount) FROM sales GROUP BY region")
+    assert rs.rows == [("east", 70.0), ("west", 180.0)]
+
+
+def test_multiple_aggregates(db):
+    rs = db.execute("SELECT region, MIN(amount), MAX(amount), COUNT(amount) "
+                    "FROM sales GROUP BY region")
+    assert rs.rows == [("east", 70.0, 70.0, 1), ("west", 30.0, 100.0, 3)]
+
+
+def test_multi_column_grouping(db):
+    rs = db.execute("SELECT region, rep, COUNT(*) FROM sales "
+                    "GROUP BY region, rep")
+    assert rs.rows == [
+        ("east", "ada", 1), ("east", "bob", 1),
+        ("west", "ada", 2), ("west", "bob", 1),
+    ]
+
+
+def test_group_with_where(db):
+    rs = db.execute("SELECT rep, SUM(amount) FROM sales "
+                    "WHERE region = 'west' GROUP BY rep")
+    assert rs.rows == [("ada", 130.0), ("bob", 50.0)]
+
+
+def test_group_order_by_desc(db):
+    rs = db.execute("SELECT region, COUNT(*) FROM sales GROUP BY region "
+                    "ORDER BY region DESC")
+    assert rs.rows == [("west", 3), ("east", 2)]
+
+
+def test_group_limit(db):
+    rs = db.execute("SELECT region, COUNT(*) FROM sales GROUP BY region "
+                    "LIMIT 1")
+    assert rs.rows == [("east", 2)]
+
+
+def test_aggregates_only_with_group(db):
+    rs = db.execute("SELECT COUNT(*) FROM sales GROUP BY region")
+    assert rs.rows == [(2,), (3,)]
+
+
+def test_ungrouped_column_rejected(db):
+    with pytest.raises(SqlError):
+        db.execute("SELECT rep, COUNT(*) FROM sales GROUP BY region")
+
+
+def test_mixed_without_group_rejected(db):
+    with pytest.raises(SqlError):
+        db.execute("SELECT region, COUNT(*) FROM sales")
+
+
+def test_group_without_aggregate_rejected(db):
+    with pytest.raises(SqlError):
+        db.execute("SELECT region FROM sales GROUP BY region")
+
+
+def test_order_by_non_group_column_rejected(db):
+    with pytest.raises(SqlError):
+        db.execute("SELECT region, COUNT(*) FROM sales GROUP BY region "
+                    "ORDER BY amount")
+
+
+class TestHaving:
+    def test_having_on_count(self, db):
+        rs = db.execute("SELECT region, COUNT(*) FROM sales GROUP BY region "
+                        "HAVING COUNT(*) > 2")
+        assert rs.rows == [("west", 3)]
+
+    def test_having_on_sum_and_group_column(self, db):
+        rs = db.execute("SELECT region, SUM(amount) FROM sales "
+                        "GROUP BY region "
+                        "HAVING SUM(amount) > 50 AND region LIKE 'w%'")
+        assert rs.rows == [("west", 180.0)]
+
+    def test_having_with_params(self, db):
+        rs = db.execute("SELECT region, COUNT(*) FROM sales GROUP BY region "
+                        "HAVING COUNT(*) >= ?", (3,))
+        assert rs.rows == [("west", 3)]
+
+    def test_having_filters_everything(self, db):
+        rs = db.execute("SELECT region, COUNT(*) FROM sales GROUP BY region "
+                        "HAVING COUNT(*) > 99")
+        assert rs.rows == []
+
+    def test_having_unknown_name_rejected(self, db):
+        from repro.errors import SqlError
+        with pytest.raises(SqlError):
+            db.execute("SELECT region, COUNT(*) FROM sales GROUP BY region "
+                        "HAVING rep = 'ada'")

@@ -1,0 +1,79 @@
+"""Tests for the JDBC-shaped driver facade."""
+
+import pytest
+
+from repro.errors import IllegalArgumentException
+from repro.h2.engine import Database
+from repro.h2.jdbc import connect
+
+
+@pytest.fixture
+def conn():
+    database = Database(size_words=1 << 18)
+    database.execute("CREATE TABLE t (id BIGINT PRIMARY KEY, v VARCHAR)")
+    return connect(database)
+
+
+class TestStatements:
+    def test_plain_statement(self, conn):
+        statement = conn.create_statement()
+        statement.execute("INSERT INTO t VALUES (1, 'x')")
+        rs = statement.execute("SELECT v FROM t WHERE id = 1")
+        assert rs.scalar() == "x"
+
+    def test_prepared_statement_params_are_one_based(self, conn):
+        ps = conn.prepare_statement("INSERT INTO t VALUES (?, ?)")
+        ps.set_param(1, 5)
+        ps.set_param(2, "five")
+        assert ps.execute_update() == 1
+        query = conn.prepare_statement("SELECT v FROM t WHERE id = ?")
+        query.set_param(1, 5)
+        assert query.execute_query().scalar() == "five"
+
+    def test_zero_based_param_rejected(self, conn):
+        ps = conn.prepare_statement("INSERT INTO t VALUES (?, ?)")
+        with pytest.raises(IllegalArgumentException):
+            ps.set_param(0, 1)
+
+    def test_clear_parameters(self, conn):
+        ps = conn.prepare_statement("INSERT INTO t VALUES (?, ?)")
+        ps.set_param(1, 1)
+        ps.set_param(2, "a")
+        ps.execute()
+        ps.clear_parameters()
+        ps.set_param(1, 2)
+        ps.set_param(2, "b")
+        ps.execute()
+        rs = conn.create_statement().execute("SELECT COUNT(*) FROM t")
+        assert rs.scalar() == 2
+
+    def test_reexecute_prepared(self, conn):
+        ps = conn.prepare_statement("INSERT INTO t VALUES (?, 'same')")
+        for i in range(3):
+            ps.set_param(1, i)
+            ps.execute()
+        rs = conn.create_statement().execute(
+            "SELECT COUNT(*) FROM t WHERE v = 'same'")
+        assert rs.scalar() == 3
+
+
+class TestTransactionControl:
+    def test_autocommit_off_then_commit(self, conn):
+        conn.set_auto_commit(False)
+        conn.create_statement().execute("INSERT INTO t VALUES (1, 'a')")
+        conn.commit()
+        db2 = conn.database.crash()
+        assert db2.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_autocommit_off_then_rollback(self, conn):
+        conn.set_auto_commit(False)
+        conn.create_statement().execute("INSERT INTO t VALUES (1, 'a')")
+        conn.rollback()
+        conn.commit()  # close the implicit follow-up transaction
+        assert conn.database.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_close_rolls_back_open_transaction(self, conn):
+        conn.set_auto_commit(False)
+        conn.create_statement().execute("INSERT INTO t VALUES (1, 'a')")
+        conn.close()
+        assert conn.database.execute("SELECT COUNT(*) FROM t").scalar() == 0

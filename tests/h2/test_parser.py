@@ -1,0 +1,131 @@
+"""SQL parser tests."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.h2.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    Insert,
+    IsNull,
+    Literal,
+    Param,
+    Select,
+    Update,
+)
+from repro.h2.parser import parse
+from repro.h2.values import SqlType
+
+
+class TestCreate:
+    def test_create_table(self):
+        stmt = parse("CREATE TABLE Person (id BIGINT PRIMARY KEY, "
+                     "name VARCHAR(255), age INT NOT NULL)")
+        assert isinstance(stmt, CreateTable)
+        assert stmt.table == "Person"
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[0].sql_type is SqlType.BIGINT
+        assert stmt.columns[1].sql_type is SqlType.VARCHAR
+        assert stmt.columns[2].not_null
+
+    def test_if_not_exists(self):
+        stmt = parse("CREATE TABLE IF NOT EXISTS t (a INT)")
+        assert stmt.if_not_exists
+
+
+class TestInsert:
+    def test_insert_with_columns(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert isinstance(stmt, Insert)
+        assert stmt.columns == ("a", "b")
+        assert stmt.values[0] == (Literal(1), Literal("x"))
+
+    def test_insert_params(self):
+        stmt = parse("INSERT INTO t VALUES (?, ?)")
+        assert stmt.values[0] == (Param(0), Param(1))
+
+    def test_multi_row(self):
+        stmt = parse("INSERT INTO t VALUES (1), (2), (3)")
+        assert len(stmt.values) == 3
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt, Select)
+        assert stmt.columns == ("*",)
+
+    def test_column_list_and_where(self):
+        stmt = parse("SELECT a, b FROM t WHERE a = 1 AND b <> 'x'")
+        assert stmt.columns == ("a", "b")
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.where.op == "AND"
+
+    def test_count(self):
+        stmt = parse("SELECT COUNT(*) FROM t")
+        assert stmt.aggregates[0].function == "COUNT"
+        assert stmt.aggregates[0].column == "*"
+
+    def test_order_by_limit(self):
+        stmt = parse("SELECT * FROM t ORDER BY a DESC, b LIMIT 10")
+        assert stmt.order_by[0].column == "a"
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert stmt.limit == 10
+
+    def test_is_null(self):
+        stmt = parse("SELECT * FROM t WHERE a IS NOT NULL")
+        assert isinstance(stmt.where, IsNull)
+        assert stmt.where.negated
+
+    def test_in_list(self):
+        stmt = parse("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        assert len(stmt.where.options) == 3
+
+    def test_precedence(self):
+        stmt = parse("SELECT * FROM t WHERE a = 1 + 2 * 3")
+        eq = stmt.where
+        assert eq.op == "="
+        assert eq.right.op == "+"
+        assert eq.right.right.op == "*"
+
+    def test_parenthesized(self):
+        stmt = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert stmt.where.op == "AND"
+        assert stmt.where.left.op == "OR"
+
+
+class TestUpdateDelete:
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = ?, b = b + 1 WHERE id = ?")
+        assert isinstance(stmt, Update)
+        assert stmt.assignments[0] == ("a", Param(0))
+        assert stmt.assignments[1][1].op == "+"
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE id = 5")
+        assert isinstance(stmt, Delete)
+        assert stmt.where == BinaryOp("=", ColumnRef("id"), Literal(5))
+
+    def test_delete_all(self):
+        assert parse("DELETE FROM t").where is None
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlError):
+            parse("SELECT * FROM t garbage here")
+
+    def test_missing_from(self):
+        with pytest.raises(SqlError):
+            parse("SELECT *")
+
+    def test_unknown_statement(self):
+        with pytest.raises(SqlError):
+            parse("GRANT ALL")
+
+    def test_bad_type(self):
+        with pytest.raises(SqlError):
+            parse("CREATE TABLE t (a BLOB)")

@@ -1,0 +1,128 @@
+"""Tests for the extended SQL surface: aggregates, LIKE, BETWEEN,
+DISTINCT, LIMIT/OFFSET."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.h2.engine import Database
+
+
+@pytest.fixture
+def db():
+    database = Database(size_words=1 << 19)
+    database.execute("CREATE TABLE emp (id BIGINT PRIMARY KEY, "
+                     "name VARCHAR, dept VARCHAR, salary DOUBLE)")
+    rows = [
+        (1, "ada", "eng", 120.0),
+        (2, "bob", "eng", 100.0),
+        (3, "carol", "sales", 90.0),
+        (4, "dave", "sales", None),
+        (5, "erin", "eng", 110.0),
+    ]
+    for row in rows:
+        database.execute("INSERT INTO emp VALUES (?, ?, ?, ?)", row)
+    return database
+
+
+class TestAggregates:
+    def test_count_star_counts_rows(self, db):
+        assert db.execute("SELECT COUNT(*) FROM emp").scalar() == 5
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.execute("SELECT COUNT(salary) FROM emp").scalar() == 4
+
+    def test_sum_avg(self, db):
+        rs = db.execute("SELECT SUM(salary), AVG(salary) FROM emp")
+        assert rs.rows[0] == (420.0, 105.0)
+        assert rs.columns == ["SUM(salary)", "AVG(salary)"]
+
+    def test_min_max(self, db):
+        rs = db.execute("SELECT MIN(salary), MAX(salary) FROM emp")
+        assert rs.rows[0] == (90.0, 120.0)
+
+    def test_aggregate_with_where(self, db):
+        assert db.execute(
+            "SELECT SUM(salary) FROM emp WHERE dept = 'eng'").scalar() == 330.0
+
+    def test_aggregate_over_empty_set_is_null(self, db):
+        rs = db.execute("SELECT SUM(salary), MIN(salary), COUNT(salary) "
+                        "FROM emp WHERE dept = 'nothing'")
+        assert rs.rows[0] == (None, None, 0)
+
+    def test_sum_star_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.execute("SELECT SUM(*) FROM emp")
+
+    def test_mixed_aggregate_and_column_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.execute("SELECT name, COUNT(*) FROM emp")
+
+
+class TestLike:
+    def test_prefix(self, db):
+        rs = db.execute("SELECT name FROM emp WHERE name LIKE 'a%'")
+        assert rs.rows == [("ada",)]
+
+    def test_contains(self, db):
+        rs = db.execute("SELECT name FROM emp WHERE name LIKE '%a%' "
+                        "ORDER BY name")
+        assert [r[0] for r in rs.rows] == ["ada", "carol", "dave"]
+
+    def test_underscore(self, db):
+        rs = db.execute("SELECT name FROM emp WHERE name LIKE '_ob'")
+        assert rs.rows == [("bob",)]
+
+    def test_not_like(self, db):
+        rs = db.execute("SELECT COUNT(*) FROM emp WHERE dept NOT LIKE 'eng'")
+        assert rs.scalar() == 2
+
+    def test_like_null_never_matches(self, db):
+        db.execute("INSERT INTO emp VALUES (6, NULL, 'x', 1.0)")
+        assert db.execute(
+            "SELECT COUNT(*) FROM emp WHERE name LIKE '%'").scalar() == 5
+
+    def test_regex_metacharacters_are_literal(self, db):
+        db.execute("INSERT INTO emp VALUES (7, 'a.c', 'x', 1.0)")
+        db.execute("INSERT INTO emp VALUES (8, 'abc', 'x', 1.0)")
+        rs = db.execute("SELECT name FROM emp WHERE name LIKE 'a.c'")
+        assert rs.rows == [("a.c",)]  # the dot is not a regex wildcard
+
+
+class TestBetween:
+    def test_between_inclusive(self, db):
+        rs = db.execute("SELECT COUNT(*) FROM emp "
+                        "WHERE salary BETWEEN 100 AND 120")
+        assert rs.scalar() == 3
+
+    def test_not_between(self, db):
+        rs = db.execute("SELECT name FROM emp "
+                        "WHERE salary NOT BETWEEN 100 AND 120")
+        assert rs.rows == [("carol",)]  # NULL salary excluded too
+
+    def test_between_with_params(self, db):
+        rs = db.execute("SELECT COUNT(*) FROM emp WHERE id BETWEEN ? AND ?",
+                        (2, 4))
+        assert rs.scalar() == 3
+
+
+class TestDistinctOffset:
+    def test_distinct(self, db):
+        rs = db.execute("SELECT DISTINCT dept FROM emp ORDER BY dept")
+        assert rs.rows == [("eng",), ("sales",)]
+
+    def test_limit_offset_pagination(self, db):
+        page1 = db.execute("SELECT id FROM emp ORDER BY id LIMIT 2")
+        page2 = db.execute("SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 2")
+        page3 = db.execute("SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 4")
+        assert [r[0] for r in page1.rows] == [1, 2]
+        assert [r[0] for r in page2.rows] == [3, 4]
+        assert [r[0] for r in page3.rows] == [5]
+
+    def test_offset_beyond_end(self, db):
+        rs = db.execute("SELECT id FROM emp LIMIT 10 OFFSET 100")
+        assert rs.rows == []
+
+    def test_aggregates_respect_where_not_limit(self, db):
+        # Aggregation happens after LIMIT slicing, like our matches pipeline:
+        rs = db.execute("SELECT COUNT(*) FROM emp LIMIT 1")
+        assert rs.scalar() == 5  # LIMIT applies to result rows, not inputs

@@ -1,0 +1,61 @@
+"""SQL lexer tests."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.h2.tokenizer import TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.text) for t in tokenize(sql)][:-1]  # drop EOF
+
+
+def test_keywords_uppercased():
+    assert kinds("select from") == [(TokenType.KEYWORD, "SELECT"),
+                                    (TokenType.KEYWORD, "FROM")]
+
+
+def test_identifiers_keep_case():
+    assert kinds("Person") == [(TokenType.IDENT, "Person")]
+
+
+def test_numbers():
+    assert kinds("1 2.5 1e3 2.5E-2") == [
+        (TokenType.NUMBER, "1"), (TokenType.NUMBER, "2.5"),
+        (TokenType.NUMBER, "1e3"), (TokenType.NUMBER, "2.5E-2")]
+
+
+def test_string_with_escaped_quote():
+    assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+
+def test_unterminated_string():
+    with pytest.raises(SqlError):
+        tokenize("'oops")
+
+
+def test_two_char_operators():
+    assert kinds("<= >= <> !=") == [
+        (TokenType.OPERATOR, "<="), (TokenType.OPERATOR, ">="),
+        (TokenType.OPERATOR, "<>"), (TokenType.OPERATOR, "!=")]
+
+
+def test_params():
+    assert kinds("? ?") == [(TokenType.PARAM, "?"), (TokenType.PARAM, "?")]
+
+
+def test_comments_skipped():
+    assert kinds("SELECT -- comment\n1") == [
+        (TokenType.KEYWORD, "SELECT"), (TokenType.NUMBER, "1")]
+
+
+def test_unexpected_character():
+    with pytest.raises(SqlError):
+        tokenize("SELECT @")
+
+
+def test_charges_clock():
+    from repro.nvm.clock import Clock
+    clock = Clock()
+    tokenize("SELECT * FROM t", clock)
+    assert clock.now_ns > 0

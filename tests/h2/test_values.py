@@ -1,0 +1,117 @@
+"""Unit + property tests for SQL value typing and row encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SqlError
+from repro.h2.values import (
+    SqlType,
+    decode_value,
+    encode_value,
+    sql_literal,
+    validate,
+)
+
+
+class TestTypeParsing:
+    def test_aliases(self):
+        assert SqlType.parse("int") is SqlType.INTEGER
+        assert SqlType.parse("LONG") is SqlType.BIGINT
+        assert SqlType.parse("Float") is SqlType.DOUBLE
+        assert SqlType.parse("text") is SqlType.VARCHAR
+        assert SqlType.parse("bool") is SqlType.BOOLEAN
+
+    def test_unknown_type(self):
+        with pytest.raises(SqlError):
+            SqlType.parse("BLOB")
+
+
+class TestValidation:
+    def test_null_always_allowed(self):
+        for sql_type in SqlType:
+            assert validate(None, sql_type) is None
+
+    def test_integral_coercion(self):
+        assert validate(5, SqlType.BIGINT) == 5
+        assert validate(5.0, SqlType.INTEGER) == 5
+
+    def test_fractional_float_into_int_rejected(self):
+        with pytest.raises(SqlError):
+            validate(5.5, SqlType.INTEGER)
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(SqlError):
+            validate(True, SqlType.BIGINT)
+        with pytest.raises(SqlError):
+            validate(False, SqlType.DOUBLE)
+
+    def test_int_to_double(self):
+        value = validate(3, SqlType.DOUBLE)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_string_typing(self):
+        assert validate("x", SqlType.VARCHAR) == "x"
+        with pytest.raises(SqlError):
+            validate(5, SqlType.VARCHAR)
+
+    def test_boolean_from_01(self):
+        assert validate(1, SqlType.BOOLEAN) is True
+        assert validate(0, SqlType.BOOLEAN) is False
+        with pytest.raises(SqlError):
+            validate(2, SqlType.BOOLEAN)
+
+
+class TestLiterals:
+    def test_null(self):
+        assert sql_literal(None) == "NULL"
+
+    def test_booleans(self):
+        assert sql_literal(True) == "TRUE"
+        assert sql_literal(False) == "FALSE"
+
+    def test_string_escaping(self):
+        assert sql_literal("it's") == "'it''s'"
+
+    def test_numbers(self):
+        assert sql_literal(5) == "5"
+        assert sql_literal(-2.5) == "-2.5"
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("value", [
+        None, 0, 1, -1, 2**62, -(2**62), 0.0, -1.5, 3.14159,
+        True, False, "", "a", "hello world", "exactly8", "ninechars",
+        "unicode: café ☕", "x" * 100,
+    ])
+    def test_roundtrip(self, value):
+        words = encode_value(value)
+        decoded, consumed = decode_value(words, 0)
+        assert decoded == value
+        assert type(decoded) is type(value)
+        assert consumed == len(words)
+
+    def test_consecutive_values(self):
+        words = encode_value(42) + encode_value("hi") + encode_value(None)
+        v1, n1 = decode_value(words, 0)
+        v2, n2 = decode_value(words, n1)
+        v3, _n3 = decode_value(words, n1 + n2)
+        assert (v1, v2, v3) == (42, "hi", None)
+
+    def test_corrupt_tag(self):
+        with pytest.raises(SqlError):
+            decode_value([99], 0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.one_of(
+    st.none(),
+    st.integers(-(2**63), 2**63 - 1),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.text(max_size=60),
+))
+def test_property_encode_decode_roundtrip(value):
+    words = encode_value(value)
+    decoded, consumed = decode_value(words, 0)
+    assert decoded == value and consumed == len(words)

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(script: str, *args) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart_create_then_reload(tmp_path):
+    heap_dir = str(tmp_path / "heaps")
+    first = run_example("quickstart.py", heap_dir)
+    assert "creating 'Jimmy'" in first
+    second = run_example("quickstart.py", heap_dir)
+    assert "visit #1" in second
+    third = run_example("quickstart.py", heap_dir)
+    assert "visit #2" in third  # the flushed increment survived
+
+
+def test_crash_recovery_example():
+    out = run_example("crash_recovery.py")
+    assert "CRASH mid-collection" in out
+    assert "recovery ran: True" in out
+    assert "All lists intact" in out
+
+
+def test_kv_store_example(tmp_path):
+    heap_dir = str(tmp_path / "kv")
+    run_example("persistent_kv_store.py", heap_dir, "set", "coffee", "3")
+    assert run_example("persistent_kv_store.py", heap_dir,
+                       "incr", "coffee").strip() == "4"
+    assert run_example("persistent_kv_store.py", heap_dir,
+                       "get", "coffee").strip() == "4"
+    listing = run_example("persistent_kv_store.py", heap_dir, "list")
+    assert "coffee = 4" in listing
+
+
+def test_database_app_example():
+    out = run_example("database_app.py")
+    assert "H2-JPA" in out and "H2-PJO" in out
+    assert "transformation   0.000" in out  # the PJO line
+    assert "balance=701" in out
+
+
+def test_porting_example():
+    out = run_example("porting_from_pcj.py")
+    assert "PCJ" in out and "Espresso" in out
+    assert "speedup" in out
+
+
+def test_tpcc_example():
+    out = run_example("tpcc_demo.py")
+    assert "business state identical" in out
+    assert "post-restart snapshot matches" in out

@@ -1,0 +1,57 @@
+"""Tests for the heapdump inspection tool."""
+
+import pytest
+
+from repro.api import Espresso
+from repro.runtime.klass import FieldKind, field
+from repro.tools.heapdump import describe_heap, dump_roots, list_heaps, main
+
+
+@pytest.fixture
+def populated(tmp_path):
+    heap_dir = tmp_path / "heaps"
+    jvm = Espresso(heap_dir)
+    person = jvm.define_class("Person", [field("id", FieldKind.INT),
+                                         field("name", FieldKind.REF)])
+    jvm.createHeap("demo", 512 * 1024)
+    p = jvm.pnew(person)
+    jvm.set_field(p, "id", 7)
+    jvm.set_field(p, "name", jvm.pnew_string("ada"))
+    jvm.setRoot("who", p)
+    arr = jvm.pnew_array(FieldKind.INT, 12)
+    jvm.setRoot("numbers", arr)
+    jvm.shutdown()
+    return heap_dir
+
+
+def test_list_heaps(populated):
+    lines = list_heaps(populated)
+    assert len(lines) == 1
+    assert lines[0].startswith("demo:")
+    assert "KiB" in lines[0]
+
+
+def test_describe_heap(populated):
+    text = "\n".join(describe_heap(populated, "demo"))
+    assert "objects: " in text
+    assert "Person" in text
+    assert "roots: 2" in text
+
+
+def test_dump_roots(populated):
+    text = "\n".join(dump_roots(populated, "demo"))
+    assert "who -> Person@" in text
+    assert ".id = 7" in text
+    assert ".name = 'ada'" in text
+    assert "numbers -> [J@" in text
+    assert "(length 12)" in text
+
+
+def test_cli_entrypoint(populated, capsys):
+    assert main([str(populated)]) == 0
+    assert "demo:" in capsys.readouterr().out
+    assert main([str(populated), "demo"]) == 0
+    assert "objects" in capsys.readouterr().out
+    assert main([str(populated), "demo", "--roots"]) == 0
+    assert "who" in capsys.readouterr().out
+    assert main([]) == 1

@@ -1,0 +1,201 @@
+"""JPA provider tests: the Figure 3 programming model over SQL/H2."""
+
+import pytest
+
+from repro.errors import IllegalStateException
+from repro.h2.engine import Database
+from repro.jpa import JpaEntityManager, state_of
+from repro.jpa.state_manager import LifecycleState
+from repro.jpab.model import (
+    ALL_ENTITIES,
+    BasicPerson,
+    CollectionPerson,
+    ExtEmployee,
+    ExtManager,
+    ExtPerson,
+    Node,
+)
+
+
+@pytest.fixture
+def em():
+    database = Database(size_words=1 << 20)
+    manager = JpaEntityManager(database)
+    manager.create_schema(ALL_ENTITIES)
+    return manager
+
+
+def persist_one(em, obj):
+    tx = em.get_transaction()
+    tx.begin()
+    em.persist(obj)
+    tx.commit()
+    return obj
+
+
+class TestBasicCrud:
+    def test_figure3_workflow(self, em):
+        tx = em.get_transaction()
+        tx.begin()
+        p = BasicPerson(1, "Ada", "Lovelace", "+44")
+        em.persist(p)
+        tx.commit()
+        em.clear()
+        found = em.find(BasicPerson, 1)
+        assert found.first_name == "Ada"
+        assert found.phone == "+44"
+
+    def test_persist_outside_tx_rejected(self, em):
+        with pytest.raises(IllegalStateException):
+            em.persist(BasicPerson(1, "a", "b", "c"))
+
+    def test_find_missing_returns_none(self, em):
+        assert em.find(BasicPerson, 404) is None
+
+    def test_update_flushes_on_commit(self, em):
+        persist_one(em, BasicPerson(1, "Ada", "L", "+44"))
+        em.clear()
+        tx = em.get_transaction()
+        tx.begin()
+        p = em.find(BasicPerson, 1)
+        p.phone = "+1"
+        tx.commit()
+        em.clear()
+        assert em.find(BasicPerson, 1).phone == "+1"
+
+    def test_remove(self, em):
+        persist_one(em, BasicPerson(1, "Ada", "L", "+44"))
+        em.clear()
+        tx = em.get_transaction()
+        tx.begin()
+        em.remove(em.find(BasicPerson, 1))
+        tx.commit()
+        em.clear()
+        assert em.find(BasicPerson, 1) is None
+
+    def test_rollback_discards_persist(self, em):
+        tx = em.get_transaction()
+        tx.begin()
+        em.persist(BasicPerson(1, "Ada", "L", "+44"))
+        tx.rollback()
+        em.clear()
+        assert em.find(BasicPerson, 1) is None
+
+    def test_identity_map(self, em):
+        persist_one(em, BasicPerson(1, "Ada", "L", "+44"))
+        a = em.find(BasicPerson, 1)
+        b = em.find(BasicPerson, 1)
+        assert a is b
+
+    def test_lifecycle_states(self, em):
+        p = BasicPerson(1, "Ada", "L", "+44")
+        assert state_of(p) is None
+        tx = em.get_transaction()
+        tx.begin()
+        em.persist(p)
+        assert state_of(p).state is LifecycleState.NEW
+        tx.commit()
+        assert state_of(p).state is LifecycleState.MANAGED
+
+
+class TestInheritance:
+    def test_subclasses_roundtrip_with_dtype(self, em):
+        persist_one(em, ExtPerson(1, "P", "Plain"))
+        persist_one(em, ExtEmployee(2, "E", "Emp", 1234.5, "eng"))
+        persist_one(em, ExtManager(3, "M", "Mgr", 9999.0, "mgmt", 500.0))
+        em.clear()
+        p = em.find(ExtPerson, 1)
+        e = em.find(ExtPerson, 2)
+        m = em.find(ExtPerson, 3)
+        assert type(p) is ExtPerson
+        assert type(e) is ExtEmployee and e.salary == 1234.5
+        assert type(m) is ExtManager and m.bonus == 500.0
+
+    def test_subclass_update(self, em):
+        persist_one(em, ExtEmployee(1, "E", "Emp", 1000.0, "eng"))
+        em.clear()
+        tx = em.get_transaction()
+        tx.begin()
+        e = em.find(ExtPerson, 1)
+        e.salary = 2000.0
+        tx.commit()
+        em.clear()
+        assert em.find(ExtPerson, 1).salary == 2000.0
+
+
+class TestCollections:
+    def test_element_collection_roundtrip(self, em):
+        persist_one(em, CollectionPerson(1, "C", ["a", "b", "c"]))
+        em.clear()
+        found = em.find(CollectionPerson, 1)
+        assert found.phones == ["a", "b", "c"]
+
+    def test_collection_update(self, em):
+        persist_one(em, CollectionPerson(1, "C", ["a"]))
+        em.clear()
+        tx = em.get_transaction()
+        tx.begin()
+        c = em.find(CollectionPerson, 1)
+        c.phones = c.phones + ["b"]
+        tx.commit()
+        em.clear()
+        assert em.find(CollectionPerson, 1).phones == ["a", "b"]
+
+    def test_empty_collection(self, em):
+        persist_one(em, CollectionPerson(1, "C", []))
+        em.clear()
+        assert em.find(CollectionPerson, 1).phones == []
+
+
+class TestReferences:
+    def test_reference_roundtrip(self, em):
+        tx = em.get_transaction()
+        tx.begin()
+        a = Node(1, "a")
+        b = Node(2, "b", next=a)
+        em.persist(b)  # cascades to a
+        tx.commit()
+        em.clear()
+        loaded = em.find(Node, 2)
+        assert loaded.next.name == "a"
+        assert loaded.next.id == 1
+
+    def test_chain(self, em):
+        tx = em.get_transaction()
+        tx.begin()
+        nodes = []
+        prev = None
+        for i in range(5):
+            n = Node(i, f"n{i}", next=prev)
+            prev = n
+            nodes.append(n)
+        em.persist(prev)
+        tx.commit()
+        em.clear()
+        cursor = em.find(Node, 4)
+        seen = []
+        while cursor is not None:
+            seen.append(cursor.id)
+            cursor = cursor.next
+        assert seen == [4, 3, 2, 1, 0]
+
+    def test_null_reference(self, em):
+        persist_one(em, Node(1, "solo"))
+        em.clear()
+        assert em.find(Node, 1).next is None
+
+
+class TestBreakdown:
+    def test_transformation_and_database_both_charged(self, em):
+        clock = em.clock
+        persist_one(em, BasicPerson(1, "Ada", "L", "+44"))
+        breakdown = clock.breakdown()
+        assert breakdown.get("transformation", 0) > 0
+        assert breakdown.get("database", 0) > 0
+
+    def test_durability_through_database_crash(self, em):
+        persist_one(em, BasicPerson(1, "Ada", "L", "+44"))
+        db2 = em.database.crash()
+        em2 = JpaEntityManager(db2)
+        found = em2.find(BasicPerson, 1)
+        assert found is not None and found.first_name == "Ada"

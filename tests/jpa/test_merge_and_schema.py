@@ -1,0 +1,121 @@
+"""Tests for em.merge(), FK schema indexes and the Espresso context manager."""
+
+import pytest
+
+from repro.api import Espresso
+from repro.errors import IllegalStateException
+from repro.h2.engine import Database
+from repro.jpa import JpaEntityManager
+from repro.jpab import make_jpa_em, make_pjo_em
+from repro.jpab.model import ALL_ENTITIES, BasicPerson, Node
+from repro.nvm.clock import Clock
+from repro.runtime.klass import FieldKind, field
+
+
+def providers(tmp_path):
+    return {
+        "jpa": make_jpa_em(Clock(), ALL_ENTITIES),
+        "pjo": make_pjo_em(Clock(), ALL_ENTITIES, tmp_path / "heaps"),
+    }
+
+
+@pytest.mark.parametrize("provider", ["jpa", "pjo"])
+class TestMerge:
+    def test_merge_detached_updates_store(self, tmp_path, provider):
+        em = providers(tmp_path)[provider]
+        tx = em.get_transaction()
+        tx.begin()
+        em.persist(BasicPerson(1, "Ada", "L", "+44"))
+        tx.commit()
+        em.clear()  # detach
+
+        detached = BasicPerson(1, "Ada", "Lovelace", "+1")
+        tx.begin()
+        managed = em.merge(detached)
+        tx.commit()
+        em.clear()
+        found = em.find(BasicPerson, 1)
+        assert found.last_name == "Lovelace"
+        assert found.phone == "+1"
+
+    def test_merge_unknown_pk_persists(self, tmp_path, provider):
+        em = providers(tmp_path)[provider]
+        tx = em.get_transaction()
+        tx.begin()
+        managed = em.merge(BasicPerson(9, "New", "Person", "+0"))
+        tx.commit()
+        em.clear()
+        assert em.find(BasicPerson, 9).first_name == "New"
+
+    def test_merge_returns_managed_instance(self, tmp_path, provider):
+        em = providers(tmp_path)[provider]
+        tx = em.get_transaction()
+        tx.begin()
+        em.persist(BasicPerson(1, "Ada", "L", "+44"))
+        tx.commit()
+        em.clear()
+        tx.begin()
+        managed = em.merge(BasicPerson(1, "A", "B", "C"))
+        assert managed is em.find(BasicPerson, 1)
+        tx.rollback()
+
+    def test_merge_outside_tx_rejected(self, tmp_path, provider):
+        em = providers(tmp_path)[provider]
+        with pytest.raises(IllegalStateException):
+            em.merge(BasicPerson(1, "a", "b", "c"))
+
+
+class TestFkIndexes:
+    def test_schema_creates_fk_index(self):
+        database = Database(size_words=1 << 20)
+        em = JpaEntityManager(database)
+        em.create_schema([Node])
+        # The reference column got a secondary index:
+        table_indexes = database.indexes["node"]
+        table = database.catalog.get("Node")
+        fk_column = table.column_index("next")
+        assert table_indexes.get(fk_column) is not None
+
+    def test_fk_index_used_for_queries(self):
+        database = Database(size_words=1 << 20)
+        em = JpaEntityManager(database)
+        em.create_schema([Node])
+        tx = em.get_transaction()
+        tx.begin()
+        hub = Node(1, "hub")
+        for i in range(2, 8):
+            em.persist(Node(i, f"spoke{i}", next=hub))
+        tx.commit()
+        em.clear()
+        spokes = em.find_by(Node, "next", 1)
+        assert sorted(n.id for n in spokes) == [2, 3, 4, 5, 6, 7]
+
+
+class TestContextManager:
+    def test_clean_exit_persists(self, tmp_path):
+        heap_dir = tmp_path / "h"
+        with Espresso(heap_dir) as jvm:
+            klass = jvm.define_class("Ctx", [field("v", FieldKind.INT)])
+            jvm.createHeap("c", 256 * 1024)
+            obj = jvm.pnew(klass)
+            jvm.set_field(obj, "v", 5)
+            # No explicit flush: the graceful shutdown persists dirty lines.
+            jvm.setRoot("o", obj)
+        with Espresso(heap_dir) as jvm2:
+            jvm2.loadHeap("c")
+            assert jvm2.get_field(jvm2.getRoot("o"), "v") == 5
+
+    def test_exception_exit_is_a_crash(self, tmp_path):
+        heap_dir = tmp_path / "h"
+        with pytest.raises(RuntimeError):
+            with Espresso(heap_dir) as jvm:
+                klass = jvm.define_class("Ctx2", [field("v", FieldKind.INT)])
+                jvm.createHeap("c", 256 * 1024)
+                obj = jvm.pnew(klass)
+                jvm.set_field(obj, "v", 7)  # never flushed
+                jvm.setRoot("o", obj)
+                raise RuntimeError("boom")
+        with Espresso(heap_dir) as jvm2:
+            jvm2.loadHeap("c")
+            # The root (flushed by setRoot) survived; the field write did not.
+            assert jvm2.get_field(jvm2.getRoot("o"), "v") == 0

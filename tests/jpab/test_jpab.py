@@ -1,0 +1,89 @@
+"""JPAB workload tests: both providers run the same benchmark correctly."""
+
+import pytest
+
+from repro.jpab import (
+    ALL_TESTS,
+    BASIC_TEST,
+    CrudDriver,
+    make_jpa_em,
+    make_pjo_em,
+    run_jpab_test,
+)
+from repro.nvm.clock import Clock
+
+COUNT = 20
+
+
+def jpa_factory(clock):
+    return make_jpa_em(clock, _entities_of_current_test)
+
+
+def _em_for(provider, test, clock, tmp_path):
+    if provider == "jpa":
+        return make_jpa_em(clock, test.entities)
+    return make_pjo_em(clock, test.entities, tmp_path / "heaps")
+
+
+@pytest.mark.parametrize("test", ALL_TESTS, ids=lambda t: t.name)
+@pytest.mark.parametrize("provider", ["jpa", "pjo"])
+def test_full_crud_cycle(test, provider, tmp_path):
+    clock = Clock()
+    em = _em_for(provider, test, clock, tmp_path)
+    driver = CrudDriver(em, test, COUNT)
+    assert driver.create() == COUNT
+    assert driver.retrieve() == COUNT
+    assert driver.update() == COUNT
+    # Updates are visible.
+    em.clear()
+    obj = em.find(test.find_class, 3)
+    assert obj is not None
+    assert driver.delete() == COUNT
+    em.clear()
+    assert em.find(test.find_class, 3) is None
+
+
+@pytest.mark.parametrize("test", ALL_TESTS, ids=lambda t: t.name)
+def test_providers_agree_on_data(test, tmp_path):
+    """Both providers materialise identical entities from the workload."""
+    clock_a, clock_b = Clock(), Clock()
+    em_jpa = make_jpa_em(clock_a, test.entities)
+    em_pjo = make_pjo_em(clock_b, test.entities, tmp_path / "heaps")
+    for em in (em_jpa, em_pjo):
+        CrudDriver(em, test, COUNT).create()
+        em.clear()
+    for i in range(COUNT):
+        a = em_jpa.find(test.find_class, i)
+        b = em_pjo.find(test.find_class, i)
+        assert type(a) is type(b)
+        meta_fields = [name for name, _ in a._espresso_meta.columns]
+        for name in meta_fields:
+            assert getattr(a, name) == getattr(b, name), (i, name)
+
+
+def test_run_jpab_test_produces_throughput(tmp_path):
+    result = run_jpab_test(
+        BASIC_TEST,
+        lambda clock: make_pjo_em(clock, BASIC_TEST.entities,
+                                  tmp_path / "heaps"),
+        count=15, provider="H2-PJO")
+    assert set(result.operations) == {"Create", "Retrieve", "Update",
+                                      "Delete"}
+    for op in result.operations.values():
+        assert op.ops == 15
+        assert op.sim_ns > 0
+        assert op.throughput > 0
+
+
+def test_pjo_faster_than_jpa_on_basictest(tmp_path):
+    """The headline Figure 16 direction: H2-PJO beats H2-JPA everywhere."""
+    jpa = run_jpab_test(BASIC_TEST,
+                        lambda c: make_jpa_em(c, BASIC_TEST.entities),
+                        count=25, provider="H2-JPA")
+    pjo = run_jpab_test(BASIC_TEST,
+                        lambda c: make_pjo_em(c, BASIC_TEST.entities,
+                                              tmp_path / "heaps"),
+                        count=25, provider="H2-PJO")
+    for op in ("Create", "Retrieve", "Update", "Delete"):
+        assert pjo.operations[op].throughput > jpa.operations[op].throughput, \
+            f"{op}: PJO should outperform JPA"

@@ -1,0 +1,80 @@
+"""Property test: random CRUD sequences agree across providers and a model.
+
+Hypothesis drives random persist/update/remove/find sequences against the
+JPA provider, the PJO provider and a plain Python dict; all three must
+agree after every committed transaction.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jpab import make_jpa_em, make_pjo_em
+from repro.jpab.model import BasicPerson
+from repro.nvm.clock import Clock
+
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["persist", "update", "remove"]),
+              st.integers(0, 8),          # pk
+              st.text(min_size=0, max_size=8)),  # phone payload
+    min_size=1, max_size=25)
+
+
+def apply_ops(em, ops):
+    """Apply one batch per op (each its own transaction); return the model."""
+    model = {}
+    for op, pk, payload in ops:
+        tx = em.get_transaction()
+        tx.begin()
+        if op == "persist":
+            if pk not in model:
+                em.persist(BasicPerson(pk, f"F{pk}", f"L{pk}", payload))
+                model[pk] = payload
+        elif op == "update":
+            if pk in model:
+                entity = em.find(BasicPerson, pk)
+                entity.phone = payload
+                model[pk] = payload
+        else:  # remove
+            if pk in model:
+                em.remove(em.find(BasicPerson, pk))
+                del model[pk]
+        tx.commit()
+    return model
+
+
+def observed_state(em):
+    em.clear()
+    return {p.id: p.phone for p in em.find_all(BasicPerson)}
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops=operations)
+def test_property_providers_and_model_agree(tmp_path_factory, ops):
+    jpa = make_jpa_em(Clock(), [BasicPerson])
+    pjo = make_pjo_em(Clock(), [BasicPerson],
+                      tmp_path_factory.mktemp("equiv"))
+    model_a = apply_ops(jpa, ops)
+    model_b = apply_ops(pjo, ops)
+    assert model_a == model_b
+    assert observed_state(jpa) == model_a
+    assert observed_state(pjo) == model_a
+
+
+@settings(max_examples=8, deadline=None)
+@given(ops=operations)
+def test_property_pjo_state_survives_restart(tmp_path_factory, ops):
+    from repro.api import Espresso
+    from repro.pjo.provider import PjoEntityManager
+    heap_dir = tmp_path_factory.mktemp("equiv-restart")
+    jvm = Espresso(heap_dir)
+    jvm.createHeap("jpab", 16 * 1024 * 1024)
+    em = PjoEntityManager(jvm)
+    em.create_schema([BasicPerson])
+    model = apply_ops(em, ops)
+    jvm.shutdown()
+
+    jvm2 = Espresso(heap_dir)
+    jvm2.loadHeap("jpab")
+    em2 = PjoEntityManager(jvm2)
+    assert observed_state(em2) == model

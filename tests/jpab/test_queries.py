@@ -1,0 +1,95 @@
+"""Query API tests: find_by/find_all/count on both providers."""
+
+import pytest
+
+from repro.errors import IllegalArgumentException
+from repro.jpab import make_jpa_em, make_pjo_em
+from repro.jpab.model import ALL_ENTITIES, BasicPerson, ExtEmployee, ExtPerson
+from repro.nvm.clock import Clock
+
+
+def providers(tmp_path):
+    yield "jpa", make_jpa_em(Clock(), ALL_ENTITIES)
+    yield "pjo", make_pjo_em(Clock(), ALL_ENTITIES, tmp_path / "heaps")
+
+
+def seed(em):
+    tx = em.get_transaction()
+    tx.begin()
+    em.persist(BasicPerson(1, "Ada", "Lovelace", "+44"))
+    em.persist(BasicPerson(2, "Alan", "Turing", "+44"))
+    em.persist(BasicPerson(3, "Grace", "Hopper", "+1"))
+    em.persist(ExtPerson(10, "Plain", "Person"))
+    em.persist(ExtEmployee(11, "Emp", "Loyee", 100.0, "eng"))
+    tx.commit()
+    em.clear()
+
+
+@pytest.mark.parametrize("provider", ["jpa", "pjo"])
+def test_find_by(tmp_path, provider):
+    em = dict(providers(tmp_path))[provider]
+    seed(em)
+    found = em.find_by(BasicPerson, "phone", "+44")
+    assert sorted(p.id for p in found) == [1, 2]
+    assert all(isinstance(p, BasicPerson) for p in found)
+
+
+@pytest.mark.parametrize("provider", ["jpa", "pjo"])
+def test_find_by_no_matches(tmp_path, provider):
+    em = dict(providers(tmp_path))[provider]
+    seed(em)
+    assert em.find_by(BasicPerson, "phone", "+99") == []
+
+
+@pytest.mark.parametrize("provider", ["jpa", "pjo"])
+def test_find_all(tmp_path, provider):
+    em = dict(providers(tmp_path))[provider]
+    seed(em)
+    assert sorted(p.id for p in em.find_all(BasicPerson)) == [1, 2, 3]
+
+
+@pytest.mark.parametrize("provider", ["jpa", "pjo"])
+def test_find_all_filters_by_subclass(tmp_path, provider):
+    em = dict(providers(tmp_path))[provider]
+    seed(em)
+    # ExtPerson matches the whole hierarchy; ExtEmployee only itself.
+    assert sorted(p.id for p in em.find_all(ExtPerson)) == [10, 11]
+    assert [p.id for p in em.find_all(ExtEmployee)] == [11]
+
+
+@pytest.mark.parametrize("provider", ["jpa", "pjo"])
+def test_count(tmp_path, provider):
+    em = dict(providers(tmp_path))[provider]
+    seed(em)
+    assert em.count(BasicPerson) == 3
+    assert em.count(ExtPerson) == 2  # hierarchy table count
+
+
+@pytest.mark.parametrize("provider", ["jpa", "pjo"])
+def test_find_by_unknown_field(tmp_path, provider):
+    em = dict(providers(tmp_path))[provider]
+    with pytest.raises(IllegalArgumentException):
+        em.find_by(BasicPerson, "no_such_field", 1)
+
+
+@pytest.mark.parametrize("provider", ["jpa", "pjo"])
+def test_query_results_are_managed(tmp_path, provider):
+    """Mutating a query result and committing persists the change."""
+    em = dict(providers(tmp_path))[provider]
+    seed(em)
+    tx = em.get_transaction()
+    tx.begin()
+    ada = em.find_by(BasicPerson, "first_name", "Ada")[0]
+    ada.phone = "+999"
+    tx.commit()
+    em.clear()
+    assert em.find(BasicPerson, 1).phone == "+999"
+
+
+@pytest.mark.parametrize("provider", ["jpa", "pjo"])
+def test_find_by_and_find_agree(tmp_path, provider):
+    em = dict(providers(tmp_path))[provider]
+    seed(em)
+    by_query = em.find_by(BasicPerson, "first_name", "Grace")[0]
+    by_pk = em.find(BasicPerson, 3)
+    assert by_query is by_pk  # identity map: one managed instance

@@ -1,0 +1,132 @@
+"""Tests for the em.query predicate language on both providers."""
+
+import pytest
+
+from repro.errors import IllegalArgumentException, SqlError
+from repro.jpab import make_jpa_em, make_pjo_em
+from repro.jpab.model import ALL_ENTITIES, BasicPerson, Node
+from repro.nvm.clock import Clock
+
+
+def make_em(provider, tmp_path):
+    if provider == "jpa":
+        return make_jpa_em(Clock(), ALL_ENTITIES)
+    return make_pjo_em(Clock(), ALL_ENTITIES, tmp_path / "heaps")
+
+
+def seed(em):
+    tx = em.get_transaction()
+    tx.begin()
+    em.persist(BasicPerson(1, "Ada", "Lovelace", "+44"))
+    em.persist(BasicPerson(2, "Alan", "Turing", "+44"))
+    em.persist(BasicPerson(3, "Grace", "Hopper", "+1"))
+    em.persist(BasicPerson(4, "Nil", "Phone", None))
+    hub = Node(100, "hub")
+    em.persist(Node(101, "spoke-a", next=hub))
+    em.persist(Node(102, "spoke-b", next=hub))
+    em.persist(Node(103, "floater"))
+    tx.commit()
+    em.clear()
+
+
+@pytest.mark.parametrize("provider", ["jpa", "pjo"])
+class TestQueryLanguage:
+    def test_equality_with_params(self, provider, tmp_path):
+        em = make_em(provider, tmp_path)
+        seed(em)
+        found = em.query(BasicPerson, "phone = ?", ("+44",))
+        assert sorted(p.id for p in found) == [1, 2]
+
+    def test_and_with_comparison(self, provider, tmp_path):
+        em = make_em(provider, tmp_path)
+        seed(em)
+        found = em.query(BasicPerson, "phone = ? AND id > ?", ("+44", 1))
+        assert [p.id for p in found] == [2]
+
+    def test_or(self, provider, tmp_path):
+        em = make_em(provider, tmp_path)
+        seed(em)
+        found = em.query(BasicPerson,
+                         "first_name = 'Ada' OR first_name = 'Grace'")
+        assert sorted(p.id for p in found) == [1, 3]
+
+    def test_like(self, provider, tmp_path):
+        em = make_em(provider, tmp_path)
+        seed(em)
+        found = em.query(BasicPerson, "last_name LIKE '%ng'")
+        assert [p.last_name for p in found] == ["Turing"]
+
+    def test_is_null(self, provider, tmp_path):
+        em = make_em(provider, tmp_path)
+        seed(em)
+        assert [p.id for p in em.query(BasicPerson, "phone IS NULL")] == [4]
+        assert sorted(p.id for p in
+                      em.query(BasicPerson, "phone IS NOT NULL")) == [1, 2, 3]
+
+    def test_null_comparisons_are_unknown(self, provider, tmp_path):
+        em = make_em(provider, tmp_path)
+        seed(em)
+        # NULL phone matches neither the predicate nor its negation.
+        eq = {p.id for p in em.query(BasicPerson, "phone = '+44'")}
+        ne = {p.id for p in em.query(BasicPerson, "NOT (phone = '+44')")}
+        assert 4 not in eq and 4 not in ne
+
+    def test_between_and_in(self, provider, tmp_path):
+        em = make_em(provider, tmp_path)
+        seed(em)
+        assert sorted(p.id for p in
+                      em.query(BasicPerson, "id BETWEEN 2 AND 3")) == [2, 3]
+        assert sorted(p.id for p in
+                      em.query(BasicPerson, "id IN (1, 4, 99)")) == [1, 4]
+
+    def test_reference_compares_by_fk(self, provider, tmp_path):
+        em = make_em(provider, tmp_path)
+        seed(em)
+        spokes = em.query(Node, "next = ?", (100,))
+        assert sorted(n.id for n in spokes) == [101, 102]
+        floaters = em.query(Node, "next IS NULL AND id > ?", (100,))
+        assert [n.id for n in floaters] == [103]
+
+    def test_arithmetic(self, provider, tmp_path):
+        em = make_em(provider, tmp_path)
+        seed(em)
+        found = em.query(BasicPerson, "id * 2 = 6")
+        assert [p.id for p in found] == [3]
+
+    def test_unknown_field_rejected(self, provider, tmp_path):
+        em = make_em(provider, tmp_path)
+        seed(em)
+        with pytest.raises(IllegalArgumentException):
+            em.query(BasicPerson, "nope = 1")
+
+    def test_malformed_predicate_rejected(self, provider, tmp_path):
+        em = make_em(provider, tmp_path)
+        with pytest.raises(SqlError):
+            em.query(BasicPerson, "id = = 3")
+
+    def test_results_are_managed(self, provider, tmp_path):
+        em = make_em(provider, tmp_path)
+        seed(em)
+        tx = em.get_transaction()
+        tx.begin()
+        ada = em.query(BasicPerson, "id = 1")[0]
+        ada.phone = "+0"
+        tx.commit()
+        em.clear()
+        assert em.find(BasicPerson, 1).phone == "+0"
+
+
+def test_providers_agree_on_query_results(tmp_path):
+    jpa = make_em("jpa", tmp_path / "a")
+    pjo = make_em("pjo", tmp_path / "b")
+    seed(jpa)
+    seed(pjo)
+    for predicate, params in [
+        ("phone = ?", ("+44",)),
+        ("id > 1 AND id < 4", ()),
+        ("last_name LIKE 'H%' OR phone IS NULL", ()),
+        ("id + 1 = 3", ()),
+    ]:
+        a = sorted(p.id for p in jpa.query(BasicPerson, predicate, params))
+        b = sorted(p.id for p in pjo.query(BasicPerson, predicate, params))
+        assert a == b, predicate

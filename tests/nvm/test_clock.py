@@ -1,0 +1,90 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.nvm.clock import Clock
+
+
+def test_charge_advances_time():
+    clock = Clock()
+    clock.charge(10.0)
+    clock.charge(5.0)
+    assert clock.now_ns == 15.0
+
+
+def test_negative_charge_rejected():
+    clock = Clock()
+    with pytest.raises(ValueError):
+        clock.charge(-1.0)
+
+
+def test_default_category_is_other():
+    clock = Clock()
+    clock.charge(7.0)
+    assert clock.breakdown() == {"other": 7.0}
+
+
+def test_scope_attribution():
+    clock = Clock()
+    with clock.scope("transformation"):
+        clock.charge(100.0)
+        with clock.scope("database"):
+            clock.charge(30.0)
+        clock.charge(1.0)
+    clock.charge(2.0)
+    assert clock.breakdown() == {
+        "transformation": 101.0,
+        "database": 30.0,
+        "other": 2.0,
+    }
+
+
+def test_explicit_category_overrides_scope():
+    clock = Clock()
+    with clock.scope("gc"):
+        clock.charge(5.0, category="metadata")
+    assert clock.breakdown() == {"metadata": 5.0}
+
+
+def test_breakdown_since_reports_deltas_only():
+    clock = Clock()
+    with clock.scope("a"):
+        clock.charge(10.0)
+    snap = clock.breakdown()
+    with clock.scope("a"):
+        clock.charge(4.0)
+    with clock.scope("b"):
+        clock.charge(6.0)
+    assert clock.breakdown_since(snap) == {"a": 4.0, "b": 6.0}
+
+
+def test_elapsed_since():
+    clock = Clock()
+    clock.charge(3.0)
+    mark = clock.now_ns
+    clock.charge(9.0)
+    assert clock.elapsed_since(mark) == 9.0
+
+
+def test_charge_ops():
+    clock = Clock()
+    clock.charge_ops(10, 1.5)
+    assert clock.now_ns == 15.0
+
+
+def test_reset():
+    clock = Clock()
+    with clock.scope("x"):
+        clock.charge(1.0)
+    clock.reset()
+    assert clock.now_ns == 0.0
+    assert clock.breakdown() == {}
+    assert clock.current_category == "other"
+
+
+def test_scope_restored_after_exception():
+    clock = Clock()
+    with pytest.raises(RuntimeError):
+        with clock.scope("boom"):
+            raise RuntimeError
+    assert clock.current_category == "other"

@@ -1,0 +1,56 @@
+"""Unit tests for the crash-injection registry."""
+
+import pytest
+
+from repro.errors import SimulatedCrash
+from repro.nvm.failpoints import FailpointRegistry
+
+
+def test_unarmed_registry_is_inert():
+    reg = FailpointRegistry()
+    reg.hit("a")  # no trigger, no counting
+    assert reg.count("a") == 0
+
+
+def test_crash_on_nth_hit():
+    reg = FailpointRegistry()
+    reg.crash_on_hit("alloc", nth=3)
+    reg.hit("alloc")
+    reg.hit("alloc")
+    with pytest.raises(SimulatedCrash):
+        reg.hit("alloc")
+
+
+def test_other_sites_do_not_trigger():
+    reg = FailpointRegistry()
+    reg.crash_on_hit("alloc", nth=1)
+    reg.hit("gc")
+    reg.hit("gc")
+    assert reg.count("gc") == 2
+
+
+def test_global_hit_counts_all_sites():
+    reg = FailpointRegistry()
+    reg.crash_on_global_hit(3)
+    reg.hit("a")
+    reg.hit("b")
+    with pytest.raises(SimulatedCrash):
+        reg.hit("c")
+
+
+def test_clear_disarms():
+    reg = FailpointRegistry()
+    reg.crash_on_hit("a", nth=1)
+    reg.clear()
+    reg.hit("a")  # no crash
+    assert reg.total_hits() == 0
+
+
+def test_total_hits():
+    reg = FailpointRegistry()
+    reg.install(lambda site, count: None)
+    reg.hit("a")
+    reg.hit("b")
+    reg.hit("a")
+    assert reg.total_hits() == 3
+    assert reg.count("a") == 2

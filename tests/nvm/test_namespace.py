@@ -1,0 +1,87 @@
+"""Unit tests for the external heap name manager."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HeapExistsError, HeapNotFoundError
+from repro.nvm.namespace import NameManager
+
+
+@pytest.fixture
+def manager(tmp_path):
+    return NameManager(tmp_path / "heaps")
+
+
+def test_register_and_exists(manager):
+    assert not manager.exists("Jimmy")
+    manager.register("Jimmy", size_words=128, address_hint=0x1000)
+    assert manager.exists("Jimmy")
+
+
+def test_duplicate_register_rejected(manager):
+    manager.register("Jimmy", 128, 0x1000)
+    with pytest.raises(HeapExistsError):
+        manager.register("Jimmy", 128, 0x1000)
+
+
+def test_attributes(manager):
+    manager.register("Jimmy", 128, 0x1000)
+    attrs = manager.attributes("Jimmy")
+    assert attrs["size_words"] == 128
+    assert attrs["address_hint"] == 0x1000
+
+
+def test_missing_heap_raises(manager):
+    with pytest.raises(HeapNotFoundError):
+        manager.attributes("nope")
+    with pytest.raises(HeapNotFoundError):
+        manager.remove("nope")
+
+
+def test_image_roundtrip(manager):
+    manager.register("h", 16, 0x10)
+    image = np.arange(16, dtype=np.int64)
+    manager.save_image("h", image)
+    assert list(manager.load_image("h")) == list(range(16))
+
+
+def test_load_without_save_gives_zeros(manager):
+    manager.register("h", 16, 0x10)
+    assert list(manager.load_image("h")) == [0] * 16
+
+
+def test_remove_deletes_image(manager):
+    manager.register("h", 16, 0x10)
+    manager.save_image("h", np.ones(16, dtype=np.int64))
+    manager.remove("h")
+    assert not manager.exists("h")
+
+
+def test_persistence_across_instances(tmp_path):
+    root = tmp_path / "heaps"
+    m1 = NameManager(root)
+    m1.register("h", 16, 0x10)
+    m1.save_image("h", np.full(16, 9, dtype=np.int64))
+    m2 = NameManager(root)
+    assert m2.exists("h")
+    assert m2.attributes("h")["address_hint"] == 0x10
+    assert list(m2.load_image("h")) == [9] * 16
+
+
+def test_update_address_hint(manager):
+    manager.register("h", 16, 0x10)
+    manager.update_address_hint("h", 0x2000)
+    assert manager.attributes("h")["address_hint"] == 0x2000
+
+
+def test_names_sorted(manager):
+    manager.register("b", 16, 1)
+    manager.register("a", 16, 1)
+    assert manager.names() == ["a", "b"]
+
+
+def test_heap_names_with_odd_characters(manager):
+    manager.register("my heap/1", 16, 1)
+    manager.save_image("my heap/1", np.zeros(16, dtype=np.int64))
+    assert manager.exists("my heap/1")
+    assert list(manager.load_image("my heap/1")) == [0] * 16

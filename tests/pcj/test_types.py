@@ -1,0 +1,79 @@
+"""Tests for the boxed persistent primitive types."""
+
+import pytest
+
+from repro.pcj import (
+    MemoryPool,
+    PersistentBoolean,
+    PersistentDouble,
+    PersistentInteger,
+    PersistentLong,
+    PersistentString,
+)
+
+
+@pytest.fixture
+def pool():
+    return MemoryPool(64 * 1024)
+
+
+def test_long_roundtrip(pool):
+    v = PersistentLong(pool, 123456789)
+    assert v.long_value() == 123456789
+
+
+def test_long_set(pool):
+    v = PersistentLong(pool, 1)
+    v.set(-5)
+    assert v.long_value() == -5
+
+
+def test_integer(pool):
+    assert PersistentInteger(pool, 42).int_value() == 42
+
+
+def test_boolean(pool):
+    assert PersistentBoolean(pool, True).boolean_value() is True
+    assert PersistentBoolean(pool, False).boolean_value() is False
+
+
+def test_double(pool):
+    v = PersistentDouble(pool, 3.75)
+    assert v.double_value() == 3.75
+    v.set(-0.5)
+    assert v.double_value() == -0.5
+
+
+def test_string_roundtrip(pool):
+    s = PersistentString(pool, "hello NVM")
+    assert s.str_value() == "hello NVM"
+    assert s.length() == 9
+
+
+def test_empty_string(pool):
+    assert PersistentString(pool, "").str_value() == ""
+
+
+def test_refcount_starts_at_one(pool):
+    assert PersistentLong(pool, 1).refcount == 1
+
+
+def test_value_survives_pool_crash_after_create(pool):
+    """Creation is transactional: committed values are durable."""
+    v = PersistentLong(pool, 777)
+    offset = v.offset
+    pool.device.crash()
+    pool.recover()
+    assert pool.device.read(offset) == 777
+
+
+def test_set_aborted_by_crash_rolls_back(pool):
+    v = PersistentLong(pool, 1)
+    # Simulate a crash in the middle of an ACID set: begin + log + write.
+    pool.tx_begin()
+    pool.tx_add_range(v.offset, 1)
+    pool.device.write(v.offset, 2)
+    pool.device.clflush(v.offset)
+    pool.device.crash()
+    pool.recover()
+    assert pool.device.read(v.offset) == 1

@@ -1,0 +1,188 @@
+"""Tests for the PJH-native collection library (Fig. 15's Espresso side)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Espresso
+from repro.errors import ArrayIndexOutOfBoundsException
+from repro.pjhlib import (
+    PjhArrayList,
+    PjhHashmap,
+    PjhLong,
+    PjhLongArray,
+    PjhString,
+    PjhTransaction,
+    PjhTuple,
+)
+
+
+@pytest.fixture
+def ctx(tmp_path):
+    jvm = Espresso(tmp_path / "heaps")
+    jvm.createHeap("lib", 2 * 1024 * 1024)
+    txn = PjhTransaction(jvm)
+    return jvm, txn
+
+
+class TestBoxed:
+    def test_long(self, ctx):
+        jvm, txn = ctx
+        v = PjhLong(jvm, txn, 42)
+        assert v.long_value() == 42
+        v.set(-17)
+        assert v.long_value() == -17
+
+    def test_string(self, ctx):
+        jvm, txn = ctx
+        s = PjhString(jvm, txn, "espresso")
+        assert s.str_value() == "espresso"
+
+
+class TestLongArray:
+    def test_roundtrip(self, ctx):
+        jvm, txn = ctx
+        arr = PjhLongArray(jvm, txn, 10)
+        arr.set(3, 99)
+        assert arr.get(3) == 99
+        assert arr.length() == 10
+
+
+class TestTuple:
+    def test_roundtrip(self, ctx):
+        jvm, txn = ctx
+        t = PjhTuple(jvm, txn, 3)
+        t.set(0, PjhLong(jvm, txn, 5))
+        got = t.get(0)
+        assert jvm.get_field(got, "value") == 5
+        assert t.get(1) is None
+        assert t.arity() == 3
+
+
+class TestArrayList:
+    def test_growth(self, ctx):
+        jvm, txn = ctx
+        lst = PjhArrayList(jvm, txn)
+        for i in range(25):
+            lst.add(PjhLong(jvm, txn, i))
+        assert lst.size() == 25
+        assert [jvm.get_field(lst.get(i), "value") for i in range(25)] \
+            == list(range(25))
+
+    def test_set(self, ctx):
+        jvm, txn = ctx
+        lst = PjhArrayList(jvm, txn)
+        lst.add(PjhLong(jvm, txn, 1))
+        lst.set(0, PjhLong(jvm, txn, 2))
+        assert jvm.get_field(lst.get(0), "value") == 2
+
+    def test_bounds(self, ctx):
+        jvm, txn = ctx
+        lst = PjhArrayList(jvm, txn)
+        with pytest.raises(ArrayIndexOutOfBoundsException):
+            lst.get(0)
+
+
+class TestHashmap:
+    def test_put_get_remove(self, ctx):
+        jvm, txn = ctx
+        m = PjhHashmap(jvm, txn)
+        m.put(PjhLong(jvm, txn, 1), PjhLong(jvm, txn, 10))
+        m.put(PjhLong(jvm, txn, 2), PjhLong(jvm, txn, 20))
+        assert jvm.get_field(m.get(PjhLong(jvm, txn, 1)), "value") == 10
+        assert m.remove(PjhLong(jvm, txn, 1))
+        assert m.get(PjhLong(jvm, txn, 1)) is None
+        assert m.size() == 1
+
+    def test_string_keys(self, ctx):
+        jvm, txn = ctx
+        m = PjhHashmap(jvm, txn)
+        m.put(PjhString(jvm, txn, "k"), PjhLong(jvm, txn, 5))
+        assert jvm.get_field(m.get(PjhString(jvm, txn, "k")), "value") == 5
+
+    def test_rehash(self, ctx):
+        jvm, txn = ctx
+        m = PjhHashmap(jvm, txn)
+        for i in range(40):
+            m.put(PjhLong(jvm, txn, i), PjhLong(jvm, txn, i + 100))
+        for i in range(40):
+            assert jvm.get_field(m.get(PjhLong(jvm, txn, i)), "value") \
+                == i + 100
+
+
+class TestAcidAndPersistence:
+    def test_committed_update_survives_crash(self, tmp_path):
+        jvm = Espresso(tmp_path / "h")
+        jvm.createHeap("lib", 1024 * 1024)
+        txn = PjhTransaction(jvm)
+        v = PjhLong(jvm, txn, 1)
+        v.set(2)
+        jvm.setRoot("v", v.h)
+        jvm.crash()
+
+        jvm2 = Espresso(tmp_path / "h")
+        jvm2.loadHeap("lib")
+        assert jvm2.get_field(jvm2.getRoot("v"), "value") == 2
+
+    def test_torn_update_rolls_back_via_undo_log(self, tmp_path):
+        jvm = Espresso(tmp_path / "h")
+        jvm.createHeap("lib", 1024 * 1024)
+        txn = PjhTransaction(jvm)
+        v = PjhLong(jvm, txn, 1)
+        jvm.setRoot("v", v.h)
+        jvm.setRoot("txn_entries", txn._entries)
+        jvm.setRoot("txn_meta", txn._meta)
+        # Tear an update: log + write + flush, but never commit.
+        klass = jvm.vm.klass_of(v.h)
+        slot = v.h.address + klass.field_offset("value")
+        txn.begin()
+        txn.log_slot(slot)
+        jvm.set_field(v.h, "value", 99)
+        jvm.flush_field(v.h, "value")
+        jvm.crash()
+
+        jvm2 = Espresso(tmp_path / "h")
+        jvm2.loadHeap("lib")
+        txn2 = PjhTransaction.__new__(PjhTransaction)
+        txn2.jvm = jvm2
+        txn2.vm = jvm2.vm
+        txn2._entries = jvm2.getRoot("txn_entries")
+        txn2._meta = jvm2.getRoot("txn_meta")
+        txn2._heap = jvm2.vm.service_of(txn2._entries.address)
+        txn2.capacity = jvm2.array_length(txn2._entries) // 2
+        txn2._count = 0
+        assert txn2.recover()  # rolls the torn write back
+        assert jvm2.get_field(jvm2.getRoot("v"), "value") == 1
+
+    def test_abort_restores(self, ctx):
+        jvm, txn = ctx
+        v = PjhLong(jvm, txn, 7)
+        klass = jvm.vm.klass_of(v.h)
+        slot = v.h.address + klass.field_offset("value")
+        txn.begin()
+        txn.log_slot(slot)
+        jvm.set_field(v.h, "value", 8)
+        txn.abort()
+        assert v.long_value() == 7
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["put", "remove"]),
+                          st.integers(0, 10), st.integers(0, 50)),
+                min_size=1, max_size=25))
+def test_property_pjh_hashmap_matches_dict(tmp_path_factory, ops):
+    jvm = Espresso(tmp_path_factory.mktemp("heaps"))
+    jvm.createHeap("lib", 4 * 1024 * 1024)
+    txn = PjhTransaction(jvm)
+    m = PjhHashmap(jvm, txn)
+    model = {}
+    for op, k, v in ops:
+        if op == "put":
+            m.put(PjhLong(jvm, txn, k), PjhLong(jvm, txn, v))
+            model[k] = v
+        else:
+            assert m.remove(PjhLong(jvm, txn, k)) == (k in model)
+            model.pop(k, None)
+    assert m.size() == len(model)
+    for k, v in model.items():
+        assert jvm.get_field(m.get(PjhLong(jvm, txn, k)), "value") == v

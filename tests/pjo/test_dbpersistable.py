@@ -1,0 +1,128 @@
+"""Unit tests for the DBPersistable layout and value plumbing."""
+
+import pytest
+
+from repro.api import Espresso
+from repro.h2.values import SqlType
+from repro.jpa import meta_of
+from repro.jpab.model import BasicPerson, CollectionPerson, ExtPerson, Node
+from repro.pjo.dbpersistable import (
+    NULLS_FIELD,
+    box_collection,
+    box_value,
+    column_bit_index,
+    dbp_klass,
+    get_dbp_column,
+    set_dbp_column,
+    unbox_collection,
+    unbox_value,
+)
+from repro.runtime.klass import FieldKind, Residence
+
+
+@pytest.fixture
+def jvm(tmp_path):
+    vm = Espresso(tmp_path / "heaps")
+    vm.createHeap("t", 4 * 1024 * 1024)
+    return vm
+
+
+class TestBoxing:
+    def test_box_none(self, jvm):
+        assert box_value(jvm, None) is None
+
+    def test_box_int(self, jvm):
+        boxed = box_value(jvm, 42)
+        assert unbox_value(jvm, boxed, SqlType.BIGINT) == 42
+        assert jvm.vm.in_pjh(boxed.address)
+
+    def test_box_bool(self, jvm):
+        assert unbox_value(jvm, box_value(jvm, True), SqlType.BOOLEAN) is True
+
+    def test_box_float(self, jvm):
+        assert unbox_value(jvm, box_value(jvm, 2.5), SqlType.DOUBLE) == 2.5
+
+    def test_box_string(self, jvm):
+        assert unbox_value(jvm, box_value(jvm, "hi"), SqlType.VARCHAR) == "hi"
+
+    def test_boxed_value_is_durable(self, jvm):
+        boxed = box_value(jvm, 77)
+        jvm.heaps.heap("t").device.crash()
+        assert jvm.get_field(boxed, "value") == 77
+
+    def test_box_collection(self, jvm):
+        arr = box_collection(jvm, ["a", "b"])
+        assert unbox_collection(jvm, arr, SqlType.VARCHAR) == ["a", "b"]
+        assert unbox_collection(jvm, None, SqlType.VARCHAR) == []
+        assert box_collection(jvm, None) is None
+
+    def test_box_mixed_collection_of_ints(self, jvm):
+        arr = box_collection(jvm, [1, 2, 3])
+        assert unbox_collection(jvm, arr, SqlType.BIGINT) == [1, 2, 3]
+
+
+class TestDbpKlass:
+    def test_layout_has_nulls_plus_columns(self, jvm):
+        klass = dbp_klass(jvm, meta_of(BasicPerson))
+        names = [f.name for f in klass.all_fields]
+        assert names[0] == NULLS_FIELD
+        for column in ("id", "first_name", "last_name", "phone"):
+            assert column in names
+
+    def test_primitive_columns_are_inline(self, jvm):
+        klass = dbp_klass(jvm, meta_of(BasicPerson))
+        assert klass.field_descriptor("id").kind is FieldKind.INT
+        assert klass.field_descriptor("phone").kind is FieldKind.REF
+
+    def test_reference_column_is_a_ref(self, jvm):
+        klass = dbp_klass(jvm, meta_of(Node))
+        assert klass.field_descriptor("next").kind is FieldKind.REF
+
+    def test_collection_field_is_a_ref(self, jvm):
+        klass = dbp_klass(jvm, meta_of(CollectionPerson))
+        assert klass.field_descriptor("phones").kind is FieldKind.REF
+
+    def test_inheritance_union_in_root_dbp(self, jvm):
+        klass = dbp_klass(jvm, meta_of(ExtPerson))
+        names = [f.name for f in klass.all_fields]
+        assert "salary" in names and "bonus" in names and "DTYPE" in names
+
+    def test_klass_is_cached(self, jvm):
+        assert dbp_klass(jvm, meta_of(BasicPerson)) \
+            is dbp_klass(jvm, meta_of(BasicPerson))
+
+
+class TestColumnAccess:
+    def test_null_bitmap_roundtrip(self, jvm):
+        meta = meta_of(BasicPerson)
+        dbp = jvm.pnew(dbp_klass(jvm, meta))
+        set_dbp_column(jvm, dbp, meta, "id", SqlType.BIGINT, 5)
+        set_dbp_column(jvm, dbp, meta, "phone", SqlType.VARCHAR, None)
+        assert get_dbp_column(jvm, dbp, meta, "id", SqlType.BIGINT) == 5
+        assert get_dbp_column(jvm, dbp, meta, "phone", SqlType.VARCHAR) is None
+
+    def test_null_then_value_clears_bit(self, jvm):
+        meta = meta_of(BasicPerson)
+        dbp = jvm.pnew(dbp_klass(jvm, meta))
+        set_dbp_column(jvm, dbp, meta, "id", SqlType.BIGINT, None)
+        set_dbp_column(jvm, dbp, meta, "id", SqlType.BIGINT, 3)
+        assert get_dbp_column(jvm, dbp, meta, "id", SqlType.BIGINT) == 3
+
+    def test_zero_is_not_null(self, jvm):
+        """An inline 0 must be distinguishable from SQL NULL."""
+        meta = meta_of(BasicPerson)
+        dbp = jvm.pnew(dbp_klass(jvm, meta))
+        set_dbp_column(jvm, dbp, meta, "id", SqlType.BIGINT, 0)
+        assert get_dbp_column(jvm, dbp, meta, "id", SqlType.BIGINT) == 0
+        dbp2 = jvm.pnew(dbp_klass(jvm, meta))
+        assert get_dbp_column(jvm, dbp2, meta, "id", SqlType.BIGINT) == 0
+        set_dbp_column(jvm, dbp2, meta, "id", SqlType.BIGINT, None)
+        assert get_dbp_column(jvm, dbp2, meta, "id", SqlType.BIGINT) is None
+
+    def test_bit_indices_are_distinct(self, jvm):
+        meta = meta_of(BasicPerson)
+        bits = [column_bit_index(meta, name)
+                for name, *_ in __import__(
+                    "repro.jpa.sql_mapping",
+                    fromlist=["schema_columns"]).schema_columns(meta)]
+        assert len(set(bits)) == len(bits)

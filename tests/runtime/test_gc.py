@@ -1,0 +1,201 @@
+"""GC tests: young scavenges, full compactions, graph preservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OutOfMemoryError
+from repro.runtime.dram_heap import HeapConfig
+from repro.runtime.klass import FieldKind, field
+from repro.runtime.vm import EspressoVM
+
+
+def small_vm():
+    return EspressoVM(heap_config=HeapConfig(
+        eden_words=512, survivor_words=256, old_words=4096, region_words=256))
+
+
+@pytest.fixture
+def vm():
+    return small_vm()
+
+
+@pytest.fixture
+def node_klass(vm):
+    return vm.define_class("Node", [field("value", FieldKind.INT),
+                                    field("next", FieldKind.REF)])
+
+
+def make_list(vm, node_klass, values):
+    head = None
+    for v in reversed(values):
+        node = vm.new(node_klass)
+        vm.set_field(node, "value", v)
+        if head is not None:
+            vm.set_field(node, "next", head)
+        head = node
+    return head
+
+
+def read_list(vm, head):
+    values = []
+    node = head
+    while node is not None:
+        values.append(vm.get_field(node, "value"))
+        node = vm.get_field(node, "next")
+    return values
+
+
+class TestYoungGC:
+    def test_handles_survive_young_gc(self, vm, node_klass):
+        head = make_list(vm, node_klass, [1, 2, 3])
+        vm.young_gc()
+        assert read_list(vm, head) == [1, 2, 3]
+
+    def test_object_moved_out_of_eden(self, vm, node_klass):
+        n = vm.new(node_klass)
+        before = n.address
+        assert vm.heap.eden.contains(before)
+        vm.young_gc()
+        after = n.address
+        assert after != before
+        assert not vm.heap.eden.contains(after)
+
+    def test_unreachable_objects_collected(self, vm, node_klass):
+        survivor = vm.new(node_klass)
+        vm.set_field(survivor, "value", 7)
+        garbage = vm.new(node_klass)
+        garbage.close()  # drop the only root
+        used_before = vm.heap.eden.used_words
+        vm.young_gc()
+        assert vm.get_field(survivor, "value") == 7
+        # Eden fully recycled; survivor space holds just the one object.
+        assert vm.heap.eden.used_words == 0
+        assert vm.heap.from_space.used_words < used_before
+
+    def test_promotion_after_aging(self, vm, node_klass):
+        n = vm.new(node_klass)
+        vm.young_gc()
+        assert vm.heap.in_young(n.address)
+        vm.young_gc()  # age reaches the threshold (2): promoted
+        assert vm.heap.old.contains(n.address)
+
+    def test_allocation_triggers_young_gc(self, vm, node_klass):
+        keep = make_list(vm, node_klass, list(range(20)))
+        before = vm.heap.log.young_collections
+        # Allocate far more than eden can hold.
+        for _ in range(300):
+            vm.new(node_klass).close()
+        assert vm.heap.log.young_collections > before
+        assert read_list(vm, keep) == list(range(20))
+
+    def test_old_to_young_reference_survives(self, vm, node_klass):
+        old_obj = vm.new(node_klass)
+        vm.young_gc()
+        vm.young_gc()  # promote old_obj
+        assert vm.heap.old.contains(old_obj.address)
+        young_obj = vm.new(node_klass)
+        vm.set_field(young_obj, "value", 55)
+        vm.set_field(old_obj, "next", young_obj)
+        young_obj.close()  # only reachable through the old object now
+        vm.young_gc()
+        assert vm.get_field(vm.get_field(old_obj, "next"), "value") == 55
+
+
+class TestFullGC:
+    def test_full_gc_preserves_graph(self, vm, node_klass):
+        head = make_list(vm, node_klass, list(range(30)))
+        vm.young_gc()
+        vm.young_gc()
+        vm.full_gc()
+        assert read_list(vm, head) == list(range(30))
+
+    def test_full_gc_compacts_old_space(self, vm, node_klass):
+        # Promote a batch, drop most of it, then compact.
+        keep = []
+        for i in range(40):
+            n = vm.new(node_klass)
+            vm.set_field(n, "value", i)
+            if i % 10 == 0:
+                keep.append(n)
+            else:
+                n.close()
+        vm.young_gc()
+        vm.young_gc()
+        used_before = vm.heap.old.used_words
+        vm.full_gc()
+        assert vm.heap.old.used_words <= used_before
+        assert [vm.get_field(n, "value") for n in keep] == [0, 10, 20, 30]
+
+    def test_cross_generation_cycle(self, vm, node_klass):
+        a = vm.new(node_klass)
+        vm.young_gc()
+        vm.young_gc()  # a promoted
+        b = vm.new(node_klass)
+        vm.set_field(a, "next", b)
+        vm.set_field(b, "next", a)
+        vm.set_field(b, "value", 9)
+        b.close()
+        vm.full_gc()
+        assert vm.get_field(vm.get_field(a, "next"), "value") == 9
+
+    def test_oom_when_everything_live(self):
+        vm = small_vm()
+        k = vm.define_class("Blob", [field("a", FieldKind.INT)])
+        live = []
+        with pytest.raises(OutOfMemoryError):
+            for _ in range(10000):
+                live.append(vm.new(k))
+
+    def test_string_survives_collections(self, vm):
+        s = vm.new_string("persistent text")
+        vm.young_gc()
+        vm.full_gc()
+        vm.young_gc()
+        assert vm.read_string(s) == "persistent text"
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(-1000, 1000), min_size=0, max_size=40),
+       st.integers(0, 3))
+def test_property_gc_preserves_linked_list(values, gc_mix):
+    """Property: any mix of collections preserves an arbitrary list."""
+    vm = small_vm()
+    node_klass = vm.define_class(
+        "Node", [field("value", FieldKind.INT), field("next", FieldKind.REF)])
+    head = make_list(vm, node_klass, values)
+    for i in range(gc_mix + 1):
+        if (i + gc_mix) % 2 == 0:
+            vm.young_gc()
+        else:
+            vm.full_gc()
+    assert read_list(vm, head) == values
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.data())
+def test_property_gc_preserves_random_graph(data):
+    """Property: random object graphs keep their shape across full GC."""
+    vm = small_vm()
+    k = vm.define_class("G", [field("v", FieldKind.INT),
+                              field("a", FieldKind.REF),
+                              field("b", FieldKind.REF)])
+    count = data.draw(st.integers(1, 25))
+    nodes = []
+    for i in range(count):
+        n = vm.new(k)
+        vm.set_field(n, "v", i)
+        nodes.append(n)
+    edges = []
+    for i in range(count):
+        for slot in ("a", "b"):
+            j = data.draw(st.integers(-1, count - 1))
+            if j >= 0:
+                vm.set_field(nodes[i], slot, nodes[j])
+                edges.append((i, slot, j))
+    vm.young_gc()
+    vm.full_gc()
+    for i, slot, j in edges:
+        target = vm.get_field(nodes[i], slot)
+        assert target is not None
+        assert vm.get_field(target, "v") == j

@@ -1,0 +1,56 @@
+"""Unit tests for header/mark-word encoding."""
+
+from repro.runtime import layout
+
+
+def test_plain_mark_is_not_forwarded():
+    assert not layout.mark_is_forwarded(layout.mark_encode())
+
+
+def test_timestamp_roundtrip():
+    mark = layout.mark_encode(timestamp=12345)
+    assert layout.mark_timestamp(mark) == 12345
+
+
+def test_age_roundtrip():
+    mark = layout.mark_encode(age=5)
+    assert layout.mark_age(mark) == 5
+
+
+def test_timestamp_and_age_independent():
+    mark = layout.mark_encode(timestamp=77, age=3)
+    assert layout.mark_timestamp(mark) == 77
+    assert layout.mark_age(mark) == 3
+
+
+def test_with_timestamp_preserves_age():
+    mark = layout.mark_encode(timestamp=1, age=4)
+    mark2 = layout.mark_with_timestamp(mark, 99)
+    assert layout.mark_timestamp(mark2) == 99
+    assert layout.mark_age(mark2) == 4
+
+
+def test_with_age_preserves_timestamp():
+    mark = layout.mark_encode(timestamp=42, age=1)
+    mark2 = layout.mark_with_age(mark, 6)
+    assert layout.mark_age(mark2) == 6
+    assert layout.mark_timestamp(mark2) == 42
+
+
+def test_forwarding_roundtrip():
+    address = 0x1234_5678
+    mark = layout.mark_forwarding(address)
+    assert layout.mark_is_forwarded(mark)
+    assert layout.mark_forwardee(mark) == address
+
+
+def test_max_timestamp_wraps_within_field():
+    mark = layout.mark_encode(timestamp=layout.MAX_TIMESTAMP)
+    assert layout.mark_timestamp(mark) == layout.MAX_TIMESTAMP
+    wrapped = layout.mark_encode(timestamp=layout.MAX_TIMESTAMP + 1)
+    assert layout.mark_timestamp(wrapped) == 0
+
+
+def test_max_age_fits():
+    mark = layout.mark_encode(age=layout.MAX_AGE)
+    assert layout.mark_age(mark) == layout.MAX_AGE

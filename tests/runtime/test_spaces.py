@@ -1,0 +1,60 @@
+"""Unit tests for bump-pointer spaces."""
+
+import pytest
+
+from repro.errors import IllegalArgumentException
+from repro.runtime.spaces import Space
+
+
+def test_allocate_bumps_top():
+    s = Space("s", base=100, size_words=50)
+    a = s.allocate(10)
+    b = s.allocate(10)
+    assert a == 100
+    assert b == 110
+    assert s.used_words == 20
+    assert s.free_words == 30
+
+
+def test_allocate_exhaustion_returns_none():
+    s = Space("s", base=100, size_words=10)
+    assert s.allocate(10) == 100
+    assert s.allocate(1) is None
+
+
+def test_exact_fit():
+    s = Space("s", base=1, size_words=8)
+    assert s.allocate(8) == 1
+    assert s.free_words == 0
+
+
+def test_contains():
+    s = Space("s", base=100, size_words=50)
+    assert s.contains(100)
+    assert s.contains(149)
+    assert not s.contains(150)
+    assert not s.contains(99)
+
+
+def test_reset():
+    s = Space("s", base=100, size_words=50)
+    s.allocate(20)
+    s.reset()
+    assert s.used_words == 0
+    assert s.allocate(5) == 100
+
+
+def test_set_top_bounds():
+    s = Space("s", base=100, size_words=50)
+    s.set_top(120)
+    assert s.used_words == 20
+    with pytest.raises(IllegalArgumentException):
+        s.set_top(99)
+    with pytest.raises(IllegalArgumentException):
+        s.set_top(151)
+
+
+def test_zero_allocation_rejected():
+    s = Space("s", base=100, size_words=50)
+    with pytest.raises(IllegalArgumentException):
+        s.allocate(0)

@@ -1,0 +1,154 @@
+"""TPCC-lite tests: business-rule correctness and provider agreement."""
+
+import pytest
+
+from repro.jpab import make_jpa_em, make_pjo_em
+from repro.nvm.clock import Clock
+from repro.tpcc import (
+    ALL_TPCC_ENTITIES,
+    Customer,
+    NewOrder,
+    Order,
+    OrderLine,
+    Stock,
+    TpccApplication,
+    run_tpcc,
+)
+from repro.tpcc.model import customer_id, district_id, stock_id
+
+
+def make_app(provider, tmp_path):
+    clock = Clock()
+    if provider == "jpa":
+        em = make_jpa_em(clock, [])
+    else:
+        em = make_pjo_em(clock, [], tmp_path / "heaps")
+    app = TpccApplication(em)
+    app.populate(warehouses=1, districts_per_warehouse=2,
+                 customers_per_district=3, items=10)
+    return app
+
+
+@pytest.mark.parametrize("provider", ["jpa", "pjo"])
+class TestTransactions:
+    def test_new_order_creates_rows_and_decrements_stock(self, provider,
+                                                         tmp_path):
+        app = make_app(provider, tmp_path)
+        em = app.em
+        order = app.new_order(1, 0, 0, [(1, 3), (2, 2)])
+        em.clear()
+        loaded = em.find(Order, order.id)
+        assert loaded.line_count == 2
+        assert not loaded.delivered
+        assert em.find(NewOrder, order.id) is not None
+        assert em.find(Stock, stock_id(1, 1)).quantity == 97
+        assert em.find(Stock, stock_id(1, 2)).quantity == 98
+        lines = [l for l in em.find_all(OrderLine)
+                 if l.order.id == order.id]
+        assert sorted((l.item.id, l.quantity) for l in lines) \
+            == [(1, 3), (2, 2)]
+
+    def test_order_numbers_increment_per_district(self, provider, tmp_path):
+        app = make_app(provider, tmp_path)
+        a = app.new_order(1, 0, 0, [(1, 1)])
+        b = app.new_order(1, 0, 1, [(2, 1)])
+        c = app.new_order(1, 1, 0, [(3, 1)])  # other district: own counter
+        assert (a.entry_number, b.entry_number, c.entry_number) == (1, 2, 1)
+
+    def test_restock_rule(self, provider, tmp_path):
+        app = make_app(provider, tmp_path)
+        em = app.em
+        for _ in range(12):
+            app.new_order(1, 0, 0, [(5, 9)])
+        quantity = em.find(Stock, stock_id(1, 5)).quantity
+        assert quantity > 0  # the +91 restock kicked in
+
+    def test_payment_moves_money(self, provider, tmp_path):
+        app = make_app(provider, tmp_path)
+        em = app.em
+        app.payment(1, 0, 0, 25.5)
+        app.payment(1, 0, 0, 10.0)
+        em.clear()
+        customer = em.find(Customer, customer_id(district_id(1, 0), 0))
+        assert customer.balance == -35.5
+        assert customer.payment_count == 2
+        snapshot = app.consistency_snapshot()
+        assert snapshot["warehouse_ytd_total"] == 35.5
+        assert snapshot["district_ytd_total"] == 35.5
+        assert snapshot["history_rows"] == 2
+
+    def test_order_status_reports_latest(self, provider, tmp_path):
+        app = make_app(provider, tmp_path)
+        app.new_order(1, 0, 0, [(1, 1)])
+        latest = app.new_order(1, 0, 0, [(2, 4)])
+        status = app.order_status(customer_id(district_id(1, 0), 0))
+        assert status["last_order"] == latest.id
+        assert status["lines"] == [(2, 4, pytest.approx(4 * 1.2))]
+
+    def test_delivery_pops_oldest(self, provider, tmp_path):
+        app = make_app(provider, tmp_path)
+        em = app.em
+        first = app.new_order(1, 0, 0, [(1, 1)])
+        app.new_order(1, 0, 1, [(2, 1)])
+        delivered = app.delivery()
+        assert delivered == first.id
+        em.clear()
+        assert em.find(Order, first.id).delivered is True
+        assert em.find(NewOrder, first.id) is None
+        assert em.count(NewOrder) == 1
+
+    def test_delivery_with_no_pending_orders(self, provider, tmp_path):
+        app = make_app(provider, tmp_path)
+        assert app.delivery() == 0
+
+
+class TestProviderAgreement:
+    def test_same_seed_same_business_outcome(self, tmp_path):
+        """The acid test: 60 mixed transactions land both providers on the
+        exact same business state."""
+        jpa = run_tpcc("jpa", transactions=60, seed=11,
+                       heap_dir=tmp_path / "a")
+        pjo = run_tpcc("pjo", transactions=60, seed=11,
+                       heap_dir=tmp_path / "b")
+        assert jpa.snapshot == pjo.snapshot
+        assert jpa.snapshot["orders"] > 0
+        assert jpa.snapshot["history_rows"] > 0
+
+    def test_invariants_hold(self, tmp_path):
+        result = run_tpcc("pjo", transactions=50, seed=3,
+                          heap_dir=tmp_path / "h")
+        snapshot = result.snapshot
+        # Money conservation: warehouse ytd == district ytd == -balances.
+        assert snapshot["warehouse_ytd_total"] == \
+            snapshot["district_ytd_total"]
+        assert snapshot["balance_total"] == \
+            pytest.approx(-snapshot["warehouse_ytd_total"])
+        # Order lines match the per-order line counts.
+        assert snapshot["order_lines"] == snapshot["line_count_sum"]
+        assert snapshot["undelivered"] <= snapshot["orders"]
+
+
+class TestDurability:
+    def test_tpcc_state_survives_restart(self, tmp_path):
+        from repro.api import Espresso
+        from repro.pjo.provider import PjoEntityManager
+        heap_dir = tmp_path / "h"
+        jvm = Espresso(heap_dir)
+        jvm.createHeap("tpcc", 32 * 1024 * 1024)
+        em = PjoEntityManager(jvm)
+        app = TpccApplication(em)
+        app.populate(items=10)
+        order = app.new_order(1, 0, 0, [(1, 2), (3, 1)])
+        app.payment(1, 0, 0, 12.0)
+        before = app.consistency_snapshot()
+        em.clear()
+        order_id = order.id  # detached entities keep their state
+        jvm.shutdown()
+
+        jvm2 = Espresso(heap_dir)
+        jvm2.loadHeap("tpcc")
+        em2 = PjoEntityManager(jvm2)
+        app2 = TpccApplication(em2)
+        assert app2.consistency_snapshot() == before
+        status = app2.order_status(customer_id(district_id(1, 0), 0))
+        assert status["last_order"] == order_id
