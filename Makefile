@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test sweep sweep-fast fsck
+
+# Tier-1: the full unit/integration suite (exhaustive sweeps deselected).
+test:
+	$(PYTHON) -m pytest
+
+# Exhaustive crash sweeps: every layer x every fault mode, every
+# injection point until the workload outruns the bomb.
+sweep:
+	$(PYTHON) -m repro.faults.sweep_all
+
+# Strided smoke pass of the same sweeps (seconds, not minutes).
+sweep-fast:
+	$(PYTHON) -m repro.faults.sweep_all --fast
+
+# The sweep-marked pytest variants (same walks, pytest reporting).
+sweep-pytest:
+	$(PYTHON) -m pytest -m sweep

@@ -135,9 +135,9 @@ class Espresso:
     create_heap = createHeap
 
     def loadHeap(self, name: str,
-                 safety: SafetyLevel = SafetyLevel.USER_GUARANTEED
-                 ) -> PersistentHeap:
-        return self.heaps.load_heap(name, safety)
+                 safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
+                 salvage: bool = False) -> PersistentHeap:
+        return self.heaps.load_heap(name, safety, salvage)
 
     load_heap = loadHeap
 

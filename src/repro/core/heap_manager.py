@@ -18,9 +18,10 @@ remap "may rarely happen thanks to the large virtual address space".
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import (
+    CorruptHeapError,
     HeapCorruptionError,
     HeapExistsError,
     HeapNotFoundError,
@@ -55,6 +56,10 @@ class LoadReport:
     truncated_words: int = 0
     nullified_pointers: int = 0
     load_ns: float = 0.0
+    # Integrity accounting (checksummed-load path).
+    regions_verified: List[str] = dc_field(default_factory=list)
+    discarded_entries: List[Tuple[int, str]] = dc_field(default_factory=list)
+    salvaged_roots: int = 0
 
 
 class HeapManager:
@@ -91,14 +96,23 @@ class HeapManager:
         return heap
 
     def load_heap(self, name: str,
-                  safety: SafetyLevel = SafetyLevel.USER_GUARANTEED
-                  ) -> PersistentHeap:
-        heap, _report = self.load_heap_with_report(name, safety)
+                  safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
+                  salvage: bool = False) -> PersistentHeap:
+        heap, _report = self.load_heap_with_report(name, safety, salvage)
         return heap
 
     def load_heap_with_report(self, name: str,
-                              safety: SafetyLevel = SafetyLevel.USER_GUARANTEED
-                              ):
+                              safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
+                              salvage: bool = False):
+        """Mount a durable image, verifying integrity phase by phase.
+
+        Each load phase runs under a named region; an unexpected decode
+        error surfaces as :class:`CorruptHeapError` naming that region
+        instead of an arbitrary exception.  Name-table entries with bad
+        checksums are fatal by default; with ``salvage=True`` they are
+        discarded and reported in the :class:`LoadReport` and the clean
+        entries (roots included) stay usable.
+        """
         if name in self._mounted:
             raise IllegalStateException(f"heap {name!r} is already loaded")
         if not self.names.exists(name):
@@ -113,6 +127,7 @@ class HeapManager:
         device.load_image(self.names.load_image(name))
         probe = MetadataArea(device)
         probe.validate()
+        report.regions_verified.append("metadata")
         hint = probe.address_hint
 
         if self.vm.memory.is_free(hint, size_words):
@@ -125,21 +140,57 @@ class HeapManager:
         heap = PersistentHeap(name, self.vm, device, base,
                               safety=policy_for(safety))
 
-        if report.remapped:
-            if probe.gc_in_progress:
-                self.vm.memory.unmap(device)
-                raise IllegalStateException(
-                    f"heap {name!r} needs recovery but its address hint "
-                    f"{hint:#x} is occupied; load it in a fresh VM")
-            _remap_pointers(heap, old_base=hint, new_base=base)
+        # Exceptions that carry meaning of their own and must not be
+        # re-labelled as corruption.
+        from repro.errors import SimulatedCrash
+        passthrough = (HeapCorruptionError, SimulatedCrash,
+                       IllegalStateException, HeapNotFoundError,
+                       HeapExistsError, KeyboardInterrupt)
 
-        heap.mount_existing()
-        report.klasses_reinitialized = heap.klass_segment.reinitialize_all(
-            self.vm.metaspace)
-        report.recovery = recover(heap)
-        report.truncated_words = heap.validate_and_truncate()
-        if heap.safety.scan_on_load():
-            report.nullified_pointers = heap.zeroing_scan()
+        def phase(region, fn):
+            try:
+                result = fn()
+            except passthrough:
+                raise
+            except Exception as exc:
+                raise CorruptHeapError(
+                    region, f"{type(exc).__name__}: {exc}") from exc
+            report.regions_verified.append(region)
+            return result
+
+        try:
+            if report.remapped:
+                if probe.gc_in_progress:
+                    raise IllegalStateException(
+                        f"heap {name!r} needs recovery but its address hint "
+                        f"{hint:#x} is occupied; load it in a fresh VM")
+                phase("remap", lambda: _remap_pointers(
+                    heap, old_base=hint, new_base=base))
+
+            phase("name-table", heap.mount_existing)
+            corrupt = heap.name_table.corrupt_entries
+            if corrupt:
+                if not salvage:
+                    index, reason = corrupt[0]
+                    raise CorruptHeapError(
+                        f"name_table.entry[{index}]", reason)
+                report.discarded_entries = list(corrupt)
+            from repro.core.name_table import ENTRY_TYPE_ROOT
+            report.salvaged_roots = sum(
+                1 for _ in heap.name_table.entries(ENTRY_TYPE_ROOT))
+
+            report.klasses_reinitialized = phase(
+                "klass-segment",
+                lambda: heap.klass_segment.reinitialize_all(self.vm.metaspace))
+            report.recovery = phase("gc-recovery", lambda: recover(heap))
+            report.truncated_words = phase(
+                "data-heap", heap.validate_and_truncate)
+            if heap.safety.scan_on_load():
+                report.nullified_pointers = phase(
+                    "zeroing-scan", heap.zeroing_scan)
+        except BaseException:
+            self.vm.memory.unmap(device)
+            raise
         if report.remapped:
             heap.metadata.set_address_hint(base)
             self.names.update_address_hint(name, base)

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import HeapCorruptionError, IllegalArgumentException
+from repro.errors import CorruptHeapError, IllegalArgumentException
+from repro.nvm.checksum import crc32_words
 from repro.nvm.device import NvmDevice
 
 MAGIC = 0x455350_52_45_53_53  # "ESPRESS" squeezed into a word
@@ -52,6 +53,7 @@ _DATA_OFF = 26
 _DATA_WORDS = 27
 _REGION_WORDS = 28
 _ALLOC_SCAN_HINT = 29   # absolute address: walk-from-here for tail validation
+_LAYOUT_CRC = 30        # CRC32 of the immutable geometry words below
 # Serialized-compaction state, grouped into one cache line (words 32-39) so
 # each protocol step persists with a single flush.
 _CURSOR_REGION = 32      # -1 when no serialized region is in flight
@@ -63,6 +65,22 @@ _MOVE_SIZE = 37
 _MOVE_PROGRESS = 38
 
 METADATA_WORDS = 64
+
+# Geometry words are written once by ``initialize`` and never mutated, so
+# they can be covered by a stored CRC32 (_LAYOUT_CRC) and verified on every
+# load.  Mutable words (address hint, top, timestamp, counts, GC state) are
+# deliberately excluded: they are updated in place with single-word atomic
+# stores and protected by the crash protocols instead.
+_GEOMETRY_WORDS = (
+    _VERSION, _HEAP_SIZE,
+    _NAME_TABLE_OFF, _NAME_TABLE_CAPACITY,
+    _KLASS_SEG_OFF, _KLASS_SEG_WORDS,
+    _BITMAP_OFF, _BITMAP_WORDS,
+    _REGION_BITMAP_OFF, _REGION_BITMAP_WORDS,
+    _SCRATCH_OFF, _SCRATCH_WORDS,
+    _ROOT_REDO_OFF, _ROOT_REDO_WORDS,
+    _DATA_OFF, _DATA_WORDS, _REGION_WORDS,
+)
 
 
 @dataclass(frozen=True)
@@ -211,17 +229,51 @@ class MetadataArea:
         self.device.write(_CURSOR_REGION, -1)
         self.device.write(_CURSOR_INDEX, 0)
         self.device.write(_MOVE_VALID, 0)
+        self.device.write(_LAYOUT_CRC, self._geometry_crc())
         # Magic last: a heap is valid only once fully initialized.
         self.device.write(_MAGIC, MAGIC)
         self.device.clflush(0, METADATA_WORDS)
         self.device.fence()
 
+    def _geometry_crc(self) -> int:
+        return crc32_words([self.device.read(off) for off in _GEOMETRY_WORDS])
+
     def validate(self) -> None:
+        """Integrity-check the metadata area; raises :class:`CorruptHeapError`.
+
+        Checks, in order: magic, version, geometry CRC, then cheap bounds
+        sanity so a CRC collision can't smuggle an impossible layout through.
+        """
         if self._get(_MAGIC) != MAGIC:
-            raise HeapCorruptionError("bad magic: not a PJH image")
+            raise CorruptHeapError("metadata.magic", "bad magic: not a PJH image")
         if self._get(_VERSION) != VERSION:
-            raise HeapCorruptionError(
+            raise CorruptHeapError(
+                "metadata.version",
                 f"unsupported PJH version {self._get(_VERSION)}")
+        stored = self._get(_LAYOUT_CRC)
+        actual = self._geometry_crc()
+        if stored != actual:
+            raise CorruptHeapError(
+                "metadata.layout",
+                f"geometry checksum mismatch: stored {stored:#x}, "
+                f"computed {actual:#x}")
+        size = self._get(_HEAP_SIZE)
+        if size != self.device.size_words:
+            raise CorruptHeapError(
+                "metadata.layout",
+                f"heap size {size} does not match device of "
+                f"{self.device.size_words} words")
+        for name, off_word, words_word in (
+                ("name_table", _NAME_TABLE_OFF, None),
+                ("klass_segment", _KLASS_SEG_OFF, _KLASS_SEG_WORDS),
+                ("bitmap", _BITMAP_OFF, _BITMAP_WORDS),
+                ("data", _DATA_OFF, _DATA_WORDS)):
+            off = self._get(off_word)
+            extent = self._get(words_word) if words_word is not None else 0
+            if off < METADATA_WORDS or off + extent > size:
+                raise CorruptHeapError(
+                    "metadata.layout",
+                    f"{name} region [{off}, {off + extent}) outside heap")
 
     def layout(self) -> HeapLayout:
         return HeapLayout(

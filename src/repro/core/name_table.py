@@ -21,6 +21,7 @@ from typing import Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import IllegalArgumentException, OutOfMemoryError
+from repro.nvm.checksum import crc32_words
 from repro.nvm.device import NvmDevice
 from repro.runtime.objects import MemoryRoot, RootSlot
 
@@ -35,7 +36,7 @@ ENTRY_WORDS = 4 + _NAME_WORDS
 _TYPE = 0
 _VALUE = 1
 _NAME_LEN = 2
-_HASH = 3
+_CRC = 3     # CRC32 of (type, name_len, name words); _VALUE is excluded
 _NAME = 4
 
 
@@ -54,12 +55,14 @@ def _unpack_name(words: np.ndarray, length: int) -> str:
     return raw.decode("utf-8")
 
 
-def _name_hash(name: str) -> int:
-    # Java's String.hashCode, good enough and deterministic.
-    h = 0
-    for ch in name:
-        h = (31 * h + ord(ch)) & 0x7FFF_FFFF
-    return h
+def _entry_crc(entry_type: int, length: int, name_words: np.ndarray) -> int:
+    """Entry checksum over the immutable fields.
+
+    The value word is excluded on purpose: it is updated in place as a
+    single atomic word store (root re-targeting, Klass relocation) and
+    re-checksumming on every update would break that atomicity.
+    """
+    return crc32_words([entry_type, length, *name_words.tolist()])
 
 
 class NameTable:
@@ -75,6 +78,9 @@ class NameTable:
         self.memory = memory  # the VM AddressSpace, for root slots
         # Volatile acceleration index: (type, name) -> entry index.
         self._index: dict = {}
+        # Entries whose checksum or encoding failed on the last rebuild:
+        # [(index, reason)].  The loader decides whether to raise or salvage.
+        self.corrupt_entries: List[Tuple[int, str]] = []
         self._rebuild_index()
 
     # -- internals -----------------------------------------------------------
@@ -83,6 +89,7 @@ class NameTable:
 
     def _rebuild_index(self) -> None:
         self._index.clear()
+        self.corrupt_entries = []
         for index in range(self.metadata.name_table_count):
             entry = self._entry_offset(index)
             entry_type = self.device.read(entry + _TYPE)
@@ -90,7 +97,18 @@ class NameTable:
                 continue
             length = self.device.read(entry + _NAME_LEN)
             words = self.device.read_block(entry + _NAME, _NAME_WORDS)
-            name = _unpack_name(words, length)
+            stored = self.device.read(entry + _CRC)
+            actual = _entry_crc(entry_type, length, words)
+            if stored != actual:
+                self.corrupt_entries.append(
+                    (index, f"checksum mismatch: stored {stored:#x}, "
+                            f"computed {actual:#x}"))
+                continue
+            try:
+                name = _unpack_name(words, length)
+            except (UnicodeDecodeError, ValueError) as exc:
+                self.corrupt_entries.append((index, f"undecodable name: {exc}"))
+                continue
             self._index[(entry_type, name)] = index
 
     # -- queries ---------------------------------------------------------------
@@ -146,7 +164,7 @@ class NameTable:
         self.device.write(entry + _TYPE, entry_type)
         self.device.write(entry + _VALUE, value)
         self.device.write(entry + _NAME_LEN, length)
-        self.device.write(entry + _HASH, _name_hash(name))
+        self.device.write(entry + _CRC, _entry_crc(entry_type, length, words))
         self.device.write_block(entry + _NAME, words)
         self.device.clflush(entry, ENTRY_WORDS)
         self.device.fence()

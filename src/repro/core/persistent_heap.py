@@ -150,6 +150,17 @@ class PersistentHeap(PersistentSpaceService):
                       + self.TLAB_WORDS - 1) // self.TLAB_WORDS
             watermark = min(self.data_space.end,
                             self.data_space.base + chunks * self.TLAB_WORDS)
+            # Zero the newly claimed window durably *before* the watermark
+            # can cover it.  After a compacting GC the space above the old
+            # top still holds stale object images; without this, a crash
+            # between the top bump and the first header flush would let the
+            # load-time tail walk resurrect them.
+            old_watermark = self._durable_top_watermark
+            window = old_watermark - self.base_address
+            self.device.fill(window, watermark - old_watermark, 0)
+            self.device.clflush(window, watermark - old_watermark,
+                                asynchronous=True)
+            self.device.fence()
             self.metadata.set_top(watermark)
             # Scan hint: load-time tail validation walks from here instead
             # of from the heap base, keeping UG loads O(#Klasses) (Fig 18).

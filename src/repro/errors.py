@@ -65,6 +65,22 @@ class HeapCorruptionError(EspressoError):
     """Raised when a persistent image fails validation on load."""
 
 
+class CorruptHeapError(HeapCorruptionError):
+    """Structured corruption report: names the failing region.
+
+    ``region`` is a dotted path identifying what failed integrity checking
+    (e.g. ``"metadata.layout"``, ``"name_table.entry[3]"``, ``"klass-segment"``),
+    ``detail`` the human-readable reason.  Subclasses
+    :class:`HeapCorruptionError` so existing ``except HeapCorruptionError``
+    handlers keep working.
+    """
+
+    def __init__(self, region: str, detail: str) -> None:
+        super().__init__(f"{region}: {detail}")
+        self.region = region
+        self.detail = detail
+
+
 class SimulatedCrash(EspressoError):
     """Raised by a failpoint to model a machine crash.
 

@@ -1,0 +1,32 @@
+"""Repo-wide fault injection: crash sweeps across every persistence layer.
+
+The package glues three existing mechanisms into one harness:
+
+* :class:`~repro.nvm.failpoints.FailpointRegistry` — protocol-level crash
+  points between consecutive persistence events;
+* flush counting — a crash after the N-th ``clflush`` lands *between* any
+  two durability operations, catching ordering bugs failpoints miss;
+* :class:`~repro.nvm.device.FaultMode` — how the simulated NVDIMM loses
+  data at the crash instant (atomic-line, torn-line, reordered-lines).
+
+:mod:`repro.faults.sweeps` registers one sweep per persistence layer (PJH
+allocation + GC, H2 SQL, the pjhlib collection library, PCJ's NVML undo
+log, and the PJO commit path); ``python -m repro.faults.sweep_all`` runs
+every sweep under every fault mode.
+"""
+
+from repro.faults.harness import (
+    CrashSweepHarness,
+    SweepIteration,
+    SweepReport,
+)
+from repro.faults.sweeps import SWEEPS, SweepSpec, run_sweep
+
+__all__ = [
+    "CrashSweepHarness",
+    "SweepIteration",
+    "SweepReport",
+    "SWEEPS",
+    "SweepSpec",
+    "run_sweep",
+]

@@ -1,0 +1,246 @@
+"""A generic crash-sweep harness over pluggable workload callbacks.
+
+A *sweep* runs one workload many times, injecting a simulated crash at a
+different point each time, and after every crash performs recovery and
+checks invariants.  The harness owns the sweep loop and the injection
+plumbing; the subject under test supplies callbacks:
+
+``setup()``
+    Build a fresh world (heap, database, pool, ...) and return a context
+    object.  Runs *outside* injection.
+``devices(ctx)``
+    The :class:`~repro.nvm.device.NvmDevice` instances whose fault mode is
+    configured and (for flush sweeps) whose ``clflush`` is instrumented.
+``registry(ctx)``
+    The :class:`~repro.nvm.failpoints.FailpointRegistry` to arm (failpoint
+    sweeps only).
+``workload(ctx)``
+    The operations being swept.  May raise
+    :class:`~repro.errors.SimulatedCrash`.
+``recover(ctx, crashed)``
+    Apply power loss (``device.crash()`` via the layer's own crash entry
+    point) and reload/recover; returns a *recovered* context.
+``invariant(rctx, completed)``
+    Assert the recovered state is consistent.  ``completed`` tells whether
+    the workload ran to the end (exact final state must then hold).
+``fsck(rctx)`` (optional)
+    Return an :class:`~repro.tools.fsck.FsckReport`; the harness asserts
+    ``report.clean`` after every recovery.
+``teardown(ctx, rctx)`` (optional)
+    Release temp directories etc.  Runs even when an iteration fails.
+
+Three sweep styles are provided: :meth:`CrashSweepHarness.sweep_global_hits`
+(exhaustive walk of every failpoint), :meth:`~CrashSweepHarness.sweep_site`
+(every ordinal of one site), and
+:meth:`~CrashSweepHarness.sweep_flush_boundaries` (crash after the N-th
+``clflush`` across all devices).  Each terminates when the workload first
+runs to completion without the injection firing — by construction every
+earlier injection point has then been exercised.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import SimulatedCrash
+from repro.nvm.device import FaultMode, NvmDevice
+
+DEFAULT_MAX_POINTS = 4096  # backstop against a workload that never completes
+
+
+@dataclass
+class SweepIteration:
+    """One injection point: what happened and what was checked."""
+
+    point: int
+    crashed: bool
+    completed: bool
+    fsck_clean: Optional[bool] = None
+
+
+@dataclass
+class SweepReport:
+    """Outcome of a full sweep."""
+
+    name: str
+    strategy: str
+    fault_mode: str
+    iterations: List[SweepIteration] = field(default_factory=list)
+
+    @property
+    def crash_points(self) -> int:
+        return sum(1 for it in self.iterations if it.crashed)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the sweep ran until the workload completed cleanly."""
+        return bool(self.iterations) and self.iterations[-1].completed
+
+    def summary(self) -> str:
+        return (f"{self.name}[{self.fault_mode}/{self.strategy}]: "
+                f"{self.crash_points} crash points, "
+                f"{'exhausted' if self.exhausted else 'capped'}")
+
+
+class _FlushBomb:
+    """Instrument several devices' ``clflush`` to raise after N flushes.
+
+    The countdown is shared across devices, so a sweep covers boundaries in
+    whichever device order the workload actually flushes.
+    """
+
+    def __init__(self, devices: Sequence[NvmDevice], nth: int) -> None:
+        self.devices = list(devices)
+        self.remaining = nth
+        self._originals: list = []
+
+    def __enter__(self) -> "_FlushBomb":
+        for device in self.devices:
+            original = device.clflush
+
+            def guarded(offset, count=1, asynchronous=False,
+                        _original=original):
+                _original(offset, count, asynchronous)
+                self.remaining -= 1
+                if self.remaining == 0:
+                    raise SimulatedCrash("injected crash after clflush")
+
+            self._originals.append((device, device.__dict__.get("clflush")))
+            device.clflush = guarded
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        for device, prior in self._originals:
+            if prior is None:
+                del device.__dict__["clflush"]  # restore the class method
+            else:
+                device.clflush = prior
+        return False
+
+
+class CrashSweepHarness:
+    """Drives crash sweeps for one workload; see the module docstring."""
+
+    def __init__(self, name: str, *,
+                 setup: Callable[[], Any],
+                 workload: Callable[[Any], None],
+                 recover: Callable[[Any, bool], Any],
+                 invariant: Callable[[Any, bool], None],
+                 devices: Callable[[Any], Sequence[NvmDevice]],
+                 registry: Optional[Callable[[Any], Any]] = None,
+                 fsck: Optional[Callable[[Any], Any]] = None,
+                 teardown: Optional[Callable[[Any, Any], None]] = None) -> None:
+        self.name = name
+        self.setup = setup
+        self.workload = workload
+        self.recover = recover
+        self.invariant = invariant
+        self.devices = devices
+        self.registry = registry
+        self.fsck = fsck
+        self.teardown = teardown
+
+    # -- injection context managers ---------------------------------------
+    @contextmanager
+    def _armed_global(self, ctx, nth: int):
+        registry = self.registry(ctx)
+        registry.crash_on_global_hit(nth)
+        try:
+            yield
+        finally:
+            registry.clear()
+
+    @contextmanager
+    def _armed_site(self, ctx, site: str, nth: int):
+        registry = self.registry(ctx)
+        registry.crash_on_hit(site, nth)
+        try:
+            yield
+        finally:
+            registry.clear()
+
+    @contextmanager
+    def _armed_flush(self, ctx, nth: int):
+        with _FlushBomb(self.devices(ctx), nth):
+            yield
+
+    # -- one iteration ------------------------------------------------------
+    def _run_point(self, point: int, fault_mode: str, seed: int,
+                   arm) -> SweepIteration:
+        ctx = self.setup()
+        rctx = None
+        try:
+            for device in self.devices(ctx):
+                device.set_fault_mode(fault_mode, seed=seed * 100003 + point)
+            crashed = False
+            completed = False
+            try:
+                with arm(ctx):
+                    self.workload(ctx)
+                    completed = True
+            except SimulatedCrash:
+                crashed = True
+            rctx = self.recover(ctx, crashed)
+            self.invariant(rctx, completed)
+            fsck_clean = None
+            if self.fsck is not None:
+                report = self.fsck(rctx)
+                if report is not None:
+                    assert report.clean, (
+                        f"{self.name}: fsck dirty after recovery at "
+                        f"point {point} ({fault_mode}): {report.errors}")
+                    fsck_clean = True
+            return SweepIteration(point, crashed, completed, fsck_clean)
+        finally:
+            if self.teardown is not None:
+                self.teardown(ctx, rctx)
+
+    # -- sweep drivers ------------------------------------------------------
+    def _sweep(self, strategy: str, arm_factory, fault_mode: str, seed: int,
+               start: int, stride: int,
+               max_points: Optional[int]) -> SweepReport:
+        if fault_mode not in FaultMode.ALL:
+            raise ValueError(f"unknown fault mode {fault_mode!r}")
+        report = SweepReport(self.name, strategy, fault_mode)
+        point = start
+        cap = max_points if max_points is not None else DEFAULT_MAX_POINTS
+        while len(report.iterations) < cap:
+            iteration = self._run_point(
+                point, fault_mode, seed,
+                arm=lambda ctx, n=point: arm_factory(ctx, n))
+            report.iterations.append(iteration)
+            if not iteration.crashed:
+                break  # the workload outran the injection: sweep is done
+            point += stride
+        return report
+
+    def sweep_global_hits(self, fault_mode: str = FaultMode.ATOMIC, *,
+                          seed: int = 0, start: int = 1, stride: int = 1,
+                          max_points: Optional[int] = None) -> SweepReport:
+        """Crash at the N-th hit of *any* failpoint, N = start, start+stride, ...
+
+        With ``stride=1`` this is exhaustive: a crash is injected between
+        every pair of consecutive persistence events the workload marks.
+        """
+        return self._sweep("failpoint-global", self._armed_global,
+                           fault_mode, seed, start, stride, max_points)
+
+    def sweep_site(self, site: str, fault_mode: str = FaultMode.ATOMIC, *,
+                   seed: int = 0, start: int = 1, stride: int = 1,
+                   max_points: Optional[int] = None) -> SweepReport:
+        """Crash at every ordinal hit of one named failpoint site."""
+        return self._sweep(
+            f"failpoint-site:{site}",
+            lambda ctx, nth: self._armed_site(ctx, site, nth),
+            fault_mode, seed, start, stride, max_points)
+
+    def sweep_flush_boundaries(self, fault_mode: str = FaultMode.ATOMIC, *,
+                               seed: int = 0, start: int = 1, stride: int = 1,
+                               max_points: Optional[int] = None) -> SweepReport:
+        """Crash after the N-th ``clflush`` across the workload's devices."""
+        if self.devices is None:
+            raise ValueError(f"{self.name}: flush sweep needs a devices callback")
+        return self._sweep("flush-boundary", self._armed_flush,
+                           fault_mode, seed, start, stride, max_points)

@@ -1,0 +1,59 @@
+"""Run every registered crash sweep under every fault mode.
+
+Usage::
+
+    python -m repro.faults.sweep_all            # exhaustive (same as `make sweep`)
+    python -m repro.faults.sweep_all --fast     # strided smoke pass
+    python -m repro.faults.sweep_all --sweep h2_sql --mode torn
+
+Prints one summary line per (sweep, mode) pair; exits non-zero if any
+iteration's invariant or fsck assertion fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.faults.sweeps import SWEEPS, run_sweep
+from repro.nvm.device import FaultMode
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.sweep_all",
+        description="Crash-sweep every persistence layer under every "
+                    "fault mode.")
+    parser.add_argument("--fast", action="store_true",
+                        help="strided sweep with a small point cap instead "
+                             "of the exhaustive walk")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base RNG seed for torn/reordered tearing")
+    parser.add_argument("--sweep", choices=sorted(SWEEPS), default=None,
+                        help="run only this sweep")
+    parser.add_argument("--mode", choices=FaultMode.ALL, default=None,
+                        help="run only this fault mode")
+    args = parser.parse_args(argv)
+
+    names = [args.sweep] if args.sweep else sorted(SWEEPS)
+    modes = [args.mode] if args.mode else list(FaultMode.ALL)
+    failures = 0
+    for name in names:
+        for mode in modes:
+            try:
+                report = run_sweep(name, mode, exhaustive=not args.fast,
+                                   seed=args.seed)
+            except AssertionError as exc:
+                failures += 1
+                print(f"{name}[{mode}]: FAILED: {exc}")
+                continue
+            print(report.summary())
+    if failures:
+        print(f"{failures} sweep(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

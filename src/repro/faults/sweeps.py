@@ -1,0 +1,435 @@
+"""Registered crash sweeps: one per persistence layer.
+
+Each :class:`SweepSpec` names a harness factory plus the sweep style and the
+fast-mode parameters used by the default test selection (the exhaustive
+walks carry ``@pytest.mark.sweep`` and run via ``make sweep`` /
+``python -m repro.faults.sweep_all``).
+
+Layers covered:
+
+* ``pjh_alloc_gc``   — persistent allocation + persistent GC (failpoints)
+* ``h2_sql``         — the SQL engine's WAL (flush boundaries)
+* ``pjhlib``         — Java-level ACID collections (flush boundaries)
+* ``pcj_nvml``       — PCJ's NVML-style undo-log transactions (flush)
+* ``pjo_commit``     — the PJO commit path with dedup + field tracking (flush)
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from types import SimpleNamespace
+from typing import Callable, Dict, Optional
+
+from repro.faults.harness import CrashSweepHarness, SweepReport
+from repro.nvm.device import FaultMode
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named sweep: how to build its harness and how to drive it."""
+
+    name: str
+    strategy: str               # "failpoint" | "flush"
+    factory: Callable[[], CrashSweepHarness]
+    fast_stride: int            # stride for the under-budget default tests
+    fast_max_points: int
+
+
+SWEEPS: Dict[str, SweepSpec] = {}
+
+
+def _register(spec: SweepSpec) -> SweepSpec:
+    SWEEPS[spec.name] = spec
+    return spec
+
+
+def run_sweep(name: str, fault_mode: str = FaultMode.ATOMIC, *,
+              exhaustive: bool = True, seed: int = 0) -> SweepReport:
+    """Run one registered sweep; ``exhaustive=False`` uses the fast stride."""
+    spec = SWEEPS[name]
+    harness = spec.factory()
+    if spec.strategy == "failpoint":
+        run = harness.sweep_global_hits
+    else:
+        run = harness.sweep_flush_boundaries
+    if exhaustive:
+        return run(fault_mode, seed=seed)
+    return run(fault_mode, seed=seed, stride=spec.fast_stride,
+               max_points=spec.fast_max_points)
+
+
+# ----------------------------------------------------------------------
+# PJH allocation + persistent GC (failpoint sweep, fsck after recovery)
+# ----------------------------------------------------------------------
+def _pjh_harness() -> CrashSweepHarness:
+    from repro.api import Espresso
+    from repro.runtime.klass import FieldKind, field
+    from repro.tools.fsck import fsck_heap
+
+    CHURN = 18       # allocations before GC (most become garbage)
+    POST_GC = 6      # allocations after GC (over the reclaimed tail)
+
+    def anchors():
+        committed = [i for i in range(CHURN) if i % 3 == 0]
+        committed += list(range(CHURN, CHURN + POST_GC))
+        return committed
+
+    def setup():
+        tmp = Path(tempfile.mkdtemp(prefix="sweep-pjh-"))
+        jvm = Espresso(tmp / "heaps")
+        node = jvm.define_class("SweepNode", [field("v", FieldKind.INT),
+                                              field("next", FieldKind.REF)])
+        jvm.createHeap("h", 256 * 1024, region_words=128)
+        return SimpleNamespace(tmp=tmp, jvm=jvm, node=node)
+
+    def commit_anchor(ctx, handle):
+        ctx.jvm.flush_reachable(handle)
+        ctx.jvm.setRoot("keep", handle)
+
+    def workload(ctx):
+        jvm = ctx.jvm
+        keep = None
+        for i in range(CHURN):
+            n = jvm.pnew(ctx.node)
+            jvm.set_field(n, "v", i)
+            if i % 3 == 0:
+                if keep is not None:
+                    jvm.set_field(n, "next", keep)
+                keep = n
+                commit_anchor(ctx, keep)
+            else:
+                n.close()  # garbage for the collector
+        jvm.persistent_gc()
+        for i in range(CHURN, CHURN + POST_GC):
+            n = jvm.pnew(ctx.node)
+            jvm.set_field(n, "v", i)
+            jvm.set_field(n, "next", keep)
+            keep = n
+            commit_anchor(ctx, keep)
+
+    def recover(ctx, crashed):
+        ctx.jvm.crash()  # power loss: durable image saved, heap unmounted
+        jvm2 = Espresso(ctx.tmp / "heaps")
+        jvm2.loadHeap("h")
+        return SimpleNamespace(jvm=jvm2, heap=jvm2.heaps.heap("h"))
+
+    def invariant(rctx, completed):
+        jvm = rctx.jvm
+        allowed = anchors()
+        head = jvm.getRoot("keep")
+        if completed or head is not None:
+            assert head is not None, "committed root lost"
+            chain = []
+            cursor = head
+            while cursor is not None:
+                chain.append(jvm.get_field(cursor, "v"))
+                cursor = jvm.get_field(cursor, "next")
+            # The chain is exactly the committed anchors down from its head:
+            # flush_reachable + setRoot published every link before the root.
+            head_v = chain[0]
+            assert head_v in allowed, chain
+            expected = [v for v in reversed(allowed) if v <= head_v]
+            assert chain == expected, (chain, expected)
+            if completed:
+                assert head_v == allowed[-1], chain
+
+    def fsck(rctx):
+        from repro.tools.fsck import fsck_heap
+        return fsck_heap(rctx.heap)
+
+    def teardown(ctx, rctx):
+        shutil.rmtree(ctx.tmp, ignore_errors=True)
+
+    return CrashSweepHarness(
+        "pjh_alloc_gc",
+        setup=setup, workload=workload, recover=recover,
+        invariant=invariant, fsck=fsck, teardown=teardown,
+        devices=lambda ctx: [ctx.jvm.heaps.heap("h").device],
+        registry=lambda ctx: ctx.jvm.vm.failpoints)
+
+
+_register(SweepSpec("pjh_alloc_gc", "failpoint", _pjh_harness,
+                    fast_stride=13, fast_max_points=10))
+
+
+# ----------------------------------------------------------------------
+# H2 SQL engine (flush-boundary sweep over the WAL protocol)
+# ----------------------------------------------------------------------
+def _h2_harness() -> CrashSweepHarness:
+    from repro.h2.engine import Database
+
+    def expected_rows():
+        rows = {i: f"v{i}" for i in range(6)}
+        rows[2] = "updated"
+        del rows[4]
+        rows[100] = "uncommitted"
+        rows[0] = "torn"
+        return rows
+
+    def setup():
+        return SimpleNamespace(db=Database(size_words=1 << 18))
+
+    def workload(ctx):
+        db = ctx.db
+        db.execute("CREATE TABLE t (k BIGINT PRIMARY KEY, v VARCHAR)")
+        for i in range(6):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, f"v{i}"))
+        db.execute("UPDATE t SET v = 'updated' WHERE k = 2")
+        db.execute("DELETE FROM t WHERE k = 4")
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (100, 'uncommitted')")
+        db.execute("UPDATE t SET v = 'torn' WHERE k = 0")
+        db.execute("COMMIT")
+
+    def recover(ctx, crashed):
+        return SimpleNamespace(db=ctx.db.crash())
+
+    def invariant(rctx, completed):
+        db = rctx.db
+        if completed:
+            assert dict(db.execute("SELECT k, v FROM t").rows) \
+                == expected_rows()
+            return
+        if not db.catalog.exists("t"):
+            return  # crashed before CREATE committed: empty DB is valid
+        rows = dict(db.execute("SELECT k, v FROM t").rows)
+        for k, v in rows.items():
+            if k == 100:
+                assert v == "uncommitted"
+                assert rows.get(0) == "torn"
+            elif k == 0:
+                assert v in ("v0", "torn")
+            elif k == 2:
+                assert v in ("v2", "updated")
+            else:
+                assert v == f"v{k}"
+        # The final transaction is atomic: both or neither of its effects.
+        assert (100 in rows) == (rows.get(0) == "torn")
+        # And the engine still works after recovery.
+        db.execute("INSERT INTO t VALUES (999, 'post')")
+        assert dict(db.execute("SELECT k, v FROM t").rows)[999] == "post"
+
+    return CrashSweepHarness(
+        "h2_sql",
+        setup=setup, workload=workload, recover=recover,
+        invariant=invariant,
+        devices=lambda ctx: [ctx.db.device])
+
+
+_register(SweepSpec("h2_sql", "flush", _h2_harness,
+                    fast_stride=17, fast_max_points=10))
+
+
+# ----------------------------------------------------------------------
+# pjhlib ACID collections (flush-boundary sweep, fsck after recovery)
+# ----------------------------------------------------------------------
+def _pjhlib_harness() -> CrashSweepHarness:
+    from repro.api import Espresso
+    from repro.pjhlib import PjhHashmap, PjhLong, PjhTransaction
+
+    def expected_final():
+        model = {i: i * 10 for i in range(8)}
+        for i in range(0, 8, 2):
+            model[i] = i * 100
+        del model[3]
+        del model[5]
+        return model
+
+    def setup():
+        tmp = Path(tempfile.mkdtemp(prefix="sweep-pjhlib-"))
+        jvm = Espresso(tmp / "heaps")
+        jvm.createHeap("kv", 2 * 1024 * 1024)
+        txn = PjhTransaction(jvm)
+        table = PjhHashmap(jvm, txn)
+        jvm.setRoot("table", table.h)
+        jvm.setRoot("txn_entries", txn._entries)
+        jvm.setRoot("txn_meta", txn._meta)
+        return SimpleNamespace(tmp=tmp, jvm=jvm, txn=txn, table=table)
+
+    def workload(ctx):
+        jvm, txn, table = ctx.jvm, ctx.txn, ctx.table
+        for i in range(8):
+            table.put(PjhLong(jvm, txn, i), PjhLong(jvm, txn, i * 10))
+        for i in range(0, 8, 2):
+            table.put(PjhLong(jvm, txn, i), PjhLong(jvm, txn, i * 100))
+        table.remove_raw(3)
+        table.remove_raw(5)
+
+    def recover(ctx, crashed):
+        ctx.jvm.crash()
+        jvm = Espresso(ctx.tmp / "heaps")
+        jvm.loadHeap("kv")
+        txn = PjhTransaction.reattach(jvm, jvm.getRoot("txn_entries"),
+                                      jvm.getRoot("txn_meta"))
+        txn.recover()  # roll back any torn multi-slot operation
+        table = PjhHashmap(jvm, txn, handle=jvm.getRoot("table"))
+        return SimpleNamespace(jvm=jvm, table=table,
+                               heap=jvm.heaps.heap("kv"))
+
+    def invariant(rctx, completed):
+        jvm, table = rctx.jvm, rctx.table
+        seen = {}
+        for key_h, value_h in table.items():
+            key = jvm.get_field(key_h, "value")
+            value = jvm.get_field(value_h, "value")
+            seen[key] = value
+            allowed = {key * 10}
+            if key % 2 == 0:
+                allowed.add(key * 100)
+            assert value in allowed, (key, value)
+        assert table.size() == len(seen)
+        if completed:
+            assert seen == expected_final()
+
+    def fsck(rctx):
+        from repro.tools.fsck import fsck_heap
+        return fsck_heap(rctx.heap)
+
+    def teardown(ctx, rctx):
+        shutil.rmtree(ctx.tmp, ignore_errors=True)
+
+    return CrashSweepHarness(
+        "pjhlib",
+        setup=setup, workload=workload, recover=recover,
+        invariant=invariant, fsck=fsck, teardown=teardown,
+        devices=lambda ctx: [ctx.jvm.heaps.heap("kv").device])
+
+
+_register(SweepSpec("pjhlib", "flush", _pjhlib_harness,
+                    fast_stride=29, fast_max_points=10))
+
+
+# ----------------------------------------------------------------------
+# PCJ NVML undo-log transactions (flush-boundary sweep)
+# ----------------------------------------------------------------------
+def _pcj_harness() -> CrashSweepHarness:
+    from repro.pcj import MemoryPool, PersistentLong
+
+    ROUNDS = 6
+
+    def setup():
+        pool = MemoryPool(256 * 1024, tx_log_words=8192)
+        a = PersistentLong(pool, 0)
+        b = PersistentLong(pool, 0)
+        pool.set_root("a", a.offset)
+        pool.set_root("b", b.offset)
+        return SimpleNamespace(pool=pool, a=a, b=b)
+
+    def workload(ctx):
+        pool = ctx.pool
+        # Two counters updated inside one transaction each round: after any
+        # crash + recovery they must agree (the undo log's whole promise).
+        for i in range(1, ROUNDS + 1):
+            pool.tx_begin()
+            pool._tx_write(ctx.a.offset, i)
+            pool._tx_write(ctx.b.offset, i)
+            pool.tx_commit()
+
+    def recover(ctx, crashed):
+        image = ctx.pool.crash_image()
+        pool = MemoryPool.open(image)  # recover() replays the undo log
+        return SimpleNamespace(pool=pool)
+
+    def invariant(rctx, completed):
+        pool = rctx.pool
+        assert not pool.in_transaction
+        from repro.pcj import PersistentLong
+        a = PersistentLong.from_offset(pool, pool.get_root("a")).long_value()
+        b = PersistentLong.from_offset(pool, pool.get_root("b")).long_value()
+        assert a == b, (a, b)
+        assert 0 <= a <= ROUNDS
+        if completed:
+            assert a == ROUNDS
+
+    return CrashSweepHarness(
+        "pcj_nvml",
+        setup=setup, workload=workload, recover=recover,
+        invariant=invariant,
+        devices=lambda ctx: [ctx.pool.device])
+
+
+_register(SweepSpec("pcj_nvml", "flush", _pcj_harness,
+                    fast_stride=7, fast_max_points=10))
+
+
+# ----------------------------------------------------------------------
+# PJO commit path: dedup + field tracking on (flush-boundary sweep)
+# ----------------------------------------------------------------------
+def _pjo_harness() -> CrashSweepHarness:
+    from repro.api import Espresso
+    from repro.jpab.model import BasicPerson
+    from repro.pjo import PjoEntityManager
+
+    PEOPLE = 3
+    ROUNDS = 3
+
+    def setup():
+        tmp = Path(tempfile.mkdtemp(prefix="sweep-pjo-"))
+        jvm = Espresso(tmp / "heaps")
+        jvm.createHeap("jpab", 4 * 1024 * 1024)
+        em = PjoEntityManager(jvm)  # dedup + field tracking are the defaults
+        em.create_schema([BasicPerson])
+        return SimpleNamespace(tmp=tmp, jvm=jvm, em=em)
+
+    def workload(ctx):
+        em = ctx.em
+        tx = em.get_transaction()
+        tx.begin()
+        for i in range(1, PEOPLE + 1):
+            em.persist(BasicPerson(i, "r0", "Sweep", "r0"))
+        tx.commit()
+        # Each round rewrites two fields of every person in ONE transaction;
+        # first_name and phone must therefore never disagree after recovery.
+        for rnd in range(1, ROUNDS + 1):
+            em.clear()
+            tx.begin()
+            for i in range(1, PEOPLE + 1):
+                person = em.find(BasicPerson, i)
+                person.first_name = f"r{rnd}"
+                person.phone = f"r{rnd}"
+            tx.commit()
+
+    def recover(ctx, crashed):
+        ctx.jvm.crash()
+        jvm = Espresso(ctx.tmp / "heaps")
+        jvm.loadHeap("jpab")
+        em = PjoEntityManager(jvm)  # backend reattaches + recovers the log
+        return SimpleNamespace(jvm=jvm, em=em, heap=jvm.heaps.heap("jpab"))
+
+    def invariant(rctx, completed):
+        em = rctx.em
+        from repro.jpab.model import BasicPerson
+        people = [em.find(BasicPerson, i) for i in range(1, PEOPLE + 1)]
+        present = [p for p in people if p is not None]
+        # The initial persist of all three is one transaction: all or none.
+        assert len(present) in (0, PEOPLE), [p and p.id for p in people]
+        stamps = set()
+        for person in present:
+            # Field-pair atomicity within one entity...
+            assert person.first_name == person.phone, (
+                person.id, person.first_name, person.phone)
+            stamps.add(person.first_name)
+        # ...and round atomicity across entities (one tx updates them all).
+        assert len(stamps) <= 1, stamps
+        if completed:
+            assert stamps == {f"r{ROUNDS}"}
+
+    def fsck(rctx):
+        from repro.tools.fsck import fsck_heap
+        return fsck_heap(rctx.heap)
+
+    def teardown(ctx, rctx):
+        shutil.rmtree(ctx.tmp, ignore_errors=True)
+
+    return CrashSweepHarness(
+        "pjo_commit",
+        setup=setup, workload=workload, recover=recover,
+        invariant=invariant, fsck=fsck, teardown=teardown,
+        devices=lambda ctx: [ctx.jvm.heaps.heap("jpab").device])
+
+
+_register(SweepSpec("pjo_commit", "flush", _pjo_harness,
+                    fast_stride=37, fast_max_points=8))

@@ -116,9 +116,13 @@ class Database:
         self.txman = TransactionManager(self.wal)
         self.storages: Dict[str, TableStorage] = {}
         self.indexes: Dict[str, TableIndexes] = {}
+        from repro.h2.wal import WalRecovery
         self.recovery_stats: Tuple[int, int] = (0, 0)
+        self.wal_recovery = WalRecovery(0, 0, 0, 0)
         if not fresh:
-            self.recovery_stats = self.wal.recover()
+            self.wal_recovery = self.wal.recover()
+            self.recovery_stats = (self.wal_recovery.redone,
+                                   self.wal_recovery.undone)
         self._reload_volatile()
         self.cpu_op_ns = latency.cpu_op_ns
         self._evaluator = ExpressionEvaluator(self.clock, self.cpu_op_ns)

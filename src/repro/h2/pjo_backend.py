@@ -29,12 +29,34 @@ class DBPersistableBackend:
     reloaded heap finds them again without any catalog machinery.
     """
 
+    TXN_ENTRIES_ROOT = "pjo_txn_entries"
+    TXN_META_ROOT = "pjo_txn_meta"
+
     def __init__(self, jvm, heap: Optional[str] = None,
                  txn: Optional[PjhTransaction] = None) -> None:
         self.jvm = jvm
         self.heap = heap
-        self.txn = txn if txn is not None else PjhTransaction(jvm, heap=heap)
+        self.txn = txn if txn is not None else self._attach_txn()
         self._tables: Dict[str, PjhHashmap] = {}
+
+    def _attach_txn(self) -> PjhTransaction:
+        """Find (or create and root) the backend's persistent undo log.
+
+        The log arrays are registered as PJH roots so a reloaded heap can
+        reattach them and roll back a commit that a crash interrupted —
+        without this, the fresh log of every process would leak the old one
+        and lose the undo images exactly when they are needed.
+        """
+        entries = self.jvm.getRoot(self.TXN_ENTRIES_ROOT, heap=self.heap)
+        meta = self.jvm.getRoot(self.TXN_META_ROOT, heap=self.heap)
+        if entries is not None and meta is not None:
+            txn = PjhTransaction.reattach(self.jvm, entries, meta)
+            txn.recover()
+            return txn
+        txn = PjhTransaction(self.jvm, heap=self.heap)
+        self.jvm.setRoot(self.TXN_ENTRIES_ROOT, txn._entries, heap=self.heap)
+        self.jvm.setRoot(self.TXN_META_ROOT, txn._meta, heap=self.heap)
+        return txn
 
     # ------------------------------------------------------------------
     # Tables

@@ -7,20 +7,26 @@ becomes durable when its COMMIT record is flushed.  On open, recovery
 replays the log: committed transactions are redone (their page writes may
 never have been flushed), the trailing uncommitted transaction is undone.
 
-Record formats (word 0 is the type):
-    BEGIN  := [1, tx_id]
-    WRITE  := [2, tx_id, device_offset, count, old..., new...]
-    COMMIT := [3, tx_id]
-    ABORT  := [4, tx_id]
+Record formats (word 0 is the type, the last word is always a CRC32 of the
+words before it):
+    BEGIN  := [1, tx_id, crc]
+    WRITE  := [2, tx_id, device_offset, count, old..., new..., crc]
+    COMMIT := [3, tx_id, crc]
+    ABORT  := [4, tx_id, crc]
+
+The CRC makes torn-tail detection robust: replay stops at the first record
+whose checksum fails instead of trusting the ``used`` counter, and reports
+how many record-shaped things were discarded behind the tear.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, NamedTuple, Tuple
 
 import numpy as np
 
 from repro.errors import IllegalStateException, SqlError
+from repro.nvm.checksum import crc32_words
 from repro.nvm.device import NvmDevice
 
 REC_BEGIN = 1
@@ -30,6 +36,23 @@ REC_ABORT = 4
 
 _USED = 0  # wal-region-relative offset of the used-words counter
 _HEADER_WORDS = 8
+
+
+class WalScan(NamedTuple):
+    """Result of a checksummed log scan."""
+
+    records: List[Tuple]
+    discarded_records: int  # record-shaped entries behind the first bad CRC
+    torn_words: int         # words of log claimed by `used` but not replayed
+
+
+class WalRecovery(NamedTuple):
+    """Full recovery report; ``(redone, undone)`` is the legacy shape."""
+
+    redone: int
+    undone: int
+    discarded_records: int
+    torn_words: int
 
 
 class WriteAheadLog:
@@ -53,6 +76,7 @@ class WriteAheadLog:
 
     # -- appending ---------------------------------------------------------------
     def _append(self, words: List[int], flush: bool) -> None:
+        words = words + [crc32_words(words)]
         used = self.used
         if _HEADER_WORDS + used + len(words) > self.capacity:
             raise SqlError("WAL full — checkpoint required (log too small "
@@ -61,6 +85,10 @@ class WriteAheadLog:
         self.device.write_block(target, np.array(words, dtype=np.int64))
         if flush:
             self.device.clflush(target, len(words))
+            # Record payload must be durable *before* the used counter can
+            # claim it — otherwise a reordered crash could publish a counter
+            # over a torn record.
+            self.device.fence()
         self._set_used(used + len(words), flush)
         if flush:
             self.device.fence()
@@ -93,30 +121,68 @@ class WriteAheadLog:
         self.device.fence()
 
     # -- recovery ---------------------------------------------------------------------
-    def scan(self) -> List[Tuple]:
-        """Parse the log into (type, tx_id, offset, old, new) tuples."""
+    def _record_extent(self, cursor: int, used: int):
+        """Structural record size at *cursor*, or None when malformed."""
+        rec_type = self.device.read(self._data + cursor)
+        if rec_type in (REC_BEGIN, REC_COMMIT, REC_ABORT):
+            total = 3
+        elif rec_type == REC_WRITE:
+            if cursor + 4 > used:
+                return None
+            count = self.device.read(self._data + cursor + 3)
+            if count <= 0 or count > used:
+                return None
+            total = 5 + 2 * count
+        else:
+            return None
+        if cursor + total > used:
+            return None
+        return total
+
+    def scan_with_report(self) -> WalScan:
+        """Checksummed parse into (type, tx_id, offset, old, new) tuples.
+
+        Stops at the first record whose structure or CRC is bad, then keeps
+        walking structurally (checksums ignored) to count how many
+        record-shaped entries the tear discarded.
+        """
         records: List[Tuple] = []
         cursor = 0
         used = self.used
         while cursor < used:
-            rec_type = self.device.read(self._data + cursor)
-            tx_id = self.device.read(self._data + cursor + 1)
-            if rec_type in (REC_BEGIN, REC_COMMIT, REC_ABORT):
-                records.append((rec_type, tx_id, None, None, None))
-                cursor += 2
-            elif rec_type == REC_WRITE:
-                offset = self.device.read(self._data + cursor + 2)
-                count = self.device.read(self._data + cursor + 3)
-                old = self.device.read_block(self._data + cursor + 4, count)
-                new = self.device.read_block(
-                    self._data + cursor + 4 + count, count)
-                records.append((REC_WRITE, tx_id, offset, old, new))
-                cursor += 4 + 2 * count
+            total = self._record_extent(cursor, used)
+            if total is None:
+                break
+            body = self.device.read_block(self._data + cursor, total - 1)
+            if self.device.read(self._data + cursor + total - 1) != \
+                    crc32_words(body):
+                break  # torn or corrupt record: nothing behind it is trusted
+            rec_type = int(body[0])
+            tx_id = int(body[1])
+            if rec_type == REC_WRITE:
+                count = int(body[3])
+                records.append((REC_WRITE, tx_id, int(body[2]),
+                                body[4:4 + count].copy(),
+                                body[4 + count:4 + 2 * count].copy()))
             else:
-                break  # torn tail: the used counter outran the flushed data
-        return records
+                records.append((rec_type, tx_id, None, None, None))
+            cursor += total
+        torn_words = used - cursor
+        discarded = 0
+        probe = cursor
+        while probe < used:
+            total = self._record_extent(probe, used)
+            if total is None:
+                break
+            discarded += 1
+            probe += total
+        return WalScan(records, discarded, torn_words)
 
-    def recover(self) -> Tuple[int, int]:
+    def scan(self) -> List[Tuple]:
+        """Parse the log into (type, tx_id, offset, old, new) tuples."""
+        return self.scan_with_report().records
+
+    def recover(self) -> WalRecovery:
         """Redo committed transactions, undo the unfinished one.
 
         Aborted transactions need no work here: their undo images were
@@ -124,9 +190,10 @@ class WriteAheadLog:
         execution is serial, at most the *last* transaction in the log can
         be unfinished, so undoing it after the redo pass is safe.
 
-        Returns (redone_writes, undone_writes).
+        Returns a :class:`WalRecovery`; its first two fields are the legacy
+        ``(redone_writes, undone_writes)`` pair.
         """
-        records = self.scan()
+        records, discarded, torn_words = self.scan_with_report()
         finished: Dict[int, int] = {}
         for rec_type, tx_id, *_ in records:
             if rec_type in (REC_COMMIT, REC_ABORT):
@@ -141,4 +208,4 @@ class WriteAheadLog:
                 self.device.write_block(offset, old)
                 undone += 1
         self.checkpoint()
-        return redone, undone
+        return WalRecovery(redone, undone, discarded, torn_words)

@@ -6,6 +6,7 @@ its crash-consistency protocols rely on.  See DESIGN.md §2 for the
 substitution argument.
 """
 
+from repro.nvm.checksum import crc32_words
 from repro.nvm.clock import Clock
 from repro.nvm.device import (
     LINE_WORDS,
@@ -13,11 +14,12 @@ from repro.nvm.device import (
     AddressSpace,
     DeviceStats,
     DramDevice,
+    FaultMode,
     Mapping,
     MemoryDevice,
     NvmDevice,
 )
-from repro.nvm.failpoints import FailpointRegistry
+from repro.nvm.failpoints import DOCUMENTED_SITES, FailpointRegistry
 from repro.nvm.latency import DEFAULT_LATENCY, LatencyConfig
 from repro.nvm.namespace import NameManager
 
@@ -25,9 +27,11 @@ __all__ = [
     "AddressSpace",
     "Clock",
     "DEFAULT_LATENCY",
+    "DOCUMENTED_SITES",
     "DeviceStats",
     "DramDevice",
     "FailpointRegistry",
+    "FaultMode",
     "LatencyConfig",
     "LINE_WORDS",
     "Mapping",
@@ -35,4 +39,5 @@ __all__ = [
     "NameManager",
     "NvmDevice",
     "WORD_BYTES",
+    "crc32_words",
 ]

@@ -1,0 +1,21 @@
+"""CRC32 over word arrays — the integrity primitive for durable metadata.
+
+Every checksummed structure in the repo (heap metadata area, name-table
+entries, WAL records) uses the same convention: CRC32 of the raw little-endian
+int64 bytes of the covered words, masked to an unsigned 32-bit value so it
+fits comfortably in one positive 64-bit word.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable
+
+import numpy as np
+
+
+def crc32_words(words: "np.ndarray | Iterable[int]") -> int:
+    """CRC32 of *words* interpreted as little-endian int64s (always >= 0)."""
+    arr = np.asarray(list(words) if not isinstance(words, np.ndarray) else words,
+                     dtype=np.int64)
+    return zlib.crc32(arr.astype("<i8").tobytes()) & 0xFFFFFFFF

@@ -23,6 +23,7 @@ reads/writes, mirroring ``mmap`` of a PJH instance at its *address hint*
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -34,6 +35,30 @@ from repro.nvm.latency import DEFAULT_LATENCY, LatencyConfig
 
 WORD_BYTES = 8
 LINE_WORDS = 8  # one clflush covers 8 words = 64 bytes
+
+
+class FaultMode:
+    """Crash-time fault models for :class:`NvmDevice`.
+
+    * ``ATOMIC`` — the historical behavior: every unflushed line is dropped
+      whole; every flushed line survives whole.
+    * ``TORN`` — an unflushed (dirty) line may *tear*: a random word-aligned
+      subset (often a prefix, matching partial write-back) of its live words
+      reaches media, the rest revert to the old durable contents.
+    * ``REORDERED`` — a line that was flushed but not yet fenced may fail to
+      persist: the flush is undone back to the pre-flush durable snapshot.
+      Dirty lines are still dropped whole.  Only a fence makes the set of
+      prior flushes final, which is exactly the ordering contract
+      crash-consistent code must rely on.
+
+    All randomness comes from a ``random.Random`` seeded via
+    :meth:`NvmDevice.set_fault_mode`, so a sweep replays deterministically.
+    """
+
+    ATOMIC = "atomic"
+    TORN = "torn"
+    REORDERED = "reordered"
+    ALL = (ATOMIC, TORN, REORDERED)
 
 _U64 = 1 << 64
 _I64_MAX = (1 << 63) - 1
@@ -197,6 +222,21 @@ class NvmDevice(MemoryDevice):
         super().__init__(size_words, clock, latency, name)
         self._durable = np.zeros(self.size_words, dtype=np.int64)
         self._dirty_lines: Set[int] = set()
+        self.fault_mode = FaultMode.ATOMIC
+        self._fault_rng = random.Random(0)
+        # Pre-flush durable snapshots of lines flushed since the last fence;
+        # only populated in REORDERED mode (a crash may undo these flushes).
+        self._unfenced: Dict[int, np.ndarray] = {}
+
+    # -- fault model -------------------------------------------------------
+    def set_fault_mode(self, mode: str, seed: int = 0) -> None:
+        """Select the crash fault model (see :class:`FaultMode`)."""
+        if mode not in FaultMode.ALL:
+            raise IllegalArgumentException(
+                f"unknown fault mode {mode!r}; expected one of {FaultMode.ALL}")
+        self.fault_mode = mode
+        self._fault_rng = random.Random(seed)
+        self._unfenced.clear()
 
     # -- latency ----------------------------------------------------------
     def _read_cost(self) -> float:
@@ -241,11 +281,14 @@ class NvmDevice(MemoryDevice):
         last = (offset + count - 1) // LINE_WORDS
         cost = (self.latency.clflush_issue_ns if asynchronous
                 else self.latency.clflush_ns)
+        reordered = self.fault_mode == FaultMode.REORDERED
         for line in range(first, last + 1):
             self.stats.flushes += 1
             self.clock.charge(cost)
             start = line * LINE_WORDS
             end = min(start + LINE_WORDS, self.size_words)
+            if reordered and line not in self._unfenced:
+                self._unfenced[line] = self._durable[start:end].copy()
             self._durable[start:end] = self._words[start:end]
             self._dirty_lines.discard(line)
 
@@ -253,14 +296,18 @@ class NvmDevice(MemoryDevice):
         """sfence: order prior flushes before later stores."""
         self.stats.fences += 1
         self.clock.charge(self.latency.sfence_ns)
+        self._unfenced.clear()
 
     def persist_all(self) -> None:
         """Flush every dirty line (used for checkpoint-style image saves)."""
+        reordered = self.fault_mode == FaultMode.REORDERED
         for line in sorted(self._dirty_lines):
             start = line * LINE_WORDS
             end = min(start + LINE_WORDS, self.size_words)
             self.stats.flushes += 1
             self.clock.charge(self.latency.clflush_ns)
+            if reordered and line not in self._unfenced:
+                self._unfenced[line] = self._durable[start:end].copy()
             self._durable[start:end] = self._words[start:end]
         self._dirty_lines.clear()
 
@@ -269,10 +316,46 @@ class NvmDevice(MemoryDevice):
         return len(self._dirty_lines)
 
     # -- crash / restart ------------------------------------------------------
+    def _tear_dirty_lines(self) -> None:
+        """TORN: a random word-aligned subset of each dirty line persists."""
+        rng = self._fault_rng
+        for line in sorted(self._dirty_lines):
+            start = line * LINE_WORDS
+            end = min(start + LINE_WORDS, self.size_words)
+            width = end - start
+            if rng.random() < 0.5:
+                # Partial write-back of a prefix of the line.
+                survive = [i < rng.randint(0, width) for i in range(width)]
+            else:
+                survive = [rng.random() < 0.5 for _ in range(width)]
+            for i, keep in enumerate(survive):
+                if keep:
+                    self._durable[start + i] = self._words[start + i]
+
+    def _reorder_unfenced_lines(self) -> None:
+        """REORDERED: each unfenced flush independently may not have landed."""
+        rng = self._fault_rng
+        for line in sorted(self._unfenced):
+            if rng.random() < 0.5:
+                snapshot = self._unfenced[line]
+                start = line * LINE_WORDS
+                self._durable[start:start + len(snapshot)] = snapshot
+
     def crash(self) -> None:
-        """Lose every store that was not explicitly flushed."""
+        """Lose every store that was not explicitly flushed.
+
+        Under :class:`FaultMode` ``TORN`` dirty lines may partially persist;
+        under ``REORDERED`` flushed-but-unfenced lines may revert to their
+        pre-flush contents.  ``ATOMIC`` keeps the historical whole-line
+        semantics.
+        """
+        if self.fault_mode == FaultMode.TORN:
+            self._tear_dirty_lines()
+        elif self.fault_mode == FaultMode.REORDERED:
+            self._reorder_unfenced_lines()
         self._words = self._durable.copy()
         self._dirty_lines.clear()
+        self._unfenced.clear()
         self._hot.clear()
 
     def durable_image(self) -> np.ndarray:
@@ -288,6 +371,7 @@ class NvmDevice(MemoryDevice):
         self._durable[len(image):] = 0
         self._words = self._durable.copy()
         self._dirty_lines.clear()
+        self._unfenced.clear()
 
     def durable_word(self, offset: int) -> int:
         """Read straight from the durable array (no charge: test helper)."""

@@ -189,6 +189,10 @@ class MemoryPool:
         d.write(entry + 1, count)
         d.write_block(entry + 2, d.read_block(offset, count))
         d.clflush(entry, count + 2)
+        # The entry must be durable before the log length can claim it: a
+        # reordered crash that persisted the counter but not the entry would
+        # make abort/recovery replay garbage over live data.
+        d.fence()
         d.write(_TX_LOG_WORDS, used + count + 2)
         d.clflush(_TX_LOG_WORDS)
         d.fence()
@@ -198,6 +202,10 @@ class MemoryPool:
             raise IllegalStateException("commit outside a transaction")
         self.clock.charge(NATIVE_CALL_NS)
         d = self.device
+        # Drain outstanding data flushes before discarding the undo log: if
+        # the cleared flag persisted while an unfenced data line reverted,
+        # recovery would skip the rollback and expose a torn transaction.
+        d.fence()
         d.write(_TX_ACTIVE, 0)
         d.write(_TX_LOG_WORDS, 0)
         d.clflush(_TX_ACTIVE, 2)

@@ -36,6 +36,26 @@ class PjhTransaction:
         # the outermost level touches the persistent active flag.
         self._depth = 0
 
+    @classmethod
+    def reattach(cls, jvm, entries, meta) -> "PjhTransaction":
+        """Rebind a transaction to its persisted log arrays after reload.
+
+        *entries* and *meta* are the handles recovered from the name table
+        (they were ``pnew``-allocated by a previous process).  Call
+        :meth:`recover` afterwards to roll back a crash-interrupted
+        transaction.
+        """
+        txn = cls.__new__(cls)
+        txn.jvm = jvm
+        txn.vm = jvm.vm
+        txn._entries = entries
+        txn._meta = meta
+        txn._heap = jvm.vm.service_of(entries.address)
+        txn.capacity = jvm.array_length(entries) // 2
+        txn._count = 0
+        txn._depth = 0
+        return txn
+
     # ------------------------------------------------------------------
     @property
     def active(self) -> bool:
@@ -64,7 +84,10 @@ class PjhTransaction:
         self.vm.array_set(self._entries, self._count * 2 + 1, old)
         entry_slot = self.vm.access.element_slot(
             self._entries.address, self._count * 2)
-        self._heap.flush_words(entry_slot, 2, fence=False)
+        # Fence between the entry flush and the count publish: under a
+        # reordered crash the count must never claim an entry whose words
+        # did not reach media.
+        self._heap.flush_words(entry_slot, 2, fence=True)
         self._count += 1
         self.vm.array_set(self._meta, 1, self._count)
         self._heap.flush_words(self._meta.address, 5, fence=True)

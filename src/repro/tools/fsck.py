@@ -39,6 +39,15 @@ class FsckReport:
     def error(self, message: str) -> None:
         self.errors.append(message)
 
+    def to_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "objects": self.objects,
+            "references": self.references,
+            "out_pointers": self.out_pointers,
+            "errors": list(self.errors),
+        }
+
 
 def fsck_heap(heap) -> FsckReport:
     """Check one mounted :class:`~repro.core.persistent_heap.PersistentHeap`."""
@@ -121,12 +130,26 @@ def fsck(heap_dir, name: str) -> FsckReport:
 
 
 def main(argv=None) -> int:
+    import json
     import sys
     args = list(sys.argv[1:] if argv is None else argv)
+    as_json = "--json" in args
+    if as_json:
+        args.remove("--json")
     if len(args) != 2:
         print(__doc__)
         return 1
-    report = fsck(args[0], args[1])
+    from repro.errors import CorruptHeapError
+    try:
+        report = fsck(args[0], args[1])
+    except CorruptHeapError as exc:
+        # The image would not even load: report the failing region rather
+        # than dumping a traceback.
+        report = FsckReport()
+        report.error(f"unloadable ({exc.region}): {exc.detail}")
+    if as_json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.clean else 2
     print(f"objects: {report.objects}, references: {report.references}, "
           f"out-pointers: {report.out_pointers}")
     if report.clean:

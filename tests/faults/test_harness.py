@@ -1,0 +1,179 @@
+"""Unit tests for the generic crash-sweep harness.
+
+The subject is a toy two-word protocol over a bare NvmDevice: word 0 and
+word 64 (different cache lines) are updated together under a tiny
+log-free "both-or-detect" discipline, which is intentionally broken so the
+tests can watch the harness catch it.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.faults import CrashSweepHarness, SweepReport
+from repro.nvm.clock import Clock
+from repro.nvm.device import FaultMode, NvmDevice
+from repro.nvm.failpoints import FailpointRegistry
+
+A, B = 0, 64  # two words on different cache lines
+
+
+def _correct_harness(rounds=4, teardowns=None, fsck=None):
+    """A harness over a fenced two-word protocol: invariant always holds."""
+
+    def setup():
+        return SimpleNamespace(device=NvmDevice(256, Clock()),
+                               registry=FailpointRegistry())
+
+    def workload(ctx):
+        d = ctx.device
+        for i in range(1, rounds + 1):
+            d.write(A, i)
+            d.clflush(A)
+            d.fence()
+            ctx.registry.hit("toy.a_persisted")
+            d.write(B, i)
+            d.clflush(B)
+            d.fence()
+            ctx.registry.hit("toy.b_persisted")
+
+    def recover(ctx, crashed):
+        ctx.device.crash()
+        return ctx
+
+    def invariant(rctx, completed):
+        a = rctx.device.read(A)
+        b = rctx.device.read(B)
+        assert a - b in (0, 1), (a, b)  # B trails A by at most one round
+        if completed:
+            assert a == b == rounds
+
+    return CrashSweepHarness(
+        "toy",
+        setup=setup, workload=workload, recover=recover,
+        invariant=invariant, fsck=fsck,
+        teardown=(lambda ctx, rctx: teardowns.append((ctx, rctx)))
+        if teardowns is not None else None,
+        devices=lambda ctx: [ctx.device],
+        registry=lambda ctx: ctx.registry)
+
+
+class TestFlushSweep:
+    def test_exhausts_and_reports(self):
+        report = _correct_harness().sweep_flush_boundaries()
+        assert isinstance(report, SweepReport)
+        assert report.exhausted
+        # 8 flushes total: 8 crash points, then one clean completion.
+        assert report.crash_points == 8
+        assert len(report.iterations) == 9
+        assert report.iterations[-1].completed
+        assert "exhausted" in report.summary()
+
+    def test_max_points_caps_the_walk(self):
+        report = _correct_harness().sweep_flush_boundaries(max_points=3)
+        assert len(report.iterations) == 3
+        assert not report.exhausted
+        assert "capped" in report.summary()
+
+    def test_stride_skips_points(self):
+        report = _correct_harness().sweep_flush_boundaries(stride=3)
+        assert [it.point for it in report.iterations] == [1, 4, 7, 10]
+
+    def test_clflush_restored_after_each_iteration(self):
+        teardowns = []
+        harness = _correct_harness(teardowns=teardowns)
+        harness.sweep_flush_boundaries(max_points=2)
+        # The bomb restores the real method on exit: no instance-level
+        # wrapper may survive an iteration.
+        for ctx, _rctx in teardowns:
+            assert "clflush" not in vars(ctx.device)
+
+    def test_detects_unfenced_protocol_under_torn_mode(self):
+        # Break the protocol: write both words, flush only the first.
+        def setup():
+            return SimpleNamespace(device=NvmDevice(256, Clock()))
+
+        def workload(ctx):
+            d = ctx.device
+            for i in range(1, 5):
+                d.write(A, i)
+                d.write(B, i)
+                d.clflush(A)
+                d.fence()
+
+        def recover(ctx, crashed):
+            ctx.device.crash()
+            return ctx
+
+        def invariant(rctx, completed):
+            assert rctx.device.read(A) == rctx.device.read(B)
+
+        harness = CrashSweepHarness(
+            "broken", setup=setup, workload=workload, recover=recover,
+            invariant=invariant, devices=lambda ctx: [ctx.device])
+        with pytest.raises(AssertionError):
+            harness.sweep_flush_boundaries(FaultMode.ATOMIC)
+
+
+class TestFailpointSweep:
+    def test_global_sweep_exhausts(self):
+        report = _correct_harness(rounds=3).sweep_global_hits()
+        assert report.exhausted
+        assert report.crash_points == 6  # 2 sites x 3 rounds
+        assert report.strategy == "failpoint-global"
+
+    def test_site_sweep_only_counts_one_site(self):
+        report = _correct_harness(rounds=3).sweep_site("toy.b_persisted")
+        assert report.exhausted
+        assert report.crash_points == 3
+        assert report.strategy == "failpoint-site:toy.b_persisted"
+
+    def test_registry_disarmed_after_each_iteration(self):
+        teardowns = []
+        harness = _correct_harness(rounds=2, teardowns=teardowns)
+        harness.sweep_global_hits()
+        for ctx, _rctx in teardowns:
+            assert not ctx.registry._armed  # finally-clause cleared it
+
+
+class TestCallbacks:
+    def test_teardown_runs_for_every_iteration(self):
+        teardowns = []
+        _correct_harness(rounds=2, teardowns=teardowns).sweep_flush_boundaries()
+        assert len(teardowns) == 5  # 4 crash points + 1 completion
+        # Crashing iterations still got a recovered context.
+        assert all(rctx is not None for _, rctx in teardowns)
+
+    def test_teardown_runs_when_invariant_fails(self):
+        teardowns = []
+
+        def bad_invariant(rctx, completed):
+            raise AssertionError("always wrong")
+
+        harness = _correct_harness(rounds=2, teardowns=teardowns)
+        harness.invariant = bad_invariant
+        with pytest.raises(AssertionError):
+            harness.sweep_flush_boundaries()
+        assert len(teardowns) == 1
+        # Recovery ran, the invariant blew up afterwards.
+        assert teardowns[0][1] is not None
+
+    def test_dirty_fsck_fails_the_iteration(self):
+        def dirty_fsck(rctx):
+            return SimpleNamespace(clean=False, errors=["boom"])
+
+        harness = _correct_harness(fsck=dirty_fsck)
+        with pytest.raises(AssertionError, match="fsck dirty"):
+            harness.sweep_flush_boundaries()
+
+    def test_clean_fsck_recorded_on_iterations(self):
+        def clean_fsck(rctx):
+            return SimpleNamespace(clean=True, errors=[])
+
+        report = _correct_harness(rounds=2,
+                                  fsck=clean_fsck).sweep_flush_boundaries()
+        assert all(it.fsck_clean for it in report.iterations)
+
+    def test_unknown_fault_mode_rejected(self):
+        with pytest.raises(ValueError, match="fault mode"):
+            _correct_harness().sweep_flush_boundaries("lava")

@@ -1,0 +1,47 @@
+"""The registered per-layer crash sweeps.
+
+The fast tests run a strided, capped walk of every (sweep, fault-mode)
+pair on each ordinary test run.  The exhaustive walks — every injection
+point until the workload outruns the bomb — carry ``@pytest.mark.sweep``
+and are deselected by default; run them with ``make sweep`` or
+``pytest -m sweep``.
+"""
+
+import pytest
+
+from repro.faults import SWEEPS, run_sweep
+from repro.nvm.device import FaultMode
+
+ALL_PAIRS = [(name, mode) for name in sorted(SWEEPS)
+             for mode in FaultMode.ALL]
+
+
+def test_registry_covers_all_five_layers():
+    assert sorted(SWEEPS) == ["h2_sql", "pcj_nvml", "pjh_alloc_gc",
+                              "pjhlib", "pjo_commit"]
+
+
+@pytest.mark.parametrize("name,mode", ALL_PAIRS)
+def test_fast_sweep(name, mode):
+    report = run_sweep(name, mode, exhaustive=False)
+    assert report.crash_points > 0  # the strided walk hit real points
+    assert report.fault_mode == mode
+
+
+@pytest.mark.sweep
+@pytest.mark.parametrize("name,mode", ALL_PAIRS)
+def test_exhaustive_sweep(name, mode):
+    report = run_sweep(name, mode)
+    assert report.exhausted, report.summary()
+    assert report.crash_points > 0
+
+
+@pytest.mark.sweep
+@pytest.mark.parametrize("mode", FaultMode.ALL)
+def test_pjh_alloc_gc_site_sweeps(mode):
+    """Per-site sweeps of the GC's most delicate failpoints."""
+    harness = SWEEPS["pjh_alloc_gc"].factory()
+    for site in ("pgc.flag_raised", "gc.compact.copied",
+                 "pgc.redo_persisted"):
+        report = harness.sweep_site(site, mode)
+        assert report.exhausted, report.summary()

@@ -132,3 +132,35 @@ def test_fsck_after_crash_recovery(tmp_path):
 
     report = fsck(heap_dir, "h")  # loads + recovers + checks structure
     assert report.clean, report.errors
+
+
+def test_cli_json_clean(populated, capsys):
+    import json
+    heap_dir, jvm = populated
+    jvm.shutdown()
+    assert main(["--json", str(heap_dir), "h"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is True
+    assert payload["objects"] == 10
+    assert payload["errors"] == []
+
+
+def test_cli_json_reports_unloadable_image(populated, capsys):
+    import json
+    heap_dir, jvm = populated
+    jvm.shutdown()
+    image = jvm.heaps.names.load_image("h")
+    image[0] ^= 0xFF  # break the magic
+    jvm.heaps.names.save_image("h", image)
+    assert main(["--json", str(heap_dir), "h"]) == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    assert any("metadata.magic" in e for e in payload["errors"])
+
+
+def test_report_to_dict_round_trips(populated):
+    heap_dir, jvm = populated
+    report = fsck_heap(jvm.heaps.heap("h"))
+    data = report.to_dict()
+    assert data["clean"] and data["objects"] == report.objects
+    assert data["references"] == report.references

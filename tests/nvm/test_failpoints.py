@@ -3,13 +3,14 @@
 import pytest
 
 from repro.errors import SimulatedCrash
-from repro.nvm.failpoints import FailpointRegistry
+from repro.nvm.failpoints import DOCUMENTED_SITES, FailpointRegistry
 
 
-def test_unarmed_registry_is_inert():
+def test_unarmed_registry_counts_but_never_triggers():
     reg = FailpointRegistry()
-    reg.hit("a")  # no trigger, no counting
-    assert reg.count("a") == 0
+    reg.hit("a")  # no trigger installed: counting is still on
+    assert reg.count("a") == 1
+    assert reg.sites() == ("a",)
 
 
 def test_crash_on_nth_hit():
@@ -19,6 +20,17 @@ def test_crash_on_nth_hit():
     reg.hit("alloc")
     with pytest.raises(SimulatedCrash):
         reg.hit("alloc")
+
+
+def test_trigger_counts_from_install_not_from_birth():
+    """Passive hits before arming must not shift the injection point."""
+    reg = FailpointRegistry()
+    reg.hit("alloc")
+    reg.hit("alloc")
+    reg.crash_on_hit("alloc", nth=2)
+    reg.hit("alloc")  # 1st since install: no crash
+    with pytest.raises(SimulatedCrash):
+        reg.hit("alloc")  # 2nd since install
 
 
 def test_other_sites_do_not_trigger():
@@ -42,8 +54,17 @@ def test_clear_disarms():
     reg = FailpointRegistry()
     reg.crash_on_hit("a", nth=1)
     reg.clear()
-    reg.hit("a")  # no crash
+    reg.hit("a")  # no crash; counting restarts from zero
+    assert reg.total_hits() == 1
+
+
+def test_reset_counts_keeps_trigger():
+    reg = FailpointRegistry()
+    reg.install(lambda site, count: None)
+    reg.hit("a")
+    reg.reset_counts()
     assert reg.total_hits() == 0
+    assert reg._armed
 
 
 def test_total_hits():
@@ -54,3 +75,32 @@ def test_total_hits():
     reg.hit("a")
     assert reg.total_hits() == 3
     assert reg.count("a") == 2
+    assert reg.sites() == ("a", "b")
+
+
+def test_every_documented_site_fires_in_a_clean_gc_run(tmp_path):
+    """Passive coverage audit: alloc + persistent GC touches every site."""
+    from repro.api import Espresso
+    from repro.runtime.klass import FieldKind, field
+
+    jvm = Espresso(tmp_path / "h")
+    node = jvm.define_class("Cov", [field("v", FieldKind.INT),
+                                    field("next", FieldKind.REF)])
+    jvm.createHeap("h", 256 * 1024, region_words=128)
+    keep = None
+    for i in range(60):
+        n = jvm.pnew(node)
+        jvm.set_field(n, "v", i)
+        if i % 3 == 0:
+            if keep is not None:
+                jvm.set_field(n, "next", keep)
+            keep = n
+        else:
+            n.close()  # garbage for the collector
+    jvm.flush_reachable(keep)
+    jvm.setRoot("keep", keep)
+    jvm.persistent_gc()
+
+    fired = set(jvm.vm.failpoints.sites())
+    missing = set(DOCUMENTED_SITES) - fired
+    assert not missing, f"documented failpoint sites never hit: {sorted(missing)}"

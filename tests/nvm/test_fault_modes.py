@@ -1,0 +1,144 @@
+"""Property tests for the device fault model (torn / reordered crashes).
+
+The contract, regardless of mode:
+
+* a write whose line was ``clflush``-ed and then ``fence``-d survives any
+  crash with exactly its fenced value (unless overwritten afterwards);
+* TORN never invents data: each durable word after a crash is either its
+  previous durable value or the live value — a word-aligned subset;
+* REORDERED reverts whole lines, never single words, and only lines that
+  were flushed after the last fence;
+* the tearing is deterministic in the seed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.clock import Clock
+from repro.nvm.device import LINE_WORDS, FaultMode, NvmDevice
+
+SIZE = 256
+
+offsets = st.integers(min_value=0, max_value=SIZE - 1)
+values = st.integers(min_value=-(2 ** 62), max_value=2 ** 62)
+seeds = st.integers(min_value=0, max_value=2 ** 16)
+
+
+def _device() -> NvmDevice:
+    return NvmDevice(SIZE, Clock())
+
+
+@settings(max_examples=60, deadline=None)
+@given(committed=st.dictionaries(offsets, values, max_size=24),
+       scribbles=st.lists(st.tuples(offsets, values, st.booleans()),
+                          max_size=24),
+       mode=st.sampled_from(FaultMode.ALL), seed=seeds)
+def test_fenced_writes_survive_any_crash(committed, scribbles, mode, seed):
+    device = _device()
+    device.set_fault_mode(mode, seed=seed)
+    for offset, value in committed.items():
+        device.write(offset, value)
+        device.clflush(offset)
+    device.fence()
+    overwritten = set()
+    for offset, value, flush in scribbles:
+        device.write(offset, value)
+        overwritten.add(offset)
+        if flush:
+            device.clflush(offset)  # flushed but never fenced
+    device.crash()
+    for offset, value in committed.items():
+        if offset not in overwritten:
+            assert device.read(offset) == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(base=st.dictionaries(offsets, values, max_size=16),
+       dirty=st.lists(st.tuples(offsets, values), min_size=1, max_size=24),
+       seed=seeds)
+def test_torn_survivors_are_word_aligned_subsets(base, dirty, seed):
+    device = _device()
+    for offset, value in base.items():
+        device.write(offset, value)
+    device.persist_all()
+    device.set_fault_mode(FaultMode.TORN, seed=seed)
+    for offset, value in dirty:
+        device.write(offset, value)
+    durable_before = device.durable_image().copy()
+    live_before = device._words.copy()
+    device.crash()
+    after = device.durable_image()
+    for i in range(SIZE):
+        assert after[i] in (durable_before[i], live_before[i]), i
+
+
+@settings(max_examples=60, deadline=None)
+@given(dirty=st.lists(st.tuples(offsets, values), min_size=1, max_size=24),
+       seed=seeds)
+def test_atomic_crash_drops_exactly_the_unflushed(dirty, seed):
+    device = _device()
+    device.set_fault_mode(FaultMode.ATOMIC, seed=seed)
+    durable_before = device.durable_image().copy()
+    for offset, value in dirty:
+        device.write(offset, value)
+    device.crash()
+    assert np.array_equal(device.durable_image(), durable_before)
+
+
+@settings(max_examples=60, deadline=None)
+@given(flushed=st.dictionaries(offsets, values, min_size=1, max_size=24),
+       seed=seeds)
+def test_reordered_reverts_whole_lines_only(flushed, seed):
+    device = _device()
+    device.set_fault_mode(FaultMode.REORDERED, seed=seed)
+    old = device.durable_image().copy()  # all zeros
+    for offset, value in flushed.items():
+        device.write(offset, value)
+        device.clflush(offset)
+    # No fence: each flushed line must now be entirely new or entirely old.
+    new = device._words.copy()
+    device.crash()
+    after = device.durable_image()
+    for line in range(SIZE // LINE_WORDS):
+        lo, hi = line * LINE_WORDS, (line + 1) * LINE_WORDS
+        assert (np.array_equal(after[lo:hi], new[lo:hi])
+                or np.array_equal(after[lo:hi], old[lo:hi])), line
+
+
+@settings(max_examples=30, deadline=None)
+@given(dirty=st.lists(st.tuples(offsets, values), min_size=1, max_size=24),
+       mode=st.sampled_from(FaultMode.ALL), seed=seeds)
+def test_crash_outcome_is_deterministic_in_the_seed(dirty, mode, seed):
+    images = []
+    for _ in range(2):
+        device = _device()
+        device.set_fault_mode(mode, seed=seed)
+        for offset, value in dirty:
+            device.write(offset, value)
+            device.clflush(offset)  # unfenced: feeds REORDERED too
+        for offset, value in dirty:
+            device.write(offset, value ^ 0x5A)  # dirty on top: feeds TORN
+        device.crash()
+        images.append(device.durable_image().copy())
+    assert np.array_equal(images[0], images[1])
+
+
+def test_unknown_mode_rejected():
+    from repro.errors import IllegalArgumentException
+    device = _device()
+    with pytest.raises(IllegalArgumentException):
+        device.set_fault_mode("lava")
+
+
+def test_fence_clears_reorder_exposure():
+    device = _device()
+    device.set_fault_mode(FaultMode.REORDERED, seed=7)
+    for offset in range(0, SIZE, LINE_WORDS):
+        device.write(offset, 99)
+        device.clflush(offset)
+    device.fence()  # everything durable: nothing left to reorder
+    device.crash()
+    for offset in range(0, SIZE, LINE_WORDS):
+        assert device.read(offset) == 99

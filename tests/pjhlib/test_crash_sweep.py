@@ -66,14 +66,8 @@ def expected_final():
 def reattach_and_recover(heap_dir):
     jvm = Espresso(heap_dir)
     jvm.loadHeap("kv")
-    txn = PjhTransaction.__new__(PjhTransaction)
-    txn.jvm, txn.vm = jvm, jvm.vm
-    txn._entries = jvm.getRoot("txn_entries")
-    txn._meta = jvm.getRoot("txn_meta")
-    txn._heap = jvm.vm.service_of(txn._entries.address)
-    txn.capacity = jvm.array_length(txn._entries) // 2
-    txn._count = 0
-    txn._depth = 0
+    txn = PjhTransaction.reattach(jvm, jvm.getRoot("txn_entries"),
+                                  jvm.getRoot("txn_meta"))
     txn.recover()  # roll back any torn multi-slot operation
     table = PjhHashmap(jvm, txn, handle=jvm.getRoot("table"))
     return jvm, table
