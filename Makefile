@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test sweep sweep-fast fsck
+.PHONY: test sweep sweep-fast fsck lint-persist
 
 # Tier-1: the full unit/integration suite (exhaustive sweeps deselected).
 test:
@@ -19,3 +19,8 @@ sweep-fast:
 # The sweep-marked pytest variants (same walks, pytest reporting).
 sweep-pytest:
 	$(PYTHON) -m pytest -m sweep
+
+# No raw clflush/fence outside repro/nvm and repro/faults: all flush
+# traffic must route through repro.nvm.persist.PersistDomain.
+lint-persist:
+	$(PYTHON) -m repro.tools.lint_persist

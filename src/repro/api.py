@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.core.flush_api import (
+    FlushReport,
     flush_array_element,
     flush_field,
     flush_object,
@@ -168,7 +169,12 @@ class Espresso:
     def flush_object(self, handle: ObjectHandle) -> None:
         flush_object(self.vm, handle)
 
-    def flush_reachable(self, handle: ObjectHandle) -> int:
+    def flush_reachable(self, handle: ObjectHandle) -> "FlushReport":
+        """Transitively persist the closure; one line flush per cache line.
+
+        Returns a :class:`~repro.core.flush_api.FlushReport` (object and
+        line counts; compares equal to its object count for old callers).
+        """
         return flush_reachable(self.vm, handle)
 
     # -- GC --------------------------------------------------------------------------------

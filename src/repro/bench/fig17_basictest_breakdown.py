@@ -17,7 +17,7 @@ from typing import Dict, Tuple
 from repro.jpab import BASIC_TEST, OPERATIONS, make_jpa_em, make_pjo_em, \
     run_jpab_test
 
-from repro.bench.harness import format_table
+from repro.bench.harness import format_table, write_bench_json
 
 PHASES = ["database", "transformation", "other"]
 
@@ -27,6 +27,9 @@ class Fig17Result:
     count: int
     # (provider, op) -> {phase: simulated ms}
     cells: Dict[Tuple[str, str], Dict[str, float]] = field(
+        default_factory=dict)
+    # (provider, op) -> {device label: flush/fence counter deltas}
+    nvm: Dict[Tuple[str, str], Dict[str, Dict[str, int]]] = field(
         default_factory=dict)
 
 
@@ -50,6 +53,7 @@ def run(count: int = 100, heap_dir: Path | None = None) -> Fig17Result:
             known["other"] = (total - sum(breakdown.get(p, 0.0) for p in
                                           ("database", "transformation"))) / 1e6
             result.cells[(provider, op)] = known
+            result.nvm[(provider, op)] = test_result.operations[op].nvm
     return result
 
 
@@ -72,6 +76,13 @@ def main(count: int = 100) -> Fig17Result:
         title=(f"Figure 17 — BasicTest breakdown, simulated ms for "
                f"{result.count} entities (paper: transformation vanishes "
                f"under PJO; execution also drops)")))
+    write_bench_json("fig17", {
+        "count": result.count,
+        "cells": {f"{provider}/{op}": cell
+                  for (provider, op), cell in result.cells.items()},
+        "nvm": {f"{provider}/{op}": counters
+                for (provider, op), counters in result.nvm.items()},
+    })
     return result
 
 

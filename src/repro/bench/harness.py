@@ -9,7 +9,51 @@ substrate was a Xeon + NVDIMM, ours is a simulator) — the shapes are.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.nvm.device import DeviceStats, NvmDevice
+
+
+def device_counters(devices: Dict[str, NvmDevice],
+                    since: Optional[Dict[str, DeviceStats]] = None
+                    ) -> Dict[str, Dict[str, int]]:
+    """Per-device flush/fence counter dicts, optionally as deltas.
+
+    *devices* maps a label (heap or database name) to its device; *since*
+    maps the same labels to snapshots taken before the phase of interest.
+    """
+    out: Dict[str, Dict[str, int]] = {}
+    for label, device in sorted(devices.items()):
+        stats = device.stats
+        if since is not None and label in since:
+            stats = stats.delta(since[label])
+        out[label] = stats.as_dict()
+    return out
+
+
+def snapshot_devices(devices: Dict[str, NvmDevice]) -> Dict[str, DeviceStats]:
+    """Capture a snapshot per device, for a later delta."""
+    return {label: device.stats.snapshot()
+            for label, device in devices.items()}
+
+
+def write_bench_json(name: str, payload: Dict,
+                     out_dir: Optional[str] = None) -> str:
+    """Write ``BENCH_<name>.json`` (repo root by default); returns the path.
+
+    Every figure benchmark emits its rows *and* the per-phase NVM flush,
+    fence, dedup and epoch counters here so regressions in flush traffic
+    are diffable without re-reading stdout tables.
+    """
+    if out_dir is None:
+        out_dir = os.environ.get("BENCH_OUT_DIR", ".")
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence],

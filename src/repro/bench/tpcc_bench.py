@@ -14,7 +14,7 @@ from pathlib import Path
 
 from repro.tpcc import TpccResult, run_tpcc
 
-from repro.bench.harness import format_table
+from repro.bench.harness import format_table, write_bench_json
 
 
 @dataclass
@@ -53,6 +53,12 @@ def main(transactions: int = 60) -> TpccBenchResult:
         title=(f"TPCC-lite ({transactions} mixed transactions, seeded) — "
                f"PJO speedup {result.speedup:.2f}x, states agree: "
                f"{result.states_agree}")))
+    write_bench_json("tpcc", {
+        "transactions": transactions,
+        "speedup": result.speedup,
+        "states_agree": result.states_agree,
+        "nvm": {"jpa": result.jpa.nvm, "pjo": result.pjo.nvm},
+    })
     return result
 
 

@@ -7,6 +7,7 @@ safety levels and flush APIs of §3.4-3.5.
 """
 
 from repro.core.flush_api import (
+    FlushReport,
     flush_array_element,
     flush_field,
     flush_object,
@@ -43,6 +44,7 @@ __all__ = [
     "ZeroingPolicy",
     "annotated_type_names",
     "persistent_type",
+    "FlushReport",
     "flush_array_element",
     "flush_field",
     "flush_object",

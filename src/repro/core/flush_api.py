@@ -18,12 +18,34 @@ everything reachable from an object within the same PJH.
 
 from __future__ import annotations
 
-from typing import Set
+from typing import NamedTuple, Set
 
 from repro.errors import IllegalStateException
 from repro.runtime import layout as obj_layout
 from repro.runtime.objects import ObjectHandle
 from repro.runtime.vm import EspressoVM
+
+
+class FlushReport(NamedTuple):
+    """What a reachability flush actually did.
+
+    ``lines`` counts distinct cache lines enqueued — adjacent small objects
+    share lines, so it is usually smaller than objects x words-per-object.
+    Compares equal to ``objects`` (an int) for callers that predate it.
+    """
+
+    objects: int
+    lines: int
+
+    def __eq__(self, other):  # noqa: D105 - int-compat shim
+        if isinstance(other, int):
+            return self.objects == other
+        return tuple.__eq__(self, other)
+
+    def __ne__(self, other):  # noqa: D105
+        return not self.__eq__(other)
+
+    __hash__ = tuple.__hash__
 
 
 def _heap_of(vm: EspressoVM, handle: ObjectHandle):
@@ -85,23 +107,28 @@ def get_declared_field(vm: EspressoVM, handle: ObjectHandle,
     return ReflectedField(vm, vm.klass_of(handle), field_name)
 
 
-def flush_reachable(vm: EspressoVM, handle: ObjectHandle) -> int:
+def flush_reachable(vm: EspressoVM, handle: ObjectHandle) -> FlushReport:
     """Transitively flush everything reachable within the same PJH.
 
-    Returns the number of objects flushed.  One fence at the end.
+    The whole traversal is one fence epoch: each cache line is flushed at
+    most once even when adjacent small objects share lines, and a single
+    fence at the end makes the closure durable.  Returns a
+    :class:`FlushReport` with both object and line counts.
     """
     heap = _heap_of(vm, handle)
     seen: Set[int] = set()
+    lines = 0
     stack = [handle.address]
     while stack:
         address = stack.pop()
         if address in seen or not heap.contains(address):
             continue
         seen.add(address)
-        heap.flush_words(address, vm.access.object_words(address), fence=False)
+        lines += heap.flush_words(
+            address, vm.access.object_words(address), fence=False)
         for slot in vm.access.ref_slot_addresses(address):
             value = vm.memory.read(slot)
             if value != obj_layout.NULL:
                 stack.append(value)
     heap.fence()
-    return len(seen)
+    return FlushReport(objects=len(seen), lines=lines)

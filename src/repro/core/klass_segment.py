@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import HeapCorruptionError, OutOfMemoryError
 from repro.nvm.device import NvmDevice
+from repro.nvm.persist import PersistDomain
 from repro.runtime.klass import FieldDescriptor, FieldKind, Klass, Residence
 from repro.runtime.metaspace import KlassRegistry
 
@@ -71,6 +72,7 @@ class KlassSegment:
         self.offset = layout.klass_segment_offset
         self.limit = self.offset + layout.klass_segment_words
         self._by_name: Dict[str, Klass] = {}
+        self.persist = PersistDomain(device, name="pjh-klass")
 
     # ------------------------------------------------------------------
     # Lookup / aliasing
@@ -147,8 +149,8 @@ class KlassSegment:
             record[off + 1] = fname_len
             record[off + 2:off + 2 + _NAME_WORDS] = fname_words
         self.device.write_block(top, record)
-        self.device.clflush(top, size)
-        self.device.fence()
+        # Record epoch commits before the top bump publishes it.
+        self.persist.persist(top, size)
         self.metadata.set_klass_segment_top(top + size)
         return self.base_address + top
 

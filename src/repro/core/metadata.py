@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.errors import CorruptHeapError, IllegalArgumentException
 from repro.nvm.checksum import crc32_words
 from repro.nvm.device import NvmDevice
+from repro.nvm.persist import PersistDomain
 
 MAGIC = 0x455350_52_45_53_53  # "ESPRESS" squeezed into a word
 VERSION = 1
@@ -179,8 +180,9 @@ class MetadataArea:
     def __init__(self, device: NvmDevice, flushing: bool = True) -> None:
         self.device = device
         # The §6.4 "recoverable GC cost" baseline disables every clflush;
-        # a non-flushing view over the same device implements it.
+        # a disabled persist domain over the same device implements it.
         self.flushing = flushing
+        self.persist = PersistDomain(device, name="pjh-meta", enabled=flushing)
 
     # -- low-level persisted word access ------------------------------------
     def _get(self, offset: int) -> int:
@@ -188,15 +190,12 @@ class MetadataArea:
 
     def _set(self, offset: int, value: int, fence: bool = True) -> None:
         self.device.write(offset, value)
-        if self.flushing:
-            self.device.clflush(offset)
-            if fence:
-                self.device.fence()
+        self.persist.flush(offset)
+        if fence:
+            self.persist.commit_epoch()
 
     def _flush_range(self, offset: int, count: int) -> None:
-        if self.flushing:
-            self.device.clflush(offset, count)
-            self.device.fence()
+        self.persist.persist(offset, count)
 
     # -- initialization -------------------------------------------------------
     def initialize(self, layout: HeapLayout, address_hint: int) -> None:
@@ -232,8 +231,7 @@ class MetadataArea:
         self.device.write(_LAYOUT_CRC, self._geometry_crc())
         # Magic last: a heap is valid only once fully initialized.
         self.device.write(_MAGIC, MAGIC)
-        self.device.clflush(0, METADATA_WORDS)
-        self.device.fence()
+        self.persist.persist(0, METADATA_WORDS)
 
     def _geometry_crc(self) -> int:
         return crc32_words([self.device.read(off) for off in _GEOMETRY_WORDS])

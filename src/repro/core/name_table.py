@@ -23,6 +23,7 @@ import numpy as np
 from repro.errors import IllegalArgumentException, OutOfMemoryError
 from repro.nvm.checksum import crc32_words
 from repro.nvm.device import NvmDevice
+from repro.nvm.persist import PersistDomain
 from repro.runtime.objects import MemoryRoot, RootSlot
 
 ENTRY_TYPE_EMPTY = 0
@@ -76,6 +77,7 @@ class NameTable:
         self.capacity = capacity
         self.base_address = base_address
         self.memory = memory  # the VM AddressSpace, for root slots
+        self.persist = PersistDomain(device, name="pjh-names")
         # Volatile acceleration index: (type, name) -> entry index.
         self._index: dict = {}
         # Entries whose checksum or encoding failed on the last rebuild:
@@ -152,8 +154,7 @@ class NameTable:
         if existing is not None:
             entry = self._entry_offset(existing)
             self.device.write(entry + _VALUE, value)
-            self.device.clflush(entry + _VALUE)
-            self.device.fence()
+            self.persist.persist(entry + _VALUE)
             return existing
         count = self.metadata.name_table_count
         if count >= self.capacity:
@@ -166,8 +167,9 @@ class NameTable:
         self.device.write(entry + _NAME_LEN, length)
         self.device.write(entry + _CRC, _entry_crc(entry_type, length, words))
         self.device.write_block(entry + _NAME, words)
-        self.device.clflush(entry, ENTRY_WORDS)
-        self.device.fence()
+        # Payload epoch commits before the count bump publishes the entry
+        # (the bump runs in the metadata area's own domain, a later epoch).
+        self.persist.persist(entry, ENTRY_WORDS)
         self.metadata.set_name_table_count(count + 1)
         self._index[(entry_type, name)] = count
         return count

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.errors import OutOfMemoryError
 from repro.nvm.device import NvmDevice
+from repro.nvm.persist import PersistDomain
 from repro.runtime import layout as obj_layout
 from repro.runtime.klass import Klass
 from repro.runtime.objects import RootSlot
@@ -52,6 +53,10 @@ class PersistentHeap(PersistentSpaceService):
         self.device = device
         self.base_address = base_address
         self.metadata = MetadataArea(device)
+        # Data-heap persist domain: flush_words/fence and GC route through
+        # it, so flushes of lines shared by adjacent objects dedupe within
+        # one fence epoch.
+        self.persist = PersistDomain(device, name=f"pjh:{name}")
         self.safety = safety if safety is not None else UserGuaranteedPolicy()
         self.layout: HeapLayout = None  # type: ignore[assignment]
         self.name_table: NameTable = None  # type: ignore[assignment]
@@ -158,9 +163,7 @@ class PersistentHeap(PersistentSpaceService):
             old_watermark = self._durable_top_watermark
             window = old_watermark - self.base_address
             self.device.fill(window, watermark - old_watermark, 0)
-            self.device.clflush(window, watermark - old_watermark,
-                                asynchronous=True)
-            self.device.fence()
+            self.persist.persist(window, watermark - old_watermark)
             self.metadata.set_top(watermark)
             # Scan hint: load-time tail validation walks from here instead
             # of from the heap base, keeping UG loads O(#Klasses) (Fig 18).
@@ -187,22 +190,31 @@ class PersistentHeap(PersistentSpaceService):
         self.device.write(offset + obj_layout.KLASS_WORD_OFFSET, klass.address)
         if length is not None:
             self.device.write(offset + obj_layout.ARRAY_LENGTH_OFFSET, length)
-        self.device.clflush(offset, obj_layout.ARRAY_HEADER_WORDS
-                            if length is not None else obj_layout.HEADER_WORDS)
-        self.device.fence()
+        # One epoch per object: truncate-at-first-bad-header recovery needs
+        # every published header durable before the next allocation.
+        self.persist.persist(offset, obj_layout.ARRAY_HEADER_WORDS
+                             if length is not None else obj_layout.HEADER_WORDS)
         self.vm.failpoints.hit("pjh.alloc.object_persisted")
 
     # ------------------------------------------------------------------
     # Persistence primitives (the flush APIs build on these)
     # ------------------------------------------------------------------
     def flush_words(self, address: int, count: int = 1,
-                    fence: bool = True) -> None:
-        self.device.clflush(address - self.base_address, count)
+                    fence: bool = True) -> int:
+        """Enqueue the covering lines in the heap's persist domain.
+
+        With ``fence`` the epoch commits immediately (classic
+        clflush+sfence); without, the lines stay pending until the next
+        :meth:`fence`/commit, deduping against other flushes in the epoch.
+        Returns the number of newly enqueued cache lines.
+        """
+        added = self.persist.flush(address - self.base_address, count)
         if fence:
-            self.device.fence()
+            self.persist.commit_epoch()
+        return added
 
     def fence(self) -> None:
-        self.device.fence()
+        self.persist.fence()
 
     # ------------------------------------------------------------------
     # Heap walking and load-time validation
@@ -297,7 +309,6 @@ class PersistentHeap(PersistentSpaceService):
             objects += 1
             name = self.vm.access.klass_of(address).name
             by_klass[name] = by_klass.get(name, 0) + 1
-        device = self.device.stats
         return {
             "name": self.name,
             "base_address": self.base_address,
@@ -309,8 +320,7 @@ class PersistentHeap(PersistentSpaceService):
             "klasses": self.klass_segment.klass_count(),
             "roots": len(self.name_table.root_slots()),
             "global_timestamp": self.metadata.global_timestamp,
-            "device": {"reads": device.reads, "writes": device.writes,
-                       "flushes": device.flushes, "fences": device.fences},
+            "device": self.device.stats.as_dict(),
         }
 
     def __repr__(self) -> str:

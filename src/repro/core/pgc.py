@@ -31,6 +31,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.nvm.persist import PersistDomain
 from repro.runtime import layout as obj_layout
 from repro.runtime.bitmap import LiveMap
 from repro.runtime.old_gc import CompactionEngine, CompactStats, GCHooks
@@ -52,17 +53,18 @@ class NvmGCHooks(GCHooks):
         self.flush_enabled = flush_enabled
         self.recovery = recovery
         self._per_map_words = self.layout.bitmap_words // 2
+        # The collector shares the heap's domain so its bulk flushes dedupe
+        # against lines the mutator already enqueued; the §6.4 baseline gets
+        # a disabled domain instead, removing every clflush and fence.
+        self.persist = (heap.persist if flush_enabled
+                        else PersistDomain(heap.device, name="pgc-noflush",
+                                           enabled=False))
 
     # -- small persistence helpers -----------------------------------------
-    # GC persistence uses clflushopt semantics: issue-cost flushes drained
-    # by the fence (the collector is a bulk operation; transactional paths
-    # elsewhere stay on synchronous clflush).
     def _flush(self, offset: int, count: int = 1, fence: bool = True) -> None:
-        if not self.flush_enabled:
-            return
-        self.device.clflush(offset, count, asynchronous=True)
+        self.persist.flush(offset, count)
         if fence:
-            self.device.fence()
+            self.persist.commit_epoch()
 
     def failpoint(self, site: str) -> None:
         self.heap.vm.failpoints.hit(site)
@@ -136,8 +138,7 @@ class NvmGCHooks(GCHooks):
             new_value = self.device.read(off + 2 * i + 1)
             self.device.write(slot_offset, new_value)
             self._flush(slot_offset, 1, fence=False)
-        if count and self.flush_enabled:
-            self.device.fence()
+        self.persist.commit_epoch()
         return count
 
     # -- region bitmap --------------------------------------------------------
@@ -161,16 +162,22 @@ class NvmGCHooks(GCHooks):
         self._flush(off, count)
 
     # -- object persistence -------------------------------------------------------
+    def flush_range(self, address: int, size_words: int) -> None:
+        """Enqueue without committing; pairs with :meth:`commit_epoch`."""
+        self.persist.flush(address - self.heap.base_address, size_words)
+
+    def commit_epoch(self) -> None:
+        self.persist.commit_epoch()
+
     def persist_range(self, address: int, size_words: int) -> None:
         self._flush(address - self.heap.base_address, size_words)
 
     def persist_headers(self, addresses) -> None:
-        if not self.flush_enabled:
-            return
+        # Headers of objects in the same line (small-object batches) dedupe
+        # to a single flush within the epoch.
         for address in addresses:
-            self.device.clflush(address - self.heap.base_address, 1,
-                                asynchronous=True)
-        self.device.fence()
+            self.persist.flush(address - self.heap.base_address, 1)
+        self.persist.commit_epoch()
 
     # -- serialized-protocol state ---------------------------------------------
     def region_cursor(self):
@@ -219,6 +226,8 @@ class PersistentGCResult:
     pause_ns: float
     flushes: int
     fences: int
+    flushes_deduped: int = 0
+    epochs: int = 0
 
 
 class PersistentGC:
@@ -236,15 +245,17 @@ class PersistentGC:
             vm.access, heap.data_space, heap.layout.region_words, hooks=hooks)
         roots = list(heap.root_slots()) + vm.gc_roots_for_persistent()
         start_ns = vm.clock.now_ns
-        flushes_before = heap.device.stats.flushes
-        fences_before = heap.device.stats.fences
+        before = heap.device.stats.snapshot()
         with vm.clock.scope("gc"):
             stats = engine.collect(roots)
         # PJH objects moved: the PJH->DRAM remembered set addresses are stale.
         vm.rebuild_pjh_to_dram_remset(heap.walk())
+        delta = heap.device.stats.delta(before)
         return PersistentGCResult(
             stats=stats,
             pause_ns=vm.clock.now_ns - start_ns,
-            flushes=heap.device.stats.flushes - flushes_before,
-            fences=heap.device.stats.fences - fences_before,
+            flushes=delta.flushes,
+            fences=delta.fences,
+            flushes_deduped=delta.flushes_deduped,
+            epochs=delta.epochs,
         )

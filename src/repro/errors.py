@@ -99,3 +99,13 @@ class SqlError(EspressoError):
 
 class UnsafePointerError(EspressoError):
     """Raised by the type-based safety checker on an NVM->DRAM store."""
+
+
+class OrderingViolation(EspressoError):
+    """Raised by a strict persist domain on a broken durability ordering.
+
+    Code read back a "durable" invariant whose backing store was either
+    never enqueued for flushing, or enqueued but not yet committed by a
+    fence epoch — exactly the class of bug the REORDERED fault mode turns
+    into silent corruption.
+    """

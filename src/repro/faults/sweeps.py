@@ -12,6 +12,8 @@ Layers covered:
 * ``pjhlib``         — Java-level ACID collections (flush boundaries)
 * ``pcj_nvml``       — PCJ's NVML-style undo-log transactions (flush)
 * ``pjo_commit``     — the PJO commit path with dedup + field tracking (flush)
+* ``mixed_domains``  — PJH allocation interleaved with H2 WAL commits, both
+  routed through coalescing persist domains on separate devices (flush)
 """
 
 from __future__ import annotations
@@ -433,3 +435,107 @@ def _pjo_harness() -> CrashSweepHarness:
 
 _register(SweepSpec("pjo_commit", "flush", _pjo_harness,
                     fast_stride=37, fast_max_points=8))
+
+
+# ----------------------------------------------------------------------
+# Mixed persist domains: PJH allocation + H2 WAL on separate devices
+# ----------------------------------------------------------------------
+def _mixed_harness() -> CrashSweepHarness:
+    """Epoch coalescing must hold when two domains interleave.
+
+    Each round anchors a new PJH node (flush_reachable + setRoot, its own
+    domain epochs) and then commits an H2 insert recording the round (WAL
+    payload/counter epochs on a different device).  The flush bomb counts
+    clflush calls globally across both devices, so every interleaving of
+    the two protocols gets crashed — a flush that leaked across an epoch
+    boundary in either domain breaks a per-layer invariant, and the
+    cross-layer ordering (row *i* durable implies anchor *i* durable)
+    catches coalescing that reorders work between the subsystems.
+    """
+    from repro.api import Espresso
+    from repro.h2.engine import Database
+    from repro.runtime.klass import FieldKind, field
+
+    ROUNDS = 5
+
+    def setup():
+        tmp = Path(tempfile.mkdtemp(prefix="sweep-mixed-"))
+        jvm = Espresso(tmp / "heaps")
+        node = jvm.define_class("MixNode", [field("v", FieldKind.INT),
+                                            field("next", FieldKind.REF)])
+        jvm.createHeap("h", 256 * 1024, region_words=128)
+        db = Database(size_words=1 << 18)
+        return SimpleNamespace(tmp=tmp, jvm=jvm, node=node, db=db)
+
+    def workload(ctx):
+        jvm, db = ctx.jvm, ctx.db
+        db.execute("CREATE TABLE log (k BIGINT PRIMARY KEY, v VARCHAR)")
+        keep = None
+        for i in range(ROUNDS):
+            n = jvm.pnew(ctx.node)
+            jvm.set_field(n, "v", i)
+            if keep is not None:
+                jvm.set_field(n, "next", keep)
+            keep = n
+            jvm.flush_reachable(keep)
+            jvm.setRoot("keep", keep)
+            db.execute("INSERT INTO log VALUES (?, ?)", (i, f"v{i}"))
+        # A multi-statement transaction at the end: atomic or absent.
+        db.execute("BEGIN")
+        db.execute("UPDATE log SET v = 'x0' WHERE k = 0")
+        db.execute("INSERT INTO log VALUES (100, 'tail')")
+        db.execute("COMMIT")
+
+    def recover(ctx, crashed):
+        ctx.jvm.crash()
+        jvm2 = Espresso(ctx.tmp / "heaps")
+        jvm2.loadHeap("h")
+        return SimpleNamespace(jvm=jvm2, db=ctx.db.crash(),
+                               heap=jvm2.heaps.heap("h"))
+
+    def invariant(rctx, completed):
+        jvm, db = rctx.jvm, rctx.db
+        # PJH side: the rooted chain is a contiguous anchored suffix.
+        head = jvm.getRoot("keep")
+        chain = []
+        cursor = head
+        while cursor is not None:
+            chain.append(jvm.get_field(cursor, "v"))
+            cursor = jvm.get_field(cursor, "next")
+        if chain:
+            assert chain == list(range(chain[0], -1, -1)), chain
+        # H2 side: committed inserts form a prefix; the tx is atomic.
+        rows = {}
+        if db.catalog.exists("log"):
+            rows = dict(db.execute("SELECT k, v FROM log").rows)
+        keys = sorted(k for k in rows if k < 100)
+        assert keys == list(range(len(keys))), keys
+        assert (100 in rows) == (rows.get(0) == "x0")
+        for k in keys[1:]:
+            assert rows[k] == f"v{k}"
+        if keys:
+            assert rows[0] in ("v0", "x0")
+            # Cross-domain ordering: insert i commits only after anchor i
+            # was published, so a durable row implies a durable anchor.
+            assert chain and chain[0] >= keys[-1], (chain, keys)
+        if completed:
+            assert chain and chain[0] == ROUNDS - 1, chain
+            assert len(keys) == ROUNDS and 100 in rows, rows
+
+    def fsck(rctx):
+        from repro.tools.fsck import fsck_heap
+        return fsck_heap(rctx.heap)
+
+    def teardown(ctx, rctx):
+        shutil.rmtree(ctx.tmp, ignore_errors=True)
+
+    return CrashSweepHarness(
+        "mixed_domains",
+        setup=setup, workload=workload, recover=recover,
+        invariant=invariant, fsck=fsck, teardown=teardown,
+        devices=lambda ctx: [ctx.jvm.heaps.heap("h").device,
+                             ctx.db.device])
+
+
+_register(SweepSpec("mixed_domains", "flush", _mixed_harness,
+                    fast_stride=23, fast_max_points=10))

@@ -22,6 +22,7 @@ from repro.errors import IllegalStateException, SqlError
 from repro.nvm.clock import Clock
 from repro.nvm.device import NvmDevice
 from repro.nvm.latency import DEFAULT_LATENCY, LatencyConfig
+from repro.nvm.persist import PersistDomain
 
 from repro.h2.ast_nodes import (
     Aggregate,
@@ -97,13 +98,13 @@ class Database:
         self.device = device if device is not None else NvmDevice(
             size_words, self.clock, latency, name=name)
         d = self.device
+        self.persist = PersistDomain(d, name="h2-meta")
         if fresh:
             d.write(_PAGE_WORDS, page_words)
             d.write(_NEXT_PAGE, 0)
             d.write(_TABLE_COUNT, 0)
             d.write(_MAGIC, DB_MAGIC)
-            d.clflush(0, _META_WORDS)
-            d.fence()
+            self.persist.persist(0, _META_WORDS)
         elif d.read(_MAGIC) != DB_MAGIC:
             raise SqlError("device does not contain a database")
         page_words = d.read(_PAGE_WORDS)

@@ -68,10 +68,13 @@ class TransactionManager:
         """Undo this transaction's writes (applied + flushed), log ABORT."""
         if not tx.open:
             raise IllegalStateException("rollback on a closed transaction")
+        # Undo images batch into one epoch (overlapping writes to the same
+        # lines dedupe) and must be durable before the ABORT publishes —
+        # recovery skips aborted transactions entirely.
         for offset, old in reversed(tx._writes):
             self.wal.device.write_block(offset, old)
-            self.wal.device.clflush(offset, len(old))
-        self.wal.device.fence()
+            self.wal.persist.flush(offset, len(old))
+        self.wal.persist.commit_epoch()
         self.wal.log_abort(tx.tx_id)
         tx.open = False
         self.current = None

@@ -17,6 +17,19 @@ words before it):
 The CRC makes torn-tail detection robust: replay stops at the first record
 whose checksum fails instead of trusting the ``used`` counter, and reports
 how many record-shaped things were discarded behind the tear.
+
+Flush traffic is epoch-batched through a
+:class:`~repro.nvm.persist.PersistDomain`.  BEGIN records are *appended
+but not published*: their payload lines are enqueued and the ``used``
+counter is bumped only in live memory, then the first WRITE (or the
+COMMIT/ABORT of an empty transaction) publishes both records together —
+payload epoch first, counter epoch second — so the counter can never
+claim a record whose payload is not yet durable.  BEGIN deferral is
+recovery-safe because an unpublished record is invisible: the durable
+counter still ends in front of it and the transaction appears unfinished.
+WRITE records cannot be deferred: their undo images must be durable *and
+claimed* before the in-place page write they log, or a torn dirty page
+line would have no durable undo record to repair it (``FaultMode.TORN``).
 """
 
 from __future__ import annotations
@@ -27,7 +40,8 @@ import numpy as np
 
 from repro.errors import IllegalStateException, SqlError
 from repro.nvm.checksum import crc32_words
-from repro.nvm.device import NvmDevice
+from repro.nvm.device import LINE_WORDS, NvmDevice
+from repro.nvm.persist import PersistDomain
 
 REC_BEGIN = 1
 REC_WRITE = 2
@@ -59,23 +73,32 @@ class WriteAheadLog:
     """WAL over a fixed region [offset, offset+capacity) of the device."""
 
     def __init__(self, device: NvmDevice, offset: int, capacity: int) -> None:
+        if offset % LINE_WORDS:
+            # The used counter must not share a cache line with record
+            # payload: publication order (payload epoch, then counter
+            # epoch) relies on them flushing independently.
+            raise IllegalStateException(
+                f"WAL offset {offset} must be {LINE_WORDS}-word aligned")
         self.device = device
         self.offset = offset
         self.capacity = capacity
         self._data = offset + _HEADER_WORDS
+        self.persist = PersistDomain(device, name="h2-wal")
 
     # -- used counter ----------------------------------------------------------
     @property
     def used(self) -> int:
+        # The live counter: includes appended-but-unpublished records, so
+        # consecutive appends stack correctly within one transaction.
         return self.device.read(self.offset + _USED)
 
     def _set_used(self, value: int, flush: bool = True) -> None:
         self.device.write(self.offset + _USED, value)
         if flush:
-            self.device.clflush(self.offset + _USED)
+            self.persist.persist(self.offset + _USED)
 
     # -- appending ---------------------------------------------------------------
-    def _append(self, words: List[int], flush: bool) -> None:
+    def _append(self, words: List[int], publish: bool) -> None:
         words = words + [crc32_words(words)]
         used = self.used
         if _HEADER_WORDS + used + len(words) > self.capacity:
@@ -83,21 +106,30 @@ class WriteAheadLog:
                            "for this transaction)")
         target = self._data + used
         self.device.write_block(target, np.array(words, dtype=np.int64))
-        if flush:
-            self.device.clflush(target, len(words))
-            # Record payload must be durable *before* the used counter can
-            # claim it — otherwise a reordered crash could publish a counter
-            # over a torn record.
-            self.device.fence()
-        self._set_used(used + len(words), flush)
-        if flush:
-            self.device.fence()
+        # Enqueue the payload in the open epoch; bump the counter in live
+        # memory only.  Nothing becomes visible to recovery until publish().
+        self.persist.flush(target, len(words))
+        self.device.write(self.offset + _USED, used + len(words))
+        if publish:
+            self.publish()
+
+    def publish(self) -> None:
+        """Make every appended record durable and claimed by the counter.
+
+        Two epochs, never merged: payloads commit first, then the counter —
+        a reordered crash can at worst leave durable-but-unclaimed records,
+        which recovery never reads.
+        """
+        self.persist.commit_epoch()
+        self.persist.persist(self.offset + _USED)
 
     def log_begin(self, tx_id: int) -> None:
-        # Flushed like every other record: an unflushed BEGIN would leave a
-        # zeroed hole that truncates the scan in front of later, committed
-        # records.
-        self._append([REC_BEGIN, tx_id], flush=True)
+        # Appended but unpublished: the next record's publication claims it
+        # (its payload lines often share a cache line with that record's,
+        # deduping in the shared epoch).  If nothing ever publishes it, the
+        # durable counter ends in front of it and recovery treats the
+        # transaction as unfinished.
+        self._append([REC_BEGIN, tx_id], publish=False)
 
     def log_write(self, tx_id: int, device_offset: int,
                   old: np.ndarray, new: np.ndarray) -> None:
@@ -105,20 +137,23 @@ class WriteAheadLog:
             raise IllegalStateException("old/new images differ in length")
         words = ([REC_WRITE, tx_id, device_offset, len(old)]
                  + [int(w) for w in old] + [int(w) for w in new])
-        self._append(words, flush=True)
+        # Published immediately: the caller's in-place write follows, and
+        # its undo image must already be durable and claimed in case the
+        # overwritten line tears at a crash.
+        self._append(words, publish=True)
 
     def log_commit(self, tx_id: int) -> None:
-        self._append([REC_COMMIT, tx_id], flush=True)
+        self._append([REC_COMMIT, tx_id], publish=True)
 
     def log_abort(self, tx_id: int) -> None:
-        self._append([REC_ABORT, tx_id], flush=True)
+        self._append([REC_ABORT, tx_id], publish=True)
 
     # -- checkpoint -----------------------------------------------------------------
     def checkpoint(self) -> None:
         """Flush every dirty line, then truncate the log."""
         self.device.persist_all()
+        self.persist.discard()  # persist_all covered anything still pending
         self._set_used(0)
-        self.device.fence()
 
     # -- recovery ---------------------------------------------------------------------
     def _record_extent(self, cursor: int, used: int):

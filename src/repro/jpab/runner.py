@@ -28,6 +28,9 @@ class OperationResult:
     ops: int
     sim_ns: float
     breakdown: Dict[str, float] = field(default_factory=dict)
+    # Per-device NVM counter deltas for this phase (flushes, fences,
+    # flushes_deduped, epochs, reads, writes), keyed by device label.
+    nvm: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -63,22 +66,39 @@ def make_pjo_em(clock: Clock, entities, heap_dir,
     return em
 
 
+def _nvm_devices(em) -> Dict[str, object]:
+    """Label -> NvmDevice map for whichever provider backs *em*."""
+    database = getattr(em, "database", None)
+    if database is not None:
+        return {"h2": database.device}
+    jvm = getattr(em, "jvm", None)
+    if jvm is not None:
+        return {name: jvm.heaps.heap(name).device
+                for name in jvm.heaps.mounted_names()}
+    return {}
+
+
 def run_jpab_test(test: JpabTest, em_factory: Callable[[Clock], object],
                   count: int, provider: str) -> TestResult:
     """One JPAB test end to end (Create -> Retrieve -> Update -> Delete)."""
+    from repro.bench.harness import device_counters, snapshot_devices
+
     clock = Clock()
     em = em_factory(clock)
     driver = CrudDriver(em, test, count)
     result = TestResult(provider=provider, test=test.name)
+    devices = _nvm_devices(em)
     for operation in _RUN_ORDER:
         action = getattr(driver, operation.lower())
         start = clock.now_ns
         snapshot = clock.breakdown()
+        nvm_before = snapshot_devices(devices)
         ops = action()
         result.operations[operation] = OperationResult(
             operation=operation,
             ops=ops,
             sim_ns=clock.now_ns - start,
             breakdown=clock.breakdown_since(snapshot),
+            nvm=device_counters(devices, since=nvm_before),
         )
     return result

@@ -22,6 +22,7 @@ from repro.nvm.device import (
 from repro.nvm.failpoints import DOCUMENTED_SITES, FailpointRegistry
 from repro.nvm.latency import DEFAULT_LATENCY, LatencyConfig
 from repro.nvm.namespace import NameManager
+from repro.nvm.persist import OrderingViolation, PersistDomain
 
 __all__ = [
     "AddressSpace",
@@ -38,6 +39,8 @@ __all__ = [
     "MemoryDevice",
     "NameManager",
     "NvmDevice",
+    "OrderingViolation",
+    "PersistDomain",
     "WORD_BYTES",
     "crc32_words",
 ]

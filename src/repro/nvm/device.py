@@ -72,15 +72,45 @@ def _wrap_i64(value: int) -> int:
 
 @dataclass
 class DeviceStats:
-    """Operation counters for one device."""
+    """Operation counters for one device.
+
+    ``flushes_deduped`` counts flush requests a
+    :class:`~repro.nvm.persist.PersistDomain` elided because the line was
+    already pending in the open fence epoch; ``epochs`` counts committed
+    (non-empty) fence epochs.
+    """
 
     reads: int = 0
     writes: int = 0
     flushes: int = 0
     fences: int = 0
+    flushes_deduped: int = 0
+    epochs: int = 0
 
     def snapshot(self) -> "DeviceStats":
-        return DeviceStats(self.reads, self.writes, self.flushes, self.fences)
+        return DeviceStats(self.reads, self.writes, self.flushes, self.fences,
+                           self.flushes_deduped, self.epochs)
+
+    def delta(self, since: "DeviceStats") -> "DeviceStats":
+        """Counters accumulated since an earlier :meth:`snapshot`."""
+        return DeviceStats(
+            self.reads - since.reads,
+            self.writes - since.writes,
+            self.flushes - since.flushes,
+            self.fences - since.fences,
+            self.flushes_deduped - since.flushes_deduped,
+            self.epochs - since.epochs,
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "flushes": self.flushes,
+            "fences": self.fences,
+            "flushes_deduped": self.flushes_deduped,
+            "epochs": self.epochs,
+        }
 
 
 class MemoryDevice:
@@ -377,6 +407,19 @@ class NvmDevice(MemoryDevice):
         """Read straight from the durable array (no charge: test helper)."""
         self._check(offset)
         return int(self._durable[offset])
+
+    def line_state(self, line: int) -> str:
+        """Durability state of one cache line: dirty / unfenced / clean.
+
+        ``dirty`` — has stores never flushed; ``unfenced`` — flushed since
+        the last fence (REORDERED may still undo it); ``clean`` — durable.
+        Used by strict persist domains to diagnose ordering violations.
+        """
+        if line in self._dirty_lines:
+            return "dirty"
+        if line in self._unfenced:
+            return "unfenced"
+        return "clean"
 
 
 @dataclass(frozen=True)

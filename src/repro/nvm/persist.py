@@ -1,0 +1,208 @@
+"""Persist domains: epoch-batched, deduplicated flush scheduling.
+
+Every durable subsystem (PJH metadata, name table, allocation fast path,
+recoverable GC, the H2 WAL, PCJ's NVML pool, pjhlib's txn log, PJO) used to
+hand-roll its crash-consistency protocol from raw ``clflush`` + ``sfence``
+pairs.  A :class:`PersistDomain` centralises that ordering-critical line:
+
+* ``flush(offset, count)`` *enqueues* the covering cache lines into the
+  current **fence epoch** instead of flushing immediately.  Re-enqueueing a
+  line already pending in the epoch is free — the duplicate is counted in
+  ``DeviceStats.flushes_deduped`` and elided.
+* ``commit_epoch()`` issues the pending lines (sorted, coalesced into
+  contiguous ``clflush`` ranges with clflushopt semantics) followed by a
+  single fence, and starts the next epoch.
+* ``fence()`` is ``commit_epoch()`` with an unconditional trailing fence —
+  the drain point protocols use to make *previously issued* flushes final.
+
+Why the deferral is sound under every fault mode: a line flushed but not
+yet fenced may already fail to persist under ``FaultMode.REORDERED`` (the
+fence is what makes flushes final), so moving the ``clflush`` itself to the
+fence point is adversarially equivalent — nothing that was crash-correct
+before can observe the difference.  What would NOT be sound is merging two
+epochs: a protocol that fences between a payload flush and a counter flush
+(WAL records, undo-log entries, GC destination copies) relies on that
+boundary, so domains never migrate a pending line past a ``commit_epoch``
+— the queue is always fully drained before the fence is issued.
+
+Deduplication within one epoch is free for the same reason: no fence
+separates the duplicate flushes, so no protocol may depend on the line's
+intermediate durable state.
+
+The ``strict`` debug mode (see also :meth:`assert_durable`) raises
+:class:`~repro.errors.OrderingViolation` when code reads back a durable
+invariant that depends on a store that was never enqueued — or was
+enqueued but not yet committed — before the read.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Set, Tuple
+
+from repro.errors import OrderingViolation
+from repro.nvm.device import LINE_WORDS, NvmDevice
+
+__all__ = ["OrderingViolation", "PersistDomain"]
+
+
+class PersistDomain:
+    """Epoch-batched flush scheduler over one :class:`NvmDevice`.
+
+    With ``enabled=False`` every operation is a no-op — the §6.4
+    "recoverable GC without flushes" baseline plugs in here.
+    """
+
+    def __init__(self, device: NvmDevice, name: str = "persist",
+                 enabled: bool = True, strict: bool = False) -> None:
+        self.device = device
+        self.name = name
+        self.enabled = enabled
+        self.strict = strict
+        # Cache lines enqueued in the current (open) fence epoch.
+        self._pending: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Enqueueing
+    # ------------------------------------------------------------------
+    def _lines(self, offset: int, count: int) -> Tuple[int, int]:
+        if count < 1:
+            count = 1
+        return offset // LINE_WORDS, (offset + count - 1) // LINE_WORDS
+
+    def flush(self, offset: int, count: int = 1) -> int:
+        """Enqueue the lines covering ``[offset, offset+count)``.
+
+        Returns the number of *newly* pending lines; duplicates within the
+        open epoch are elided and counted as ``flushes_deduped``.
+        """
+        if not self.enabled:
+            return 0
+        first, last = self._lines(offset, count)
+        pending = self._pending
+        added = 0
+        for line in range(first, last + 1):
+            if line in pending:
+                self.device.stats.flushes_deduped += 1
+            else:
+                pending.add(line)
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # Epoch commit / fencing
+    # ------------------------------------------------------------------
+    def _runs(self) -> Iterator[Tuple[int, int]]:
+        """Pending lines as sorted, contiguous (first_line, n_lines) runs."""
+        lines: List[int] = sorted(self._pending)
+        start = prev = lines[0]
+        for line in lines[1:]:
+            if line != prev + 1:
+                yield start, prev - start + 1
+                start = line
+            prev = line
+        yield start, prev - start + 1
+
+    def commit_epoch(self) -> int:
+        """Issue every pending line (sorted, coalesced) + one fence.
+
+        An empty epoch commits for free: no flush, no fence, no counter.
+        Returns the number of lines flushed.
+        """
+        if not self._pending:
+            return 0
+        flushed = len(self._pending)
+        size = self.device.size_words
+        for first_line, n_lines in self._runs():
+            start = first_line * LINE_WORDS
+            count = min(n_lines * LINE_WORDS, size - start)
+            self.device.clflush(start, count, asynchronous=True)
+        self._pending.clear()
+        self.device.fence()
+        self.device.stats.epochs += 1
+        return flushed
+
+    def fence(self) -> None:
+        """Drain the epoch and fence unconditionally.
+
+        Unlike :meth:`commit_epoch` this always issues the fence, so it
+        also finalises flushes other code issued directly on the device
+        (e.g. a transaction draining its asynchronous data flushes).
+        """
+        if not self.enabled:
+            return
+        if self._pending:
+            self.commit_epoch()
+        else:
+            self.device.fence()
+
+    def persist(self, offset: int, count: int = 1) -> None:
+        """The classic clflush+sfence pair: enqueue and commit in one step."""
+        self.flush(offset, count)
+        self.commit_epoch()
+
+    @contextmanager
+    def epoch(self):
+        """Scope several ``flush`` calls into one epoch; commits on exit."""
+        try:
+            yield self
+        finally:
+            self.commit_epoch()
+
+    def discard(self) -> None:
+        """Drop the pending queue without flushing.
+
+        Only correct when something stronger already made the lines durable
+        (``persist_all`` during a checkpoint/close).
+        """
+        self._pending.clear()
+
+    @property
+    def pending_lines(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Strict-mode durability assertions
+    # ------------------------------------------------------------------
+    def assert_durable(self, offset: int, count: int = 1) -> None:
+        """Raise :class:`OrderingViolation` unless the range is truly durable.
+
+        Three ways a "durable" read-back can lie, all caught here:
+        the line is still pending in the open epoch (enqueued, epoch never
+        committed), it is dirty and was never enqueued at all, or it was
+        flushed but not fenced (REORDERED may still undo it).
+        """
+        if not self.enabled:
+            return
+        first, last = self._lines(offset, count)
+        for line in range(first, last + 1):
+            if line in self._pending:
+                raise OrderingViolation(
+                    f"{self.name}: line {line} is enqueued but its epoch "
+                    f"was never committed — the invariant at offset "
+                    f"{offset} is not durable yet")
+            state = self.device.line_state(line)
+            if state == "dirty":
+                raise OrderingViolation(
+                    f"{self.name}: line {line} has unflushed stores that "
+                    f"were never enqueued — the invariant at offset "
+                    f"{offset} depends on a store no epoch covers")
+            if state == "unfenced":
+                raise OrderingViolation(
+                    f"{self.name}: line {line} was flushed but not fenced "
+                    f"— a reordered crash may still undo it")
+
+    def read_durable(self, offset: int) -> int:
+        """Read a word as recovery would see it; strict-checks first.
+
+        In ``strict`` mode this is the read-back guard the debug mode
+        promises: reading a durable invariant whose store was never
+        enqueued (or never committed) raises :class:`OrderingViolation`.
+        """
+        if self.strict:
+            self.assert_durable(offset)
+        return self.device.durable_word(offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PersistDomain({self.name!r}, pending={len(self._pending)}, "
+                f"enabled={self.enabled}, strict={self.strict})")

@@ -166,7 +166,9 @@ class PersistentObject:
                 pool.tx_add_range(self.offset + index, 1)
             with clock.scope("data"):
                 pool.device.write(self.offset + index, value)
-                pool.device.clflush(self.offset + index)
+                # Deferred into the transaction's epoch: tx_commit drains
+                # it (repeated writes to the same line dedupe until then).
+                pool.persist.flush(self.offset + index)
             if new_is_ref and value:
                 PersistentObject.from_offset(pool, value).inc_ref()
             if old_is_ref and old and old != value:

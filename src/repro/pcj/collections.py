@@ -39,7 +39,7 @@ class PersistentArray(PersistentObject):
     def _init_payload(self) -> None:
         device = self.pool.device
         device.write(self.offset, self._pending_length)
-        device.clflush(self.offset)
+        self.pool.persist.flush(self.offset)  # drained by the create tx
 
     def length(self) -> int:
         return self._read_word(0)
@@ -84,7 +84,7 @@ class PersistentLongArray(PersistentObject):
     def _init_payload(self) -> None:
         device = self.pool.device
         device.write(self.offset, self._pending_length)
-        device.clflush(self.offset)
+        self.pool.persist.flush(self.offset)  # drained by the create tx
 
     def length(self) -> int:
         return self._read_word(0)
@@ -118,7 +118,7 @@ class PersistentTuple(PersistentObject):
     def _init_payload(self) -> None:
         device = self.pool.device
         device.write(self.offset, self._pending_arity)
-        device.clflush(self.offset)
+        self.pool.persist.flush(self.offset)  # drained by the create tx
 
     def arity(self) -> int:
         return self._read_word(0)

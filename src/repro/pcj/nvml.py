@@ -36,6 +36,7 @@ from repro.errors import (
 from repro.nvm.clock import Clock
 from repro.nvm.device import NvmDevice
 from repro.nvm.latency import DEFAULT_LATENCY, LatencyConfig
+from repro.nvm.persist import PersistDomain
 
 # Pool metadata word offsets.
 _MAGIC = 0
@@ -90,6 +91,11 @@ class MemoryPool:
                  _format: bool = True) -> None:
         self.clock = clock if clock is not None else Clock()
         self.device = NvmDevice(size_words, self.clock, latency, name=name)
+        # All pool durability routes through one domain: in-transaction
+        # data/header flushes stay enqueued until tx_commit drains them, so
+        # repeated stores to the pool's metadata line (tx state, heap top,
+        # free head all live in line 0) dedupe within the epoch.
+        self.persist = PersistDomain(self.device, name=name)
         if _format:
             d = self.device
             d.write(_SIZE, size_words)
@@ -103,8 +109,7 @@ class MemoryPool:
             self._compute_layout(tx_log_words)
             d.write(_HEAP_TOP, self._heap_off)
             d.write(_MAGIC, POOL_MAGIC)
-            d.clflush(0, _META_WORDS)
-            d.fence()
+            self.persist.persist(0, _META_WORDS)
         # Volatile acceleration caches (rebuilt on open).
         self._type_cache: Dict[str, int] = {}
         self._root_cache: Dict[int, int] = {}
@@ -130,6 +135,7 @@ class MemoryPool:
     def close(self):
         """Graceful close: flush everything, return the durable image."""
         self.device.persist_all()
+        self.persist.discard()  # persist_all covered anything still pending
         return self.device.durable_image()
 
     def crash_image(self):
@@ -171,8 +177,7 @@ class MemoryPool:
         d = self.device
         d.write(_TX_LOG_WORDS, 0)
         d.write(_TX_ACTIVE, 1)
-        d.clflush(_TX_ACTIVE, 2)
-        d.fence()
+        self.persist.persist(_TX_ACTIVE, 2)
         # Synchronisation: PCJ locks the object/pool around each operation.
         self.clock.charge(self.device.latency.sfence_ns * 2)
 
@@ -188,28 +193,26 @@ class MemoryPool:
         d.write(entry, offset)
         d.write(entry + 1, count)
         d.write_block(entry + 2, d.read_block(offset, count))
-        d.clflush(entry, count + 2)
-        # The entry must be durable before the log length can claim it: a
-        # reordered crash that persisted the counter but not the entry would
-        # make abort/recovery replay garbage over live data.
-        d.fence()
+        # Two epochs, never merged: the entry must be durable before the
+        # log length can claim it — a reordered crash that persisted the
+        # counter but not the entry would make abort/recovery replay
+        # garbage over live data.
+        self.persist.persist(entry, count + 2)
         d.write(_TX_LOG_WORDS, used + count + 2)
-        d.clflush(_TX_LOG_WORDS)
-        d.fence()
+        self.persist.persist(_TX_LOG_WORDS)
 
     def tx_commit(self) -> None:
         if not self.in_transaction:
             raise IllegalStateException("commit outside a transaction")
         self.clock.charge(NATIVE_CALL_NS)
         d = self.device
-        # Drain outstanding data flushes before discarding the undo log: if
-        # the cleared flag persisted while an unfenced data line reverted,
+        # Drain the data epoch before discarding the undo log: if the
+        # cleared flag persisted while a deferred data line reverted,
         # recovery would skip the rollback and expose a torn transaction.
-        d.fence()
+        self.persist.fence()
         d.write(_TX_ACTIVE, 0)
         d.write(_TX_LOG_WORDS, 0)
-        d.clflush(_TX_ACTIVE, 2)
-        d.fence()
+        self.persist.persist(_TX_ACTIVE, 2)
 
     def tx_abort(self) -> None:
         """Apply the undo log in reverse and close the transaction."""
@@ -225,7 +228,7 @@ class MemoryPool:
             cursor += count + 2
         for off, count, data in reversed(entries):
             d.write_block(off, data)
-            d.clflush(off, count)
+            self.persist.flush(off, count)  # drained by tx_commit's fence
         self.tx_commit()
 
     def recover(self) -> None:
@@ -234,11 +237,19 @@ class MemoryPool:
             self.tx_abort()
 
     def _tx_write(self, offset: int, value: int) -> None:
-        """Flushed single-word write, undo-logged inside a transaction."""
+        """Flushed single-word write, undo-logged inside a transaction.
+
+        Inside a transaction the flush stays enqueued until tx_commit
+        drains it (the undo entry above already covers a crash before
+        then); outside, the epoch commits immediately.
+        """
         if self.in_transaction:
             self.tx_add_range(offset, 1)
-        self.device.write(offset, value)
-        self.device.clflush(offset)
+            self.device.write(offset, value)
+            self.persist.flush(offset)
+        else:
+            self.device.write(offset, value)
+            self.persist.persist(offset)
 
     # ------------------------------------------------------------------
     # Type table ("type information memorization")
@@ -273,11 +284,11 @@ class MemoryPool:
         words, length = _pack_name(name)
         d.write(entry, length)
         d.write_block(entry + 1, words)
-        d.clflush(entry, _TYPE_ENTRY_WORDS)
-        d.fence()
+        # Entry epoch before count epoch: the count must never claim an
+        # entry that is not yet durable.
+        self.persist.persist(entry, _TYPE_ENTRY_WORDS)
         d.write(_TYPE_COUNT, count + 1)
-        d.clflush(_TYPE_COUNT)
-        d.fence()
+        self.persist.persist(_TYPE_COUNT)
         self._type_cache[name] = count
         return count
 
@@ -313,7 +324,9 @@ class MemoryPool:
             self._tx_write(_HEAP_TOP, top + total)
             # Fresh memory beyond the old top needs no undo image.
             d.write(cursor + HDR_SIZE, payload_words)
-            d.clflush(cursor + HDR_SIZE)
+            self.persist.flush(cursor + HDR_SIZE)
+            if not self.in_transaction:
+                self.persist.commit_epoch()
         # Header init; the caller persists type/version/refcount fields
         # under the "metadata" and "gc" scopes (same cache line), so no
         # separate flush is issued here.
@@ -327,10 +340,10 @@ class MemoryPool:
         d = self.device
         head = d.read(_FREE_HEAD)
         d.write(payload_offset, head)  # free-list link through the payload
-        d.clflush(payload_offset)
+        self.persist.flush(payload_offset)
         d.write(_FREE_HEAD, header)
-        d.clflush(_FREE_HEAD)
-        d.fence()
+        self.persist.flush(_FREE_HEAD)
+        self.persist.commit_epoch()
 
     # -- header accessors -------------------------------------------------------
     def header_word(self, payload_offset: int, index: int) -> int:
@@ -343,7 +356,9 @@ class MemoryPool:
             self._tx_write(offset, value)
         else:
             self.device.write(offset, value)
-            self.device.clflush(offset)
+            self.persist.flush(offset)
+            if not self.in_transaction:
+                self.persist.commit_epoch()
 
     def payload_size(self, payload_offset: int) -> int:
         return self.header_word(payload_offset, HDR_SIZE)
@@ -361,13 +376,13 @@ class MemoryPool:
             if index >= _ROOT_CAPACITY:
                 raise OutOfMemoryError("PCJ root directory full")
             d.write(_ROOT_COUNT, index + 1)
-            d.clflush(_ROOT_COUNT)
+            self.persist.flush(_ROOT_COUNT)
             self._root_cache[key] = index
         entry = self._root_table_off + index * _ROOT_ENTRY_WORDS
         d.write(entry, key)
         d.write(entry + 1, payload_offset)
-        d.clflush(entry, _ROOT_ENTRY_WORDS)
-        d.fence()
+        self.persist.flush(entry, _ROOT_ENTRY_WORDS)
+        self.persist.commit_epoch()
 
     def get_root(self, name: str) -> Optional[int]:
         key = _hash64(name)
@@ -394,8 +409,7 @@ class MemoryPool:
         count = d.read(_GC_REG_COUNT)  # shares the registry region
         slot = self._gc_reg_off + ((count + 499) % _GC_REG_CAPACITY)
         d.write(slot, payload_offset)
-        d.clflush(slot)
-        d.fence()
+        self.persist.persist(slot)
 
     # ------------------------------------------------------------------
     # GC registry (reference-counting bookkeeping)
@@ -410,10 +424,10 @@ class MemoryPool:
         count = d.read(_GC_REG_COUNT)
         slot = self._gc_reg_off + (count % _GC_REG_CAPACITY)
         d.write(slot, payload_offset)
-        d.clflush(slot)
+        self.persist.flush(slot)
         d.write(_GC_REG_COUNT, count + 1)
-        d.clflush(_GC_REG_COUNT)
-        d.fence()
+        self.persist.flush(_GC_REG_COUNT)
+        self.persist.commit_epoch()
 
     # ------------------------------------------------------------------
     # Introspection for tests/benchmarks

@@ -24,7 +24,7 @@ class PersistentLong(PersistentObject):
 
     def _init_payload(self) -> None:
         self.pool.device.write(self.offset, self._pending)
-        self.pool.device.clflush(self.offset)
+        self.pool.persist.flush(self.offset)  # drained by the create tx
 
     def long_value(self) -> int:
         return self._read_word(0)
@@ -59,7 +59,7 @@ class PersistentDouble(PersistentObject):
 
     def _init_payload(self) -> None:
         self.pool.device.write(self.offset, self._pending)
-        self.pool.device.clflush(self.offset)
+        self.pool.persist.flush(self.offset)  # drained by the create tx
 
     def double_value(self) -> float:
         return bits_to_float(self._read_word(0))
@@ -82,7 +82,7 @@ class PersistentString(PersistentObject):
         device.write(self.offset, len(self._pending))
         for i, ch in enumerate(self._pending):
             device.write(self.offset + 1 + i, ord(ch))
-        device.clflush(self.offset, 1 + len(self._pending))
+        self.pool.persist.flush(self.offset, 1 + len(self._pending))
 
     def length(self) -> int:
         return self._read_word(0)

@@ -30,6 +30,9 @@ class PjhTransaction:
         self._entries = jvm.pnew_array(FieldKind.INT, capacity * 2, heap)
         self._meta = jvm.pnew_array(FieldKind.INT, 2, heap)  # [active, count]
         self._heap = jvm.vm.service_of(self._entries.address)
+        # Both meta words live at a fixed slot; flushing exactly those two
+        # words (one cache line) beats re-flushing the whole header span.
+        self._meta_slot = jvm.vm.access.element_slot(self._meta.address, 0)
         self._count = 0
         # Nesting depth (volatile): an outer EntityManager transaction may
         # span several collection operations that each begin/commit; only
@@ -51,12 +54,21 @@ class PjhTransaction:
         txn._entries = entries
         txn._meta = meta
         txn._heap = jvm.vm.service_of(entries.address)
+        txn._meta_slot = jvm.vm.access.element_slot(meta.address, 0)
         txn.capacity = jvm.array_length(entries) // 2
         txn._count = 0
         txn._depth = 0
         return txn
 
     # ------------------------------------------------------------------
+    def _flush_meta(self) -> None:
+        """Flush the two meta words (active, count) — one cache line."""
+        slot = getattr(self, "_meta_slot", None)
+        if slot is None:
+            slot = self.vm.access.element_slot(self._meta.address, 0)
+            self._meta_slot = slot
+        self._heap.flush_words(slot, 2, fence=True)
+
     @property
     def active(self) -> bool:
         return bool(self.vm.array_get(self._meta, 0))
@@ -69,7 +81,7 @@ class PjhTransaction:
             raise IllegalStateException("transaction already active")
         self.vm.array_set(self._meta, 1, 0)
         self.vm.array_set(self._meta, 0, 1)
-        self._heap.flush_words(self._meta.address, 5, fence=True)
+        self._flush_meta()
         self._count = 0
         self._depth = 1
 
@@ -90,7 +102,7 @@ class PjhTransaction:
         self._heap.flush_words(entry_slot, 2, fence=True)
         self._count += 1
         self.vm.array_set(self._meta, 1, self._count)
-        self._heap.flush_words(self._meta.address, 5, fence=True)
+        self._flush_meta()
 
     def commit(self) -> None:
         if not self.active:
@@ -100,7 +112,7 @@ class PjhTransaction:
             return
         self.vm.array_set(self._meta, 0, 0)
         self.vm.array_set(self._meta, 1, 0)
-        self._heap.flush_words(self._meta.address, 5, fence=True)
+        self._flush_meta()
         self._count = 0
         self._depth = 0
 

@@ -154,9 +154,11 @@ def box_value(jvm, value: Any, heap: Optional[str] = None,
               fence: bool = True) -> Optional[ObjectHandle]:
     """Box a Python value into a pnew'd object (None -> null).
 
-    With ``fence=False`` the content lines are flushed but unfenced — the
-    caller batches boxes and issues one sfence at the end, the pattern the
-    paper's coarse-grained ``Object.flush`` recommends (§3.5).
+    With ``fence=False`` the content lines are enqueued in the heap's
+    persist domain but the epoch stays open — the caller batches boxes and
+    commits one epoch (single sfence, overlapping lines deduped) at the
+    end, the pattern the paper's coarse-grained ``Object.flush``
+    recommends (§3.5).
     """
     if value is None:
         return None

@@ -71,6 +71,18 @@ class GCHooks:
     def persist_headers(self, addresses: Sequence[int]) -> None:
         """Flush many single header words, one fence at the end."""
 
+    def flush_range(self, address: int, size_words: int) -> None:
+        """Enqueue a range into the current fence epoch without committing.
+
+        Pairs with :meth:`commit_epoch`; persistent hooks route this
+        through a :class:`~repro.nvm.persist.PersistDomain` so ranges
+        sharing cache lines dedupe within the epoch.  No-op for volatile
+        heaps.
+        """
+
+    def commit_epoch(self) -> None:
+        """Issue everything enqueued by :meth:`flush_range`, then fence."""
+
     # -- serialized-protocol state (durable for PJH) -----------------------
     def region_cursor(self) -> "tuple[int, int]":
         """(region, objects-done) of an in-flight serialized region,
@@ -346,14 +358,20 @@ class CompactionEngine:
             self.stats.moved_objects += 1
         if not processed:
             return
+        # Epoch 1: the whole contiguous destination span.  Must commit
+        # before any source stamp — a source timestamp becoming valid ahead
+        # of its durable copy is exactly what REORDERED sweeps catch.
         dest_start = processed[0][1]
         dest_end = processed[-1][1] + processed[-1][2]
-        self.hooks.persist_range(dest_start, dest_end - dest_start)
+        self.hooks.flush_range(dest_start, dest_end - dest_start)
+        self.hooks.commit_epoch()
         self.hooks.failpoint("gc.compact.dest_persisted")
-        # 4) destinations are durable: stamp the sources as processed.
+        # Epoch 2: destinations are durable, stamp the sources as processed.
+        # Header words of neighbouring small objects share lines and dedupe.
         for src, _dst, _size in processed:
             self.access.set_mark(src, new_mark)
-        self.hooks.persist_headers([src for src, _dst, _size in processed])
+            self.hooks.flush_range(src, 1)
+        self.hooks.commit_epoch()
         self.hooks.failpoint("gc.compact.src_stamped")
 
     def _compact_region_serialized(self, region: int, recovery: bool) -> None:

@@ -1,0 +1,68 @@
+"""lint-persist: no raw flush/fence calls outside the persist layer.
+
+Every durable subsystem must route its flush traffic through a
+:class:`repro.nvm.persist.PersistDomain` so fence epochs stay explicit,
+dedupable and sweep-checkable.  This linter walks ``src/`` and flags:
+
+* any ``clflush(`` call — the primitive belongs to the device layer;
+* ``device.fence(`` / ``d.fence(`` — a bare sfence bypasses the domain's
+  epoch bookkeeping (``domain.fence()`` / ``heap.fence()`` stay legal:
+  they drain the open epoch first).
+
+``src/repro/nvm/`` (the persist layer itself) and ``src/repro/faults/``
+(the crash harness, which wraps ``device.clflush`` to count crash points)
+are exempt.
+
+Run via ``make lint-persist`` or ``python -m repro.tools.lint_persist``;
+``tests/tools/test_lint_persist.py`` runs the same check under pytest.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+# Paths (relative to src/) whose files may touch the primitives — plus
+# this linter itself, whose docstring names the forbidden tokens.
+EXEMPT = ("repro/nvm/", "repro/faults/", "repro/tools/lint_persist.py")
+
+_PATTERNS = [
+    (re.compile(r"\bclflush\s*\("), "raw clflush call"),
+    (re.compile(r"\bdevice\.fence\s*\("), "raw fence on a device"),
+    (re.compile(r"\bd\.fence\s*\("), "raw fence on a device alias"),
+]
+
+
+def find_violations(src_root: Path) -> List[Tuple[str, int, str, str]]:
+    """(relative path, line number, line, reason) per offending line."""
+    violations = []
+    for path in sorted(src_root.rglob("*.py")):
+        rel = path.relative_to(src_root).as_posix()
+        if any(rel.startswith(prefix) for prefix in EXEMPT):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            stripped = line.split("#", 1)[0]
+            for pattern, reason in _PATTERNS:
+                if pattern.search(stripped):
+                    violations.append((rel, lineno, line.strip(), reason))
+    return violations
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    src_root = Path(args[0]) if args else Path(__file__).resolve().parents[2]
+    violations = find_violations(src_root)
+    for rel, lineno, line, reason in violations:
+        print(f"{rel}:{lineno}: {reason}: {line}")
+    if violations:
+        print(f"lint-persist: {len(violations)} violation(s) — route flush "
+              f"traffic through repro.nvm.persist.PersistDomain")
+        return 1
+    print("lint-persist: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,9 @@ class TpccResult:
     transactions: int
     sim_ns: float
     snapshot: Dict = field(default_factory=dict)
+    # Per-device NVM counters, split into the populate and transaction
+    # phases (each value is a flushes/fences/dedup/epochs dict).
+    nvm: Dict[str, Dict[str, Dict[str, int]]] = field(default_factory=dict)
 
     @property
     def tx_per_ms(self) -> float:
@@ -45,12 +48,19 @@ def run_tpcc(provider: str, transactions: int = 60, seed: int = 7,
     """Run a seeded transaction mix; identical seeds produce identical
     business outcomes on either provider (the cross-provider test relies
     on this)."""
+    from repro.bench.harness import device_counters, snapshot_devices
+    from repro.jpab.runner import _nvm_devices
+
     root = heap_dir if heap_dir is not None else Path(tempfile.mkdtemp())
     clock = Clock()
     em = _make_em(provider, clock, root / provider)
     app = TpccApplication(em)
+    devices = _nvm_devices(em)
+    populate_before = snapshot_devices(devices)
     app.populate(warehouses=warehouses, districts_per_warehouse=2,
                  customers_per_district=3, items=items)
+    populate_nvm = device_counters(devices, since=populate_before)
+    tx_before = snapshot_devices(devices)
 
     rng = random.Random(seed)
     start = clock.now_ns
@@ -72,7 +82,10 @@ def run_tpcc(provider: str, transactions: int = 60, seed: int = 7,
     sim_ns = clock.now_ns - start
     em.clear()
     result = TpccResult(provider=provider, transactions=transactions,
-                        sim_ns=sim_ns, snapshot=app.consistency_snapshot())
+                        sim_ns=sim_ns, snapshot=app.consistency_snapshot(),
+                        nvm={"populate": populate_nvm,
+                             "transactions": device_counters(
+                                 devices, since=tx_before)})
     if provider == "pjo":
         em.clear()
         em.jvm.shutdown()  # persist the heap image: the run is durable
