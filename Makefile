@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test sweep sweep-fast fsck lint-persist
+.PHONY: test sweep sweep-fast fsck lint-persist lint-time obs-report
 
 # Tier-1: the full unit/integration suite (exhaustive sweeps deselected).
 test:
@@ -24,3 +24,13 @@ sweep-pytest:
 # traffic must route through repro.nvm.persist.PersistDomain.
 lint-persist:
 	$(PYTHON) -m repro.tools.lint_persist
+
+# No wall-clock reads outside repro/nvm/clock.py and repro/obs: every
+# timestamp must come from the simulated Clock.
+lint-time:
+	$(PYTHON) -m repro.tools.lint_time
+
+# Run the traced fig17 bench, then render its obs section as tables.
+obs-report:
+	$(PYTHON) -m repro.bench.fig17_basictest_breakdown
+	$(PYTHON) -m repro.obs.report BENCH_fig17.json

@@ -3,7 +3,7 @@
 
 Builds a PJH full of linked lists and garbage, injects a simulated crash
 midway through the crash-consistent collection (§4.2), then reloads the
-heap in a fresh "JVM": loadHeap notices the in-progress flag and runs the
+heap in a fresh "JVM": load_heap notices the in-progress flag and runs the
 §4.3 recovery — mark bitmap -> redone summary -> unfinished regions —
 after which every list is intact.
 
@@ -29,7 +29,7 @@ def define_node(jvm):
 def build_workload(heap_dir: Path):
     jvm = Espresso(heap_dir)
     node = define_node(jvm)
-    jvm.createHeap("demo", HEAP_BYTES, region_words=128)
+    jvm.create_heap("demo", HEAP_BYTES, region_words=128)
     expected = {}
     for li in range(LISTS):
         values = [li * 100 + i for i in range(NODES)]
@@ -41,7 +41,7 @@ def build_workload(heap_dir: Path):
                 jvm.set_field(n, "next", head)
             head = n
         jvm.flush_reachable(head)
-        jvm.setRoot(f"list{li}", head)
+        jvm.set_root(f"list{li}", head)
         expected[f"list{li}"] = values
         for _ in range(15):        # garbage, so compaction moves things
             jvm.pnew(node).close()
@@ -80,7 +80,7 @@ def main() -> None:
           f"root entries redone: {report.recovery.roots_redone}")
 
     for name, values in expected.items():
-        got = read_list(jvm2, jvm2.getRoot(name))
+        got = read_list(jvm2, jvm2.get_root(name))
         status = "OK" if got == values else f"CORRUPT: {got}"
         print(f"  {name}: {status}")
         assert got == values

@@ -70,7 +70,7 @@ def main() -> None:
     # --- PJO: identical code, DBPersistables into PJH --------------------
     heap_dir = Path(tempfile.mkdtemp(prefix="espresso-db-"))
     jvm = Espresso(heap_dir)
-    jvm.createHeap("bank", 8 * 1024 * 1024)
+    jvm.create_heap("bank", 8 * 1024 * 1024)
     pjo_em = PjoEntityManager(jvm)
     pjo_em.create_schema([Account])
     workload(pjo_em, "H2-PJO", jvm.clock)
@@ -78,7 +78,7 @@ def main() -> None:
     # PJO survives a restart with zero reload work for the entities:
     jvm.shutdown()
     jvm2 = Espresso(heap_dir)
-    jvm2.loadHeap("bank")
+    jvm2.load_heap("bank")
     em2 = PjoEntityManager(jvm2)
     account = em2.find(Account, 7)
     print(f"after restart: account 7 -> owner={account.owner!r}, "

@@ -26,22 +26,22 @@ class PersistentKV:
 
     def __init__(self, heap_dir: Path) -> None:
         self.jvm = Espresso(heap_dir)
-        if self.jvm.existsHeap("kv"):
-            self.jvm.loadHeap("kv")
+        if self.jvm.exists_heap("kv"):
+            self.jvm.load_heap("kv")
         else:
-            self.jvm.createHeap("kv", HEAP_BYTES)
+            self.jvm.create_heap("kv", HEAP_BYTES)
         self.txn = PjhTransaction(self.jvm)
-        root = self.jvm.getRoot("table")
+        root = self.jvm.get_root("table")
         if root is None:
             self.table = PjhHashmap(self.jvm, self.txn)
-            self.jvm.setRoot("table", self.table.h)
+            self.jvm.set_root("table", self.table.h)
         else:
             self.table = PjhHashmap(self.jvm, self.txn, handle=root)
-        keys_root = self.jvm.getRoot("keys")
+        keys_root = self.jvm.get_root("keys")
         if keys_root is None:
             from repro.pjhlib import PjhArrayList
             self.keys = PjhArrayList(self.jvm, self.txn)
-            self.jvm.setRoot("keys", self.keys.h)
+            self.jvm.set_root("keys", self.keys.h)
         else:
             from repro.pjhlib import PjhArrayList
             self.keys = PjhArrayList(self.jvm, self.txn, handle=keys_root)

@@ -71,7 +71,7 @@ def pcj_side():
 # ---------------------------------------------------------------------------
 def pjh_side():
     jvm = Espresso(Path(tempfile.mkdtemp(prefix="espresso-porting-")))
-    jvm.createHeap("people", 16 << 20)
+    jvm.create_heap("people", 16 << 20)
     person_klass = jvm.define_class(
         "Person", [field("id", FieldKind.INT),     # plain int field!
                    field("name", FieldKind.REF)])  # plain String reference

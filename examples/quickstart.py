@@ -30,11 +30,11 @@ def main() -> None:
     jvm = Espresso(heap_dir)
     person_klass = define_person(jvm)
 
-    if jvm.existsHeap("Jimmy"):
+    if jvm.exists_heap("Jimmy"):
         # Figure 11, lines 2-5: load the heap and fetch the root object.
         print(f"Heap 'Jimmy' exists under {heap_dir} — loading it.")
-        jvm.loadHeap("Jimmy")
-        p = jvm.getRoot("Jimmy_info")
+        jvm.load_heap("Jimmy")
+        p = jvm.get_root("Jimmy_info")
         p = jvm.checkcast(p, "Person")  # caller is responsible for the cast
         visits = jvm.get_field(p, "id")
         print(f"Found {jvm.read_string(jvm.get_field(p, 'name'))!r}, "
@@ -44,12 +44,12 @@ def main() -> None:
     else:
         # Figure 11, lines 7-11: create the heap and the first objects.
         print(f"No heap yet — creating 'Jimmy' ({HEAP_BYTES // 1024} KiB).")
-        jvm.createHeap("Jimmy", HEAP_BYTES)
+        jvm.create_heap("Jimmy", HEAP_BYTES)
         p = jvm.pnew(person_klass)            # pnew: allocated in NVM
         jvm.set_field(p, "id", 1)
         jvm.set_field(p, "name", jvm.pnew_string("Jimmy"))
         jvm.flush_reachable(p)                # persist the object graph
-        jvm.setRoot("Jimmy_info", p)          # the entry point after reboot
+        jvm.set_root("Jimmy_info", p)          # the entry point after reboot
         print("Stored Jimmy with visit #1.")
 
     jvm.shutdown()

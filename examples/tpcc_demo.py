@@ -34,7 +34,7 @@ def main() -> None:
 
     print("\nDurability: restarting the PJO 'JVM' and querying again...")
     jvm = Espresso(root / "pjo" / "pjo")
-    jvm.loadHeap("tpcc")
+    jvm.load_heap("tpcc")
     em = PjoEntityManager(jvm)
     app = TpccApplication(em)
     status = app.order_status(customer_id(district_id(1, 0), 0))

@@ -14,14 +14,18 @@ Entry points:
 * :mod:`repro.bench` — harnesses regenerating every figure in the paper.
 """
 
-from repro.api import Espresso
+from repro.api import Espresso, EspressoConfig
 from repro.core.safety import SafetyLevel, persistent_type
+from repro.obs import NULL_OBS, Observatory
 from repro.runtime.klass import FieldDescriptor, FieldKind, Klass, field
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Espresso",
+    "EspressoConfig",
+    "Observatory",
+    "NULL_OBS",
     "FieldDescriptor",
     "FieldKind",
     "Klass",

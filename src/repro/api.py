@@ -2,9 +2,10 @@
 
 One :class:`Espresso` object plays the role of one JVM process with the
 paper's extensions: ``new``/``pnew``, the Table 1 heap-management APIs
-(spelled both Java-style — ``createHeap`` — and Python-style —
-``create_heap``), the §3.5 flush APIs, and restart/crash simulation for
-exercising recovery.
+(canonically snake_case — ``create_heap`` — with the paper's Java
+spellings kept as deprecated aliases), the §3.5 flush APIs, an
+:class:`~repro.obs.Observatory` at ``jvm.obs``, and restart/crash
+simulation for exercising recovery.
 
 Quickstart (the paper's Figure 11)::
 
@@ -13,21 +14,27 @@ Quickstart (the paper's Figure 11)::
     jvm = Espresso(heap_dir="/tmp/heaps")
     Person = jvm.define_class("Person", [field("id", FieldKind.INT),
                                          field("name", FieldKind.REF)])
-    if jvm.existsHeap("Jimmy"):
-        jvm.loadHeap("Jimmy")
-        p = jvm.checkcast(jvm.getRoot("Jimmy_info"), "Person")
+    if jvm.exists_heap("Jimmy"):
+        jvm.load_heap("Jimmy")
+        p = jvm.checkcast(jvm.get_root("Jimmy_info"), "Person")
     else:
-        jvm.createHeap("Jimmy", 1024 * 1024)
+        jvm.create_heap("Jimmy", 1024 * 1024)
         p = jvm.pnew(Person)
         jvm.set_field(p, "id", 1)
         jvm.set_field(p, "name", jvm.pnew_string("Jimmy"))
-        jvm.setRoot("Jimmy_info", p)
+        jvm.set_root("Jimmy_info", p)
+
+or, with the create-or-load convenience::
+
+    jvm = Espresso.open("/tmp/heaps", "Jimmy", 1024 * 1024)
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass, field as dataclass_field, replace
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence, Set, Union
 
 from repro.core.flush_api import (
     FlushReport,
@@ -41,10 +48,45 @@ from repro.core.persistent_heap import PersistentHeap
 from repro.core.safety import SafetyLevel
 from repro.nvm.clock import Clock
 from repro.nvm.latency import DEFAULT_LATENCY, LatencyConfig
+from repro.obs import NULL_OBS, Observatory
 from repro.runtime.dram_heap import HeapConfig
 from repro.runtime.klass import FieldDescriptor, FieldKind, Klass
 from repro.runtime.objects import ObjectHandle
 from repro.runtime.vm import EspressoVM
+
+#: Java-spelled aliases that have already warned this process (one-shot).
+_WARNED_ALIASES: Set[str] = set()
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which Java-spelled aliases have warned (for tests)."""
+    _WARNED_ALIASES.clear()
+
+
+def _warn_alias(java_name: str, snake_name: str) -> None:
+    if java_name in _WARNED_ALIASES:
+        return
+    _WARNED_ALIASES.add(java_name)
+    warnings.warn(
+        f"Espresso.{java_name}() is deprecated; use "
+        f"Espresso.{snake_name}() (the canonical snake_case API)",
+        DeprecationWarning, stacklevel=3)
+
+
+@dataclass
+class EspressoConfig:
+    """Everything that shapes one Espresso session, bundled.
+
+    Passing a config (or letting :meth:`Espresso.restart` carry one
+    forward) guarantees no knob is silently dropped across restarts.
+    ``observatory=None`` means the zero-cost no-op recorder.
+    """
+
+    clock: Optional[Clock] = None
+    latency: LatencyConfig = DEFAULT_LATENCY
+    heap_config: HeapConfig = dataclass_field(default_factory=HeapConfig)
+    alias_aware: bool = True
+    observatory: Optional[Observatory] = None
 
 
 class Espresso:
@@ -53,12 +95,40 @@ class Espresso:
     def __init__(self, heap_dir: Union[str, Path],
                  clock: Optional[Clock] = None,
                  latency: LatencyConfig = DEFAULT_LATENCY,
-                 heap_config: HeapConfig = HeapConfig(),
-                 alias_aware: bool = True) -> None:
-        self.vm = EspressoVM(clock=clock, latency=latency,
-                             heap_config=heap_config, alias_aware=alias_aware)
+                 heap_config: Optional[HeapConfig] = None,
+                 alias_aware: bool = True,
+                 observatory: Optional[Observatory] = None,
+                 config: Optional[EspressoConfig] = None) -> None:
+        if config is None:
+            config = EspressoConfig(
+                clock=clock, latency=latency,
+                heap_config=(heap_config if heap_config is not None
+                             else HeapConfig()),
+                alias_aware=alias_aware, observatory=observatory)
+        self.config = config
+        obs = config.observatory if config.observatory is not None else NULL_OBS
+        self.vm = EspressoVM(clock=config.clock, latency=config.latency,
+                             heap_config=config.heap_config,
+                             alias_aware=config.alias_aware, obs=obs)
         self.heaps = HeapManager(self.vm, heap_dir)
         self.heap_dir = Path(heap_dir)
+
+    @classmethod
+    def open(cls, heap_dir: Union[str, Path], name: str, size_bytes: int,
+             safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
+             region_words: int = 1024,
+             config: Optional[EspressoConfig] = None) -> "Espresso":
+        """Create-or-load convenience: a session with ``name`` mounted.
+
+        Loads the heap if it exists (``size_bytes`` is then ignored —
+        the stored geometry wins), creates it otherwise.
+        """
+        jvm = cls(heap_dir, config=config)
+        if jvm.exists_heap(name):
+            jvm.load_heap(name, safety)
+        else:
+            jvm.create_heap(name, size_bytes, safety, region_words)
+        return jvm
 
     # -- class definition ---------------------------------------------------
     def define_class(self, name: str,
@@ -127,37 +197,59 @@ class Espresso:
     def instance_of(self, handle, target):
         return self.vm.instance_of(handle, target)
 
-    # -- Table 1 heap management APIs (Java spelling + Python spelling) ------------
+    # -- Table 1 heap management APIs (canonical snake_case) -----------------
+    def create_heap(self, name: str, size_bytes: int,
+                    safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
+                    region_words: int = 1024) -> PersistentHeap:
+        return self.heaps.create_heap(name, size_bytes, safety, region_words)
+
+    def load_heap(self, name: str,
+                  safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
+                  salvage: bool = False) -> PersistentHeap:
+        return self.heaps.load_heap(name, safety, salvage)
+
+    def exists_heap(self, name: str) -> bool:
+        return self.heaps.exists_heap(name)
+
+    def set_root(self, root_name: str, value: Optional[ObjectHandle],
+                 heap: Optional[str] = None) -> None:
+        self.heaps.set_root(root_name, value, heap)
+
+    def get_root(self, root_name: str,
+                 heap: Optional[str] = None) -> Optional[ObjectHandle]:
+        return self.heaps.get_root(root_name, heap)
+
+    # -- Table 1 Java spellings (deprecated thin aliases) --------------------
     def createHeap(self, name: str, size_bytes: int,
                    safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
                    region_words: int = 1024) -> PersistentHeap:
-        return self.heaps.create_heap(name, size_bytes, safety, region_words)
-
-    create_heap = createHeap
+        """Deprecated Java spelling of :meth:`create_heap`."""
+        _warn_alias("createHeap", "create_heap")
+        return self.create_heap(name, size_bytes, safety, region_words)
 
     def loadHeap(self, name: str,
                  safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
                  salvage: bool = False) -> PersistentHeap:
-        return self.heaps.load_heap(name, safety, salvage)
-
-    load_heap = loadHeap
+        """Deprecated Java spelling of :meth:`load_heap`."""
+        _warn_alias("loadHeap", "load_heap")
+        return self.load_heap(name, safety, salvage)
 
     def existsHeap(self, name: str) -> bool:
-        return self.heaps.exists_heap(name)
-
-    exists_heap = existsHeap
+        """Deprecated Java spelling of :meth:`exists_heap`."""
+        _warn_alias("existsHeap", "exists_heap")
+        return self.exists_heap(name)
 
     def setRoot(self, root_name: str, value: Optional[ObjectHandle],
                 heap: Optional[str] = None) -> None:
-        self.heaps.set_root(root_name, value, heap)
-
-    set_root = setRoot
+        """Deprecated Java spelling of :meth:`set_root`."""
+        _warn_alias("setRoot", "set_root")
+        self.set_root(root_name, value, heap)
 
     def getRoot(self, root_name: str,
                 heap: Optional[str] = None) -> Optional[ObjectHandle]:
-        return self.heaps.get_root(root_name, heap)
-
-    get_root = getRoot
+        """Deprecated Java spelling of :meth:`get_root`."""
+        _warn_alias("getRoot", "get_root")
+        return self.get_root(root_name, heap)
 
     # -- §3.5 flush APIs --------------------------------------------------------------
     def flush_field(self, handle: ObjectHandle, field_name: str) -> None:
@@ -190,23 +282,28 @@ class Espresso:
     # -- restart / crash simulation ------------------------------------------------------------
     def shutdown(self) -> None:
         """Gracefully persist and unload every mounted heap."""
-        for name in list(self.heaps.mounted_names()):
-            self.heaps.unload_heap(name)
+        with self.obs.span("session.shutdown"):
+            for name in list(self.heaps.mounted_names()):
+                self.heaps.unload_heap(name)
 
     def crash(self) -> None:
         """Power loss: every mounted heap loses its unflushed lines."""
-        for name in list(self.heaps.mounted_names()):
-            self.heaps.unload_heap(name, crash=True)
+        with self.obs.span("session.crash"):
+            for name in list(self.heaps.mounted_names()):
+                self.heaps.unload_heap(name, crash=True)
 
     def restart(self) -> "Espresso":
-        """Shut down gracefully and come back as a fresh 'JVM process'."""
+        """Shut down gracefully and come back as a fresh 'JVM process',
+        carrying the full session config (clock, latency, heap config,
+        alias awareness, observatory)."""
         self.shutdown()
-        return Espresso(self.heap_dir)
+        return Espresso(self.heap_dir, config=replace(self.config))
 
     def crash_and_restart(self) -> "Espresso":
-        """Crash and come back as a fresh 'JVM process'."""
+        """Crash and come back as a fresh 'JVM process' with the same
+        session config."""
         self.crash()
-        return Espresso(self.heap_dir)
+        return Espresso(self.heap_dir, config=replace(self.config))
 
     # -- context manager: `with Espresso(...) as jvm:` shuts down cleanly ----
     def __enter__(self) -> "Espresso":
@@ -223,3 +320,8 @@ class Espresso:
     @property
     def clock(self) -> Clock:
         return self.vm.clock
+
+    @property
+    def obs(self) -> Observatory:
+        """The session's observability recorder (NULL_OBS when disabled)."""
+        return self.vm.obs

@@ -54,7 +54,7 @@ def _tuple_speedups(latency: LatencyConfig, count: int,
     pcj_get = (pcj_clock.now_ns - t0) / count
 
     jvm = Espresso(heap_dir, latency=latency)
-    jvm.createHeap("t", 1 << 23)
+    jvm.create_heap("t", 1 << 23)
     txn = PjhTransaction(jvm)
     ptuples = [PjhTuple(jvm, txn, 3) for _ in range(count)]
     pvalues = [PjhLong(jvm, txn, i) for i in range(16)]
@@ -91,7 +91,7 @@ def run(count: int = 800, heap_dir: Path | None = None
             from repro.pjo.provider import PjoEntityManager
             jvm = Espresso(root / f"jpab{_scale}", clock=clock,
                            latency=_latency)
-            jvm.createHeap("jpab", 32 * 1024 * 1024)
+            jvm.create_heap("jpab", 32 * 1024 * 1024)
             em = PjoEntityManager(jvm)
             em.create_schema(BASIC_TEST.entities)
             return em

@@ -165,7 +165,7 @@ def run(count: int = 3000, heap_dir: Path | None = None) -> Fig15Result:
 
         root = heap_dir if heap_dir is not None else Path(tempfile.mkdtemp())
         jvm = Espresso(root / f"fig15-{data_type}")
-        jvm.createHeap("bench", max(64 << 20, count * 64 * 8))
+        jvm.create_heap("bench", max(64 << 20, count * 64 * 8))
         txn = PjhTransaction(jvm)
         pjh_ops = _pjh_workloads(jvm, txn, count)[data_type]
 

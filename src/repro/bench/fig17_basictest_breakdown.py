@@ -12,10 +12,11 @@ from __future__ import annotations
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.jpab import BASIC_TEST, OPERATIONS, make_jpa_em, make_pjo_em, \
     run_jpab_test
+from repro.obs import Observatory
 
 from repro.bench.harness import format_table, write_bench_json
 
@@ -31,19 +32,33 @@ class Fig17Result:
     # (provider, op) -> {device label: flush/fence counter deltas}
     nvm: Dict[Tuple[str, str], Dict[str, Dict[str, int]]] = field(
         default_factory=dict)
+    # (provider, op) -> {"spans": ..., "counters": ...} deltas, populated
+    # only when the run traced with a live Observatory.
+    obs: Dict[Tuple[str, str], Dict[str, object]] = field(
+        default_factory=dict)
 
 
-def run(count: int = 100, heap_dir: Path | None = None) -> Fig17Result:
+def run(count: int = 100, heap_dir: Path | None = None,
+        trace: bool = False) -> Fig17Result:
+    """Run both providers; ``trace=True`` records per-operation span and
+    counter deltas with one Observatory per provider (the default no-op
+    recorder leaves timings and flush counts untouched)."""
     root = heap_dir if heap_dir is not None else Path(tempfile.mkdtemp())
     result = Fig17Result(count=count)
+    jpa_obs: Optional[Observatory] = Observatory() if trace else None
+    pjo_obs: Optional[Observatory] = Observatory() if trace else None
     jpa = run_jpab_test(
-        BASIC_TEST, lambda clock: make_jpa_em(clock, BASIC_TEST.entities),
-        count, "H2-JPA")
+        BASIC_TEST,
+        lambda clock: make_jpa_em(
+            clock, BASIC_TEST.entities,
+            **({"obs": jpa_obs} if jpa_obs is not None else {})),
+        count, "H2-JPA", observatory=jpa_obs)
     pjo = run_jpab_test(
         BASIC_TEST,
-        lambda clock: make_pjo_em(clock, BASIC_TEST.entities,
-                                  root / "fig17"),
-        count, "H2-PJO")
+        lambda clock: make_pjo_em(
+            clock, BASIC_TEST.entities, root / "fig17",
+            **({"obs": pjo_obs} if pjo_obs is not None else {})),
+        count, "H2-PJO", observatory=pjo_obs)
     for provider, test_result in (("H2-JPA", jpa), ("H2-PJO", pjo)):
         for op in OPERATIONS:
             breakdown = test_result.operations[op].breakdown
@@ -54,11 +69,13 @@ def run(count: int = 100, heap_dir: Path | None = None) -> Fig17Result:
                                           ("database", "transformation"))) / 1e6
             result.cells[(provider, op)] = known
             result.nvm[(provider, op)] = test_result.operations[op].nvm
+            if trace:
+                result.obs[(provider, op)] = test_result.operations[op].obs
     return result
 
 
 def main(count: int = 100) -> Fig17Result:
-    result = run(count)
+    result = run(count, trace=True)
     rows = []
     for op in OPERATIONS:
         for provider in ("H2-JPA", "H2-PJO"):
@@ -82,6 +99,8 @@ def main(count: int = 100) -> Fig17Result:
                   for (provider, op), cell in result.cells.items()},
         "nvm": {f"{provider}/{op}": counters
                 for (provider, op), counters in result.nvm.items()},
+        "obs": {f"{provider}/{op}": delta
+                for (provider, op), delta in result.obs.items()},
     })
     return result
 

@@ -47,9 +47,9 @@ def _build_heap(heap_dir: Path, object_count: int) -> None:
     jvm = Espresso(heap_dir)
     klasses = _define_klasses(jvm)
     # Size generously: ~5 words per object + slack.
-    jvm.createHeap("fig18", max(1 << 20, object_count * 8 * 10))
+    jvm.create_heap("fig18", max(1 << 20, object_count * 8 * 10))
     anchor = jvm.pnew_array(jvm.vm.object_klass, object_count)
-    jvm.setRoot("anchor", anchor)
+    jvm.set_root("anchor", anchor)
     for i in range(object_count):
         obj = jvm.pnew(klasses[i % KLASS_COUNT])
         jvm.array_set(anchor, i, obj)

@@ -44,9 +44,9 @@ def _populate(heap_dir: Path, object_count: int, live_every: int = 4):
     jvm = Espresso(heap_dir)
     node = jvm.define_class("GcNode", [kfield("value", FieldKind.INT),
                                        kfield("next", FieldKind.REF)])
-    jvm.createHeap("gc", max(1 << 21, object_count * 8 * 8))
+    jvm.create_heap("gc", max(1 << 21, object_count * 8 * 8))
     keep = jvm.pnew_array(jvm.vm.object_klass, object_count // live_every + 1)
-    jvm.setRoot("keep", keep)
+    jvm.set_root("keep", keep)
     kept = 0
     for i in range(object_count):
         obj = jvm.pnew(node)

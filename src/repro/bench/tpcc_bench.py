@@ -12,6 +12,7 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs import Observatory
 from repro.tpcc import TpccResult, run_tpcc
 
 from repro.bench.harness import format_table, write_bench_json
@@ -32,15 +33,21 @@ class TpccBenchResult:
 
 
 def run(transactions: int = 60, seed: int = 7,
-        heap_dir: Path | None = None) -> TpccBenchResult:
+        heap_dir: Path | None = None,
+        trace: bool = False) -> TpccBenchResult:
+    """``trace=True`` gives each provider its own Observatory so the
+    results carry per-phase (populate / transactions) span and counter
+    deltas; the default no-op recorder changes nothing."""
     root = heap_dir if heap_dir is not None else Path(tempfile.mkdtemp())
-    jpa = run_tpcc("jpa", transactions, seed, root / "jpa")
-    pjo = run_tpcc("pjo", transactions, seed, root / "pjo")
+    jpa = run_tpcc("jpa", transactions, seed, root / "jpa",
+                   observatory=Observatory() if trace else None)
+    pjo = run_tpcc("pjo", transactions, seed, root / "pjo",
+                   observatory=Observatory() if trace else None)
     return TpccBenchResult(jpa=jpa, pjo=pjo)
 
 
 def main(transactions: int = 60) -> TpccBenchResult:
-    result = run(transactions)
+    result = run(transactions, trace=True)
     rows = [
         ("H2-JPA", f"{result.jpa.tx_per_ms:.2f}",
          result.jpa.snapshot["orders"], result.jpa.snapshot["history_rows"]),
@@ -58,6 +65,7 @@ def main(transactions: int = 60) -> TpccBenchResult:
         "speedup": result.speedup,
         "states_agree": result.states_agree,
         "nvm": {"jpa": result.jpa.nvm, "pjo": result.pjo.nvm},
+        "obs": {"jpa": result.jpa.obs, "pjo": result.pjo.obs},
     })
     return result
 

@@ -82,17 +82,21 @@ class HeapManager:
         if self.exists_heap(name):
             raise HeapExistsError(f"heap {name!r} already exists")
         size_words = size_bytes // WORD_BYTES
-        heap_layout = plan_layout(size_words, region_words)
-        base = self.vm.memory.find_free_base(size_words, start=PJH_BASE_START)
-        device = NvmDevice(size_words, self.vm.clock, self.vm.latency,
-                           name=f"pjh:{name}")
-        self.vm.memory.map(base, device)
-        self.names.register(name, size_words, base)
-        heap = PersistentHeap(name, self.vm, device, base,
-                              safety=policy_for(safety))
-        heap.initialize_fresh(heap_layout)
-        self.vm.attach_persistent_space(heap)
-        self._mounted[name] = heap
+        with self.vm.obs.span("heap.create", heap=name,
+                              size_words=size_words):
+            heap_layout = plan_layout(size_words, region_words)
+            base = self.vm.memory.find_free_base(size_words,
+                                                 start=PJH_BASE_START)
+            device = NvmDevice(size_words, self.vm.clock, self.vm.latency,
+                               name=f"pjh:{name}")
+            self.vm.memory.map(base, device)
+            self.names.register(name, size_words, base)
+            heap = PersistentHeap(name, self.vm, device, base,
+                                  safety=policy_for(safety))
+            heap.initialize_fresh(heap_layout)
+            self.vm.attach_persistent_space(heap)
+            self._mounted[name] = heap
+        self.vm.obs.register_device(f"pjh:{name}", device)
         return heap
 
     def load_heap(self, name: str,
@@ -106,13 +110,26 @@ class HeapManager:
                               salvage: bool = False):
         """Mount a durable image, verifying integrity phase by phase.
 
-        Each load phase runs under a named region; an unexpected decode
+        Each load phase runs under a named region (and a matching
+        ``heap.load.<region>`` tracing span); an unexpected decode
         error surfaces as :class:`CorruptHeapError` naming that region
         instead of an arbitrary exception.  Name-table entries with bad
         checksums are fatal by default; with ``salvage=True`` they are
         discarded and reported in the :class:`LoadReport` and the clean
         entries (roots included) stay usable.
         """
+        obs = self.vm.obs
+        with obs.span("heap.load", heap=name, salvage=salvage):
+            heap, report = self._load_with_report(name, safety, salvage)
+        obs.register_device(f"pjh:{name}", heap.device)
+        if report.discarded_entries:
+            obs.inc("heap.load.discarded_entries",
+                    len(report.discarded_entries))
+        obs.observe("heap.load_ns", report.load_ns)
+        return heap, report
+
+    def _load_with_report(self, name: str, safety: SafetyLevel,
+                          salvage: bool):
         if name in self._mounted:
             raise IllegalStateException(f"heap {name!r} is already loaded")
         if not self.names.exists(name):
@@ -125,8 +142,9 @@ class HeapManager:
         device = NvmDevice(size_words, self.vm.clock, self.vm.latency,
                            name=f"pjh:{name}")
         device.load_image(self.names.load_image(name))
-        probe = MetadataArea(device)
-        probe.validate()
+        with self.vm.obs.span("heap.load.metadata"):
+            probe = MetadataArea(device)
+            probe.validate()
         report.regions_verified.append("metadata")
         hint = probe.address_hint
 
@@ -148,13 +166,14 @@ class HeapManager:
                        HeapExistsError, KeyboardInterrupt)
 
         def phase(region, fn):
-            try:
-                result = fn()
-            except passthrough:
-                raise
-            except Exception as exc:
-                raise CorruptHeapError(
-                    region, f"{type(exc).__name__}: {exc}") from exc
+            with self.vm.obs.span(f"heap.load.{region}"):
+                try:
+                    result = fn()
+                except passthrough:
+                    raise
+                except Exception as exc:
+                    raise CorruptHeapError(
+                        region, f"{type(exc).__name__}: {exc}") from exc
             report.regions_verified.append(region)
             return result
 
@@ -259,13 +278,14 @@ class HeapManager:
 
     def unload_heap(self, name: str, crash: bool = False) -> None:
         heap = self._heap(name)
-        if crash:
-            self.crash_heap(name)
-        else:
-            self.save_heap(name)
-        self.vm.detach_persistent_space(heap)
-        self.vm.memory.unmap(heap.device)
-        del self._mounted[name]
+        with self.vm.obs.span("heap.unload", heap=name, crash=crash):
+            if crash:
+                self.crash_heap(name)
+            else:
+                self.save_heap(name)
+            self.vm.detach_persistent_space(heap)
+            self.vm.memory.unmap(heap.device)
+            del self._mounted[name]
 
     def remove_heap(self, name: str) -> None:
         if name in self._mounted:

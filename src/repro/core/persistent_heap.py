@@ -122,12 +122,14 @@ class PersistentHeap(PersistentSpaceService):
         self.safety.check_pnew(klass)
         address = self._allocate_raw(klass.instance_words)
         self._init_object(address, klass, None)
+        self.vm.obs.inc("pjh.alloc.objects")
         return address
 
     def allocate_array(self, klass: Klass, length: int) -> int:
         self.safety.check_pnew(klass)
         address = self._allocate_raw(klass.array_words(length))
         self._init_object(address, klass, length)
+        self.vm.obs.inc("pjh.alloc.objects")
         return address
 
     # Allocation proceeds TLAB-style: the durable top replica is advanced

@@ -242,15 +242,19 @@ class PersistentGC:
         vm = heap.vm
         hooks = NvmGCHooks(heap, flush_enabled=self.flush_enabled)
         engine = CompactionEngine(
-            vm.access, heap.data_space, heap.layout.region_words, hooks=hooks)
+            vm.access, heap.data_space, heap.layout.region_words, hooks=hooks,
+            obs=vm.obs)
         roots = list(heap.root_slots()) + vm.gc_roots_for_persistent()
         start_ns = vm.clock.now_ns
         before = heap.device.stats.snapshot()
-        with vm.clock.scope("gc"):
+        with vm.obs.span("gc.persistent", heap=heap.name), \
+                vm.clock.scope("gc"):
             stats = engine.collect(roots)
         # PJH objects moved: the PJH->DRAM remembered set addresses are stale.
         vm.rebuild_pjh_to_dram_remset(heap.walk())
         delta = heap.device.stats.delta(before)
+        vm.obs.inc("gc.persistent.collections")
+        vm.obs.observe("gc.persistent.pause_ns", vm.clock.now_ns - start_ns)
         return PersistentGCResult(
             stats=stats,
             pause_ns=vm.clock.now_ns - start_ns,

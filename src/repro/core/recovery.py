@@ -46,21 +46,31 @@ def recover(heap) -> RecoveryReport:
     vm = heap.vm
     hooks = NvmGCHooks(heap, recovery=True)
     engine = CompactionEngine(
-        vm.access, heap.data_space, heap.layout.region_words, hooks=hooks)
+        vm.access, heap.data_space, heap.layout.region_words, hooks=hooks,
+        obs=vm.obs)
 
-    # Step 1: fetch the persisted mark bitmaps.
-    hooks.load_livemap(engine.livemap)
-    engine.timestamp = metadata.global_timestamp
+    with vm.obs.span("recovery", heap=heap.name):
+        # Step 1: fetch the persisted mark bitmaps.
+        with vm.obs.span("recovery.fetch_bitmaps"):
+            hooks.load_livemap(engine.livemap)
+            engine.timestamp = metadata.global_timestamp
 
-    # Step 2: redo the summary (idempotent: derived from the bitmaps alone).
-    regions_done_before = sum(
-        1 for r in range(engine.n_regions) if hooks.is_region_done(r))
-    engine.summarize()
+        # Step 2: redo the summary (idempotent: derived from the bitmaps
+        # alone).  The engine emits the gc.summary span.
+        regions_done_before = sum(
+            1 for r in range(engine.n_regions) if hooks.is_region_done(r))
+        engine.summarize()
 
-    # Step 3: process the unfinished regions with the compact algorithm.
-    engine.compact(recovery=True)
-    roots_redone = metadata.root_redo_count if metadata.root_redo_valid else 0
-    engine.finish()  # applies the root redo, persists top, clears the flag
+        # Step 3: process the unfinished regions with the compact algorithm
+        # (the engine emits gc.compact with recovery=True).
+        engine.compact(recovery=True)
+        roots_redone = (metadata.root_redo_count
+                        if metadata.root_redo_valid else 0)
+        with vm.obs.span("recovery.root_redo", roots=roots_redone):
+            engine.finish()  # root redo, persist top, clear the flag
+
+    vm.obs.inc("recovery.performed")
+    vm.obs.inc("recovery.objects_recopied", engine.stats.moved_objects)
 
     return RecoveryReport(
         performed=True,

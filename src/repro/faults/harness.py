@@ -28,6 +28,13 @@ plumbing; the subject under test supplies callbacks:
     ``report.clean`` after every recovery.
 ``teardown(ctx, rctx)`` (optional)
     Release temp directories etc.  Runs even when an iteration fails.
+``observatory(ctx)`` (optional)
+    Return the :class:`~repro.obs.Observatory` tracing a context (defaults
+    to ``ctx.obs`` when present).  When an iteration's recovery, invariant
+    or fsck check fails, the harness dumps the recorded span timelines of
+    the crashed and recovered contexts alongside the assertion, so a sweep
+    failure arrives with the exact sequence of GC/WAL/recovery phases that
+    led to it.
 
 Three sweep styles are provided: :meth:`CrashSweepHarness.sweep_global_hits`
 (exhaustive walk of every failpoint), :meth:`~CrashSweepHarness.sweep_site`
@@ -131,7 +138,8 @@ class CrashSweepHarness:
                  devices: Callable[[Any], Sequence[NvmDevice]],
                  registry: Optional[Callable[[Any], Any]] = None,
                  fsck: Optional[Callable[[Any], Any]] = None,
-                 teardown: Optional[Callable[[Any, Any], None]] = None) -> None:
+                 teardown: Optional[Callable[[Any, Any], None]] = None,
+                 observatory: Optional[Callable[[Any], Any]] = None) -> None:
         self.name = name
         self.setup = setup
         self.workload = workload
@@ -141,6 +149,26 @@ class CrashSweepHarness:
         self.registry = registry
         self.fsck = fsck
         self.teardown = teardown
+        self.observatory = observatory
+
+    def _observatory_of(self, ctx) -> Optional[Any]:
+        if ctx is None:
+            return None
+        obs = (self.observatory(ctx) if self.observatory is not None
+               else getattr(ctx, "obs", None))
+        if obs is None or not getattr(obs, "enabled", False):
+            return None
+        return obs
+
+    def _timeline_dump(self, ctx, rctx) -> str:
+        """Render the crashed and recovered contexts' span timelines."""
+        sections = []
+        for label, context in (("crashed", ctx), ("recovered", rctx)):
+            obs = self._observatory_of(context)
+            if obs is not None:
+                sections.append(f"--- {label} context timeline ---\n"
+                                f"{obs.render_timeline()}")
+        return "\n".join(sections)
 
     # -- injection context managers ---------------------------------------
     @contextmanager
@@ -182,16 +210,29 @@ class CrashSweepHarness:
                     completed = True
             except SimulatedCrash:
                 crashed = True
-            rctx = self.recover(ctx, crashed)
-            self.invariant(rctx, completed)
-            fsck_clean = None
-            if self.fsck is not None:
-                report = self.fsck(rctx)
-                if report is not None:
-                    assert report.clean, (
-                        f"{self.name}: fsck dirty after recovery at "
-                        f"point {point} ({fault_mode}): {report.errors}")
-                    fsck_clean = True
+            try:
+                rctx = self.recover(ctx, crashed)
+                self.invariant(rctx, completed)
+                fsck_clean = None
+                if self.fsck is not None:
+                    report = self.fsck(rctx)
+                    if report is not None:
+                        assert report.clean, (
+                            f"{self.name}: fsck dirty after recovery at "
+                            f"point {point} ({fault_mode}): {report.errors}")
+                        fsck_clean = True
+            except SimulatedCrash:
+                raise
+            except BaseException as exc:
+                # A sweep failure without the phase history is nearly
+                # undebuggable: attach the recorded span timelines of both
+                # contexts (when tracing was enabled) to the failure.
+                dump = self._timeline_dump(ctx, rctx)
+                if dump:
+                    raise AssertionError(
+                        f"{self.name}: point {point} ({fault_mode}) failed: "
+                        f"{type(exc).__name__}: {exc}\n{dump}") from exc
+                raise
             return SweepIteration(point, crashed, completed, fsck_clean)
         finally:
             if self.teardown is not None:

@@ -27,6 +27,7 @@ from typing import Callable, Dict, Optional
 
 from repro.faults.harness import CrashSweepHarness, SweepReport
 from repro.nvm.device import FaultMode
+from repro.obs import Observatory
 
 
 @dataclass(frozen=True)
@@ -81,15 +82,15 @@ def _pjh_harness() -> CrashSweepHarness:
 
     def setup():
         tmp = Path(tempfile.mkdtemp(prefix="sweep-pjh-"))
-        jvm = Espresso(tmp / "heaps")
+        jvm = Espresso(tmp / "heaps", observatory=Observatory())
         node = jvm.define_class("SweepNode", [field("v", FieldKind.INT),
                                               field("next", FieldKind.REF)])
-        jvm.createHeap("h", 256 * 1024, region_words=128)
-        return SimpleNamespace(tmp=tmp, jvm=jvm, node=node)
+        jvm.create_heap("h", 256 * 1024, region_words=128)
+        return SimpleNamespace(tmp=tmp, jvm=jvm, node=node, obs=jvm.obs)
 
     def commit_anchor(ctx, handle):
         ctx.jvm.flush_reachable(handle)
-        ctx.jvm.setRoot("keep", handle)
+        ctx.jvm.set_root("keep", handle)
 
     def workload(ctx):
         jvm = ctx.jvm
@@ -114,14 +115,15 @@ def _pjh_harness() -> CrashSweepHarness:
 
     def recover(ctx, crashed):
         ctx.jvm.crash()  # power loss: durable image saved, heap unmounted
-        jvm2 = Espresso(ctx.tmp / "heaps")
-        jvm2.loadHeap("h")
-        return SimpleNamespace(jvm=jvm2, heap=jvm2.heaps.heap("h"))
+        jvm2 = Espresso(ctx.tmp / "heaps", observatory=Observatory())
+        jvm2.load_heap("h")
+        return SimpleNamespace(jvm=jvm2, heap=jvm2.heaps.heap("h"),
+                               obs=jvm2.obs)
 
     def invariant(rctx, completed):
         jvm = rctx.jvm
         allowed = anchors()
-        head = jvm.getRoot("keep")
+        head = jvm.get_root("keep")
         if completed or head is not None:
             assert head is not None, "committed root lost"
             chain = []
@@ -172,7 +174,9 @@ def _h2_harness() -> CrashSweepHarness:
         return rows
 
     def setup():
-        return SimpleNamespace(db=Database(size_words=1 << 18))
+        obs = Observatory()
+        return SimpleNamespace(db=Database(size_words=1 << 18, obs=obs),
+                               obs=obs)
 
     def workload(ctx):
         db = ctx.db
@@ -187,7 +191,8 @@ def _h2_harness() -> CrashSweepHarness:
         db.execute("COMMIT")
 
     def recover(ctx, crashed):
-        return SimpleNamespace(db=ctx.db.crash())
+        obs = Observatory()
+        return SimpleNamespace(db=ctx.db.crash(obs=obs), obs=obs)
 
     def invariant(rctx, completed):
         db = rctx.db
@@ -242,14 +247,15 @@ def _pjhlib_harness() -> CrashSweepHarness:
 
     def setup():
         tmp = Path(tempfile.mkdtemp(prefix="sweep-pjhlib-"))
-        jvm = Espresso(tmp / "heaps")
-        jvm.createHeap("kv", 2 * 1024 * 1024)
+        jvm = Espresso(tmp / "heaps", observatory=Observatory())
+        jvm.create_heap("kv", 2 * 1024 * 1024)
         txn = PjhTransaction(jvm)
         table = PjhHashmap(jvm, txn)
-        jvm.setRoot("table", table.h)
-        jvm.setRoot("txn_entries", txn._entries)
-        jvm.setRoot("txn_meta", txn._meta)
-        return SimpleNamespace(tmp=tmp, jvm=jvm, txn=txn, table=table)
+        jvm.set_root("table", table.h)
+        jvm.set_root("txn_entries", txn._entries)
+        jvm.set_root("txn_meta", txn._meta)
+        return SimpleNamespace(tmp=tmp, jvm=jvm, txn=txn, table=table,
+                               obs=jvm.obs)
 
     def workload(ctx):
         jvm, txn, table = ctx.jvm, ctx.txn, ctx.table
@@ -262,14 +268,14 @@ def _pjhlib_harness() -> CrashSweepHarness:
 
     def recover(ctx, crashed):
         ctx.jvm.crash()
-        jvm = Espresso(ctx.tmp / "heaps")
-        jvm.loadHeap("kv")
-        txn = PjhTransaction.reattach(jvm, jvm.getRoot("txn_entries"),
-                                      jvm.getRoot("txn_meta"))
+        jvm = Espresso(ctx.tmp / "heaps", observatory=Observatory())
+        jvm.load_heap("kv")
+        txn = PjhTransaction.reattach(jvm, jvm.get_root("txn_entries"),
+                                      jvm.get_root("txn_meta"))
         txn.recover()  # roll back any torn multi-slot operation
-        table = PjhHashmap(jvm, txn, handle=jvm.getRoot("table"))
+        table = PjhHashmap(jvm, txn, handle=jvm.get_root("table"))
         return SimpleNamespace(jvm=jvm, table=table,
-                               heap=jvm.heaps.heap("kv"))
+                               heap=jvm.heaps.heap("kv"), obs=jvm.obs)
 
     def invariant(rctx, completed):
         jvm, table = rctx.jvm, rctx.table
@@ -313,12 +319,13 @@ def _pcj_harness() -> CrashSweepHarness:
     ROUNDS = 6
 
     def setup():
-        pool = MemoryPool(256 * 1024, tx_log_words=8192)
+        obs = Observatory()
+        pool = MemoryPool(256 * 1024, tx_log_words=8192, obs=obs)
         a = PersistentLong(pool, 0)
         b = PersistentLong(pool, 0)
         pool.set_root("a", a.offset)
         pool.set_root("b", b.offset)
-        return SimpleNamespace(pool=pool, a=a, b=b)
+        return SimpleNamespace(pool=pool, a=a, b=b, obs=obs)
 
     def workload(ctx):
         pool = ctx.pool
@@ -332,8 +339,10 @@ def _pcj_harness() -> CrashSweepHarness:
 
     def recover(ctx, crashed):
         image = ctx.pool.crash_image()
-        pool = MemoryPool.open(image)  # recover() replays the undo log
-        return SimpleNamespace(pool=pool)
+        obs = Observatory()
+        # MemoryPool.open runs recover(), replaying the undo log
+        pool = MemoryPool.open(image, obs=obs)
+        return SimpleNamespace(pool=pool, obs=obs)
 
     def invariant(rctx, completed):
         pool = rctx.pool
@@ -370,11 +379,11 @@ def _pjo_harness() -> CrashSweepHarness:
 
     def setup():
         tmp = Path(tempfile.mkdtemp(prefix="sweep-pjo-"))
-        jvm = Espresso(tmp / "heaps")
-        jvm.createHeap("jpab", 4 * 1024 * 1024)
+        jvm = Espresso(tmp / "heaps", observatory=Observatory())
+        jvm.create_heap("jpab", 4 * 1024 * 1024)
         em = PjoEntityManager(jvm)  # dedup + field tracking are the defaults
         em.create_schema([BasicPerson])
-        return SimpleNamespace(tmp=tmp, jvm=jvm, em=em)
+        return SimpleNamespace(tmp=tmp, jvm=jvm, em=em, obs=jvm.obs)
 
     def workload(ctx):
         em = ctx.em
@@ -396,10 +405,11 @@ def _pjo_harness() -> CrashSweepHarness:
 
     def recover(ctx, crashed):
         ctx.jvm.crash()
-        jvm = Espresso(ctx.tmp / "heaps")
-        jvm.loadHeap("jpab")
+        jvm = Espresso(ctx.tmp / "heaps", observatory=Observatory())
+        jvm.load_heap("jpab")
         em = PjoEntityManager(jvm)  # backend reattaches + recovers the log
-        return SimpleNamespace(jvm=jvm, em=em, heap=jvm.heaps.heap("jpab"))
+        return SimpleNamespace(jvm=jvm, em=em, heap=jvm.heaps.heap("jpab"),
+                               obs=jvm.obs)
 
     def invariant(rctx, completed):
         em = rctx.em
@@ -460,12 +470,15 @@ def _mixed_harness() -> CrashSweepHarness:
 
     def setup():
         tmp = Path(tempfile.mkdtemp(prefix="sweep-mixed-"))
-        jvm = Espresso(tmp / "heaps")
+        obs = Observatory()
+        jvm = Espresso(tmp / "heaps", observatory=obs)
         node = jvm.define_class("MixNode", [field("v", FieldKind.INT),
                                             field("next", FieldKind.REF)])
-        jvm.createHeap("h", 256 * 1024, region_words=128)
-        db = Database(size_words=1 << 18)
-        return SimpleNamespace(tmp=tmp, jvm=jvm, node=node, db=db)
+        jvm.create_heap("h", 256 * 1024, region_words=128)
+        # One observatory spans both domains: the dump shows PJH anchor
+        # spans interleaved with WAL commit spans in one timeline.
+        db = Database(size_words=1 << 18, clock=jvm.clock, obs=obs)
+        return SimpleNamespace(tmp=tmp, jvm=jvm, node=node, db=db, obs=obs)
 
     def workload(ctx):
         jvm, db = ctx.jvm, ctx.db
@@ -478,7 +491,7 @@ def _mixed_harness() -> CrashSweepHarness:
                 jvm.set_field(n, "next", keep)
             keep = n
             jvm.flush_reachable(keep)
-            jvm.setRoot("keep", keep)
+            jvm.set_root("keep", keep)
             db.execute("INSERT INTO log VALUES (?, ?)", (i, f"v{i}"))
         # A multi-statement transaction at the end: atomic or absent.
         db.execute("BEGIN")
@@ -488,15 +501,19 @@ def _mixed_harness() -> CrashSweepHarness:
 
     def recover(ctx, crashed):
         ctx.jvm.crash()
-        jvm2 = Espresso(ctx.tmp / "heaps")
-        jvm2.loadHeap("h")
-        return SimpleNamespace(jvm=jvm2, db=ctx.db.crash(),
-                               heap=jvm2.heaps.heap("h"))
+        obs = Observatory()
+        # Reuse the shared clock so the recovered JVM and DB keep one
+        # coherent timeline (db.crash() rebinds obs to the same clock).
+        jvm2 = Espresso(ctx.tmp / "heaps", clock=ctx.db.clock,
+                        observatory=obs)
+        jvm2.load_heap("h")
+        return SimpleNamespace(jvm=jvm2, db=ctx.db.crash(obs=obs),
+                               heap=jvm2.heaps.heap("h"), obs=obs)
 
     def invariant(rctx, completed):
         jvm, db = rctx.jvm, rctx.db
         # PJH side: the rooted chain is a contiguous anchored suffix.
-        head = jvm.getRoot("keep")
+        head = jvm.get_root("keep")
         chain = []
         cursor = head
         while cursor is not None:

@@ -23,6 +23,7 @@ from repro.nvm.clock import Clock
 from repro.nvm.device import NvmDevice
 from repro.nvm.latency import DEFAULT_LATENCY, LatencyConfig
 from repro.nvm.persist import PersistDomain
+from repro.obs import NULL_OBS, Observatory
 
 from repro.h2.ast_nodes import (
     Aggregate,
@@ -92,12 +93,16 @@ class Database:
                  wal_words: int = 1 << 16,
                  catalog_words: int = 8192,
                  device: Optional[NvmDevice] = None,
-                 name: str = "h2") -> None:
+                 name: str = "h2",
+                 obs: Observatory = NULL_OBS) -> None:
         self.clock = clock if clock is not None else Clock()
+        self.obs = obs
+        self.obs.bind_clock(self.clock)
         fresh = device is None
         self.device = device if device is not None else NvmDevice(
             size_words, self.clock, latency, name=name)
         d = self.device
+        self.obs.register_device(name, d)
         self.persist = PersistDomain(d, name="h2-meta")
         if fresh:
             d.write(_PAGE_WORDS, page_words)
@@ -111,7 +116,7 @@ class Database:
         catalog_offset = _META_WORDS
         wal_offset = catalog_offset + catalog_words
         pages_offset = wal_offset + wal_words
-        self.wal = WriteAheadLog(d, wal_offset, wal_words)
+        self.wal = WriteAheadLog(d, wal_offset, wal_words, obs=self.obs)
         self.catalog = Catalog(d, catalog_offset, catalog_words, _TABLE_COUNT)
         self.pages = PageManager(d, pages_offset, page_words, _NEXT_PAGE)
         self.txman = TransactionManager(self.wal)
@@ -157,10 +162,16 @@ class Database:
             raise IllegalStateException("checkpoint inside a transaction")
         self.wal.checkpoint()
 
-    def crash(self) -> "Database":
-        """Power loss: drop unflushed lines, reopen from durable state."""
+    def crash(self, obs: Optional[Observatory] = None) -> "Database":
+        """Power loss: drop unflushed lines, reopen from durable state.
+
+        The successor inherits this database's observatory unless the
+        caller supplies a fresh one (e.g. to keep pre- and post-crash
+        timelines separate).
+        """
         self.device.crash()
-        return Database(device=self.device, clock=self.clock)
+        return Database(device=self.device, clock=self.clock,
+                        obs=obs if obs is not None else self.obs)
 
     # ------------------------------------------------------------------
     # Transactions (programmatic + SQL-level)

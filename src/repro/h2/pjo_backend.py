@@ -47,15 +47,15 @@ class DBPersistableBackend:
         without this, the fresh log of every process would leak the old one
         and lose the undo images exactly when they are needed.
         """
-        entries = self.jvm.getRoot(self.TXN_ENTRIES_ROOT, heap=self.heap)
-        meta = self.jvm.getRoot(self.TXN_META_ROOT, heap=self.heap)
+        entries = self.jvm.get_root(self.TXN_ENTRIES_ROOT, heap=self.heap)
+        meta = self.jvm.get_root(self.TXN_META_ROOT, heap=self.heap)
         if entries is not None and meta is not None:
             txn = PjhTransaction.reattach(self.jvm, entries, meta)
             txn.recover()
             return txn
         txn = PjhTransaction(self.jvm, heap=self.heap)
-        self.jvm.setRoot(self.TXN_ENTRIES_ROOT, txn._entries, heap=self.heap)
-        self.jvm.setRoot(self.TXN_META_ROOT, txn._meta, heap=self.heap)
+        self.jvm.set_root(self.TXN_ENTRIES_ROOT, txn._entries, heap=self.heap)
+        self.jvm.set_root(self.TXN_META_ROOT, txn._meta, heap=self.heap)
         return txn
 
     # ------------------------------------------------------------------
@@ -69,12 +69,12 @@ class DBPersistableBackend:
         existing = self._tables.get(key)
         if existing is not None:
             return existing
-        root = self.jvm.getRoot(self._root_name(table), heap=self.heap)
+        root = self.jvm.get_root(self._root_name(table), heap=self.heap)
         if root is not None:
             mapping = PjhHashmap(self.jvm, self.txn, handle=root)
         else:
             mapping = PjhHashmap(self.jvm, self.txn)
-            self.jvm.setRoot(self._root_name(table), mapping.h,
+            self.jvm.set_root(self._root_name(table), mapping.h,
                              heap=self.heap)
         self._tables[key] = mapping
         return mapping

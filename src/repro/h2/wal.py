@@ -42,6 +42,7 @@ from repro.errors import IllegalStateException, SqlError
 from repro.nvm.checksum import crc32_words
 from repro.nvm.device import LINE_WORDS, NvmDevice
 from repro.nvm.persist import PersistDomain
+from repro.obs import NULL_OBS, Observatory
 
 REC_BEGIN = 1
 REC_WRITE = 2
@@ -72,7 +73,8 @@ class WalRecovery(NamedTuple):
 class WriteAheadLog:
     """WAL over a fixed region [offset, offset+capacity) of the device."""
 
-    def __init__(self, device: NvmDevice, offset: int, capacity: int) -> None:
+    def __init__(self, device: NvmDevice, offset: int, capacity: int,
+                 obs: Observatory = NULL_OBS) -> None:
         if offset % LINE_WORDS:
             # The used counter must not share a cache line with record
             # payload: publication order (payload epoch, then counter
@@ -84,6 +86,7 @@ class WriteAheadLog:
         self.capacity = capacity
         self._data = offset + _HEADER_WORDS
         self.persist = PersistDomain(device, name="h2-wal")
+        self.obs = obs
 
     # -- used counter ----------------------------------------------------------
     @property
@@ -99,19 +102,23 @@ class WriteAheadLog:
 
     # -- appending ---------------------------------------------------------------
     def _append(self, words: List[int], publish: bool) -> None:
-        words = words + [crc32_words(words)]
-        used = self.used
-        if _HEADER_WORDS + used + len(words) > self.capacity:
-            raise SqlError("WAL full — checkpoint required (log too small "
-                           "for this transaction)")
-        target = self._data + used
-        self.device.write_block(target, np.array(words, dtype=np.int64))
-        # Enqueue the payload in the open epoch; bump the counter in live
-        # memory only.  Nothing becomes visible to recovery until publish().
-        self.persist.flush(target, len(words))
-        self.device.write(self.offset + _USED, used + len(words))
-        if publish:
-            self.publish()
+        with self.obs.span("wal.append", rec_type=words[0],
+                           words=len(words) + 1):
+            words = words + [crc32_words(words)]
+            used = self.used
+            if _HEADER_WORDS + used + len(words) > self.capacity:
+                raise SqlError("WAL full — checkpoint required (log too "
+                               "small for this transaction)")
+            target = self._data + used
+            self.device.write_block(target, np.array(words, dtype=np.int64))
+            # Enqueue the payload in the open epoch; bump the counter in
+            # live memory only.  Nothing becomes visible to recovery until
+            # publish().
+            self.persist.flush(target, len(words))
+            self.device.write(self.offset + _USED, used + len(words))
+            if publish:
+                self.publish()
+        self.obs.inc("wal.records")
 
     def publish(self) -> None:
         """Make every appended record durable and claimed by the counter.
@@ -143,7 +150,9 @@ class WriteAheadLog:
         self._append(words, publish=True)
 
     def log_commit(self, tx_id: int) -> None:
-        self._append([REC_COMMIT, tx_id], publish=True)
+        with self.obs.span("wal.commit", tx_id=tx_id):
+            self._append([REC_COMMIT, tx_id], publish=True)
+        self.obs.inc("wal.commits")
 
     def log_abort(self, tx_id: int) -> None:
         self._append([REC_ABORT, tx_id], publish=True)
@@ -228,19 +237,24 @@ class WriteAheadLog:
         Returns a :class:`WalRecovery`; its first two fields are the legacy
         ``(redone_writes, undone_writes)`` pair.
         """
-        records, discarded, torn_words = self.scan_with_report()
-        finished: Dict[int, int] = {}
-        for rec_type, tx_id, *_ in records:
-            if rec_type in (REC_COMMIT, REC_ABORT):
-                finished[tx_id] = rec_type
-        redone = undone = 0
-        for rec_type, tx_id, offset, old, new in records:
-            if rec_type == REC_WRITE and finished.get(tx_id) == REC_COMMIT:
-                self.device.write_block(offset, new)
-                redone += 1
-        for rec_type, tx_id, offset, old, new in reversed(records):
-            if rec_type == REC_WRITE and tx_id not in finished:
-                self.device.write_block(offset, old)
-                undone += 1
-        self.checkpoint()
+        with self.obs.span("wal.recover") as span:
+            records, discarded, torn_words = self.scan_with_report()
+            finished: Dict[int, int] = {}
+            for rec_type, tx_id, *_ in records:
+                if rec_type in (REC_COMMIT, REC_ABORT):
+                    finished[tx_id] = rec_type
+            redone = undone = 0
+            for rec_type, tx_id, offset, old, new in records:
+                if rec_type == REC_WRITE and finished.get(tx_id) == REC_COMMIT:
+                    self.device.write_block(offset, new)
+                    redone += 1
+            for rec_type, tx_id, offset, old, new in reversed(records):
+                if rec_type == REC_WRITE and tx_id not in finished:
+                    self.device.write_block(offset, old)
+                    undone += 1
+            self.checkpoint()
+            if span is not None:
+                span.attrs.update(redone=redone, undone=undone,
+                                  discarded=discarded, torn_words=torn_words)
+        self.obs.inc("wal.recoveries")
         return WalRecovery(redone, undone, discarded, torn_words)

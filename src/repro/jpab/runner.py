@@ -9,11 +9,12 @@ both: per-operation simulated time + the clock's category breakdown.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.h2.engine import Database
 from repro.jpa.entity_manager import JpaEntityManager
 from repro.nvm.clock import Clock
+from repro.obs import NULL_OBS, Observatory
 from repro.pjo.provider import PjoEntityManager
 
 from repro.jpab.workload import CrudDriver, JpabTest
@@ -31,6 +32,9 @@ class OperationResult:
     # Per-device NVM counter deltas for this phase (flushes, fences,
     # flushes_deduped, epochs, reads, writes), keyed by device label.
     nvm: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    # Observatory span/counter deltas for this phase (empty when the
+    # run used the no-op recorder).
+    obs: Dict[str, object] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -47,8 +51,9 @@ class TestResult:
     operations: Dict[str, OperationResult] = field(default_factory=dict)
 
 
-def make_jpa_em(clock: Clock, entities) -> JpaEntityManager:
-    database = Database(size_words=1 << 21, clock=clock)
+def make_jpa_em(clock: Clock, entities,
+                obs: Observatory = NULL_OBS) -> JpaEntityManager:
+    database = Database(size_words=1 << 21, clock=clock, obs=obs)
     em = JpaEntityManager(database)
     em.create_schema(entities)
     return em
@@ -56,10 +61,11 @@ def make_jpa_em(clock: Clock, entities) -> JpaEntityManager:
 
 def make_pjo_em(clock: Clock, entities, heap_dir,
                 field_tracking: bool = True,
-                deduplication: bool = True) -> PjoEntityManager:
+                deduplication: bool = True,
+                obs: Observatory = NULL_OBS) -> PjoEntityManager:
     from repro.api import Espresso
-    jvm = Espresso(heap_dir, clock=clock)
-    jvm.createHeap("jpab", 32 * 1024 * 1024)
+    jvm = Espresso(heap_dir, clock=clock, observatory=obs)
+    jvm.create_heap("jpab", 32 * 1024 * 1024)
     em = PjoEntityManager(jvm, field_tracking=field_tracking,
                           deduplication=deduplication)
     em.create_schema(entities)
@@ -79,8 +85,14 @@ def _nvm_devices(em) -> Dict[str, object]:
 
 
 def run_jpab_test(test: JpabTest, em_factory: Callable[[Clock], object],
-                  count: int, provider: str) -> TestResult:
-    """One JPAB test end to end (Create -> Retrieve -> Update -> Delete)."""
+                  count: int, provider: str,
+                  observatory: Optional[Observatory] = None) -> TestResult:
+    """One JPAB test end to end (Create -> Retrieve -> Update -> Delete).
+
+    When *observatory* is a live recorder the factory should have routed
+    it into the provider (see :func:`make_jpa_em` / :func:`make_pjo_em`);
+    each operation then carries its span/counter deltas in ``result.obs``.
+    """
     from repro.bench.harness import device_counters, snapshot_devices
 
     clock = Clock()
@@ -88,17 +100,22 @@ def run_jpab_test(test: JpabTest, em_factory: Callable[[Clock], object],
     driver = CrudDriver(em, test, count)
     result = TestResult(provider=provider, test=test.name)
     devices = _nvm_devices(em)
+    obs = observatory if observatory is not None else NULL_OBS
     for operation in _RUN_ORDER:
         action = getattr(driver, operation.lower())
         start = clock.now_ns
         snapshot = clock.breakdown()
         nvm_before = snapshot_devices(devices)
-        ops = action()
+        obs_before = obs.phase_snapshot() if obs.enabled else None
+        with obs.span(f"jpab.{operation.lower()}", test=test.name,
+                      provider=provider):
+            ops = action()
         result.operations[operation] = OperationResult(
             operation=operation,
             ops=ops,
             sim_ns=clock.now_ns - start,
             breakdown=clock.breakdown_since(snapshot),
             nvm=device_counters(devices, since=nvm_before),
+            obs=obs.phase_since(obs_before) if obs_before is not None else {},
         )
     return result

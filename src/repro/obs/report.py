@@ -1,0 +1,125 @@
+"""Exporters: the human `obs report` table and the BENCH_*.json reader.
+
+``render_report`` turns an :meth:`Observatory.as_dict` payload into
+aligned text tables.  Run as a module it reads benchmark JSON files and
+prints every embedded ``obs`` section::
+
+    python -m repro.obs.report BENCH_fig17.json BENCH_tpcc.json
+    python -m repro.obs.report            # globs BENCH_*.json in the cwd
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _span_table(spans: Dict[str, Dict[str, float]]) -> str:
+    rows = []
+    for name, entry in sorted(spans.items()):
+        count = int(entry.get("count", 0))
+        total_ns = float(entry.get("total_ns", 0.0))
+        mean_us = total_ns / count / 1e3 if count else 0.0
+        rows.append([name, str(count), f"{total_ns / 1e6:.3f}",
+                     f"{mean_us:.2f}"])
+    return _table(["span", "count", "total_ms", "mean_us"], rows)
+
+
+def _counter_table(counters: Dict[str, float]) -> str:
+    rows = [[name, f"{value:g}"] for name, value in sorted(counters.items())]
+    return _table(["counter", "value"], rows)
+
+
+def _device_table(devices: Dict[str, Dict[str, int]]) -> str:
+    columns = ["reads", "writes", "flushes", "fences", "flushes_deduped",
+               "epochs"]
+    rows = []
+    for label, stats in sorted(devices.items()):
+        rows.append([label] + [str(stats.get(c, 0)) for c in columns])
+    return _table(["device"] + columns, rows)
+
+
+def render_report(obs: Dict[str, object]) -> str:
+    """Render one obs payload (Observatory.as_dict or a phase delta)."""
+    sections: List[str] = []
+    spans = obs.get("spans")
+    if spans:
+        sections.append(_span_table(spans))
+    metrics = obs.get("metrics")
+    counters = (metrics or {}).get("counters") if isinstance(metrics, dict) \
+        else obs.get("counters")
+    if counters:
+        sections.append(_counter_table(counters))
+    if isinstance(metrics, dict) and metrics.get("histograms"):
+        rows = []
+        for name, h in sorted(metrics["histograms"].items()):
+            rows.append([name, str(int(h.get("count", 0))),
+                         f"{h.get('mean', 0.0):g}", f"{h.get('min', 0.0):g}",
+                         f"{h.get('max', 0.0):g}"])
+        sections.append(_table(["histogram", "count", "mean", "min", "max"],
+                               rows))
+    devices = obs.get("devices")
+    if devices:
+        sections.append(_device_table(devices))
+    if not sections:
+        return "(empty obs section)"
+    return "\n\n".join(sections)
+
+
+def _walk_obs_sections(node: object, path: str, out: List) -> None:
+    """Collect every dict that looks like an obs payload, labelled by path."""
+    if not isinstance(node, dict):
+        return
+    if "spans" in node and isinstance(node["spans"], dict):
+        out.append((path, node))
+        return
+    for key, value in node.items():
+        _walk_obs_sections(value, f"{path}.{key}" if path else str(key), out)
+
+
+def report_file(path: Path) -> str:
+    payload = json.loads(path.read_text())
+    sections: List = []
+    _walk_obs_sections(payload.get("obs", payload), "obs", sections)
+    if not sections:
+        return f"== {path} ==\n(no obs sections found)"
+    parts = [f"== {path} =="]
+    for label, obs in sections:
+        parts.append(f"-- {label} --")
+        parts.append(render_report(obs))
+    return "\n\n".join(parts)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    paths = [Path(a) for a in argv]
+    if not paths:
+        paths = sorted(Path.cwd().glob("BENCH_*.json"))
+    if not paths:
+        print("obs report: no BENCH_*.json files found "
+              "(run a bench first, e.g. `make obs-report`)")
+        return 1
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"obs report: missing files: {', '.join(map(str, missing))}")
+        return 1
+    print("\n\n".join(report_file(p) for p in paths))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

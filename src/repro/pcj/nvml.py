@@ -37,6 +37,7 @@ from repro.nvm.clock import Clock
 from repro.nvm.device import NvmDevice
 from repro.nvm.latency import DEFAULT_LATENCY, LatencyConfig
 from repro.nvm.persist import PersistDomain
+from repro.obs import NULL_OBS, Observatory
 
 # Pool metadata word offsets.
 _MAGIC = 0
@@ -88,9 +89,13 @@ class MemoryPool:
     def __init__(self, size_words: int, clock: Optional[Clock] = None,
                  latency: LatencyConfig = DEFAULT_LATENCY,
                  tx_log_words: int = 8192, name: str = "pcj-pool",
-                 _format: bool = True) -> None:
+                 _format: bool = True,
+                 obs: Observatory = NULL_OBS) -> None:
         self.clock = clock if clock is not None else Clock()
+        self.obs = obs
+        self.obs.bind_clock(self.clock)
         self.device = NvmDevice(size_words, self.clock, latency, name=name)
+        self.obs.register_device(name, self.device)
         # All pool durability routes through one domain: in-transaction
         # data/header flushes stay enqueued until tx_commit drains them, so
         # repeated stores to the pool's metadata line (tx state, heap top,
@@ -146,10 +151,12 @@ class MemoryPool:
     @classmethod
     def open(cls, image, clock: Optional[Clock] = None,
              latency: LatencyConfig = DEFAULT_LATENCY,
-             name: str = "pcj-pool") -> "MemoryPool":
+             name: str = "pcj-pool",
+             obs: Observatory = NULL_OBS) -> "MemoryPool":
         """Reopen a pool from a saved image, rolling back any transaction
         a crash cut short (NVML's pool-open recovery)."""
-        pool = cls(len(image), clock, latency, name=name, _format=False)
+        pool = cls(len(image), clock, latency, name=name, _format=False,
+                   obs=obs)
         pool.device.load_image(image)
         if pool.device.read(_MAGIC) != POOL_MAGIC:
             raise IllegalArgumentException("image is not a PCJ pool")
@@ -180,6 +187,7 @@ class MemoryPool:
         self.persist.persist(_TX_ACTIVE, 2)
         # Synchronisation: PCJ locks the object/pool around each operation.
         self.clock.charge(self.device.latency.sfence_ns * 2)
+        self.obs.inc("pcj.tx.begins")
 
     def tx_add_range(self, offset: int, count: int) -> None:
         """Undo-log *count* words at *offset* before they are overwritten."""
@@ -209,10 +217,12 @@ class MemoryPool:
         # Drain the data epoch before discarding the undo log: if the
         # cleared flag persisted while a deferred data line reverted,
         # recovery would skip the rollback and expose a torn transaction.
-        self.persist.fence()
-        d.write(_TX_ACTIVE, 0)
-        d.write(_TX_LOG_WORDS, 0)
-        self.persist.persist(_TX_ACTIVE, 2)
+        with self.obs.span("pcj.tx.commit"):
+            self.persist.fence()
+            d.write(_TX_ACTIVE, 0)
+            d.write(_TX_LOG_WORDS, 0)
+            self.persist.persist(_TX_ACTIVE, 2)
+        self.obs.inc("pcj.tx.commits")
 
     def tx_abort(self) -> None:
         """Apply the undo log in reverse and close the transaction."""
@@ -230,11 +240,15 @@ class MemoryPool:
             d.write_block(off, data)
             self.persist.flush(off, count)  # drained by tx_commit's fence
         self.tx_commit()
+        self.obs.inc("pcj.tx.aborts")
 
     def recover(self) -> None:
         """Pool-open recovery: roll back a transaction cut short by a crash."""
-        if self.in_transaction:
-            self.tx_abort()
+        with self.obs.span("pcj.recover",
+                           in_transaction=self.in_transaction):
+            if self.in_transaction:
+                self.tx_abort()
+        self.obs.inc("pcj.recoveries")
 
     def _tx_write(self, offset: int, value: int) -> None:
         """Flushed single-word write, undo-logged inside a transaction.

@@ -84,6 +84,7 @@ class PjhTransaction:
         self._flush_meta()
         self._count = 0
         self._depth = 1
+        self.vm.obs.inc("pjhlib.tx.begins")
 
     def log_slot(self, slot_address: int) -> None:
         """Record the pre-image of one word before overwriting it."""
@@ -110,11 +111,13 @@ class PjhTransaction:
         if self._depth > 1:
             self._depth -= 1
             return
-        self.vm.array_set(self._meta, 0, 0)
-        self.vm.array_set(self._meta, 1, 0)
-        self._flush_meta()
+        with self.vm.obs.span("pjhlib.tx.commit", entries=self._count):
+            self.vm.array_set(self._meta, 0, 0)
+            self.vm.array_set(self._meta, 1, 0)
+            self._flush_meta()
         self._count = 0
         self._depth = 0
+        self.vm.obs.inc("pjhlib.tx.commits")
 
     def abort(self) -> None:
         """Roll back: apply the undo entries in reverse (whole transaction,
@@ -133,5 +136,7 @@ class PjhTransaction:
         """Roll back a transaction interrupted by a crash; True if one was."""
         if not self.active:
             return False
-        self.abort()
+        with self.vm.obs.span("pjhlib.tx.recover"):
+            self.abort()
+        self.vm.obs.inc("pjhlib.tx.recoveries")
         return True

@@ -42,6 +42,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Set
 import numpy as np
 
 from repro.errors import HeapCorruptionError
+from repro.obs import NULL_OBS, Observatory
 from repro.runtime import layout
 from repro.runtime.klass import FieldKind
 from repro.runtime.bitmap import LiveMap
@@ -177,11 +178,13 @@ class CompactionEngine:
 
     def __init__(self, access: HeapAccess, space: Space, region_words: int,
                  hooks: Optional[GCHooks] = None,
-                 traversable: Optional[Callable[[int], bool]] = None) -> None:
+                 traversable: Optional[Callable[[int], bool]] = None,
+                 obs: Observatory = NULL_OBS) -> None:
         self.access = access
         self.space = space
         self.region_words = region_words
         self.hooks = hooks if hooks is not None else VolatileGCHooks()
+        self.obs = obs
         self.traversable = traversable or (lambda _address: False)
         self.n_regions = (space.size_words + region_words - 1) // region_words
 
@@ -205,6 +208,11 @@ class CompactionEngine:
     # ------------------------------------------------------------------
     def mark(self, roots: Iterable[RootSlot]) -> None:
         """Trace from roots; mark in-space objects, traverse pass-through ones."""
+        with self.obs.span("gc.mark"):
+            self._mark(roots)
+        self.obs.inc("gc.marked_objects", self.stats.live_objects)
+
+    def _mark(self, roots: Iterable[RootSlot]) -> None:
         in_space = self.space.contains
         visited_outside: Set[int] = set()
         stack: List[int] = []
@@ -244,17 +252,19 @@ class CompactionEngine:
     # Phase 2: summary (idempotent — derived from bitmaps alone)
     # ------------------------------------------------------------------
     def summarize(self) -> None:
-        self._region_live = []
-        size = self.space.size_words
-        self._clock.charge(self.SUMMARY_NS * self.n_regions)
-        for r in range(self.n_regions):
-            start = r * self.region_words
-            end = min(start + self.region_words, size)
-            self._region_live.append(self.livemap.live_words_in(start, end))
-        self._cum_live = [0]
-        for live in self._region_live:
-            self._cum_live.append(self._cum_live[-1] + live)
-        self.hooks.on_summary(self)
+        with self.obs.span("gc.summary", regions=self.n_regions):
+            self._region_live = []
+            size = self.space.size_words
+            self._clock.charge(self.SUMMARY_NS * self.n_regions)
+            for r in range(self.n_regions):
+                start = r * self.region_words
+                end = min(start + self.region_words, size)
+                self._region_live.append(
+                    self.livemap.live_words_in(start, end))
+            self._cum_live = [0]
+            for live in self._region_live:
+                self._cum_live.append(self._cum_live[-1] + live)
+            self.hooks.on_summary(self)
 
     @property
     def total_live_words(self) -> int:
@@ -290,27 +300,29 @@ class CompactionEngine:
     # Phase 3: compact
     # ------------------------------------------------------------------
     def compact(self, recovery: bool = False) -> None:
-        for region in range(self.n_regions):
-            if self.hooks.is_region_done(region):
-                continue
-            if self._region_live[region] == 0:
+        with self.obs.span("gc.compact", recovery=recovery):
+            for region in range(self.n_regions):
+                if self.hooks.is_region_done(region):
+                    continue
+                if self._region_live[region] == 0:
+                    self.hooks.region_done(region)
+                    continue
+                # A durable cursor pins the protocol choice: once a region
+                # has been (partially) processed serialized, re-walking its
+                # sources to re-decide would read data a completed
+                # overlapping move may already have destroyed.
+                if (recovery and self.hooks.region_cursor()[0] == region) \
+                        or self._region_needs_serialization(region):
+                    self._compact_region_serialized(region, recovery)
+                else:
+                    self._compact_region_batched(region, recovery)
                 self.hooks.region_done(region)
-                continue
-            # A durable cursor pins the protocol choice: once a region has
-            # been (partially) processed serialized, re-walking its sources
-            # to re-decide would read data a completed overlapping move may
-            # already have destroyed.
-            if (recovery and self.hooks.region_cursor()[0] == region) \
-                    or self._region_needs_serialization(region):
-                self._compact_region_serialized(region, recovery)
-            else:
-                self._compact_region_batched(region, recovery)
-            self.hooks.region_done(region)
-            self.hooks.failpoint("gc.compact.region_done")
-        # All regions evacuated: any in-flight serialized-protocol state is
-        # obsolete (a region bit supersedes its cursor).
-        self.hooks.clear_region_cursor()
-        self.hooks.clear_move_record()
+                self.hooks.failpoint("gc.compact.region_done")
+            # All regions evacuated: any in-flight serialized-protocol state
+            # is obsolete (a region bit supersedes its cursor).
+            self.hooks.clear_region_cursor()
+            self.hooks.clear_move_record()
+        self.obs.inc("gc.moved_objects", self.stats.moved_objects)
 
     def _is_stamped(self, address: int) -> bool:
         mark = self.access.mark_of(address)
@@ -480,6 +492,10 @@ class CompactionEngine:
     # Phase 4: fix external referrers and finish
     # ------------------------------------------------------------------
     def fix_external(self, roots: Iterable[RootSlot]) -> None:
+        with self.obs.span("gc.fix_external"):
+            self._fix_external(roots)
+
+    def _fix_external(self, roots: Iterable[RootSlot]) -> None:
         memory = self.access.memory
         for root in roots:
             value = root.get()

@@ -27,6 +27,7 @@ from repro.nvm.clock import Clock
 from repro.nvm.device import AddressSpace
 from repro.nvm.failpoints import FailpointRegistry
 from repro.nvm.latency import DEFAULT_LATENCY, LatencyConfig
+from repro.obs import NULL_OBS, Observatory
 from repro.runtime import layout, typecheck
 from repro.runtime.constant_pool import ConstantPool
 from repro.runtime.dram_heap import HeapConfig, ParallelScavengeHeap
@@ -107,8 +108,11 @@ class EspressoVM:
     def __init__(self, clock: Optional[Clock] = None,
                  latency: LatencyConfig = DEFAULT_LATENCY,
                  heap_config: HeapConfig = HeapConfig(),
-                 alias_aware: bool = True) -> None:
+                 alias_aware: bool = True,
+                 obs: Observatory = NULL_OBS) -> None:
         self.clock = clock if clock is not None else Clock()
+        self.obs = obs
+        self.obs.bind_clock(self.clock)
         self.latency = latency
         self.failpoints = FailpointRegistry()
         self.memory = AddressSpace()
@@ -509,17 +513,21 @@ class EspressoVM:
         return [MemoryRoot(self.memory, s) for s in sorted(slot_addresses)]
 
     def young_gc(self) -> None:
-        roots = (self._handle_roots() + self._pjh_root_slots()
-                 + self._memory_roots(self._remset_into_young))
-        old_top_before = self.heap.old.top
-        self.heap.young_collect(roots)
-        self._rebuild_remsets_after_young_gc(old_top_before)
+        with self.obs.span("gc.young"):
+            roots = (self._handle_roots() + self._pjh_root_slots()
+                     + self._memory_roots(self._remset_into_young))
+            old_top_before = self.heap.old.top
+            self.heap.young_collect(roots)
+            self._rebuild_remsets_after_young_gc(old_top_before)
+        self.obs.inc("gc.young.collections")
 
     def full_gc(self) -> None:
-        roots = (self._handle_roots() + self._pjh_root_slots()
-                 + self._memory_roots(self._remset_pjh_to_dram))
-        self.heap.full_collect(roots)
-        self._rebuild_remsets_after_full_gc()
+        with self.obs.span("gc.full"):
+            roots = (self._handle_roots() + self._pjh_root_slots()
+                     + self._memory_roots(self._remset_pjh_to_dram))
+            self.heap.full_collect(roots)
+            self._rebuild_remsets_after_full_gc()
+        self.obs.inc("gc.full.collections")
 
     def _scan_object_for_remsets(self, address: int) -> None:
         for slot in self.access.ref_slot_addresses(address):

@@ -1,0 +1,71 @@
+"""lint-time: no wall-clock reads outside the simulated-clock layer.
+
+The reproduction's determinism rests on one rule: every timestamp and
+every duration comes from :class:`repro.nvm.clock.Clock`.  A stray
+``time.time()`` (or friend) silently breaks replayable benches, pinned
+regression counts and crash-sweep reproducibility.  This linter walks
+``src/`` and flags any wall-clock read:
+
+* ``time.time(`` / ``time.time_ns(``
+* ``time.monotonic(`` / ``time.monotonic_ns(``
+* ``time.perf_counter(`` / ``time.perf_counter_ns(``
+* ``datetime.now(`` / ``datetime.utcnow(``
+
+``repro/nvm/clock.py`` (the simulated clock itself) and ``repro/obs/``
+(the observability layer, which documents the contrast) are exempt.
+
+Run via ``make lint-time`` or ``python -m repro.tools.lint_time``;
+``tests/tools/test_lint_time.py`` runs the same check under pytest.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+# Paths (relative to src/) that may name wall-clock APIs — the simulated
+# clock, the observability layer, and this linter itself.
+EXEMPT = ("repro/nvm/clock.py", "repro/obs/", "repro/tools/lint_time.py")
+
+_PATTERNS = [
+    (re.compile(r"\btime\.time(_ns)?\s*\("), "wall-clock time.time"),
+    (re.compile(r"\btime\.monotonic(_ns)?\s*\("), "wall-clock time.monotonic"),
+    (re.compile(r"\btime\.perf_counter(_ns)?\s*\("),
+     "wall-clock time.perf_counter"),
+    (re.compile(r"\bdatetime\.(?:utc)?now\s*\("), "wall-clock datetime.now"),
+]
+
+
+def find_violations(src_root: Path) -> List[Tuple[str, int, str, str]]:
+    """(relative path, line number, line, reason) per offending line."""
+    violations = []
+    for path in sorted(src_root.rglob("*.py")):
+        rel = path.relative_to(src_root).as_posix()
+        if any(rel.startswith(prefix) for prefix in EXEMPT):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            stripped = line.split("#", 1)[0]
+            for pattern, reason in _PATTERNS:
+                if pattern.search(stripped):
+                    violations.append((rel, lineno, line.strip(), reason))
+    return violations
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    src_root = Path(args[0]) if args else Path(__file__).resolve().parents[2]
+    violations = find_violations(src_root)
+    for rel, lineno, line, reason in violations:
+        print(f"{rel}:{lineno}: {reason}: {line}")
+    if violations:
+        print(f"lint-time: {len(violations)} violation(s) — read simulated "
+              f"time from repro.nvm.clock.Clock instead")
+        return 1
+    print("lint-time: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ from typing import Dict, Optional
 from repro.h2.engine import Database
 from repro.jpa.entity_manager import JpaEntityManager
 from repro.nvm.clock import Clock
+from repro.obs import NULL_OBS, Observatory
 from repro.pjo.provider import PjoEntityManager
 
 from repro.tpcc.model import customer_id, district_id
@@ -26,66 +27,86 @@ class TpccResult:
     # Per-device NVM counters, split into the populate and transaction
     # phases (each value is a flushes/fences/dedup/epochs dict).
     nvm: Dict[str, Dict[str, Dict[str, int]]] = field(default_factory=dict)
+    # Observatory span/counter deltas per phase; empty without tracing.
+    obs: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     @property
     def tx_per_ms(self) -> float:
         return self.transactions / (self.sim_ns / 1e6) if self.sim_ns else 0.0
 
 
-def _make_em(provider: str, clock: Clock, heap_dir: Path):
+def _make_em(provider: str, clock: Clock, heap_dir: Path,
+             obs: Observatory = NULL_OBS):
     if provider == "jpa":
-        database = Database(size_words=1 << 22, clock=clock)
+        database = Database(size_words=1 << 22, clock=clock, obs=obs)
         return JpaEntityManager(database)
     from repro.api import Espresso
-    jvm = Espresso(heap_dir, clock=clock)
-    jvm.createHeap("tpcc", 64 * 1024 * 1024)
+    jvm = Espresso(heap_dir, clock=clock, observatory=obs)
+    jvm.create_heap("tpcc", 64 * 1024 * 1024)
     return PjoEntityManager(jvm)
 
 
 def run_tpcc(provider: str, transactions: int = 60, seed: int = 7,
              heap_dir: Optional[Path] = None,
-             warehouses: int = 1, items: int = 15) -> TpccResult:
+             warehouses: int = 1, items: int = 15,
+             observatory: Optional[Observatory] = None) -> TpccResult:
     """Run a seeded transaction mix; identical seeds produce identical
     business outcomes on either provider (the cross-provider test relies
-    on this)."""
+    on this).  Passing a live *observatory* records per-phase (populate /
+    transactions) span and counter deltas in ``result.obs``."""
     from repro.bench.harness import device_counters, snapshot_devices
     from repro.jpab.runner import _nvm_devices
 
     root = heap_dir if heap_dir is not None else Path(tempfile.mkdtemp())
     clock = Clock()
-    em = _make_em(provider, clock, root / provider)
+    obs = observatory if observatory is not None else NULL_OBS
+    em = _make_em(provider, clock, root / provider, obs=obs)
     app = TpccApplication(em)
     devices = _nvm_devices(em)
     populate_before = snapshot_devices(devices)
-    app.populate(warehouses=warehouses, districts_per_warehouse=2,
-                 customers_per_district=3, items=items)
+    populate_obs_before = obs.phase_snapshot() if obs.enabled else None
+    with obs.span("tpcc.populate", provider=provider):
+        app.populate(warehouses=warehouses, districts_per_warehouse=2,
+                     customers_per_district=3, items=items)
     populate_nvm = device_counters(devices, since=populate_before)
+    populate_obs = (obs.phase_since(populate_obs_before)
+                    if populate_obs_before is not None else {})
     tx_before = snapshot_devices(devices)
+    tx_obs_before = obs.phase_snapshot() if obs.enabled else None
 
     rng = random.Random(seed)
     start = clock.now_ns
-    for _ in range(transactions):
-        kind = rng.random()
-        w = rng.randint(1, warehouses)
-        d = rng.randint(0, 1)
-        c = rng.randint(0, 2)
-        if kind < 0.45:
-            lines = [(rng.randint(1, items), rng.randint(1, 5))
-                     for _ in range(rng.randint(1, 4))]
-            app.new_order(w, d, c, lines)
-        elif kind < 0.80:
-            app.payment(w, d, c, round(rng.uniform(1.0, 50.0), 2))
-        elif kind < 0.92:
-            app.order_status(customer_id(district_id(w, d), c))
-        else:
-            app.delivery()
+    with obs.span("tpcc.transactions", provider=provider,
+                  count=transactions):
+        for _ in range(transactions):
+            kind = rng.random()
+            w = rng.randint(1, warehouses)
+            d = rng.randint(0, 1)
+            c = rng.randint(0, 2)
+            if kind < 0.45:
+                lines = [(rng.randint(1, items), rng.randint(1, 5))
+                         for _ in range(rng.randint(1, 4))]
+                app.new_order(w, d, c, lines)
+                obs.inc("tpcc.tx.new_order")
+            elif kind < 0.80:
+                app.payment(w, d, c, round(rng.uniform(1.0, 50.0), 2))
+                obs.inc("tpcc.tx.payment")
+            elif kind < 0.92:
+                app.order_status(customer_id(district_id(w, d), c))
+                obs.inc("tpcc.tx.order_status")
+            else:
+                app.delivery()
+                obs.inc("tpcc.tx.delivery")
     sim_ns = clock.now_ns - start
     em.clear()
     result = TpccResult(provider=provider, transactions=transactions,
                         sim_ns=sim_ns, snapshot=app.consistency_snapshot(),
                         nvm={"populate": populate_nvm,
                              "transactions": device_counters(
-                                 devices, since=tx_before)})
+                                 devices, since=tx_before)},
+                        obs=({"populate": populate_obs,
+                              "transactions": obs.phase_since(tx_obs_before)}
+                             if tx_obs_before is not None else {}))
     if provider == "pjo":
         em.clear()
         em.jvm.shutdown()  # persist the heap image: the run is durable

@@ -1,0 +1,237 @@
+"""The redesigned Espresso session API: surface, aliases, config carry.
+
+Three contracts pinned here:
+
+* the canonical public surface (names + signatures) is a reviewed
+  artifact — adding, removing or reshaping a method must show up as a
+  diff in ``EXPECTED_SURFACE``;
+* every Java-spelled Table 1 alias still works, warns exactly once per
+  process with ``DeprecationWarning``, and delegates to its snake_case
+  canonical twin;
+* ``restart()`` / ``crash_and_restart()`` carry the *full* session
+  config — clock, latency, heap config, alias awareness, observatory —
+  instead of silently resetting knobs to defaults.
+"""
+
+import inspect
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    Espresso,
+    EspressoConfig,
+    reset_deprecation_warnings,
+)
+from repro.nvm.clock import Clock
+from repro.nvm.latency import LatencyConfig
+from repro.obs import NULL_OBS, Observatory
+from repro.runtime.dram_heap import HeapConfig
+from repro.runtime.klass import FieldKind, field
+
+# The canonical surface: public method name -> parameter names
+# (self excluded).  Java aliases are listed separately below.
+EXPECTED_SURFACE = {
+    "open": ["heap_dir", "name", "size_bytes", "safety", "region_words",
+             "config"],
+    "define_class": ["name", "fields", "super_klass"],
+    "new": ["klass"],
+    "new_array": ["element", "length"],
+    "new_string": ["text"],
+    "new_multi_array": ["element", "dims"],
+    "pnew": ["klass", "heap"],
+    "pnew_array": ["element", "length", "heap"],
+    "pnew_string": ["text", "heap"],
+    "pnew_multi_array": ["element", "dims", "heap"],
+    "get_declared_field": ["handle", "field_name"],
+    "set_field": ["handle", "name", "value"],
+    "get_field": ["handle", "name"],
+    "array_get": ["handle", "index"],
+    "array_set": ["handle", "index", "value"],
+    "array_length": ["handle"],
+    "read_string": ["handle"],
+    "checkcast": ["handle", "target"],
+    "instance_of": ["handle", "target"],
+    "create_heap": ["name", "size_bytes", "safety", "region_words"],
+    "load_heap": ["name", "safety", "salvage"],
+    "exists_heap": ["name"],
+    "set_root": ["root_name", "value", "heap"],
+    "get_root": ["root_name", "heap"],
+    "flush_field": ["handle", "field_name"],
+    "flush_array_element": ["handle", "index"],
+    "flush_object": ["handle"],
+    "flush_reachable": ["handle"],
+    "system_gc": [],
+    "persistent_gc": ["heap"],
+    "shutdown": [],
+    "crash": [],
+    "restart": [],
+    "crash_and_restart": [],
+}
+
+JAVA_ALIASES = {
+    "createHeap": "create_heap",
+    "loadHeap": "load_heap",
+    "existsHeap": "exists_heap",
+    "setRoot": "set_root",
+    "getRoot": "get_root",
+}
+
+
+def _params(func):
+    return [p for p in inspect.signature(func).parameters if p != "self"]
+
+
+def test_api_surface_snapshot():
+    surface = {}
+    for name, member in vars(Espresso).items():
+        if name.startswith("_") or name in JAVA_ALIASES:
+            continue
+        if isinstance(member, property):
+            continue
+        func = member.__func__ if isinstance(member, classmethod) else member
+        if callable(func):
+            params = _params(func)
+            if isinstance(member, classmethod):
+                params = [p for p in params if p != "cls"]
+            surface[name] = params
+    assert surface == EXPECTED_SURFACE
+
+
+def test_java_aliases_share_canonical_signatures():
+    for java, snake in JAVA_ALIASES.items():
+        assert _params(getattr(Espresso, java)) \
+            == _params(getattr(Espresso, snake)), java
+
+
+def test_properties_exposed():
+    assert isinstance(Espresso.clock, property)
+    assert isinstance(Espresso.obs, property)
+
+
+def test_config_dataclass_fields():
+    assert [f.name for f in EspressoConfig.__dataclass_fields__.values()] \
+        == ["clock", "latency", "heap_config", "alias_aware", "observatory"]
+
+
+def test_each_alias_warns_once_and_delegates(tmp_path):
+    reset_deprecation_warnings()
+    jvm = Espresso(tmp_path / "heaps")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        jvm.createHeap("h", 64 * 1024)
+        assert jvm.existsHeap("h")
+        assert not jvm.existsHeap("nope")        # second call: no new warning
+        node = jvm.define_class("N", [field("v", FieldKind.INT)])
+        n = jvm.pnew(node)
+        jvm.setRoot("r", n)
+        assert jvm.getRoot("r") is not None
+        jvm2 = jvm.restart()
+        jvm2.loadHeap("h")
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    messages = sorted(str(w.message).split("(")[0] for w in deprecations)
+    # one warning per distinct alias, regardless of call count
+    assert len(deprecations) == 5, messages
+    for java, snake in JAVA_ALIASES.items():
+        assert any(java in str(w.message) and snake in str(w.message)
+                   for w in deprecations), java
+    reset_deprecation_warnings()
+
+
+def test_alias_warns_again_after_reset(tmp_path):
+    reset_deprecation_warnings()
+    jvm = Espresso(tmp_path / "heaps")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        jvm.existsHeap("x")
+        reset_deprecation_warnings()
+        jvm.existsHeap("x")
+    assert len([w for w in caught
+                if issubclass(w.category, DeprecationWarning)]) == 2
+    reset_deprecation_warnings()
+
+
+def test_snake_case_calls_never_warn(tmp_path):
+    reset_deprecation_warnings()
+    jvm = Espresso(tmp_path / "heaps")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        jvm.create_heap("h", 64 * 1024)
+        jvm.exists_heap("h")
+        node = jvm.define_class("N", [field("v", FieldKind.INT)])
+        n = jvm.pnew(node)
+        jvm.set_root("r", n)
+        jvm.get_root("r")
+    assert [w for w in caught
+            if issubclass(w.category, DeprecationWarning)] == []
+
+
+def test_open_creates_then_loads(tmp_path):
+    jvm = Espresso.open(tmp_path / "heaps", "box", 128 * 1024)
+    node = jvm.define_class("N", [field("v", FieldKind.INT)])
+    n = jvm.pnew(node)
+    jvm.set_field(n, "v", 41)
+    jvm.flush_reachable(n)
+    jvm.set_root("r", n)
+    jvm.shutdown()
+
+    jvm2 = Espresso.open(tmp_path / "heaps", "box", 128 * 1024)
+    jvm2.define_class("N", [field("v", FieldKind.INT)])
+    assert jvm2.get_field(jvm2.get_root("r"), "v") == 41
+
+
+def test_restart_carries_full_config(tmp_path):
+    clock = Clock()
+    latency = LatencyConfig(nvm_read_ns=999, nvm_write_ns=999,
+                            clflush_ns=999, sfence_ns=999)
+    heap_config = HeapConfig(eden_words=4096)
+    obs = Observatory()
+    jvm = Espresso(tmp_path / "heaps",
+                   config=EspressoConfig(clock=clock, latency=latency,
+                                         heap_config=heap_config,
+                                         alias_aware=False,
+                                         observatory=obs))
+    jvm.create_heap("h", 64 * 1024)
+    jvm2 = jvm.restart()
+    assert jvm2.clock is clock                      # explicit clock: shared
+    assert jvm2.config.latency is latency
+    assert jvm2.config.heap_config is heap_config
+    assert jvm2.config.alias_aware is False
+    assert jvm2.obs is obs                          # observatory carried
+    assert jvm2.vm.alias_aware is False
+
+
+def test_crash_and_restart_carries_full_config(tmp_path):
+    obs = Observatory()
+    latency = LatencyConfig(nvm_read_ns=7, nvm_write_ns=7,
+                            clflush_ns=7, sfence_ns=7)
+    jvm = Espresso(tmp_path / "heaps", latency=latency, alias_aware=False,
+                   observatory=obs)
+    jvm.create_heap("h", 64 * 1024)
+    jvm2 = jvm.crash_and_restart()
+    assert jvm2.config.latency is latency
+    assert jvm2.config.alias_aware is False
+    assert jvm2.obs is obs
+
+
+def test_restarted_observatory_rebinds_to_new_clock(tmp_path):
+    obs = Observatory()
+    jvm = Espresso(tmp_path / "heaps", observatory=obs)
+    jvm.create_heap("h", 64 * 1024)
+    jvm2 = jvm.restart()
+    # config.clock was None, so the successor made a fresh Clock; the
+    # carried observatory must follow it (last-bind-wins).
+    assert obs.clock is jvm2.clock
+
+
+def test_default_session_uses_null_obs(tmp_path):
+    jvm = Espresso(tmp_path / "heaps")
+    assert jvm.obs is NULL_OBS
+    assert jvm.obs.enabled is False
+
+
+def test_heap_dir_kept_as_path(tmp_path):
+    jvm = Espresso(str(tmp_path / "heaps"))
+    assert isinstance(jvm.heap_dir, Path)

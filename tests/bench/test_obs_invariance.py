@@ -1,0 +1,39 @@
+"""Tracing must not perturb the measurement.
+
+The Observatory reads the simulated clock without charging it and reads
+device counters without issuing device traffic, so a traced bench run
+must produce byte-identical timings and flush/fence counts to an
+untraced one.  Pinned here on fig17 (both providers, all four CRUD
+operations) and on a traced TPC-C run.
+"""
+
+from repro.bench.fig17_basictest_breakdown import run as run_fig17
+from repro.tpcc import run_tpcc
+from repro.obs import Observatory
+
+
+def test_fig17_identical_with_and_without_tracing(tmp_path):
+    baseline = run_fig17(count=15, heap_dir=tmp_path / "plain")
+    traced = run_fig17(count=15, heap_dir=tmp_path / "traced", trace=True)
+    # Simulated per-phase times: identical to the nanosecond.
+    assert traced.cells == baseline.cells
+    # Device flush/fence/dedup/epoch counts: identical.
+    assert traced.nvm == baseline.nvm
+    # ...and the traced run actually recorded something.
+    assert baseline.obs == {}
+    assert traced.obs
+    pjo_create = traced.obs[("H2-PJO", "Create")]
+    assert pjo_create["spans"]["jpab.create"]["count"] == 1
+    assert pjo_create["counters"]["pjh.alloc.objects"] > 0
+
+
+def test_tpcc_identical_with_and_without_tracing(tmp_path):
+    baseline = run_tpcc("pjo", transactions=20, heap_dir=tmp_path / "plain")
+    traced = run_tpcc("pjo", transactions=20, heap_dir=tmp_path / "traced",
+                      observatory=Observatory())
+    assert traced.sim_ns == baseline.sim_ns
+    assert traced.nvm == baseline.nvm
+    assert traced.snapshot == baseline.snapshot
+    assert baseline.obs == {}
+    assert traced.obs["transactions"]["spans"]["tpcc.transactions"]["count"] \
+        == 1

@@ -177,3 +177,84 @@ class TestCallbacks:
     def test_unknown_fault_mode_rejected(self):
         with pytest.raises(ValueError, match="fault mode"):
             _correct_harness().sweep_flush_boundaries("lava")
+
+
+class TestTimelineDump:
+    """A failing check ships the traced contexts' span timelines."""
+
+    @staticmethod
+    def _traced_harness(invariant, observatory=None):
+        from repro.obs import Observatory
+
+        def setup():
+            clock = Clock()
+            obs = Observatory(clock)
+            return SimpleNamespace(device=NvmDevice(256, clock),
+                                   obs=obs, clock=clock)
+
+        def workload(ctx):
+            d = ctx.device
+            for i in range(1, 4):
+                with ctx.obs.span("toy.round", i=i):
+                    d.write(A, i)
+                    d.clflush(A)
+                    d.fence()
+
+        def recover(ctx, crashed):
+            ctx.device.crash()
+            with ctx.obs.span("toy.recover"):
+                ctx.clock.charge(1)
+            return ctx
+
+        return CrashSweepHarness(
+            "traced-toy", setup=setup, workload=workload, recover=recover,
+            invariant=invariant, devices=lambda ctx: [ctx.device],
+            observatory=observatory)
+
+    def test_failure_includes_timelines(self):
+        def bad_invariant(rctx, completed):
+            raise AssertionError("wrong state")
+
+        harness = self._traced_harness(bad_invariant)
+        with pytest.raises(AssertionError) as excinfo:
+            harness.sweep_flush_boundaries()
+        message = str(excinfo.value)
+        assert "wrong state" in message
+        assert "crashed context timeline" in message
+        assert "toy.round" in message
+        assert "toy.recover" in message
+
+    def test_passing_sweep_has_no_dump_overhead(self):
+        report = self._traced_harness(
+            lambda rctx, completed: None).sweep_flush_boundaries()
+        assert report.exhausted
+
+    def test_untraced_context_fails_plainly(self):
+        def bad_invariant(rctx, completed):
+            raise AssertionError("plain failure")
+
+        harness = _correct_harness(rounds=2)
+        harness.invariant = bad_invariant
+        with pytest.raises(AssertionError) as excinfo:
+            harness.sweep_flush_boundaries()
+        assert "timeline" not in str(excinfo.value)
+
+    def test_observatory_callback_overrides_ctx_attr(self):
+        def bad_invariant(rctx, completed):
+            raise AssertionError("nope")
+
+        harness = self._traced_harness(
+            bad_invariant, observatory=lambda ctx: ctx.obs)
+        with pytest.raises(AssertionError, match="crashed context timeline"):
+            harness.sweep_flush_boundaries()
+
+    def test_simulated_crash_from_recovery_not_wrapped(self):
+        def recover(ctx, crashed):
+            from repro.errors import SimulatedCrash
+            raise SimulatedCrash("recovery hit the bomb")
+
+        harness = self._traced_harness(lambda rctx, completed: None)
+        harness.recover = recover
+        from repro.errors import SimulatedCrash
+        with pytest.raises(SimulatedCrash):
+            harness.sweep_flush_boundaries(max_points=1)

@@ -36,6 +36,26 @@ def test_exhaustive_sweep(name, mode):
     assert report.crash_points > 0
 
 
+@pytest.mark.parametrize("name", sorted(SWEEPS))
+def test_every_sweep_context_is_traced(name):
+    """Each sweep's contexts carry a live Observatory, so a failing
+    iteration dumps its span timeline (see harness._timeline_dump)."""
+    harness = SWEEPS[name].factory()
+    ctx = harness.setup()
+    try:
+        assert harness._observatory_of(ctx) is not None
+        harness.workload(ctx)
+        rctx = harness.recover(ctx, False)
+        obs = harness._observatory_of(rctx)
+        assert obs is not None
+        dump = harness._timeline_dump(ctx, rctx)
+        assert "crashed context timeline" in dump
+        assert "recovered context timeline" in dump
+    finally:
+        if harness.teardown is not None:
+            harness.teardown(ctx, None)
+
+
 @pytest.mark.sweep
 @pytest.mark.parametrize("mode", FaultMode.ALL)
 def test_pjh_alloc_gc_site_sweeps(mode):
