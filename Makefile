@@ -1,7 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test sweep sweep-fast fsck lint-persist lint-time obs-report
+.PHONY: check test sweep sweep-fast fsck lint-persist lint-time obs-report
+
+# The CI gate: both source lints, then the tier-1 suite.
+check: lint-persist lint-time test
 
 # Tier-1: the full unit/integration suite (exhaustive sweeps deselected).
 test:

@@ -87,6 +87,11 @@ class EspressoConfig:
     heap_config: HeapConfig = dataclass_field(default_factory=HeapConfig)
     alias_aware: bool = True
     observatory: Optional[Observatory] = None
+    #: Simulated GC gang width: old GC (DRAM and PJH), crash recovery and
+    #: the zeroing load scan all fan out over this many workers.  The
+    #: durable heap image is byte-identical for any value; only the
+    #: simulated pause (max over workers) changes.
+    gc_workers: int = 1
 
 
 class Espresso:
@@ -98,18 +103,21 @@ class Espresso:
                  heap_config: Optional[HeapConfig] = None,
                  alias_aware: bool = True,
                  observatory: Optional[Observatory] = None,
+                 gc_workers: int = 1,
                  config: Optional[EspressoConfig] = None) -> None:
         if config is None:
             config = EspressoConfig(
                 clock=clock, latency=latency,
                 heap_config=(heap_config if heap_config is not None
                              else HeapConfig()),
-                alias_aware=alias_aware, observatory=observatory)
+                alias_aware=alias_aware, observatory=observatory,
+                gc_workers=gc_workers)
         self.config = config
         obs = config.observatory if config.observatory is not None else NULL_OBS
         self.vm = EspressoVM(clock=config.clock, latency=config.latency,
                              heap_config=config.heap_config,
-                             alias_aware=config.alias_aware, obs=obs)
+                             alias_aware=config.alias_aware, obs=obs,
+                             gc_workers=config.gc_workers)
         self.heaps = HeapManager(self.vm, heap_dir)
         self.heap_dir = Path(heap_dir)
 

@@ -8,7 +8,10 @@ linearly with the number of objects with zeroing safety."
 
 We sweep object counts (scaled down 10x by default — simulated time is
 deterministic, so the flat-vs-linear shape needs no averaging) and measure
-``loadHeap`` time under both safety levels.
+``loadHeap`` time under both safety levels.  A third series repeats the
+zeroing load with an 8-worker gang (``gc_workers=8``): the scan
+partitions the object walk over simulated workers, flattening the linear
+curve without changing the loaded image.
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ from repro.api import Espresso
 from repro.core.safety import SafetyLevel
 from repro.runtime.klass import FieldKind, field as kfield
 
-from repro.bench.harness import format_table
+from repro.bench.harness import format_table, write_bench_json
 
 KLASS_COUNT = 20  # "20 different Klasses", as in the paper
 
@@ -57,8 +60,12 @@ def _build_heap(heap_dir: Path, object_count: int) -> None:
     jvm.shutdown()
 
 
-def _load_time_ms(heap_dir: Path, safety: SafetyLevel) -> float:
-    jvm = Espresso(heap_dir)
+ZERO_WORKERS = 8  # gang size for the parallel-zeroing series
+
+
+def _load_time_ms(heap_dir: Path, safety: SafetyLevel,
+                  workers: int = 1) -> float:
+    jvm = Espresso(heap_dir, gc_workers=workers)
     _define_klasses(jvm)
     _heap, report = jvm.heaps.load_heap_with_report("fig18", safety)
     return report.load_ns / 1e6
@@ -78,19 +85,30 @@ def run(object_counts: List[int] | None = None,
         result.series[count] = {
             "UG": _load_time_ms(build_dir, SafetyLevel.USER_GUARANTEED),
             "Zero": _load_time_ms(build_dir, SafetyLevel.ZEROING),
+            "ZeroW8": _load_time_ms(build_dir, SafetyLevel.ZEROING,
+                                    workers=ZERO_WORKERS),
         }
     return result
 
 
 def main(object_counts: List[int] | None = None) -> Fig18Result:
     result = run(object_counts)
-    rows = [(f"{count:,}", f"{times['UG']:.3f}", f"{times['Zero']:.3f}")
+    rows = [(f"{count:,}", f"{times['UG']:.3f}", f"{times['Zero']:.3f}",
+             f"{times['ZeroW8']:.3f}")
             for count, times in sorted(result.series.items())]
     print(format_table(
-        ["Objects", "UG load (ms)", "Zeroing load (ms)"],
+        ["Objects", "UG load (ms)", "Zeroing load (ms)",
+         f"Zeroing x{ZERO_WORKERS} workers (ms)"],
         rows,
         title=("Figure 18 — heap loading time (paper: UG flat in object "
                "count, zeroing linear; counts scaled 10x down)")))
+    path = write_bench_json("fig18", {
+        "klass_count": KLASS_COUNT,
+        "zero_workers": ZERO_WORKERS,
+        "series": {str(count): times
+                   for count, times in sorted(result.series.items())},
+    })
+    print(f"wrote {path}")
     return result
 
 

@@ -10,19 +10,27 @@ of crash consistency."
 Same setup here: populate a PJH, drop a fraction of the references, run the
 persistent collection once with flushes enabled and once with the
 no-clflush baseline hooks, and report the pause-time overhead.
+
+A second sweep re-runs the same collection with ``gc_workers`` of 1, 2,
+4 and 8 (the paper's collector is Parallel Scavenge old GC, §4.2).  The
+simulated pause shrinks as the max-over-workers barrier model kicks in
+while the durable image stays byte-identical — each row records the
+image's SHA-256 so the invariant is diffable from the JSON alone.
 """
 
 from __future__ import annotations
 
+import hashlib
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
+from typing import List, Sequence
 
 from repro.api import Espresso
 from repro.core.pgc import PersistentGC
 from repro.runtime.klass import FieldKind, field as kfield
 
-from repro.bench.harness import format_table
+from repro.bench.harness import format_table, write_bench_json
 
 
 @dataclass
@@ -80,6 +88,38 @@ def run(object_count: int = 8000, heap_dir: Path | None = None
                         flushes=result_flush.flushes)
 
 
+@dataclass
+class GcScalingRow:
+    workers: int
+    pause_ms: float
+    speedup: float           # vs. the single-worker pause
+    image_sha256: str        # durable image after the collection
+
+
+def run_scaling(object_count: int = 8000,
+                worker_counts: Sequence[int] = (1, 2, 4, 8),
+                heap_dir: Path | None = None) -> List[GcScalingRow]:
+    """One identical collection per worker count; pause and image digest."""
+    root = heap_dir if heap_dir is not None else Path(tempfile.mkdtemp())
+    rows: List[GcScalingRow] = []
+    base_pause_ms = None
+    for workers in worker_counts:
+        jvm = _populate(root / f"w{workers}", object_count)
+        heap = jvm.heaps.heap("gc")
+        start = jvm.clock.now_ns
+        PersistentGC(heap, workers=workers).collect()
+        pause_ms = (jvm.clock.now_ns - start) / 1e6
+        if base_pause_ms is None:
+            base_pause_ms = pause_ms
+        digest = hashlib.sha256(
+            heap.device.durable_image().tobytes()).hexdigest()
+        rows.append(GcScalingRow(
+            workers=workers, pause_ms=pause_ms,
+            speedup=base_pause_ms / pause_ms if pause_ms else 0.0,
+            image_sha256=digest))
+    return rows
+
+
 def main(object_count: int = 8000) -> GcCostResult:
     result = run(object_count)
     print(format_table(
@@ -89,6 +129,25 @@ def main(object_count: int = 8000) -> GcCostResult:
           f"{result.baseline_pause_ms:.3f}",
           f"{result.overhead_percent:.1f}%", "17.8%")],
         title="§6.4 — pause-time cost of the recoverable GC"))
+
+    scaling = run_scaling(object_count)
+    print(format_table(
+        ["GC workers", "Pause (ms)", "Speedup", "Image SHA-256 (first 12)"],
+        [(row.workers, f"{row.pause_ms:.3f}", f"{row.speedup:.2f}x",
+          row.image_sha256[:12]) for row in scaling],
+        title="§4.2 — parallel old-GC pause scaling (image must not vary)"))
+    path = write_bench_json("gc_scaling", {
+        "objects": object_count,
+        "flush_pause_ms": result.flush_pause_ms,
+        "baseline_pause_ms": result.baseline_pause_ms,
+        "overhead_percent": result.overhead_percent,
+        "scaling": [{"workers": row.workers,
+                     "pause_ms": row.pause_ms,
+                     "speedup": row.speedup,
+                     "image_sha256": row.image_sha256}
+                    for row in scaling],
+    })
+    print(f"wrote {path}")
     return result
 
 

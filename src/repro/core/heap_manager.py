@@ -205,8 +205,11 @@ class HeapManager:
             report.truncated_words = phase(
                 "data-heap", heap.validate_and_truncate)
             if heap.safety.scan_on_load():
+                # The fig18 path: the scan fans out over the session's
+                # gc_workers gang (a no-op gang of one by default).
                 report.nullified_pointers = phase(
-                    "zeroing-scan", heap.zeroing_scan)
+                    "zeroing-scan",
+                    lambda: heap.zeroing_scan(workers=self.vm.gc_workers))
         except BaseException:
             self.vm.memory.unmap(device)
             raise

@@ -257,22 +257,55 @@ class PersistentHeap(PersistentSpaceService):
             return truncated
         return 0
 
-    def zeroing_scan(self) -> int:
+    def zeroing_scan(self, workers: Optional[int] = None) -> int:
         """Nullify every pointer that leaves this PJH (zeroing safety).
 
         Returns the number of pointers nullified.  Cost is proportional to
-        the number of objects — the linear curve of Figure 18.
+        the number of objects — the linear curve of Figure 18.  With
+        ``workers > 1`` (default: the session's ``gc_workers`` knob) the
+        object list is partitioned round-robin over a simulated worker
+        gang; every object's slots are written by exactly one worker, so
+        the resulting image is identical and only the simulated scan time
+        (max over workers) shrinks.
         """
-        memory = self.vm.memory
-        nullified = 0
-        for address in self.walk():
-            for slot in self.vm.access.ref_slot_addresses(address):
-                value = memory.read(slot)
-                if value != obj_layout.NULL and not self.in_heap_range(value):
-                    memory.write(slot, obj_layout.NULL)
-                    nullified += 1
+        if workers is None:
+            workers = getattr(self.vm, "gc_workers", 1)
+        if workers > 1:
+            from repro.runtime.workers import WorkerPool
+            pool = WorkerPool(self.vm.clock, workers, obs=self.vm.obs,
+                              label="zeroing")
+            # Each worker discovers its own share of the walk: region
+            # summaries let a parallel loader jump straight to its slice,
+            # so the header reads that find object boundaries are charged
+            # to the same worker that will scan the object's slots.
+            addresses = []
+            walker = self.walk()
+            while True:
+                owner = pool.workers[len(addresses) % pool.n]
+                with self.vm.clock.divert(owner.meter):
+                    address = next(walker, None)
+                if address is None:
+                    break
+                addresses.append(address)
+            counts = pool.run_partitioned(
+                addresses, self._zero_out_of_heap_refs, phase="scan")
+            nullified = sum(counts)
+        else:
+            nullified = 0
+            for address in self.walk():
+                nullified += self._zero_out_of_heap_refs(address)
         if nullified:
             self.device.persist_all()
+        return nullified
+
+    def _zero_out_of_heap_refs(self, address: int) -> int:
+        memory = self.vm.memory
+        nullified = 0
+        for slot in self.vm.access.ref_slot_addresses(address):
+            value = memory.read(slot)
+            if value != obj_layout.NULL and not self.in_heap_range(value):
+                memory.write(slot, obj_layout.NULL)
+                nullified += 1
         return nullified
 
     # ------------------------------------------------------------------

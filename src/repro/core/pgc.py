@@ -27,7 +27,7 @@ collection — the baseline of the §6.4 "cost of recoverable GC" experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -35,13 +35,14 @@ from repro.nvm.persist import PersistDomain
 from repro.runtime import layout as obj_layout
 from repro.runtime.bitmap import LiveMap
 from repro.runtime.old_gc import CompactionEngine, CompactStats, GCHooks
+from repro.runtime.workers import WorkerPool
 
 
 class NvmGCHooks(GCHooks):
     """GCHooks persisting every protocol step into the heap's NVM device."""
 
     def __init__(self, heap, flush_enabled: bool = True,
-                 recovery: bool = False) -> None:
+                 recovery: bool = False, workers: int = 1) -> None:
         from repro.core.metadata import MetadataArea
         self.heap = heap
         self.device = heap.device
@@ -59,6 +60,23 @@ class NvmGCHooks(GCHooks):
         self.persist = (heap.persist if flush_enabled
                         else PersistDomain(heap.device, name="pgc-noflush",
                                            enabled=False))
+        # Simulated GC workers each get their own epoch stream, so one
+        # worker's per-region fence ordering (destination epoch, then
+        # source stamps, then the region bit) never entangles with
+        # another's pending lines.  A disabled domain forks disabled.
+        self._main_persist = self.persist
+        self._worker_domains = ([self.persist.fork(f"gc-w{i}")
+                                 for i in range(workers)]
+                                if workers > 1 else None)
+        # Set by PersistentGC/recover when workers > 1: lets the bulk
+        # bitmap persist fan out over the same gang as the engine phases.
+        self.pool = None
+
+    def on_worker(self, index) -> None:
+        if self._worker_domains is None:
+            return
+        self.persist = (self._main_persist if index is None
+                        else self._worker_domains[index])
 
     # -- small persistence helpers -----------------------------------------
     def _flush(self, offset: int, count: int = 1, fence: bool = True) -> None:
@@ -80,9 +98,7 @@ class NvmGCHooks(GCHooks):
         begin_words = livemap.begin.to_words()
         live_words = livemap.live.to_words()
         off = self.layout.bitmap_offset
-        self.device.write_block(off, begin_words)
-        self.device.write_block(off + self._per_map_words, live_words)
-        self._flush(off, self.layout.bitmap_words)
+        self._write_bitmaps(off, begin_words, live_words)
         self.failpoint("pgc.bitmaps_persisted")
         # Bump the timestamp (0 is reserved for fresh objects) and raise the
         # in-progress flag; from here on the heap is recoverable.
@@ -93,6 +109,35 @@ class NvmGCHooks(GCHooks):
         self.metadata.set_gc_in_progress(True)
         self.failpoint("pgc.flag_raised")
         return timestamp
+
+    def _write_bitmaps(self, off: int, begin_words, live_words) -> None:
+        """Write + flush both mark bitmaps, fanning out over the gang.
+
+        The chunks are disjoint, so any assignment yields the same bytes;
+        each worker commits its own epoch, and every fence lands before
+        the GC-in-progress flag is raised — the ordering the recovery
+        protocol needs (bitmaps durable before the flag) is preserved.
+        """
+        spans = [(off, begin_words), (off + self._per_map_words, live_words)]
+        if self.pool is None or not self.pool.parallel:
+            for base, words in spans:
+                self.device.write_block(base, words)
+            self._flush(off, self.layout.bitmap_words)
+            return
+        chunks = []
+        for base, words in spans:
+            step = max(1, -(-len(words) // self.pool.n))
+            for lo in range(0, len(words), step):
+                chunks.append((base + lo, words[lo:lo + step]))
+
+        def write_chunk(chunk) -> None:
+            base, words = chunk
+            self.device.write_block(base, words)
+            self.persist.flush(base, len(words))
+            self.persist.commit_epoch()
+
+        self.pool.run_partitioned(chunks, write_chunk, phase="bitmaps",
+                                  worker_hook=self.on_worker)
 
     def load_livemap(self, livemap: LiveMap) -> None:
         """Recovery: rebuild the livemap from its persisted words."""
@@ -231,27 +276,42 @@ class PersistentGCResult:
 
 
 class PersistentGC:
-    """One collection of a PJH instance."""
+    """One collection of a PJH instance.
 
-    def __init__(self, heap, flush_enabled: bool = True) -> None:
+    ``workers`` overrides the session's ``gc_workers`` knob for this one
+    collection (the gc_cost scaling bench sweeps it); the default is
+    whatever the VM was configured with.
+    """
+
+    def __init__(self, heap, flush_enabled: bool = True,
+                 workers: Optional[int] = None) -> None:
         self.heap = heap
         self.flush_enabled = flush_enabled
+        self.workers = workers
 
     def collect(self) -> PersistentGCResult:
         heap = self.heap
         vm = heap.vm
-        hooks = NvmGCHooks(heap, flush_enabled=self.flush_enabled)
+        workers = (self.workers if self.workers is not None
+                   else getattr(vm, "gc_workers", 1))
+        hooks = NvmGCHooks(heap, flush_enabled=self.flush_enabled,
+                           workers=workers)
+        pool = (WorkerPool(vm.clock, workers, obs=vm.obs, label="gc")
+                if workers > 1 else None)
+        hooks.pool = pool
         engine = CompactionEngine(
             vm.access, heap.data_space, heap.layout.region_words, hooks=hooks,
-            obs=vm.obs)
+            obs=vm.obs, pool=pool)
         roots = list(heap.root_slots()) + vm.gc_roots_for_persistent()
         start_ns = vm.clock.now_ns
         before = heap.device.stats.snapshot()
-        with vm.obs.span("gc.persistent", heap=heap.name), \
+        with vm.obs.span("gc.persistent", heap=heap.name, workers=workers), \
                 vm.clock.scope("gc"):
             stats = engine.collect(roots)
-        # PJH objects moved: the PJH->DRAM remembered set addresses are stale.
-        vm.rebuild_pjh_to_dram_remset(heap.walk())
+        # PJH objects moved: the PJH->DRAM remembered set addresses are
+        # stale.  The rebuild is a read-only scan, so it fans out over
+        # the same gang (it is part of the pause either way).
+        vm.rebuild_pjh_to_dram_remset(heap.walk(), pool=pool)
         delta = heap.device.stats.delta(before)
         vm.obs.inc("gc.persistent.collections")
         vm.obs.observe("gc.persistent.pause_ns", vm.clock.now_ns - start_ns)

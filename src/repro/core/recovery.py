@@ -16,12 +16,19 @@ first, so it is complete), a serialized region resumes at its durable
 region cursor — including a half-finished chunked move, which continues
 from its durable progress record — and the persisted root redo log is
 applied blindly (idempotent) before the heap is unflagged.
+
+Recovery is worker-count agnostic: the region-dependency ready-queue used
+by a parallel recovery (``gc_workers > 1``) admits every schedule a serial
+ascending walk admits — a region's destination span only overlaps regions
+with lower numbers — so the recovered image is byte-identical no matter
+how many workers the crashed collection used, or the recovering one uses.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from repro.runtime.old_gc import CompactionEngine
+from repro.runtime.workers import WorkerPool
 
 from repro.core.pgc import NvmGCHooks
 
@@ -44,12 +51,16 @@ def recover(heap) -> RecoveryReport:
         return RecoveryReport()
 
     vm = heap.vm
-    hooks = NvmGCHooks(heap, recovery=True)
+    workers = getattr(vm, "gc_workers", 1)
+    hooks = NvmGCHooks(heap, recovery=True, workers=workers)
+    pool = (WorkerPool(vm.clock, workers, obs=vm.obs, label="recovery")
+            if workers > 1 else None)
+    hooks.pool = pool
     engine = CompactionEngine(
         vm.access, heap.data_space, heap.layout.region_words, hooks=hooks,
-        obs=vm.obs)
+        obs=vm.obs, pool=pool)
 
-    with vm.obs.span("recovery", heap=heap.name):
+    with vm.obs.span("recovery", heap=heap.name, workers=workers):
         # Step 1: fetch the persisted mark bitmaps.
         with vm.obs.span("recovery.fetch_bitmaps"):
             hooks.load_livemap(engine.livemap)

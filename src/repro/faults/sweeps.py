@@ -41,6 +41,11 @@ class SweepSpec:
     fast_max_points: int
 
 
+#: Every sweep harness runs its JVMs with a parallel GC gang, so each
+#: induced crash (and each recovery) exercises the worker scheduler's
+#: protocol-state guarantees, not just the serial collector's.
+GC_WORKERS = 3
+
 SWEEPS: Dict[str, SweepSpec] = {}
 
 
@@ -82,7 +87,8 @@ def _pjh_harness() -> CrashSweepHarness:
 
     def setup():
         tmp = Path(tempfile.mkdtemp(prefix="sweep-pjh-"))
-        jvm = Espresso(tmp / "heaps", observatory=Observatory())
+        jvm = Espresso(tmp / "heaps", observatory=Observatory(),
+                       gc_workers=GC_WORKERS)
         node = jvm.define_class("SweepNode", [field("v", FieldKind.INT),
                                               field("next", FieldKind.REF)])
         jvm.create_heap("h", 256 * 1024, region_words=128)
@@ -115,7 +121,8 @@ def _pjh_harness() -> CrashSweepHarness:
 
     def recover(ctx, crashed):
         ctx.jvm.crash()  # power loss: durable image saved, heap unmounted
-        jvm2 = Espresso(ctx.tmp / "heaps", observatory=Observatory())
+        jvm2 = Espresso(ctx.tmp / "heaps", observatory=Observatory(),
+                        gc_workers=GC_WORKERS)
         jvm2.load_heap("h")
         return SimpleNamespace(jvm=jvm2, heap=jvm2.heaps.heap("h"),
                                obs=jvm2.obs)
@@ -247,7 +254,8 @@ def _pjhlib_harness() -> CrashSweepHarness:
 
     def setup():
         tmp = Path(tempfile.mkdtemp(prefix="sweep-pjhlib-"))
-        jvm = Espresso(tmp / "heaps", observatory=Observatory())
+        jvm = Espresso(tmp / "heaps", observatory=Observatory(),
+                       gc_workers=GC_WORKERS)
         jvm.create_heap("kv", 2 * 1024 * 1024)
         txn = PjhTransaction(jvm)
         table = PjhHashmap(jvm, txn)
@@ -268,7 +276,8 @@ def _pjhlib_harness() -> CrashSweepHarness:
 
     def recover(ctx, crashed):
         ctx.jvm.crash()
-        jvm = Espresso(ctx.tmp / "heaps", observatory=Observatory())
+        jvm = Espresso(ctx.tmp / "heaps", observatory=Observatory(),
+                        gc_workers=GC_WORKERS)
         jvm.load_heap("kv")
         txn = PjhTransaction.reattach(jvm, jvm.get_root("txn_entries"),
                                       jvm.get_root("txn_meta"))
@@ -379,7 +388,8 @@ def _pjo_harness() -> CrashSweepHarness:
 
     def setup():
         tmp = Path(tempfile.mkdtemp(prefix="sweep-pjo-"))
-        jvm = Espresso(tmp / "heaps", observatory=Observatory())
+        jvm = Espresso(tmp / "heaps", observatory=Observatory(),
+                       gc_workers=GC_WORKERS)
         jvm.create_heap("jpab", 4 * 1024 * 1024)
         em = PjoEntityManager(jvm)  # dedup + field tracking are the defaults
         em.create_schema([BasicPerson])
@@ -405,7 +415,8 @@ def _pjo_harness() -> CrashSweepHarness:
 
     def recover(ctx, crashed):
         ctx.jvm.crash()
-        jvm = Espresso(ctx.tmp / "heaps", observatory=Observatory())
+        jvm = Espresso(ctx.tmp / "heaps", observatory=Observatory(),
+                        gc_workers=GC_WORKERS)
         jvm.load_heap("jpab")
         em = PjoEntityManager(jvm)  # backend reattaches + recovers the log
         return SimpleNamespace(jvm=jvm, em=em, heap=jvm.heaps.heap("jpab"),
@@ -471,7 +482,7 @@ def _mixed_harness() -> CrashSweepHarness:
     def setup():
         tmp = Path(tempfile.mkdtemp(prefix="sweep-mixed-"))
         obs = Observatory()
-        jvm = Espresso(tmp / "heaps", observatory=obs)
+        jvm = Espresso(tmp / "heaps", observatory=obs, gc_workers=GC_WORKERS)
         node = jvm.define_class("MixNode", [field("v", FieldKind.INT),
                                             field("next", FieldKind.REF)])
         jvm.create_heap("h", 256 * 1024, region_words=128)
@@ -505,7 +516,7 @@ def _mixed_harness() -> CrashSweepHarness:
         # Reuse the shared clock so the recovered JVM and DB keep one
         # coherent timeline (db.crash() rebinds obs to the same clock).
         jvm2 = Espresso(ctx.tmp / "heaps", clock=ctx.db.clock,
-                        observatory=obs)
+                        observatory=obs, gc_workers=GC_WORKERS)
         jvm2.load_heap("h")
         return SimpleNamespace(jvm=jvm2, db=ctx.db.crash(obs=obs),
                                heap=jvm2.heaps.heap("h"), obs=obs)

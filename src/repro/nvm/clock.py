@@ -23,6 +23,27 @@ from typing import Dict, Iterator, List
 DEFAULT_CATEGORY = "other"
 
 
+class ChargeMeter:
+    """Accumulator for charges diverted away from global time.
+
+    A simulated GC worker runs its share of the work under
+    :meth:`Clock.divert`; the charges land here instead of advancing
+    ``now_ns``, and the scheduler later advances the clock once by the
+    *maximum* over the workers — pause time is the slowest worker, not
+    the sum (see :mod:`repro.runtime.workers`).
+    """
+
+    __slots__ = ("ns",)
+
+    def __init__(self) -> None:
+        self.ns: float = 0.0
+
+    def take(self) -> float:
+        """Return the accumulated nanoseconds and reset to zero."""
+        ns, self.ns = self.ns, 0.0
+        return ns
+
+
 class Clock:
     """Accumulates simulated nanoseconds, attributed to nested scopes."""
 
@@ -30,6 +51,7 @@ class Clock:
         self._now_ns: float = 0.0
         self._by_category: Dict[str, float] = {}
         self._stack: List[str] = []
+        self._meters: List[ChargeMeter] = []
 
     # ------------------------------------------------------------------
     # Charging
@@ -38,13 +60,38 @@ class Clock:
         """Advance time by *ns*, attributing it to *category*.
 
         When *category* is omitted the innermost active scope is used, or
-        ``"other"`` if no scope is active.
+        ``"other"`` if no scope is active.  While a :meth:`divert` is
+        active the charge lands on the innermost meter instead and global
+        time does not move.
         """
         if ns < 0:
             raise ValueError(f"negative charge: {ns}")
+        if self._meters:
+            self._meters[-1].ns += ns
+            return
         self._now_ns += ns
         label = category if category is not None else self.current_category
         self._by_category[label] = self._by_category.get(label, 0.0) + ns
+
+    @contextmanager
+    def divert(self, meter: ChargeMeter) -> Iterator[ChargeMeter]:
+        """Divert every charge inside the block into *meter*.
+
+        Global time (``now_ns``) and the category breakdown are untouched
+        until the caller re-charges the metered total — typically
+        ``clock.charge(max(worker_meters))`` after a simulated parallel
+        phase.  Diversions nest; the innermost meter wins.
+        """
+        self._meters.append(meter)
+        try:
+            yield meter
+        finally:
+            self._meters.pop()
+
+    @property
+    def diverted(self) -> bool:
+        """True while a :meth:`divert` block is active."""
+        return bool(self._meters)
 
     def charge_ops(self, count: float, ns_per_op: float) -> None:
         """Charge *count* CPU operations at *ns_per_op* each."""
@@ -94,6 +141,7 @@ class Clock:
         self._now_ns = 0.0
         self._by_category.clear()
         self._stack.clear()
+        self._meters.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Clock(now={self._now_ns:.0f}ns, scopes={self._stack!r})"

@@ -89,6 +89,18 @@ class PersistDomain:
                 added += 1
         return added
 
+    def fork(self, suffix: str) -> "PersistDomain":
+        """A sibling domain on the same device: own epoch queue, own
+        fence stream, inherited enabled/strict settings.
+
+        Simulated GC workers each fork the collector's domain so that a
+        worker's fence boundaries (destination epoch committed before the
+        source-stamp epoch) are preserved without coupling its pending
+        lines to any other worker's epochs.
+        """
+        return PersistDomain(self.device, name=f"{self.name}:{suffix}",
+                             enabled=self.enabled, strict=self.strict)
+
     # ------------------------------------------------------------------
     # Epoch commit / fencing
     # ------------------------------------------------------------------

@@ -107,11 +107,16 @@ class ParallelScavengeHeap:
         self.log.last_scavenge = stats
         return stats
 
-    def full_collect(self, roots: Sequence[RootSlot]) -> CompactStats:
-        """Old-space compaction followed by whole-young evacuation."""
+    def full_collect(self, roots: Sequence[RootSlot],
+                     pool=None) -> CompactStats:
+        """Old-space compaction followed by whole-young evacuation.
+
+        *pool* is an optional :class:`~repro.runtime.workers.WorkerPool`;
+        the VM passes one when ``gc_workers > 1``.
+        """
         engine = CompactionEngine(
             self.access, self.old, self.config.region_words,
-            hooks=VolatileGCHooks(), traversable=self.in_young)
+            hooks=VolatileGCHooks(), traversable=self.in_young, pool=pool)
         stats = engine.collect(roots)
         # Evacuate every young survivor into the (now compacted) old space.
         self.young_collect(roots, promote_all=True)

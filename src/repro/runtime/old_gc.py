@@ -32,6 +32,15 @@ and then hardens for crash consistency:
 The engine itself is heap-agnostic: the DRAM old GC instantiates it with
 no-op :class:`VolatileGCHooks`; the persistent GC (:mod:`repro.core.pgc`)
 supplies hooks that persist every step to NVM and inject failpoints.
+
+With a :class:`~repro.runtime.workers.WorkerPool` attached, mark, summary
+and compact run on a simulated gang of GC threads (the *Parallel* in
+Parallel Scavenge): mark partitions the roots and work-steals
+deterministically, summary partitions the regions, and compact is driven
+by a region-dependency ready-queue — a region is claimable only once
+every region its destination span overlaps has been evacuated.  The
+durable image is byte-identical for any worker count; only the simulated
+pause (max over workers per phase) changes.  See DESIGN.md §12.
 """
 
 from __future__ import annotations
@@ -48,6 +57,7 @@ from repro.runtime.klass import FieldKind
 from repro.runtime.bitmap import LiveMap
 from repro.runtime.objects import HeapAccess, RootSlot
 from repro.runtime.spaces import Space
+from repro.runtime.workers import WorkerPool
 
 
 class GCHooks:
@@ -112,6 +122,11 @@ class GCHooks:
 
     def failpoint(self, site: str) -> None:
         """Crash-injection hook (volatile heaps ignore it)."""
+
+    def on_worker(self, index: "Optional[int]") -> None:
+        """Select the persist-domain epoch stream of a simulated GC
+        worker; ``None`` reselects the main/coordinator stream.  No-op
+        for volatile heaps (and for single-worker persistent runs)."""
 
     def on_finish(self, new_top: int) -> None:
         """Apply final metadata updates (top, clear flag, clear bitmaps)."""
@@ -179,13 +194,17 @@ class CompactionEngine:
     def __init__(self, access: HeapAccess, space: Space, region_words: int,
                  hooks: Optional[GCHooks] = None,
                  traversable: Optional[Callable[[int], bool]] = None,
-                 obs: Observatory = NULL_OBS) -> None:
+                 obs: Observatory = NULL_OBS,
+                 pool: Optional[WorkerPool] = None) -> None:
         self.access = access
         self.space = space
         self.region_words = region_words
         self.hooks = hooks if hooks is not None else VolatileGCHooks()
         self.obs = obs
         self.traversable = traversable or (lambda _address: False)
+        # A parallel pool changes only the simulated schedule; pool=None
+        # (or a 1-worker pool) keeps the exact serial code path.
+        self.pool = pool if pool is not None and pool.parallel else None
         self.n_regions = (space.size_words + region_words - 1) // region_words
 
         self.livemap = LiveMap(space.base, space.size_words)
@@ -209,7 +228,10 @@ class CompactionEngine:
     def mark(self, roots: Iterable[RootSlot]) -> None:
         """Trace from roots; mark in-space objects, traverse pass-through ones."""
         with self.obs.span("gc.mark"):
-            self._mark(roots)
+            if self.pool is not None:
+                self._mark_parallel(roots)
+            else:
+                self._mark(roots)
         self.obs.inc("gc.marked_objects", self.stats.live_objects)
 
     def _mark(self, roots: Iterable[RootSlot]) -> None:
@@ -248,19 +270,79 @@ class CompactionEngine:
         self.timestamp = self.hooks.on_mark_complete(self.livemap)
         self.stats.timestamp = self.timestamp
 
+    def _mark_parallel(self, roots: Iterable[RootSlot]) -> None:
+        """N-worker marking: partitioned roots, deterministic stealing.
+
+        The mark *result* is order-independent (the livemap is a set of
+        bits, external-slot fixes are idempotent), so any deterministic
+        interleaving yields the same image as the serial trace; only the
+        per-worker time accounting — and hence the pause — differs.
+        """
+        pool = self.pool
+        in_space = self.space.contains
+        visited_outside: Set[int] = set()
+
+        def consider(address: int, stack: List[int]) -> None:
+            if address == layout.NULL:
+                return
+            if in_space(address):
+                if not self.livemap.is_marked(address):
+                    size = self.access.object_words(address)
+                    self.livemap.mark_object(address, size)
+                    self._clock.charge(self.TRACE_NS)
+                    self.stats.live_objects += 1
+                    self.stats.live_words += size
+                    stack.append(address)
+            elif self.traversable(address) and address not in visited_outside:
+                visited_outside.add(address)
+                stack.append(address)
+
+        stacks: List[List[int]] = [[] for _ in range(pool.n)]
+        root_list = list(roots)
+        for worker in pool.workers:
+            with self._clock.divert(worker.meter):
+                for i in range(worker.index, len(root_list), pool.n):
+                    consider(root_list[i].get(), stacks[worker.index])
+
+        def process(current: int, stack: List[int]) -> None:
+            for slot in self.access.ref_slot_addresses(current):
+                target = self.access.memory.read(slot)
+                if target == layout.NULL:
+                    continue
+                if not in_space(current) and in_space(target):
+                    # Slot outside the space holds a pointer that will move.
+                    self._external_slots.append(slot)
+                consider(target, stack)
+
+        pool.run_stealing(stacks, process, phase="mark")
+        self.timestamp = self.hooks.on_mark_complete(self.livemap)
+        self.stats.timestamp = self.timestamp
+
     # ------------------------------------------------------------------
     # Phase 2: summary (idempotent — derived from bitmaps alone)
     # ------------------------------------------------------------------
     def summarize(self) -> None:
         with self.obs.span("gc.summary", regions=self.n_regions):
-            self._region_live = []
             size = self.space.size_words
-            self._clock.charge(self.SUMMARY_NS * self.n_regions)
-            for r in range(self.n_regions):
+
+            def bounds(r: int) -> tuple:
                 start = r * self.region_words
-                end = min(start + self.region_words, size)
-                self._region_live.append(
-                    self.livemap.live_words_in(start, end))
+                return start, min(start + self.region_words, size)
+
+            if self.pool is not None:
+                def region_live(r: int) -> int:
+                    self._clock.charge(self.SUMMARY_NS)
+                    start, end = bounds(r)
+                    return self.livemap.live_words_in(start, end)
+                self._region_live = self.pool.run_partitioned(
+                    range(self.n_regions), region_live, phase="summary")
+            else:
+                self._region_live = []
+                self._clock.charge(self.SUMMARY_NS * self.n_regions)
+                for r in range(self.n_regions):
+                    start, end = bounds(r)
+                    self._region_live.append(
+                        self.livemap.live_words_in(start, end))
             self._cum_live = [0]
             for live in self._region_live:
                 self._cum_live.append(self._cum_live[-1] + live)
@@ -301,28 +383,91 @@ class CompactionEngine:
     # ------------------------------------------------------------------
     def compact(self, recovery: bool = False) -> None:
         with self.obs.span("gc.compact", recovery=recovery):
-            for region in range(self.n_regions):
-                if self.hooks.is_region_done(region):
-                    continue
-                if self._region_live[region] == 0:
-                    self.hooks.region_done(region)
-                    continue
-                # A durable cursor pins the protocol choice: once a region
-                # has been (partially) processed serialized, re-walking its
-                # sources to re-decide would read data a completed
-                # overlapping move may already have destroyed.
-                if (recovery and self.hooks.region_cursor()[0] == region) \
-                        or self._region_needs_serialization(region):
-                    self._compact_region_serialized(region, recovery)
-                else:
-                    self._compact_region_batched(region, recovery)
-                self.hooks.region_done(region)
-                self.hooks.failpoint("gc.compact.region_done")
+            if self.pool is not None:
+                self._compact_parallel(recovery)
+            else:
+                for region in range(self.n_regions):
+                    if self.hooks.is_region_done(region):
+                        continue
+                    self._evacuate_region(region, recovery)
             # All regions evacuated: any in-flight serialized-protocol state
             # is obsolete (a region bit supersedes its cursor).
             self.hooks.clear_region_cursor()
             self.hooks.clear_move_record()
         self.obs.inc("gc.moved_objects", self.stats.moved_objects)
+
+    def _evacuate_region(self, region: int, recovery: bool) -> bool:
+        """Process one region end-to-end; True when serialized.
+
+        This is the unit of work a compaction worker claims: protocol
+        choice, evacuation, the durable region bit, and the failpoint all
+        happen on the claiming worker's persist-domain epoch stream.
+        """
+        if self._region_live[region] == 0:
+            self.hooks.region_done(region)
+            return False
+        # A durable cursor pins the protocol choice: once a region
+        # has been (partially) processed serialized, re-walking its
+        # sources to re-decide would read data a completed
+        # overlapping move may already have destroyed.
+        if (recovery and self.hooks.region_cursor()[0] == region) \
+                or self._region_needs_serialization(region):
+            self._compact_region_serialized(region, recovery)
+            serialized = True
+        else:
+            self._compact_region_batched(region, recovery)
+            serialized = False
+        self.hooks.region_done(region)
+        self.hooks.failpoint("gc.compact.region_done")
+        return serialized
+
+    def _region_dest_deps(self, region: int) -> List[int]:
+        """Regions this region's destination span overlaps (excluding
+        itself — self-overlap is the serialized protocol's job).
+
+        The destination span of region *r* is
+        ``[cum_live[r], cum_live[r] + live[r])`` in space-relative words,
+        which can only fall inside regions ``<= r`` — so the dependency
+        graph is acyclic and a serial ascending walk (the recovery order)
+        trivially satisfies it, which is why recovery is worker-count
+        agnostic.
+        """
+        live = self._region_live[region]
+        if live == 0:
+            return []
+        start_w = self._cum_live[region]
+        d_lo = start_w // self.region_words
+        d_hi = (start_w + live - 1) // self.region_words
+        return [d for d in range(d_lo, d_hi + 1)
+                if d != region and self._region_live[d] > 0]
+
+    def _compact_parallel(self, recovery: bool) -> None:
+        """Ready-queue compaction over the worker gang.
+
+        A region is claimable only once every live region its destination
+        span overlaps has been evacuated; regions needing the serialized
+        protocol additionally contend for a single token, because the
+        durable region cursor and move record are singletons in the
+        metadata area.  Execution order respects the dependencies, so the
+        durable image walks through the same protocol states as a serial
+        collection — crash sweeps hold for any worker count.
+        """
+        done_at_start = {r for r in range(self.n_regions)
+                         if self.hooks.is_region_done(r)}
+        pending = [r for r in range(self.n_regions)
+                   if r not in done_at_start]
+        deps = {r: [d for d in self._region_dest_deps(r)
+                    if d not in done_at_start]
+                for r in pending}
+
+        def run(region: int, worker: int) -> bool:
+            self.hooks.on_worker(worker)
+            try:
+                return self._evacuate_region(region, recovery)
+            finally:
+                self.hooks.on_worker(None)
+
+        self.pool.schedule(pending, deps.__getitem__, run, phase="compact")
 
     def _is_stamped(self, address: int) -> bool:
         mark = self.access.mark_of(address)

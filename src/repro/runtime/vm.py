@@ -109,11 +109,15 @@ class EspressoVM:
                  latency: LatencyConfig = DEFAULT_LATENCY,
                  heap_config: HeapConfig = HeapConfig(),
                  alias_aware: bool = True,
-                 obs: Observatory = NULL_OBS) -> None:
+                 obs: Observatory = NULL_OBS,
+                 gc_workers: int = 1) -> None:
         self.clock = clock if clock is not None else Clock()
         self.obs = obs
         self.obs.bind_clock(self.clock)
         self.latency = latency
+        # Simulated GC gang width: old GC (DRAM and PJH), recovery and
+        # the zeroing load scan all fan out over this many workers.
+        self.gc_workers = max(1, int(gc_workers))
         self.failpoints = FailpointRegistry()
         self.memory = AddressSpace()
         self.registry = KlassRegistry()
@@ -525,7 +529,12 @@ class EspressoVM:
         with self.obs.span("gc.full"):
             roots = (self._handle_roots() + self._pjh_root_slots()
                      + self._memory_roots(self._remset_pjh_to_dram))
-            self.heap.full_collect(roots)
+            pool = None
+            if self.gc_workers > 1:
+                from repro.runtime.workers import WorkerPool
+                pool = WorkerPool(self.clock, self.gc_workers,
+                                  obs=self.obs, label="gc")
+            self.heap.full_collect(roots, pool=pool)
             self._rebuild_remsets_after_full_gc()
         self.obs.inc("gc.full.collections")
 
@@ -569,14 +578,26 @@ class EspressoVM:
         for address in self.heap.walk_old():
             self._scan_object_for_remsets(address)
 
-    def rebuild_pjh_to_dram_remset(self, walk_addresses) -> None:
-        """Called by the persistent GC after it moves PJH objects."""
+    def rebuild_pjh_to_dram_remset(self, walk_addresses, pool=None) -> None:
+        """Called by the persistent GC after it moves PJH objects.
+
+        Read-only, so with a :class:`~repro.runtime.workers.WorkerPool`
+        the scan partitions over the gang; the resulting slot set is
+        order-independent.
+        """
         self._remset_pjh_to_dram = set()
-        for address in walk_addresses:
+
+        def scan(address: int) -> None:
             for slot in self.access.ref_slot_addresses(address):
                 value = self.memory.read(slot)
                 if value != layout.NULL and self.heap.in_heap(value):
                     self._remset_pjh_to_dram.add(slot)
+
+        if pool is not None and pool.parallel:
+            pool.run_partitioned(list(walk_addresses), scan, phase="remset")
+        else:
+            for address in walk_addresses:
+                scan(address)
 
     @property
     def dram_to_pjh_slots(self) -> Set[int]:

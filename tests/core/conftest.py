@@ -21,7 +21,7 @@ def jvm(heap_dir):
 @pytest.fixture
 def mounted(jvm):
     """A JVM with one mounted PJH called 'test'."""
-    jvm.createHeap("test", HEAP_BYTES)
+    jvm.create_heap("test", HEAP_BYTES)
     return jvm
 
 

@@ -12,7 +12,7 @@ from tests.core.conftest import HEAP_BYTES, define_person
 @pytest.fixture
 def mounted_alias_off(heap_dir):
     jvm = Espresso(heap_dir, alias_aware=False)
-    jvm.createHeap("test", HEAP_BYTES)
+    jvm.create_heap("test", HEAP_BYTES)
     return jvm
 
 

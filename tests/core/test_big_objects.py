@@ -21,7 +21,7 @@ def build_heap(heap_dir, garbage_prefix=10):
     jvm = Espresso(heap_dir)
     node = jvm.define_class("Big", [field("value", FieldKind.INT),
                                     field("ref", FieldKind.REF)])
-    jvm.createHeap("big", HEAP_BYTES, region_words=REGION_WORDS)
+    jvm.create_heap("big", HEAP_BYTES, region_words=REGION_WORDS)
     # A little garbage first, so the arrays must slide left (self-overlap).
     for _ in range(garbage_prefix):
         jvm.pnew(node).close()
@@ -31,7 +31,7 @@ def build_heap(heap_dir, garbage_prefix=10):
         for i in range(length):
             jvm.array_set(arr, i, k * 10000 + i)
         jvm.flush_object(arr)
-        jvm.setRoot(f"arr{k}", arr)
+        jvm.set_root(f"arr{k}", arr)
         expected[f"arr{k}"] = [k * 10000 + i for i in range(length)]
         for _ in range(garbage_prefix):
             jvm.pnew(node).close()
@@ -44,7 +44,7 @@ def build_heap(heap_dir, garbage_prefix=10):
         jvm.flush_object(boxed)
         boxed.close()
     jvm.flush_object(holder)
-    jvm.setRoot("holder", holder)
+    jvm.set_root("holder", holder)
     return jvm, expected
 
 
@@ -55,10 +55,10 @@ def verify(heap_dir, expected):
     structure = fsck_heap(_heap)
     assert structure.clean, structure.errors
     for name, values in expected.items():
-        arr = jvm.getRoot(name)
+        arr = jvm.get_root(name)
         got = [jvm.array_get(arr, i) for i in range(len(values))]
         assert got == values, f"{name} corrupted"
-    holder = jvm.getRoot("holder")
+    holder = jvm.get_root("holder")
     for i in range(200):
         assert jvm.get_field(jvm.array_get(holder, i), "value") == i
     return report
@@ -141,7 +141,7 @@ def test_double_crash_during_chunked_move(tmp_path):
     jvm2 = Espresso(tmp_path / "h")
     jvm2.vm.failpoints.crash_on_hit("gc.move.chunk_done", 1)
     with pytest.raises(SimulatedCrash):
-        jvm2.loadHeap("big")
+        jvm2.load_heap("big")
     jvm2.vm.failpoints.clear()
     jvm2.crash()
 

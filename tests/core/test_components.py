@@ -156,15 +156,15 @@ class TestKlassSegment:
         derived = jvm.define_class(
             "KsDerived", [field("b", FieldKind.FLOAT),
                           field("r", FieldKind.REF)], super_klass=base)
-        jvm.createHeap("h", HEAP_BYTES)
+        jvm.create_heap("h", HEAP_BYTES)
         obj = jvm.pnew(derived)
-        jvm.setRoot("o", obj)
+        jvm.set_root("o", obj)
         nvm_klass = jvm.vm.klass_of(obj)
         jvm.shutdown()
 
         jvm2 = Espresso(heap_dir)
-        jvm2.loadHeap("h")
-        reloaded = jvm2.vm.klass_of(jvm2.getRoot("o"))
+        jvm2.load_heap("h")
+        reloaded = jvm2.vm.klass_of(jvm2.get_root("o"))
         assert reloaded.name == "KsDerived"
         assert reloaded.residence is Residence.NVM
         assert reloaded.super_klass.name == "KsBase"
@@ -176,21 +176,21 @@ class TestKlassSegment:
     def test_array_klass_roundtrip(self, heap_dir):
         jvm = Espresso(heap_dir)
         person = define_person(jvm)
-        jvm.createHeap("h", HEAP_BYTES)
+        jvm.create_heap("h", HEAP_BYTES)
         arr = jvm.pnew_array(person, 2)
-        jvm.setRoot("a", arr)
+        jvm.set_root("a", arr)
         jvm.shutdown()
 
         jvm2 = Espresso(heap_dir)
-        jvm2.loadHeap("h")
-        klass = jvm2.vm.klass_of(jvm2.getRoot("a"))
+        jvm2.load_heap("h")
+        klass = jvm2.vm.klass_of(jvm2.get_root("a"))
         assert klass.is_array
         assert klass.element_klass.name == "Person"
         assert klass.element_kind is FieldKind.REF
 
     def test_segment_exhaustion(self, heap_dir):
         jvm = Espresso(heap_dir)
-        jvm.createHeap("h", 64 * 1024)  # tiny: small Klass segment
+        jvm.create_heap("h", 64 * 1024)  # tiny: small Klass segment
         with pytest.raises(OutOfMemoryError):
             for i in range(2000):
                 klass = jvm.define_class(f"Filler{i}")
@@ -212,7 +212,7 @@ class TestFlushApiErrors:
         mounted.flush_array_element(arr, 2)
         mounted.crash()
         jvm2 = Espresso(mounted.heap_dir)
-        jvm2.loadHeap("test")
+        jvm2.load_heap("test")
         # The anchor is gone (no root), but the flush path must not error;
         # durability of rooted data is covered in test_crash_allocation.
 
@@ -229,7 +229,7 @@ class TestHeapStats:
         for i in range(4):
             p = mounted.pnew(person)
             if i == 0:
-                mounted.setRoot("keep", p)
+                mounted.set_root("keep", p)
         stats = mounted.heaps.heap("test").stats()
         assert stats["objects"] == 4
         assert stats["objects_by_class"]["Person"] == 4

@@ -18,12 +18,12 @@ from repro.runtime.klass import FieldKind, field
 def _make_image(tmp_path, with_root=True):
     jvm = Espresso(tmp_path / "h")
     klass = jvm.define_class("Corrupt", [field("v", FieldKind.INT)])
-    jvm.createHeap("h", 128 * 1024)
+    jvm.create_heap("h", 128 * 1024)
     if with_root:
         obj = jvm.pnew(klass)
         jvm.set_field(obj, "v", 41)
         jvm.flush_reachable(obj)
-        jvm.setRoot("keep", obj)
+        jvm.set_root("keep", obj)
     jvm.shutdown()
     return jvm
 
@@ -35,7 +35,7 @@ def _flip(jvm, word, xor=0xFF):
 
 
 def _load(tmp_path, **kwargs):
-    return Espresso(tmp_path / "h").loadHeap("h", **kwargs)
+    return Espresso(tmp_path / "h").load_heap("h", **kwargs)
 
 
 class TestMetadataRegions:
@@ -116,15 +116,15 @@ class TestNameTableEntries:
         heap, report = jvm2.heaps.load_heap_with_report("h", salvage=True)
         assert [i for i, _reason in report.discarded_entries] == [index]
         # The corrupted root is gone; the heap is otherwise usable.
-        assert jvm2.getRoot("keep") is None
+        assert jvm2.get_root("keep") is None
 
     def test_salvage_keeps_clean_roots(self, tmp_path):
         jvm = _make_image(tmp_path)
-        jvm.loadHeap("h")
+        jvm.load_heap("h")
         extra = jvm.pnew("Corrupt")
         jvm.set_field(extra, "v", 7)
         jvm.flush_reachable(extra)
-        jvm.setRoot("extra", extra)
+        jvm.set_root("extra", extra)
         jvm.shutdown()
         index = self._corrupt_root_entry(jvm, nt._NAME)  # first root entry
         jvm2 = Espresso(tmp_path / "h")
@@ -139,17 +139,17 @@ class TestNameTableEntries:
     def test_value_updates_do_not_touch_the_crc(self, tmp_path):
         # setRoot rewrites _VALUE in place; the entry CRC must still hold.
         jvm = _make_image(tmp_path)
-        jvm.loadHeap("h")
+        jvm.load_heap("h")
         for v in (1, 2, 3):
             obj = jvm.pnew("Corrupt")
             jvm.set_field(obj, "v", v)
             jvm.flush_reachable(obj)
-            jvm.setRoot("keep", obj)
+            jvm.set_root("keep", obj)
         jvm.shutdown()
         jvm2 = Espresso(tmp_path / "h")
         heap, report = jvm2.heaps.load_heap_with_report("h")
         assert report.discarded_entries == []
-        assert jvm2.get_field(jvm2.getRoot("keep"), "v") == 3
+        assert jvm2.get_field(jvm2.get_root("keep"), "v") == 3
 
 
 class TestLoadReport:

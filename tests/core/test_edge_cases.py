@@ -23,45 +23,45 @@ class TestHugeAllocations:
 
     def test_pjh_allocation_larger_than_free_space(self, tmp_path):
         jvm = Espresso(tmp_path / "h")
-        jvm.createHeap("small", 64 * 1024)
+        jvm.create_heap("small", 64 * 1024)
         with pytest.raises(OutOfMemoryError):
             jvm.pnew_array(FieldKind.INT, 1_000_000)
 
     def test_pjh_array_spanning_most_of_the_heap(self, tmp_path):
         jvm = Espresso(tmp_path / "h")
-        heap = jvm.createHeap("big", 1024 * 1024)
+        heap = jvm.create_heap("big", 1024 * 1024)
         capacity = heap.data_space.free_words - 16
         arr = jvm.pnew_array(FieldKind.INT, capacity - 3)
         jvm.array_set(arr, capacity - 4, 42)
         jvm.flush_array_element(arr, capacity - 4)
-        jvm.setRoot("arr", arr)
+        jvm.set_root("arr", arr)
         jvm.crash()
         jvm2 = Espresso(tmp_path / "h")
-        jvm2.loadHeap("big")
-        assert jvm2.array_get(jvm2.getRoot("arr"), capacity - 4) == 42
+        jvm2.load_heap("big")
+        assert jvm2.array_get(jvm2.get_root("arr"), capacity - 4) == 42
 
 
 class TestCorruptImages:
     def test_zeroed_image_rejected(self, tmp_path):
         jvm = Espresso(tmp_path / "h")
-        jvm.createHeap("h", 64 * 1024)
+        jvm.create_heap("h", 64 * 1024)
         jvm.shutdown()
         # Overwrite the image with zeros: the magic is gone.
         jvm.heaps.names.save_image("h", np.zeros(8192, dtype=np.int64))
         jvm2 = Espresso(tmp_path / "h")
         with pytest.raises(HeapCorruptionError):
-            jvm2.loadHeap("h")
+            jvm2.load_heap("h")
 
     def test_bitflipped_magic_rejected(self, tmp_path):
         jvm = Espresso(tmp_path / "h")
-        jvm.createHeap("h", 64 * 1024)
+        jvm.create_heap("h", 64 * 1024)
         jvm.shutdown()
         image = jvm.heaps.names.load_image("h")
         image[0] ^= 0xFF
         jvm.heaps.names.save_image("h", image)
         jvm2 = Espresso(tmp_path / "h")
         with pytest.raises(HeapCorruptionError):
-            jvm2.loadHeap("h")
+            jvm2.load_heap("h")
 
 
 class TestHandleChurn:
@@ -96,18 +96,18 @@ class TestHandleChurn:
 class TestHeapRemoval:
     def test_remove_heap_frees_name_and_address(self, tmp_path):
         jvm = Espresso(tmp_path / "h")
-        heap = jvm.createHeap("gone", 64 * 1024)
+        heap = jvm.create_heap("gone", 64 * 1024)
         base = heap.base_address
         jvm.heaps.remove_heap("gone")
-        assert not jvm.existsHeap("gone")
+        assert not jvm.exists_heap("gone")
         # The address range is reusable immediately.
-        again = jvm.createHeap("gone", 64 * 1024)
+        again = jvm.create_heap("gone", 64 * 1024)
         assert again.base_address == base
 
     def test_remove_unloaded_heap(self, tmp_path):
         jvm = Espresso(tmp_path / "h")
-        jvm.createHeap("x", 64 * 1024)
+        jvm.create_heap("x", 64 * 1024)
         jvm.shutdown()
         jvm2 = Espresso(tmp_path / "h")
         jvm2.heaps.remove_heap("x")
-        assert not jvm2.existsHeap("x")
+        assert not jvm2.exists_heap("x")

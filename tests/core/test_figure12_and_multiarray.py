@@ -22,11 +22,11 @@ class TestFigure12:
         f = jvm.get_declared_field(x, "id")
         # f.flush(x);
         f.flush(x)
-        jvm.setRoot("x", x)
+        jvm.set_root("x", x)
         jvm.crash()
         jvm2 = Espresso(jvm.heap_dir)
-        jvm2.loadHeap("test")
-        assert jvm2.get_field(jvm2.getRoot("x"), "id") == 77
+        jvm2.load_heap("test")
+        assert jvm2.get_field(jvm2.get_root("x"), "id") == 77
 
     def test_array_flush_pattern(self, mounted):
         jvm = mounted
@@ -39,11 +39,11 @@ class TestFigure12:
         jvm.array_set(z, 3, p)
         # Array.flush(z, 3);
         jvm.flush_array_element(z, 3)
-        jvm.setRoot("z", z)
+        jvm.set_root("z", z)
         jvm.crash()
         jvm2 = Espresso(jvm.heap_dir)
-        jvm2.loadHeap("test")
-        element = jvm2.array_get(jvm2.getRoot("z"), 3)
+        jvm2.load_heap("test")
+        element = jvm2.array_get(jvm2.get_root("z"), 3)
         assert jvm2.get_field(element, "id") == 3
 
     def test_reflected_field_get_set(self, mounted):
@@ -106,11 +106,11 @@ class TestMultiArray:
             for j in range(3):
                 mounted.array_set(row, j, i * 3 + j)
         mounted.flush_reachable(grid)
-        mounted.setRoot("grid", grid)
+        mounted.set_root("grid", grid)
         mounted.crash()
         jvm2 = Espresso(mounted.heap_dir)
-        jvm2.loadHeap("test")
-        grid2 = jvm2.getRoot("grid")
+        jvm2.load_heap("test")
+        grid2 = jvm2.get_root("grid")
         values = [jvm2.array_get(jvm2.array_get(grid2, i), j)
                   for i in range(2) for j in range(3)]
         assert values == list(range(6))
@@ -123,9 +123,9 @@ class TestMultiArray:
         person = define_person(mounted)
         grid = mounted.pnew_multi_array(FieldKind.INT, (3, 3))
         mounted.array_set(mounted.array_get(grid, 1), 1, 99)
-        mounted.setRoot("g", grid)
+        mounted.set_root("g", grid)
         for _ in range(20):
             mounted.pnew(person).close()
         mounted.persistent_gc()
         assert mounted.array_get(
-            mounted.array_get(mounted.getRoot("g"), 1), 1) == 99
+            mounted.array_get(mounted.get_root("g"), 1), 1) == 99

@@ -16,29 +16,29 @@ from tests.core.conftest import HEAP_BYTES, define_person
 
 class TestCreateExists:
     def test_create_and_exists(self, jvm):
-        assert not jvm.existsHeap("Jimmy")
-        jvm.createHeap("Jimmy", HEAP_BYTES)
-        assert jvm.existsHeap("Jimmy")
+        assert not jvm.exists_heap("Jimmy")
+        jvm.create_heap("Jimmy", HEAP_BYTES)
+        assert jvm.exists_heap("Jimmy")
 
     def test_duplicate_create_rejected(self, mounted):
         with pytest.raises(HeapExistsError):
-            mounted.createHeap("test", HEAP_BYTES)
+            mounted.create_heap("test", HEAP_BYTES)
 
     def test_load_missing_heap_rejected(self, jvm):
         with pytest.raises(HeapNotFoundError):
-            jvm.loadHeap("nope")
+            jvm.load_heap("nope")
 
     def test_tiny_heap_rejected(self, jvm):
         with pytest.raises(IllegalArgumentException):
-            jvm.createHeap("tiny", 1024)
+            jvm.create_heap("tiny", 1024)
 
     def test_double_load_rejected(self, mounted):
         with pytest.raises(IllegalStateException):
-            mounted.loadHeap("test")
+            mounted.load_heap("test")
 
     def test_multiple_heaps(self, jvm):
-        jvm.createHeap("a", HEAP_BYTES)
-        jvm.createHeap("b", HEAP_BYTES)
+        jvm.create_heap("a", HEAP_BYTES)
+        jvm.create_heap("b", HEAP_BYTES)
         person = define_person(jvm)
         pa = jvm.pnew(person, heap="a")
         pb = jvm.pnew(person, heap="b")
@@ -52,27 +52,27 @@ class TestRoots:
         person = define_person(mounted)
         p = mounted.pnew(person)
         mounted.set_field(p, "id", 7)
-        mounted.setRoot("me", p)
-        fetched = mounted.getRoot("me")
+        mounted.set_root("me", p)
+        fetched = mounted.get_root("me")
         assert fetched.same_object(p)
         assert mounted.get_field(fetched, "id") == 7
 
     def test_get_missing_root_is_none(self, mounted):
-        assert mounted.getRoot("missing") is None
+        assert mounted.get_root("missing") is None
 
     def test_root_update(self, mounted):
         person = define_person(mounted)
         a = mounted.pnew(person)
         b = mounted.pnew(person)
-        mounted.setRoot("r", a)
-        mounted.setRoot("r", b)
-        assert mounted.getRoot("r").same_object(b)
+        mounted.set_root("r", a)
+        mounted.set_root("r", b)
+        assert mounted.get_root("r").same_object(b)
 
     def test_null_root(self, mounted):
         person = define_person(mounted)
-        mounted.setRoot("r", mounted.pnew(person))
-        mounted.setRoot("r", None)
-        assert mounted.getRoot("r") is None
+        mounted.set_root("r", mounted.pnew(person))
+        mounted.set_root("r", None)
+        assert mounted.get_root("r") is None
 
 
 class TestPersistenceAcrossRestart:
@@ -80,20 +80,20 @@ class TestPersistenceAcrossRestart:
         # First run: create heap and objects.
         jvm = Espresso(heap_dir)
         person = define_person(jvm)
-        assert not jvm.existsHeap("Jimmy")
-        jvm.createHeap("Jimmy", HEAP_BYTES)
+        assert not jvm.exists_heap("Jimmy")
+        jvm.create_heap("Jimmy", HEAP_BYTES)
         p = jvm.pnew(person)
         jvm.set_field(p, "id", 42)
         jvm.set_field(p, "name", jvm.pnew_string("Jimmy"))
-        jvm.setRoot("Jimmy_info", p)
+        jvm.set_root("Jimmy_info", p)
         jvm.shutdown()
 
         # Second run (fresh "JVM process"): load and fetch.
         jvm2 = Espresso(heap_dir)
         define_person(jvm2)
-        assert jvm2.existsHeap("Jimmy")
-        jvm2.loadHeap("Jimmy")
-        p2 = jvm2.getRoot("Jimmy_info")
+        assert jvm2.exists_heap("Jimmy")
+        jvm2.load_heap("Jimmy")
+        p2 = jvm2.get_root("Jimmy_info")
         p2 = jvm2.checkcast(p2, "Person")
         assert jvm2.get_field(p2, "id") == 42
         assert jvm2.read_string(jvm2.get_field(p2, "name")) == "Jimmy"
@@ -101,15 +101,15 @@ class TestPersistenceAcrossRestart:
     def test_load_reinitializes_klasses_in_place(self, heap_dir):
         jvm = Espresso(heap_dir)
         person = define_person(jvm)
-        jvm.createHeap("h", HEAP_BYTES)
+        jvm.create_heap("h", HEAP_BYTES)
         p = jvm.pnew(person)
-        jvm.setRoot("p", p)
+        jvm.set_root("p", p)
         klass_addr_before = jvm.vm.access.klass_pointer(p.address)
         jvm.shutdown()
 
         jvm2 = Espresso(heap_dir)
         _heap, report = jvm2.heaps.load_heap_with_report("h")
-        p2 = jvm2.getRoot("p")
+        p2 = jvm2.get_root("p")
         # Klass pointers stay valid: reinitialised at the same address.
         assert jvm2.vm.access.klass_pointer(p2.address) == klass_addr_before
         # One user class + its implicit Object superclass.
@@ -119,15 +119,15 @@ class TestPersistenceAcrossRestart:
         """Objects are usable even if the program never redefines the class."""
         jvm = Espresso(heap_dir)
         person = define_person(jvm)
-        jvm.createHeap("h", HEAP_BYTES)
+        jvm.create_heap("h", HEAP_BYTES)
         p = jvm.pnew(person)
         jvm.set_field(p, "id", 5)
-        jvm.setRoot("p", p)
+        jvm.set_root("p", p)
         jvm.shutdown()
 
         jvm2 = Espresso(heap_dir)  # note: no define_person here
-        jvm2.loadHeap("h")
-        p2 = jvm2.getRoot("p")
+        jvm2.load_heap("h")
+        p2 = jvm2.get_root("p")
         assert jvm2.get_field(p2, "id") == 5
         assert jvm2.vm.klass_of(p2).name == "Person"
 
@@ -135,24 +135,24 @@ class TestPersistenceAcrossRestart:
         from tests.core.conftest import define_node, pnew_list, read_list
         jvm = Espresso(heap_dir)
         node = define_node(jvm)
-        jvm.createHeap("h", HEAP_BYTES)
+        jvm.create_heap("h", HEAP_BYTES)
         head = pnew_list(jvm, node, list(range(50)))
-        jvm.setRoot("head", head)
+        jvm.set_root("head", head)
         jvm.shutdown()
 
         jvm2 = Espresso(heap_dir)
-        jvm2.loadHeap("h")
-        assert read_list(jvm2, jvm2.getRoot("head")) == list(range(50))
+        jvm2.load_heap("h")
+        assert read_list(jvm2, jvm2.get_root("head")) == list(range(50))
 
     def test_unload_and_reload_same_vm(self, mounted):
         person = define_person(mounted)
         p = mounted.pnew(person)
         mounted.set_field(p, "id", 3)
-        mounted.setRoot("p", p)
+        mounted.set_root("p", p)
         mounted.heaps.unload_heap("test")
         assert "test" not in mounted.heaps.mounted_names()
-        mounted.loadHeap("test")
-        assert mounted.get_field(mounted.getRoot("p"), "id") == 3
+        mounted.load_heap("test")
+        assert mounted.get_field(mounted.get_root("p"), "id") == 3
 
 
 class TestRemap:
@@ -160,33 +160,33 @@ class TestRemap:
         from tests.core.conftest import define_node, pnew_list, read_list
         jvm = Espresso(heap_dir)
         node = define_node(jvm)
-        jvm.createHeap("first", HEAP_BYTES)
+        jvm.create_heap("first", HEAP_BYTES)
         head = pnew_list(jvm, node, [1, 2, 3, 4, 5])
         arr = jvm.pnew_array(node, 2)
         jvm.array_set(arr, 0, head)
-        jvm.setRoot("head", head)
-        jvm.setRoot("arr", arr)
+        jvm.set_root("head", head)
+        jvm.set_root("arr", arr)
         jvm.shutdown()
 
         # A fresh VM where another heap occupies the hint address.
         jvm2 = Espresso(heap_dir)
-        jvm2.createHeap("squatter", HEAP_BYTES)  # lands on first's hint
+        jvm2.create_heap("squatter", HEAP_BYTES)  # lands on first's hint
         _heap, report = jvm2.heaps.load_heap_with_report("first")
         assert report.remapped
-        head2 = jvm2.getRoot("head")
+        head2 = jvm2.get_root("head")
         assert read_list(jvm2, head2) == [1, 2, 3, 4, 5]
-        arr2 = jvm2.getRoot("arr")
+        arr2 = jvm2.get_root("arr")
         assert jvm2.array_get(arr2, 0).same_object(head2)
         # And the new hint persists: a third VM reloads without remapping.
         jvm2.shutdown()
         jvm3 = Espresso(heap_dir)
         _heap3, report3 = jvm3.heaps.load_heap_with_report("first")
         assert not report3.remapped
-        assert read_list(jvm3, jvm3.getRoot("head")) == [1, 2, 3, 4, 5]
+        assert read_list(jvm3, jvm3.get_root("head")) == [1, 2, 3, 4, 5]
 
     def test_no_remap_when_hint_free(self, heap_dir):
         jvm = Espresso(heap_dir)
-        jvm.createHeap("h", HEAP_BYTES)
+        jvm.create_heap("h", HEAP_BYTES)
         jvm.shutdown()
         jvm2 = Espresso(heap_dir)
         _heap, report = jvm2.heaps.load_heap_with_report("h")

@@ -18,7 +18,7 @@ class TestCollection:
     def test_garbage_reclaimed(self, mounted):
         person = define_person(mounted)
         keep = mounted.pnew(person)
-        mounted.setRoot("keep", keep)
+        mounted.set_root("keep", keep)
         for _ in range(50):
             mounted.pnew(person).close()
         heap = mounted.heaps.heap("test")
@@ -30,7 +30,7 @@ class TestCollection:
     def test_live_graph_survives_compaction(self, mounted):
         node = define_node(mounted)
         head = pnew_list(mounted, node, list(range(40)))
-        mounted.setRoot("head", head)
+        mounted.set_root("head", head)
         for _ in range(30):
             mounted.pnew(node).close()  # garbage interleaved
         mounted.persistent_gc()
@@ -39,10 +39,10 @@ class TestCollection:
     def test_roots_are_gc_roots(self, mounted):
         node = define_node(mounted)
         head = pnew_list(mounted, node, [1, 2, 3])
-        mounted.setRoot("head", head)
+        mounted.set_root("head", head)
         head.close()  # only the root-table entry keeps it alive
         mounted.persistent_gc()
-        fetched = mounted.getRoot("head")
+        fetched = mounted.get_root("head")
         assert read_list(mounted, fetched) == [1, 2, 3]
 
     def test_handles_updated_after_compaction(self, mounted):
@@ -87,9 +87,9 @@ class TestCollection:
     def test_allocation_triggers_persistent_gc(self, heap_dir):
         jvm = Espresso(heap_dir)
         person = define_person(jvm)
-        jvm.createHeap("small", 128 * 1024)
+        jvm.create_heap("small", 128 * 1024)
         keep = jvm.pnew(person)
-        jvm.setRoot("keep", keep)
+        jvm.set_root("keep", keep)
         collections_before = None
         # Churn garbage well beyond the heap size; GC must kick in.
         for i in range(4000):
@@ -101,22 +101,22 @@ class TestCollection:
         a crash right after GC loses nothing that was flushed before."""
         jvm = Espresso(heap_dir)
         node = define_node(jvm)
-        jvm.createHeap("h", HEAP_BYTES)
+        jvm.create_heap("h", HEAP_BYTES)
         head = pnew_list(jvm, node, [9, 8, 7])
         jvm.flush_reachable(head)
-        jvm.setRoot("head", head)
+        jvm.set_root("head", head)
         for _ in range(25):
             jvm.pnew(node).close()
         jvm.persistent_gc()
         jvm.crash()
         jvm2 = Espresso(heap_dir)
-        jvm2.loadHeap("h")
-        assert read_list(jvm2, jvm2.getRoot("head")) == [9, 8, 7]
+        jvm2.load_heap("h")
+        assert read_list(jvm2, jvm2.get_root("head")) == [9, 8, 7]
 
     def test_repeated_collections(self, mounted):
         node = define_node(mounted)
         head = pnew_list(mounted, node, list(range(10)))
-        mounted.setRoot("head", head)
+        mounted.set_root("head", head)
         for round_no in range(5):
             for _ in range(20):
                 mounted.pnew(node).close()
@@ -125,7 +125,7 @@ class TestCollection:
 
     def test_flushes_counted(self, mounted):
         person = define_person(mounted)
-        mounted.setRoot("keep", mounted.pnew(person))
+        mounted.set_root("keep", mounted.pnew(person))
         result = mounted.persistent_gc()
         assert result.flushes > 0
         assert result.fences > 0
@@ -136,7 +136,7 @@ class TestCollection:
         from repro.core.pgc import PersistentGC
         node = define_node(mounted)
         head = pnew_list(mounted, node, [1, 2, 3])
-        mounted.setRoot("head", head)
+        mounted.set_root("head", head)
         for _ in range(10):
             mounted.pnew(node).close()
         heap = mounted.heaps.heap("test")
@@ -149,7 +149,7 @@ class TestCollection:
     def test_timestamp_advances_per_collection(self, mounted):
         heap = mounted.heaps.heap("test")
         person = define_person(mounted)
-        mounted.setRoot("keep", mounted.pnew(person))
+        mounted.set_root("keep", mounted.pnew(person))
         ts0 = heap.metadata.global_timestamp
         mounted.persistent_gc()
         ts1 = heap.metadata.global_timestamp
@@ -160,6 +160,6 @@ class TestCollection:
 
     def test_gc_flag_cleared_after_collection(self, mounted):
         person = define_person(mounted)
-        mounted.setRoot("keep", mounted.pnew(person))
+        mounted.set_root("keep", mounted.pnew(person))
         mounted.persistent_gc()
         assert not mounted.heaps.heap("test").metadata.gc_in_progress

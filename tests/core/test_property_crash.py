@@ -35,7 +35,7 @@ def build_random_graph(jvm, node_klass, data):
         label="roots"))
     for i in rooted:
         jvm.flush_reachable(nodes[i])
-        jvm.setRoot(f"n{i}", nodes[i])
+        jvm.set_root(f"n{i}", nodes[i])
     # Garbage in between keeps compaction honest.
     for _ in range(data.draw(st.integers(0, 40), label="garbage")):
         jvm.pnew(node_klass).close()
@@ -63,7 +63,7 @@ def verify_graph(jvm, edges, rooted, count):
     handles = {}
     stack = []
     for i in rooted:
-        handle = jvm.getRoot(f"n{i}")
+        handle = jvm.get_root(f"n{i}")
         assert handle is not None
         handles[i] = handle
         stack.append(i)
@@ -95,7 +95,7 @@ def test_property_random_graph_random_crash_point(tmp_path_factory, data):
     node_klass = jvm.define_class(
         "PNode", [field("v", FieldKind.INT),
                   field("a", FieldKind.REF), field("b", FieldKind.REF)])
-    jvm.createHeap("g", 256 * 1024, region_words=128)
+    jvm.create_heap("g", 256 * 1024, region_words=128)
     count, edges, rooted = build_random_graph(jvm, node_klass, data)
 
     crash_at = data.draw(st.integers(1, 300), label="crash_at")
@@ -108,7 +108,7 @@ def test_property_random_graph_random_crash_point(tmp_path_factory, data):
     jvm.crash()
 
     jvm2 = Espresso(heap_dir)
-    jvm2.loadHeap("g")
+    jvm2.load_heap("g")
     verify_graph(jvm2, edges, rooted, count)
 
 
@@ -121,7 +121,7 @@ def test_property_graph_survives_gc_without_crash(tmp_path_factory, data):
     node_klass = jvm.define_class(
         "QNode", [field("v", FieldKind.INT),
                   field("a", FieldKind.REF), field("b", FieldKind.REF)])
-    jvm.createHeap("g", 256 * 1024, region_words=128)
+    jvm.create_heap("g", 256 * 1024, region_words=128)
     count, edges, rooted = build_random_graph(jvm, node_klass, data)
     jvm.persistent_gc()
     jvm.persistent_gc()  # twice: exercises re-compaction of compacted data

@@ -24,7 +24,7 @@ def build_workload(heap_dir, seed=0):
     """A heap with a mix of live lists and garbage, fully flushed."""
     jvm = Espresso(heap_dir)
     node = define_node(jvm)
-    jvm.createHeap("h", HEAP_BYTES, region_words=REGION_WORDS)
+    jvm.create_heap("h", HEAP_BYTES, region_words=REGION_WORDS)
     lists = {}
     for li in range(6):
         values = [seed + li * 100 + i for i in range(12)]
@@ -36,7 +36,7 @@ def build_workload(heap_dir, seed=0):
                 jvm.set_field(n, "next", head)
             head = n
         jvm.flush_reachable(head)
-        jvm.setRoot(f"list{li}", head)
+        jvm.set_root(f"list{li}", head)
         lists[f"list{li}"] = values
         # Interleave garbage so compaction actually moves things.
         for _ in range(20):
@@ -44,14 +44,14 @@ def build_workload(heap_dir, seed=0):
     return jvm, lists
 
 
-def verify(heap_dir, lists):
+def verify(heap_dir, lists, gc_workers=1):
     from repro.tools.fsck import fsck_heap
-    jvm = Espresso(heap_dir)
+    jvm = Espresso(heap_dir, gc_workers=gc_workers)
     heap, report = jvm.heaps.load_heap_with_report("h")
     structure = fsck_heap(heap)
     assert structure.clean, structure.errors
     for name, values in lists.items():
-        head = jvm.getRoot(name)
+        head = jvm.get_root(name)
         got = []
         n = head
         while n is not None:
@@ -102,7 +102,7 @@ def test_recovery_is_idempotent_under_double_crash(heap_dir):
     jvm2 = Espresso(heap_dir)
     jvm2.vm.failpoints.crash_on_hit("gc.compact.dest_persisted", 3)
     with pytest.raises(SimulatedCrash):
-        jvm2.loadHeap("h")
+        jvm2.load_heap("h")
     jvm2.vm.failpoints.clear()
     jvm2.crash()
 
@@ -155,13 +155,56 @@ def test_allocation_works_after_recovery(heap_dir):
 
     jvm2 = Espresso(heap_dir)
     node = define_node(jvm2)
-    jvm2.loadHeap("h")
+    jvm2.load_heap("h")
     fresh = jvm2.pnew(node)
     jvm2.set_field(fresh, "value", 12345)
     jvm2.flush_object(fresh)
-    jvm2.setRoot("fresh", fresh)
+    jvm2.set_root("fresh", fresh)
     jvm2.shutdown()
 
     jvm3 = Espresso(heap_dir)
-    jvm3.loadHeap("h")
-    assert jvm3.get_field(jvm3.getRoot("fresh"), "value") == 12345
+    jvm3.load_heap("h")
+    assert jvm3.get_field(jvm3.get_root("fresh"), "value") == 12345
+
+
+def test_parallel_gc_crash_recovers_under_any_worker_count(heap_dir):
+    """A collection crashed mid-compaction on a 4-worker gang must recover
+    to the *same* durable image whether the recovering session runs 1 or 4
+    workers — recovery is worker-count agnostic (DESIGN.md §12)."""
+    import shutil
+
+    jvm = Espresso(heap_dir / "crashed", gc_workers=4)
+    node = define_node(jvm)
+    jvm.create_heap("h", HEAP_BYTES, region_words=REGION_WORDS)
+    lists = {}
+    for li in range(4):
+        values = [li * 100 + i for i in range(10)]
+        head = None
+        for v in reversed(values):
+            n = jvm.pnew(node)
+            jvm.set_field(n, "value", v)
+            if head is not None:
+                jvm.set_field(n, "next", head)
+            head = n
+        jvm.flush_reachable(head)
+        jvm.set_root(f"list{li}", head)
+        lists[f"list{li}"] = values
+        for _ in range(15):
+            jvm.pnew(node).close()
+
+    jvm.vm.failpoints.crash_on_hit("gc.compact.region_done", 2)
+    with pytest.raises(SimulatedCrash):
+        jvm.persistent_gc()
+    jvm.vm.failpoints.clear()
+    jvm.crash()
+
+    images = {}
+    for workers in (1, 4):
+        root = heap_dir / f"recover-w{workers}"
+        shutil.copytree(heap_dir / "crashed", root)
+        report = verify(root, lists, gc_workers=workers)
+        assert report.recovery.performed
+        jvm2 = Espresso(root, gc_workers=workers)
+        heap = jvm2.heaps.load_heap("h")
+        images[workers] = heap.device.durable_image().tobytes()
+    assert images[1] == images[4]

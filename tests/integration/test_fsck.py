@@ -14,7 +14,7 @@ def populated(tmp_path):
     jvm = Espresso(heap_dir)
     node = jvm.define_class("FNode", [field("v", FieldKind.INT),
                                       field("next", FieldKind.REF)])
-    jvm.createHeap("h", 256 * 1024)
+    jvm.create_heap("h", 256 * 1024)
     prev = None
     for i in range(10):
         n = jvm.pnew(node)
@@ -23,7 +23,7 @@ def populated(tmp_path):
             jvm.set_field(n, "next", prev)
         prev = n
     jvm.flush_reachable(prev)
-    jvm.setRoot("head", prev)
+    jvm.set_root("head", prev)
     return heap_dir, jvm
 
 
@@ -66,7 +66,7 @@ def test_detects_corrupt_klass_pointer(populated):
 def test_detects_dangling_internal_reference(populated):
     heap_dir, jvm = populated
     heap = jvm.heaps.heap("h")
-    head = jvm.getRoot("head")
+    head = jvm.get_root("head")
     klass = jvm.vm.klass_of(head)
     slot = head.address + klass.field_offset("next")
     # Point mid-object: inside the heap but not an object start.
@@ -111,7 +111,7 @@ def test_fsck_after_crash_recovery(tmp_path):
     jvm = Espresso(heap_dir)
     node = jvm.define_class("GNode", [field("v", FieldKind.INT),
                                       field("next", FieldKind.REF)])
-    jvm.createHeap("h", 256 * 1024, region_words=128)
+    jvm.create_heap("h", 256 * 1024, region_words=128)
     keep = None
     for i in range(40):
         n = jvm.pnew(node)
@@ -123,7 +123,7 @@ def test_fsck_after_crash_recovery(tmp_path):
         else:
             n.close()
     jvm.flush_reachable(keep)
-    jvm.setRoot("keep", keep)
+    jvm.set_root("keep", keep)
     jvm.vm.failpoints.crash_on_hit("gc.compact.dest_persisted", 1)
     with pytest.raises(SimulatedCrash):
         jvm.persistent_gc()

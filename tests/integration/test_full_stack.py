@@ -25,7 +25,7 @@ class TestPjoCrashMidCommit:
         rolls the partial update back on reload."""
         heap_dir = tmp_path / "h"
         jvm = Espresso(heap_dir)
-        jvm.createHeap("jpab", 8 * 1024 * 1024)
+        jvm.create_heap("jpab", 8 * 1024 * 1024)
         em = PjoEntityManager(jvm)
         em.create_schema([BasicPerson])
         tx = em.get_transaction()
@@ -33,8 +33,8 @@ class TestPjoCrashMidCommit:
         em.persist(BasicPerson(1, "Ada", "L", "+44"))
         tx.commit()
         # Preserve the backend's undo log across the restart.
-        jvm.setRoot("txn_entries", em.backend.txn._entries)
-        jvm.setRoot("txn_meta", em.backend.txn._meta)
+        jvm.set_root("txn_entries", em.backend.txn._entries)
+        jvm.set_root("txn_meta", em.backend.txn._meta)
 
         # Tear an update: begin, modify one field, never commit.
         tx.begin()
@@ -44,11 +44,11 @@ class TestPjoCrashMidCommit:
         jvm.crash()
 
         jvm2 = Espresso(heap_dir)
-        jvm2.loadHeap("jpab")
+        jvm2.load_heap("jpab")
         txn = PjhTransaction.__new__(PjhTransaction)
         txn.jvm, txn.vm = jvm2, jvm2.vm
-        txn._entries = jvm2.getRoot("txn_entries")
-        txn._meta = jvm2.getRoot("txn_meta")
+        txn._entries = jvm2.get_root("txn_entries")
+        txn._meta = jvm2.get_root("txn_meta")
         txn._heap = jvm2.vm.service_of(txn._entries.address)
         txn.capacity = jvm2.array_length(txn._entries) // 2
         txn._count = 0
@@ -69,7 +69,7 @@ class TestGcInterplay:
                                               region_words=512))
         node = jvm.define_class("N", [field("v", FieldKind.INT),
                                       field("ref", FieldKind.REF)])
-        jvm.createHeap("x", 1024 * 1024)
+        jvm.create_heap("x", 1024 * 1024)
         anchors = []
         for i in range(30):
             p = jvm.pnew(node)           # persistent holder
@@ -93,7 +93,7 @@ class TestGcInterplay:
         jvm = Espresso(tmp_path / "h")
         node = jvm.define_class("N2", [field("v", FieldKind.INT),
                                        field("ref", FieldKind.REF)])
-        jvm.createHeap("x", 512 * 1024)
+        jvm.create_heap("x", 512 * 1024)
         holder = jvm.pnew(node)
         target = jvm.new(node)
         jvm.set_field(target, "v", 123)
@@ -111,28 +111,28 @@ class TestMultipleHeaps:
         jvm = Espresso(tmp_path / "h")
         node = jvm.define_class("X", [field("v", FieldKind.INT),
                                       field("ref", FieldKind.REF)])
-        jvm.createHeap("a", 256 * 1024)
-        jvm.createHeap("b", 256 * 1024)
+        jvm.create_heap("a", 256 * 1024)
+        jvm.create_heap("b", 256 * 1024)
         in_a = jvm.pnew(node, heap="a")
         in_b = jvm.pnew(node, heap="b")
         jvm.set_field(in_b, "v", 7)
         jvm.set_field(in_a, "ref", in_b)
         jvm.flush_object(in_a)
         jvm.flush_object(in_b)
-        jvm.setRoot("a_root", in_a, heap="a")
+        jvm.set_root("a_root", in_a, heap="a")
         assert jvm.get_field(jvm.get_field(in_a, "ref"), "v") == 7
         # GC of heap a must not disturb the cross-heap pointer target.
         jvm.persistent_gc("a")
-        assert jvm.get_field(jvm.get_field(jvm.getRoot("a_root"), "ref"),
+        assert jvm.get_field(jvm.get_field(jvm.get_root("a_root"), "ref"),
                              "v") == 7
 
     def test_heaps_unload_independently(self, tmp_path):
         jvm = Espresso(tmp_path / "h")
-        jvm.createHeap("a", 256 * 1024)
-        jvm.createHeap("b", 256 * 1024)
+        jvm.create_heap("a", 256 * 1024)
+        jvm.create_heap("b", 256 * 1024)
         jvm.heaps.unload_heap("a")
         assert jvm.heaps.mounted_names() == ["b"]
-        jvm.loadHeap("a")
+        jvm.load_heap("a")
         assert jvm.heaps.mounted_names() == ["a", "b"]
 
 
@@ -143,7 +143,7 @@ class TestPersistentTypeAnnotation:
             safe = jvm.define_class("SafeType", [field("v", FieldKind.INT)])
             unsafe = jvm.define_class("UnsafeType")
             persistent_type("SafeType")
-            jvm.createHeap("t", 256 * 1024, safety=SafetyLevel.TYPE_BASED)
+            jvm.create_heap("t", 256 * 1024, safety=SafetyLevel.TYPE_BASED)
             obj = jvm.pnew(safe)  # annotated: allowed
             assert jvm.vm.in_pjh(obj.address)
             with pytest.raises(UnsafePointerError):
@@ -166,7 +166,7 @@ class TestUnifiedPersistence:
         """§2.3's requirement: one framework, both models, one heap."""
         heap_dir = tmp_path / "h"
         jvm = Espresso(heap_dir)
-        jvm.createHeap("app", 8 * 1024 * 1024)
+        jvm.create_heap("app", 8 * 1024 * 1024)
         # Coarse-grained: entities through the PJO EntityManager.
         em = PjoEntityManager(jvm)
         em.create_schema([BasicPerson])
@@ -178,13 +178,13 @@ class TestUnifiedPersistence:
         txn = PjhTransaction(jvm)
         counters = PjhHashmap(jvm, txn)
         counters.put(PjhLong(jvm, txn, 1), PjhLong(jvm, txn, 100))
-        jvm.setRoot("counters", counters.h)
+        jvm.set_root("counters", counters.h)
         jvm.shutdown()
 
         jvm2 = Espresso(heap_dir)
-        jvm2.loadHeap("app")
+        jvm2.load_heap("app")
         em2 = PjoEntityManager(jvm2)
         assert em2.find(BasicPerson, 1).first_name == "Ada"
         txn2 = PjhTransaction(jvm2)
-        counters2 = PjhHashmap(jvm2, txn2, handle=jvm2.getRoot("counters"))
+        counters2 = PjhHashmap(jvm2, txn2, handle=jvm2.get_root("counters"))
         assert jvm2.get_field(counters2.get_raw(1), "value") == 100

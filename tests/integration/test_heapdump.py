@@ -13,13 +13,13 @@ def populated(tmp_path):
     jvm = Espresso(heap_dir)
     person = jvm.define_class("Person", [field("id", FieldKind.INT),
                                          field("name", FieldKind.REF)])
-    jvm.createHeap("demo", 512 * 1024)
+    jvm.create_heap("demo", 512 * 1024)
     p = jvm.pnew(person)
     jvm.set_field(p, "id", 7)
     jvm.set_field(p, "name", jvm.pnew_string("ada"))
-    jvm.setRoot("who", p)
+    jvm.set_root("who", p)
     arr = jvm.pnew_array(FieldKind.INT, 12)
-    jvm.setRoot("numbers", arr)
+    jvm.set_root("numbers", arr)
     jvm.shutdown()
     return heap_dir
 

@@ -28,7 +28,7 @@ def test_soak_mixed_workload(tmp_path):
                                           region_words=512))
     node = jvm.define_class("SoakNode", [field("v", FieldKind.INT),
                                          field("ref", FieldKind.REF)])
-    jvm.createHeap("soak", 4 * 1024 * 1024, region_words=256)
+    jvm.create_heap("soak", 4 * 1024 * 1024, region_words=256)
 
     # Model: root name -> expected int value (only flushed data counts).
     model = {}
@@ -46,7 +46,7 @@ def test_soak_mixed_workload(tmp_path):
                 jvm.flush_object(obj)
                 name = f"r{root_counter}"
                 root_counter += 1
-                jvm.setRoot(name, obj)
+                jvm.set_root(name, obj)
                 model[name] = value
             elif action < 0.55:
                 jvm.pnew(node).close()  # persistent garbage
@@ -84,11 +84,11 @@ def test_soak_mixed_workload(tmp_path):
                                               region_words=512))
         node = jvm.define_class("SoakNode", [field("v", FieldKind.INT),
                                              field("ref", FieldKind.REF)])
-        heap = jvm.loadHeap("soak")
+        heap = jvm.load_heap("soak")
         structure = fsck_heap(heap)
         assert structure.clean, structure.errors
         for name, value in model.items():
-            handle = jvm.getRoot(name)
+            handle = jvm.get_root(name)
             assert handle is not None, f"root {name} lost in round {round_no}"
             assert jvm.get_field(handle, "v") == value
 

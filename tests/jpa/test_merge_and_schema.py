@@ -96,26 +96,26 @@ class TestContextManager:
         heap_dir = tmp_path / "h"
         with Espresso(heap_dir) as jvm:
             klass = jvm.define_class("Ctx", [field("v", FieldKind.INT)])
-            jvm.createHeap("c", 256 * 1024)
+            jvm.create_heap("c", 256 * 1024)
             obj = jvm.pnew(klass)
             jvm.set_field(obj, "v", 5)
             # No explicit flush: the graceful shutdown persists dirty lines.
-            jvm.setRoot("o", obj)
+            jvm.set_root("o", obj)
         with Espresso(heap_dir) as jvm2:
-            jvm2.loadHeap("c")
-            assert jvm2.get_field(jvm2.getRoot("o"), "v") == 5
+            jvm2.load_heap("c")
+            assert jvm2.get_field(jvm2.get_root("o"), "v") == 5
 
     def test_exception_exit_is_a_crash(self, tmp_path):
         heap_dir = tmp_path / "h"
         with pytest.raises(RuntimeError):
             with Espresso(heap_dir) as jvm:
                 klass = jvm.define_class("Ctx2", [field("v", FieldKind.INT)])
-                jvm.createHeap("c", 256 * 1024)
+                jvm.create_heap("c", 256 * 1024)
                 obj = jvm.pnew(klass)
                 jvm.set_field(obj, "v", 7)  # never flushed
-                jvm.setRoot("o", obj)
+                jvm.set_root("o", obj)
                 raise RuntimeError("boom")
         with Espresso(heap_dir) as jvm2:
-            jvm2.loadHeap("c")
+            jvm2.load_heap("c")
             # The root (flushed by setRoot) survived; the field write did not.
-            assert jvm2.get_field(jvm2.getRoot("o"), "v") == 0
+            assert jvm2.get_field(jvm2.get_root("o"), "v") == 0

@@ -68,13 +68,13 @@ def test_property_pjo_state_survives_restart(tmp_path_factory, ops):
     from repro.pjo.provider import PjoEntityManager
     heap_dir = tmp_path_factory.mktemp("equiv-restart")
     jvm = Espresso(heap_dir)
-    jvm.createHeap("jpab", 16 * 1024 * 1024)
+    jvm.create_heap("jpab", 16 * 1024 * 1024)
     em = PjoEntityManager(jvm)
     em.create_schema([BasicPerson])
     model = apply_ops(em, ops)
     jvm.shutdown()
 
     jvm2 = Espresso(heap_dir)
-    jvm2.loadHeap("jpab")
+    jvm2.load_heap("jpab")
     em2 = PjoEntityManager(jvm2)
     assert observed_state(em2) == model

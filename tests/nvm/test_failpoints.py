@@ -86,7 +86,7 @@ def test_every_documented_site_fires_in_a_clean_gc_run(tmp_path):
     jvm = Espresso(tmp_path / "h")
     node = jvm.define_class("Cov", [field("v", FieldKind.INT),
                                     field("next", FieldKind.REF)])
-    jvm.createHeap("h", 256 * 1024, region_words=128)
+    jvm.create_heap("h", 256 * 1024, region_words=128)
     keep = None
     for i in range(60):
         n = jvm.pnew(node)
@@ -98,7 +98,7 @@ def test_every_documented_site_fires_in_a_clean_gc_run(tmp_path):
         else:
             n.close()  # garbage for the collector
     jvm.flush_reachable(keep)
-    jvm.setRoot("keep", keep)
+    jvm.set_root("keep", keep)
     jvm.persistent_gc()
 
     fired = set(jvm.vm.failpoints.sites())

@@ -190,11 +190,11 @@ class TestPinnedFlushCounts:
         from repro.runtime.klass import FieldKind, field
 
         jvm = Espresso(tmp_path)
-        jvm.createHeap("test", 1 << 20)
+        jvm.create_heap("test", 1 << 20)
         person = jvm.define_class("Person", [field("id", FieldKind.INT),
                                              field("name", FieldKind.REF)])
         keep = jvm.pnew(person)
-        jvm.setRoot("keep", keep)
+        jvm.set_root("keep", keep)
         for _ in range(10):
             jvm.pnew(person).close()
         heap = jvm.heaps.heap("test")

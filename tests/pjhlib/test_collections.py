@@ -20,7 +20,7 @@ from repro.pjhlib import (
 @pytest.fixture
 def ctx(tmp_path):
     jvm = Espresso(tmp_path / "heaps")
-    jvm.createHeap("lib", 2 * 1024 * 1024)
+    jvm.create_heap("lib", 2 * 1024 * 1024)
     txn = PjhTransaction(jvm)
     return jvm, txn
 
@@ -113,25 +113,25 @@ class TestHashmap:
 class TestAcidAndPersistence:
     def test_committed_update_survives_crash(self, tmp_path):
         jvm = Espresso(tmp_path / "h")
-        jvm.createHeap("lib", 1024 * 1024)
+        jvm.create_heap("lib", 1024 * 1024)
         txn = PjhTransaction(jvm)
         v = PjhLong(jvm, txn, 1)
         v.set(2)
-        jvm.setRoot("v", v.h)
+        jvm.set_root("v", v.h)
         jvm.crash()
 
         jvm2 = Espresso(tmp_path / "h")
-        jvm2.loadHeap("lib")
-        assert jvm2.get_field(jvm2.getRoot("v"), "value") == 2
+        jvm2.load_heap("lib")
+        assert jvm2.get_field(jvm2.get_root("v"), "value") == 2
 
     def test_torn_update_rolls_back_via_undo_log(self, tmp_path):
         jvm = Espresso(tmp_path / "h")
-        jvm.createHeap("lib", 1024 * 1024)
+        jvm.create_heap("lib", 1024 * 1024)
         txn = PjhTransaction(jvm)
         v = PjhLong(jvm, txn, 1)
-        jvm.setRoot("v", v.h)
-        jvm.setRoot("txn_entries", txn._entries)
-        jvm.setRoot("txn_meta", txn._meta)
+        jvm.set_root("v", v.h)
+        jvm.set_root("txn_entries", txn._entries)
+        jvm.set_root("txn_meta", txn._meta)
         # Tear an update: log + write + flush, but never commit.
         klass = jvm.vm.klass_of(v.h)
         slot = v.h.address + klass.field_offset("value")
@@ -142,17 +142,17 @@ class TestAcidAndPersistence:
         jvm.crash()
 
         jvm2 = Espresso(tmp_path / "h")
-        jvm2.loadHeap("lib")
+        jvm2.load_heap("lib")
         txn2 = PjhTransaction.__new__(PjhTransaction)
         txn2.jvm = jvm2
         txn2.vm = jvm2.vm
-        txn2._entries = jvm2.getRoot("txn_entries")
-        txn2._meta = jvm2.getRoot("txn_meta")
+        txn2._entries = jvm2.get_root("txn_entries")
+        txn2._meta = jvm2.get_root("txn_meta")
         txn2._heap = jvm2.vm.service_of(txn2._entries.address)
         txn2.capacity = jvm2.array_length(txn2._entries) // 2
         txn2._count = 0
         assert txn2.recover()  # rolls the torn write back
-        assert jvm2.get_field(jvm2.getRoot("v"), "value") == 1
+        assert jvm2.get_field(jvm2.get_root("v"), "value") == 1
 
     def test_abort_restores(self, ctx):
         jvm, txn = ctx
@@ -172,7 +172,7 @@ class TestAcidAndPersistence:
                 min_size=1, max_size=25))
 def test_property_pjh_hashmap_matches_dict(tmp_path_factory, ops):
     jvm = Espresso(tmp_path_factory.mktemp("heaps"))
-    jvm.createHeap("lib", 4 * 1024 * 1024)
+    jvm.create_heap("lib", 4 * 1024 * 1024)
     txn = PjhTransaction(jvm)
     m = PjhHashmap(jvm, txn)
     model = {}

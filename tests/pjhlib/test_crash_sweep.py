@@ -35,12 +35,12 @@ class _CrashAfterNFlushes:
 
 def build(heap_dir):
     jvm = Espresso(heap_dir)
-    jvm.createHeap("kv", 2 * 1024 * 1024)
+    jvm.create_heap("kv", 2 * 1024 * 1024)
     txn = PjhTransaction(jvm)
     table = PjhHashmap(jvm, txn)
-    jvm.setRoot("table", table.h)
-    jvm.setRoot("txn_entries", txn._entries)
-    jvm.setRoot("txn_meta", txn._meta)
+    jvm.set_root("table", table.h)
+    jvm.set_root("txn_entries", txn._entries)
+    jvm.set_root("txn_meta", txn._meta)
     return jvm, txn, table
 
 
@@ -65,11 +65,11 @@ def expected_final():
 
 def reattach_and_recover(heap_dir):
     jvm = Espresso(heap_dir)
-    jvm.loadHeap("kv")
-    txn = PjhTransaction.reattach(jvm, jvm.getRoot("txn_entries"),
-                                  jvm.getRoot("txn_meta"))
+    jvm.load_heap("kv")
+    txn = PjhTransaction.reattach(jvm, jvm.get_root("txn_entries"),
+                                  jvm.get_root("txn_meta"))
     txn.recover()  # roll back any torn multi-slot operation
-    table = PjhHashmap(jvm, txn, handle=jvm.getRoot("table"))
+    table = PjhHashmap(jvm, txn, handle=jvm.get_root("table"))
     return jvm, table
 
 

@@ -23,7 +23,7 @@ from repro.runtime.klass import FieldKind, Residence
 @pytest.fixture
 def jvm(tmp_path):
     vm = Espresso(tmp_path / "heaps")
-    vm.createHeap("t", 4 * 1024 * 1024)
+    vm.create_heap("t", 4 * 1024 * 1024)
     return vm
 
 

@@ -21,7 +21,7 @@ HEAP_BYTES = 8 * 1024 * 1024
 
 def make_em(heap_dir, **kwargs):
     jvm = Espresso(heap_dir)
-    jvm.createHeap("jpab", HEAP_BYTES)
+    jvm.create_heap("jpab", HEAP_BYTES)
     em = PjoEntityManager(jvm, **kwargs)
     em.create_schema(ALL_ENTITIES)
     return em
@@ -141,7 +141,7 @@ class TestDurability:
         em.jvm.shutdown()
 
         jvm2 = Espresso(heap_dir)
-        jvm2.loadHeap("jpab")
+        jvm2.load_heap("jpab")
         em2 = PjoEntityManager(jvm2)
         found = em2.find(BasicPerson, 1)
         assert found.last_name == "Lovelace"
@@ -154,7 +154,7 @@ class TestDurability:
         em.jvm.crash()  # power loss, not graceful
 
         jvm2 = Espresso(heap_dir)
-        jvm2.loadHeap("jpab")
+        jvm2.load_heap("jpab")
         em2 = PjoEntityManager(jvm2)
         found = em2.find(BasicPerson, 1)
         assert found is not None and found.first_name == "Ada"
@@ -169,7 +169,7 @@ class TestDurability:
         em.jvm.shutdown()
 
         jvm2 = Espresso(heap_dir)
-        jvm2.loadHeap("jpab")
+        jvm2.load_heap("jpab")
         em2 = PjoEntityManager(jvm2)
         assert em2.find(Node, 2).next.name == "a"
 

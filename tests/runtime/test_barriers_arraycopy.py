@@ -13,7 +13,7 @@ class TestRemsets:
     @pytest.fixture
     def jvm(self, tmp_path):
         vm = Espresso(tmp_path / "h")
-        vm.createHeap("b", 512 * 1024)
+        vm.create_heap("b", 512 * 1024)
         return vm
 
     def test_old_to_young_store_registers(self, jvm):
@@ -98,7 +98,7 @@ class TestArrayCopy:
 
     def test_ref_copy_updates_barriers(self, tmp_path):
         jvm = Espresso(tmp_path / "h")
-        jvm.createHeap("b", 256 * 1024)
+        jvm.create_heap("b", 256 * 1024)
         vm = jvm.vm
         node = jvm.define_class("CNode", [field("v", FieldKind.INT)])
         volatile_obj = jvm.new(node)

@@ -1,0 +1,97 @@
+"""Exit-code contract of the fsck command line (`python -m repro.tools.fsck`).
+
+The contract is part of the tool's public surface and is relied on by
+scripts and CI:
+
+* ``0`` — heap loads and is structurally clean;
+* ``1`` — usage error (wrong argument count); usage text on stdout;
+* ``2`` — heap is corrupt or unloadable; errors on stdout.
+
+These tests run the real subprocess so the contract is pinned end to
+end (module entry point, argv parsing, SystemExit plumbing), not just
+the in-process ``main()`` function.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import Espresso
+from repro.runtime.klass import FieldKind, field
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def run_fsck(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.tools.fsck", *map(str, args)],
+        capture_output=True, text=True, env=env)
+
+
+@pytest.fixture
+def heap_dir(tmp_path):
+    jvm = Espresso(tmp_path)
+    node = jvm.define_class("Node", [field("v", FieldKind.INT),
+                                     field("next", FieldKind.REF)])
+    jvm.create_heap("h", 256 * 1024)
+    head = jvm.pnew(node)
+    jvm.set_field(head, "v", 7)
+    jvm.flush_reachable(head)
+    jvm.set_root("head", head)
+    jvm.shutdown()
+    return tmp_path
+
+
+def corrupt(heap_dir):
+    jvm = Espresso(heap_dir)
+    image = jvm.heaps.names.load_image("h")
+    image[0] ^= 0xFF  # break the metadata magic
+    jvm.heaps.names.save_image("h", image)
+
+
+def test_exit_0_on_clean_heap(heap_dir):
+    proc = run_fsck(heap_dir, "h")
+    assert proc.returncode == 0
+    assert "clean" in proc.stdout
+
+
+def test_exit_1_on_missing_args():
+    proc = run_fsck()
+    assert proc.returncode == 1
+    assert "fsck" in proc.stdout  # usage text, not a traceback
+    assert proc.stderr == ""
+
+
+def test_exit_1_on_extra_args(heap_dir):
+    proc = run_fsck(heap_dir, "h", "surplus")
+    assert proc.returncode == 1
+
+
+def test_exit_2_on_corrupt_heap(heap_dir):
+    corrupt(heap_dir)
+    proc = run_fsck(heap_dir, "h")
+    assert proc.returncode == 2
+    assert "ERROR" in proc.stdout
+
+
+def test_json_on_corrupt_heap_still_exits_2(heap_dir):
+    corrupt(heap_dir)
+    proc = run_fsck("--json", heap_dir, "h")
+    assert proc.returncode == 2
+    payload = json.loads(proc.stdout)
+    assert payload["clean"] is False
+    assert payload["errors"]
+
+
+def test_json_on_clean_heap_exits_0(heap_dir):
+    proc = run_fsck("--json", heap_dir, "h")
+    assert proc.returncode == 0
+    payload = json.loads(proc.stdout)
+    assert payload["clean"] is True
+    assert payload["errors"] == []

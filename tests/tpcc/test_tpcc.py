@@ -134,7 +134,7 @@ class TestDurability:
         from repro.pjo.provider import PjoEntityManager
         heap_dir = tmp_path / "h"
         jvm = Espresso(heap_dir)
-        jvm.createHeap("tpcc", 32 * 1024 * 1024)
+        jvm.create_heap("tpcc", 32 * 1024 * 1024)
         em = PjoEntityManager(jvm)
         app = TpccApplication(em)
         app.populate(items=10)
@@ -146,7 +146,7 @@ class TestDurability:
         jvm.shutdown()
 
         jvm2 = Espresso(heap_dir)
-        jvm2.loadHeap("tpcc")
+        jvm2.load_heap("tpcc")
         em2 = PjoEntityManager(jvm2)
         app2 = TpccApplication(em2)
         assert app2.consistency_snapshot() == before
