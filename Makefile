@@ -1,10 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test sweep sweep-fast fsck lint-persist lint-time obs-report
+.PHONY: check test sweep sweep-fast fsck analyze lint-persist lint-time \
+	obs-report
 
-# The CI gate: both source lints, then the tier-1 suite.
-check: lint-persist lint-time test
+# The CI gate: the full static analyzer, then the tier-1 suite.
+check: analyze test
+
+# All three analyzer passes: AST source lint (ESP3xx) over src/ and
+# examples/, persistent-closure analysis (ESP1xx) of the BasicTest
+# DBPersistable schema, baseline-filtered.  Exit 1 on any finding.
+analyze:
+	$(PYTHON) -m repro.analysis --closure-schema --baseline analysis-baseline.json
 
 # Tier-1: the full unit/integration suite (exhaustive sweeps deselected).
 test:
@@ -25,13 +32,15 @@ sweep-pytest:
 
 # No raw clflush/fence outside repro/nvm and repro/faults: all flush
 # traffic must route through repro.nvm.persist.PersistDomain.
+# (Alias for the ESP301/ESP302 rules of the unified analyzer.)
 lint-persist:
-	$(PYTHON) -m repro.tools.lint_persist
+	$(PYTHON) -m repro.analysis --rules ESP301,ESP302
 
 # No wall-clock reads outside repro/nvm/clock.py and repro/obs: every
 # timestamp must come from the simulated Clock.
+# (Alias for the ESP303 rule of the unified analyzer.)
 lint-time:
-	$(PYTHON) -m repro.tools.lint_time
+	$(PYTHON) -m repro.analysis --rules ESP303
 
 # Run the traced fig17 bench, then render its obs section as tables.
 obs-report:

@@ -1,0 +1,56 @@
+"""repro.analysis — static persist-safety analysis for Espresso.
+
+Three cooperating passes behind one CLI (``python -m repro.analysis``,
+``make analyze``), all reporting stable ``ESPxxx`` rule codes through the
+shared :mod:`repro.analysis.diagnostics` framework:
+
+1. **Persistent-closure analysis** (:mod:`repro.analysis.closure`) — from
+   :class:`~repro.runtime.klass.Klass` / ``FieldDescriptor`` metadata and
+   the ``persistent_type`` registry, compute the transitive closure of
+   every persistable class and classify each REF field as *closed*
+   (provably PJH-only), *escaping* (its declared type can never be
+   persistent) or *open* (depends on the runtime subtype).  Closed class
+   graphs yield a :class:`~repro.analysis.certificate.SafetyCertificate`
+   that licenses the runtime to elide the per-store safety barrier.
+2. **Persist-order hazard analysis** (:mod:`repro.analysis.hazards`) — a
+   happens-before checker over recorded
+   :class:`~repro.nvm.persist.PersistEventLog` traces that flags
+   publish-before-persist windows, fence-less flushes and
+   writes-after-publish with exact epoch/line provenance.
+3. **Source lint** (:mod:`repro.analysis.srclint`) — AST-based rules
+   replacing the historical ``lint-persist``/``lint-time`` regex greps:
+   raw ``clflush``/device-fence calls outside the persist layer, and
+   wall-clock reads outside the simulated clock.
+"""
+
+from repro.analysis.certificate import SafetyCertificate
+from repro.analysis.closure import (
+    ClosureReport,
+    FieldClassification,
+    analyze_closure,
+    analyze_vm,
+    certify_session,
+)
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    RULE_CATALOGUE,
+)
+from repro.analysis.hazards import HazardReport, analyze_trace
+from repro.analysis.srclint import LintFinding, lint_paths
+
+__all__ = [
+    "AnalysisReport",
+    "ClosureReport",
+    "Diagnostic",
+    "FieldClassification",
+    "HazardReport",
+    "LintFinding",
+    "RULE_CATALOGUE",
+    "SafetyCertificate",
+    "analyze_closure",
+    "analyze_trace",
+    "analyze_vm",
+    "certify_session",
+    "lint_paths",
+]

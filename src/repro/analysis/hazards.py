@@ -1,0 +1,197 @@
+"""Persist-order hazard analysis over recorded NVM event traces.
+
+The crash-sweep harness discovers ordering bugs *empirically* by failing
+a run at every epoch boundary.  This pass finds the same bugs from a
+single fault-free run: a :class:`~repro.nvm.persist.PersistEventLog`
+records every store, flush, fence and pointer publish the device saw,
+and a happens-before checker replays the log against three rules:
+
+* **ESP201 publish-before-persist** — a pointer store became durable at
+  a fence, but the pointed-to object's header lines had not become
+  durable at any *strictly earlier* fence.  Within one epoch the
+  reordered fault model may persist the pointer and drop the header, so
+  same-fence durability is still a hazard; a crash in the window
+  recovers a reference to an uninterpretable object (paper §3.1).
+* **ESP202 fence-less flush** — a line was flushed after the last fence
+  of the trace; under :class:`~repro.nvm.device.FaultMode.REORDERED`
+  that flush is revocable at crash time.
+* **ESP203 write-after-publish** — a published object's header words
+  were rewritten later in the trace and never flushed+fenced again, so
+  the durable image holds a stale header behind a durable pointer.
+
+Word offsets in the log are heap-relative, so reports are deterministic
+across runs and ``gc_workers`` settings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, make_diagnostic, sort_key
+from repro.runtime import layout
+
+
+def _lines_of(offset: int, count: int, line_words: int) -> Set[int]:
+    return set(range(offset // line_words,
+                     (offset + count - 1) // line_words + 1))
+
+
+class _Publish:
+    """One recorded pointer publish, tracked until it becomes durable."""
+
+    __slots__ = ("index", "slot_offset", "target_offset", "slot_line",
+                 "target_lines", "slot_fence", "slot_flushed",
+                 "unpersisted_header", "rewritten_at")
+
+    def __init__(self, index: int, slot_offset: int, target_offset: int,
+                 line_words: int, header_words: int) -> None:
+        self.index = index
+        self.slot_offset = slot_offset
+        self.target_offset = target_offset
+        self.slot_line = slot_offset // line_words
+        self.target_lines = _lines_of(target_offset, header_words,
+                                      line_words)
+        self.slot_fence: Optional[int] = None  # fence no. when durable
+        self.slot_flushed = False  # slot line flushed after the publish
+        self.unpersisted_header: Set[int] = set()  # rewritten, not fenced
+        self.rewritten_at: Optional[int] = None
+
+    @property
+    def where(self) -> str:
+        return f"slot {self.slot_offset} -> target {self.target_offset}"
+
+
+class HazardReport:
+    """Hazard findings plus trace statistics."""
+
+    def __init__(self, findings: Sequence[Diagnostic],
+                 stats: Dict[str, int]) -> None:
+        self.findings = sorted(findings, key=sort_key)
+        self.stats = dict(stats)
+
+    def diagnostics(self) -> List[Diagnostic]:
+        return list(self.findings)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> dict:
+        out = dict(self.stats)
+        out["hazards"] = len(self.findings)
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "findings": [d.to_dict() for d in self.findings],
+            "summary": self.summary(),
+        }
+
+
+def analyze_trace(trace, line_words: Optional[int] = None,
+                  header_words: Optional[int] = None) -> HazardReport:
+    """Replay a :class:`PersistEventLog` (or raw event list) for hazards.
+
+    ``trace`` may be the log object itself or any iterable of event
+    tuples: ``("store", offset, count)``, ``("flush", line)``,
+    ``("fence",)``, ``("publish", slot_offset, target_offset)``.
+    """
+    events = list(getattr(trace, "events", trace))
+    if line_words is None:
+        from repro.nvm.device import LINE_WORDS
+        line_words = LINE_WORDS
+    if header_words is None:
+        header_words = layout.HEADER_WORDS
+
+    findings: List[Diagnostic] = []
+    durable_fence: Dict[int, int] = {}  # line -> fence no. of last persist
+    dirty: Set[int] = set()
+    flushed: Set[int] = set()           # flushed since the last fence
+    fence_no = 0
+    publishes: List[_Publish] = []
+    pending: List[_Publish] = []        # slot store not yet durable
+    counts = {"events": len(events), "stores": 0, "flushes": 0,
+              "fences": 0, "publishes": 0}
+
+    for index, event in enumerate(events):
+        kind = event[0]
+        if kind == "store":
+            offset = int(event[1])
+            count = int(event[2]) if len(event) > 2 else 1
+            counts["stores"] += 1
+            dirty |= _lines_of(offset, count, line_words)
+            span = range(offset, offset + count)
+            for pub in publishes:
+                header = range(pub.target_offset,
+                               pub.target_offset + header_words)
+                if span.start < header.stop and header.start < span.stop:
+                    # A published object's header was rewritten: it must
+                    # be flushed+fenced again before the trace ends.
+                    pub.rewritten_at = index
+                    pub.unpersisted_header |= _lines_of(
+                        offset, count, line_words) & pub.target_lines
+        elif kind == "flush":
+            line = int(event[1])
+            counts["flushes"] += 1
+            if line in dirty:
+                dirty.discard(line)
+                flushed.add(line)
+            # A flush only persists the pointer if it happens after the
+            # publish's store; flushes that predate the publish snapshot
+            # the old contents and prove nothing about the new pointer.
+            for pub in pending:
+                if pub.slot_line == line:
+                    pub.slot_flushed = True
+        elif kind == "fence":
+            counts["fences"] += 1
+            fence_no += 1
+            for pub in list(pending):
+                if not pub.slot_flushed:
+                    continue
+                pub.slot_fence = fence_no
+                pending.remove(pub)
+                # Durability state *before* this fence decides safety:
+                # header and pointer persisting at the same fence may
+                # reorder within the epoch under FaultMode.REORDERED.
+                unsafe = sorted(ln for ln in pub.target_lines
+                                if ln not in durable_fence)
+                if unsafe:
+                    findings.append(make_diagnostic(
+                        "ESP201", pub.where,
+                        f"pointer became durable at fence {fence_no} but "
+                        f"target header line(s) "
+                        f"{', '.join(str(ln) for ln in unsafe)} had no "
+                        f"earlier durable fence",
+                        event_index=pub.index, fence=fence_no,
+                        lines=",".join(str(ln) for ln in unsafe)))
+            for line in flushed:
+                durable_fence[line] = fence_no
+            for pub in publishes:
+                pub.unpersisted_header -= flushed
+            flushed = set()
+        elif kind == "publish":
+            counts["publishes"] += 1
+            pub = _Publish(index, int(event[1]), int(event[2]),
+                           line_words, header_words)
+            publishes.append(pub)
+            pending.append(pub)
+
+    for line in sorted(flushed):
+        findings.append(make_diagnostic(
+            "ESP202", f"line {line}",
+            f"flushed after the last fence of the trace (fence "
+            f"{fence_no}); the flush is revocable under the reordered "
+            f"fault model", fence=fence_no))
+    for pub in publishes:
+        if pub.slot_fence is not None and pub.unpersisted_header:
+            bad = sorted(pub.unpersisted_header)
+            findings.append(make_diagnostic(
+                "ESP203", pub.where,
+                f"header line(s) {', '.join(str(ln) for ln in bad)} "
+                f"rewritten at event {pub.rewritten_at} after the "
+                f"pointer became durable (fence {pub.slot_fence}) and "
+                f"never re-persisted",
+                event_index=pub.rewritten_at,
+                lines=",".join(str(ln) for ln in bad)))
+
+    return HazardReport(findings, counts)

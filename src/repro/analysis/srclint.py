@@ -1,0 +1,168 @@
+"""AST-based source lint: the ESP3xx rules.
+
+Successor to the regex greps in :mod:`repro.tools.lint_persist` and
+:mod:`repro.tools.lint_time` (which now delegate here).  Walking the AST
+instead of lines means comments, docstrings and string literals can name
+the forbidden APIs freely — only actual call expressions are flagged:
+
+* **ESP301** — any ``clflush(...)`` call: the primitive belongs to the
+  device layer; durable subsystems route flushes through
+  :class:`repro.nvm.persist.PersistDomain`.
+* **ESP302** — ``device.fence(...)`` / ``d.fence(...)`` (including
+  ``self.device.fence(...)``): a bare sfence bypasses the domain's epoch
+  bookkeeping.  ``domain.fence()`` / ``heap.fence()`` stay legal — they
+  drain the open epoch first.
+* **ESP303** — wall-clock reads (``time.time``/``time_ns``,
+  ``time.monotonic``/``_ns``, ``time.perf_counter``/``_ns``,
+  ``datetime.now``/``utcnow``): every timestamp must come from
+  :class:`repro.nvm.clock.Clock` or determinism is lost.
+
+The historical exemption lists are preserved per rule family: the
+persist layer and the crash harness may flush and fence, the simulated
+clock and the observability layer may name wall-clock APIs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, make_diagnostic
+
+#: Rules delegated to by the legacy lint-persist / lint-time entry points.
+PERSIST_RULES = ("ESP301", "ESP302")
+TIME_RULES = ("ESP303",)
+ALL_RULES = PERSIST_RULES + TIME_RULES
+
+#: Per-rule-family exemption prefixes (relative to a lint root).
+PERSIST_EXEMPT = ("repro/nvm/", "repro/faults/",
+                  "repro/tools/lint_persist.py")
+TIME_EXEMPT = ("repro/nvm/clock.py", "repro/obs/",
+               "repro/tools/lint_time.py")
+
+_EXEMPT_FOR: Dict[str, Tuple[str, ...]] = {
+    "ESP301": PERSIST_EXEMPT,
+    "ESP302": PERSIST_EXEMPT,
+    "ESP303": TIME_EXEMPT,
+}
+
+_WALLCLOCK_TIME = {
+    "time": "wall-clock time.time",
+    "time_ns": "wall-clock time.time",
+    "monotonic": "wall-clock time.monotonic",
+    "monotonic_ns": "wall-clock time.monotonic",
+    "perf_counter": "wall-clock time.perf_counter",
+    "perf_counter_ns": "wall-clock time.perf_counter",
+}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One flagged call expression."""
+
+    path: str    # root-relative posix path
+    lineno: int
+    col: int
+    code: str
+    reason: str
+    line: str    # the stripped source line, for display
+
+    @property
+    def where(self) -> str:
+        return f"{self.path}:{self.lineno}"
+
+    def to_diagnostic(self) -> Diagnostic:
+        return make_diagnostic(self.code, self.where,
+                               f"{self.reason}: {self.line}")
+
+    def legacy_tuple(self) -> Tuple[str, int, str, str]:
+        """The (rel, lineno, line, reason) shape of the old linters."""
+        return (self.path, self.lineno, self.line, self.reason)
+
+
+class _CallScanner(ast.NodeVisitor):
+    """Collect (lineno, col, code, reason) for every rule violation."""
+
+    def __init__(self, rules: Set[str]) -> None:
+        self.rules = rules
+        self.hits: List[Tuple[int, int, str, str]] = []
+
+    def _hit(self, node: ast.Call, code: str, reason: str) -> None:
+        self.hits.append((node.lineno, node.col_offset, code, reason))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if "ESP301" in self.rules:
+            if (isinstance(func, ast.Name) and func.id == "clflush") or \
+                    (isinstance(func, ast.Attribute)
+                     and func.attr == "clflush"):
+                self._hit(node, "ESP301", "raw clflush call")
+        if "ESP302" in self.rules and isinstance(func, ast.Attribute) \
+                and func.attr == "fence":
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id == "device":
+                self._hit(node, "ESP302", "raw fence on a device")
+            elif isinstance(receiver, ast.Name) and receiver.id == "d":
+                self._hit(node, "ESP302", "raw fence on a device alias")
+            elif isinstance(receiver, ast.Attribute) \
+                    and receiver.attr == "device":
+                self._hit(node, "ESP302", "raw fence on a device")
+        if "ESP303" in self.rules and isinstance(func, ast.Attribute):
+            receiver = func.value
+            receiver_name = receiver.id if isinstance(receiver, ast.Name) \
+                else (receiver.attr if isinstance(receiver, ast.Attribute)
+                      else None)
+            if receiver_name == "time" and func.attr in _WALLCLOCK_TIME:
+                self._hit(node, "ESP303", _WALLCLOCK_TIME[func.attr])
+            elif receiver_name == "datetime" \
+                    and func.attr in ("now", "utcnow"):
+                self._hit(node, "ESP303", "wall-clock datetime.now")
+        self.generic_visit(node)
+
+
+def lint_file(path: Path, rel: str,
+              rules: Iterable[str] = ALL_RULES) -> List[LintFinding]:
+    active = {r for r in rules
+              if not any(rel.startswith(p) for p in _EXEMPT_FOR[r])}
+    if not active:
+        return []
+    try:
+        source = path.read_text()
+        tree = ast.parse(source)
+    except (OSError, SyntaxError, ValueError):
+        return []  # unreadable / non-parsing files are out of scope
+    scanner = _CallScanner(active)
+    scanner.visit(tree)
+    lines = source.splitlines()
+    findings = [
+        LintFinding(rel, lineno, col, code, reason,
+                    lines[lineno - 1].strip() if lineno <= len(lines)
+                    else "")
+        for lineno, col, code, reason in scanner.hits
+    ]
+    return sorted(findings,
+                  key=lambda f: (f.lineno, f.col, f.code, f.reason))
+
+
+def lint_paths(roots: Sequence[Path],
+               rules: Optional[Iterable[str]] = None) -> List[LintFinding]:
+    """Lint every ``*.py`` under each root; deterministic ordering.
+
+    Exemption prefixes are matched against root-relative paths, so the
+    historical lists keep working when a root is ``src/`` and are simply
+    inert for roots (like ``examples/``) with different layouts.
+    """
+    rule_set = tuple(rules) if rules is not None else ALL_RULES
+    for rule in rule_set:
+        if rule not in _EXEMPT_FOR:
+            raise ValueError(f"unknown lint rule {rule!r}")
+    findings: List[LintFinding] = []
+    for root in roots:
+        root = Path(root)
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            findings.extend(lint_file(path, rel, rule_set))
+    return sorted(findings, key=lambda f: (f.path, f.lineno, f.col,
+                                           f.code, f.reason))

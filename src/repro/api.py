@@ -92,6 +92,12 @@ class EspressoConfig:
     #: durable heap image is byte-identical for any value; only the
     #: simulated pause (max over workers) changes.
     gc_workers: int = 1
+    #: Analyzer-issued barrier-elision certificate (a
+    #: :class:`repro.analysis.SafetyCertificate`, kept untyped to avoid a
+    #: hard dependency).  Installed on the VM at construction and carried
+    #: across restart/crash_and_restart; see
+    #: :func:`repro.analysis.closure.certify_session`.
+    safety_certificate: Optional[object] = None
 
 
 class Espresso:
@@ -118,6 +124,7 @@ class Espresso:
                              heap_config=config.heap_config,
                              alias_aware=config.alias_aware, obs=obs,
                              gc_workers=config.gc_workers)
+        self.vm.safety_certificate = config.safety_certificate
         self.heaps = HeapManager(self.vm, heap_dir)
         self.heap_dir = Path(heap_dir)
 

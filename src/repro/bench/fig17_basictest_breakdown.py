@@ -36,17 +36,41 @@ class Fig17Result:
     # only when the run traced with a live Observatory.
     obs: Dict[Tuple[str, str], Dict[str, object]] = field(
         default_factory=dict)
+    # (provider, op) -> ref-store barrier deltas ({"checks", "elided"}).
+    barrier: Dict[Tuple[str, str], Dict[str, int]] = field(
+        default_factory=dict)
+    # Barrier-elision summary: baseline vs certified PJO runs, durable
+    # image equality and fsck verdicts (empty unless ``certified=True``).
+    elision: Dict[str, object] = field(default_factory=dict)
 
 
 def run(count: int = 100, heap_dir: Path | None = None,
-        trace: bool = False) -> Fig17Result:
+        trace: bool = False, certified: bool = False) -> Fig17Result:
     """Run both providers; ``trace=True`` records per-operation span and
     counter deltas with one Observatory per provider (the default no-op
-    recorder leaves timings and flush counts untouched)."""
+    recorder leaves timings and flush counts untouched).
+
+    ``certified=True`` adds a third run — H2-PJO with the static closure
+    analyzer's barrier-elision certificate installed — and records the
+    elided/checked barrier split plus proof that elision changed no
+    durable byte: the baseline and certified PJH images compare equal
+    and both pass fsck.
+    """
     root = heap_dir if heap_dir is not None else Path(tempfile.mkdtemp())
     result = Fig17Result(count=count)
     jpa_obs: Optional[Observatory] = Observatory() if trace else None
     pjo_obs: Optional[Observatory] = Observatory() if trace else None
+    ems: Dict[str, object] = {}
+
+    def pjo_factory(label: str, subdir: str, obs, certify: bool):
+        def build(clock):
+            em = make_pjo_em(
+                clock, BASIC_TEST.entities, root / subdir, certify=certify,
+                **({"obs": obs} if obs is not None else {}))
+            ems[label] = em
+            return em
+        return build
+
     jpa = run_jpab_test(
         BASIC_TEST,
         lambda clock: make_jpa_em(
@@ -54,12 +78,18 @@ def run(count: int = 100, heap_dir: Path | None = None,
             **({"obs": jpa_obs} if jpa_obs is not None else {})),
         count, "H2-JPA", observatory=jpa_obs)
     pjo = run_jpab_test(
-        BASIC_TEST,
-        lambda clock: make_pjo_em(
-            clock, BASIC_TEST.entities, root / "fig17",
-            **({"obs": pjo_obs} if pjo_obs is not None else {})),
+        BASIC_TEST, pjo_factory("H2-PJO", "fig17", pjo_obs, False),
         count, "H2-PJO", observatory=pjo_obs)
-    for provider, test_result in (("H2-JPA", jpa), ("H2-PJO", pjo)):
+    runs = [("H2-JPA", jpa), ("H2-PJO", pjo)]
+    if certified:
+        cert_obs: Optional[Observatory] = Observatory() if trace else None
+        cert = run_jpab_test(
+            BASIC_TEST,
+            pjo_factory("H2-PJO-certified", "fig17-certified", cert_obs,
+                        True),
+            count, "H2-PJO-certified", observatory=cert_obs)
+        runs.append(("H2-PJO-certified", cert))
+    for provider, test_result in runs:
         for op in OPERATIONS:
             breakdown = test_result.operations[op].breakdown
             total = sum(breakdown.values())
@@ -69,16 +99,53 @@ def run(count: int = 100, heap_dir: Path | None = None,
                                           ("database", "transformation"))) / 1e6
             result.cells[(provider, op)] = known
             result.nvm[(provider, op)] = test_result.operations[op].nvm
+            result.barrier[(provider, op)] = test_result.operations[op].barrier
             if trace:
                 result.obs[(provider, op)] = test_result.operations[op].obs
+    if certified:
+        result.elision = _elision_summary(ems["H2-PJO"],
+                                          ems["H2-PJO-certified"])
     return result
 
 
+def _elision_summary(baseline_em, certified_em) -> Dict[str, object]:
+    """Totals, elision ratio, and the safety evidence (image + fsck)."""
+    import numpy as np
+
+    from repro.tools.fsck import fsck_heap
+
+    summary: Dict[str, object] = {}
+    for label, em in (("baseline", baseline_em), ("certified", certified_em)):
+        vm = em.jvm.vm
+        summary[label] = {"checks": vm.barrier_checks,
+                          "elided": vm.barrier_elided}
+    checked = summary["certified"]["checks"]
+    elided = summary["certified"]["elided"]
+    summary["elision_ratio"] = (elided / (checked + elided)
+                                if checked + elided else 0.0)
+    base_heap = baseline_em.jvm.heaps.heap("jpab")
+    cert_heap = certified_em.jvm.heaps.heap("jpab")
+    summary["durable_image_equal"] = bool(np.array_equal(
+        base_heap.device.durable_image(), cert_heap.device.durable_image()))
+    summary["fsck_clean"] = {
+        "baseline": fsck_heap(base_heap).clean,
+        "certified": fsck_heap(cert_heap).clean,
+    }
+    cert = certified_em.jvm.vm.safety_certificate
+    if cert is not None:
+        summary["certificate"] = {
+            "fields": len(cert),
+            "revocations": [list(r) for r in cert.revocations],
+            "fingerprint": cert.fingerprint,
+        }
+    return summary
+
+
 def main(count: int = 100) -> Fig17Result:
-    result = run(count, trace=True)
+    result = run(count, trace=True, certified=True)
     rows = []
     for op in OPERATIONS:
-        for provider in ("H2-JPA", "H2-PJO"):
+        for provider in ("H2-JPA", "H2-PJO", "H2-PJO-certified"):
             cell = result.cells[(provider, op)]
             total = sum(cell.values())
             rows.append((op, provider,
@@ -93,6 +160,13 @@ def main(count: int = 100) -> Fig17Result:
         title=(f"Figure 17 — BasicTest breakdown, simulated ms for "
                f"{result.count} entities (paper: transformation vanishes "
                f"under PJO; execution also drops)")))
+    if result.elision:
+        elision = result.elision
+        print(f"barrier elision: {elision['certified']['elided']} of "
+              f"{elision['certified']['elided'] + elision['certified']['checks']}"
+              f" ref-store barriers skipped "
+              f"({elision['elision_ratio']:.1%}); durable image equal: "
+              f"{elision['durable_image_equal']}")
     write_bench_json("fig17", {
         "count": result.count,
         "cells": {f"{provider}/{op}": cell
@@ -101,6 +175,11 @@ def main(count: int = 100) -> Fig17Result:
                 for (provider, op), counters in result.nvm.items()},
         "obs": {f"{provider}/{op}": delta
                 for (provider, op), delta in result.obs.items()},
+        "barrier": {
+            **{f"{provider}/{op}": counters
+               for (provider, op), counters in result.barrier.items()},
+            "elision": result.elision,
+        },
     })
     return result
 

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.errors import OutOfMemoryError
 from repro.nvm.device import NvmDevice
-from repro.nvm.persist import PersistDomain
+from repro.nvm.persist import PersistDomain, PersistEventLog
 from repro.runtime import layout as obj_layout
 from repro.runtime.klass import Klass
 from repro.runtime.objects import RootSlot
@@ -114,6 +114,36 @@ class PersistentHeap(PersistentSpaceService):
 
     def on_class_defined(self, klass: Klass) -> None:
         self.klass_segment.link_alias_if_known(klass)
+
+    def on_ref_publish(self, slot_address: int, value_address: int) -> None:
+        log = self.device.event_log
+        if log is not None and self.contains(value_address):
+            log.record_publish(slot_address - self.base_address,
+                               value_address - self.base_address)
+
+    # ------------------------------------------------------------------
+    # Persist-order event tracing (repro.analysis.hazards)
+    # ------------------------------------------------------------------
+    def enable_event_log(self, name: str = "trace") -> PersistEventLog:
+        """Start recording this heap's store/flush/fence/publish traffic.
+
+        While a log is attached, the VM keeps a publish tap active (which
+        also suspends barrier elision so every publish is observed).
+        """
+        if self.device.event_log is not None:
+            raise ValueError(f"heap {self.name!r} already has an event log")
+        log = PersistEventLog(name=name)
+        self.device.event_log = log
+        self.vm._publish_taps += 1
+        return log
+
+    def disable_event_log(self) -> PersistEventLog:
+        log = self.device.event_log
+        if log is None:
+            raise ValueError(f"heap {self.name!r} has no event log")
+        self.device.event_log = None
+        self.vm._publish_taps -= 1
+        return log
 
     # ------------------------------------------------------------------
     # Crash-consistent allocation (paper §4.1)

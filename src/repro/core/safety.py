@@ -22,7 +22,7 @@ import enum
 from typing import Iterable, Optional, Set
 
 from repro.errors import UnsafePointerError
-from repro.runtime.klass import Klass
+from repro.runtime.klass import FieldKind, Klass
 
 
 class SafetyLevel(enum.Enum):
@@ -100,8 +100,19 @@ class TypeBasedPolicy(SafetyPolicy):
         self.allowed.add(name)
 
     def check_pnew(self, klass: Klass) -> None:
-        if klass.is_array:
-            return  # arrays of allowed element types ride on element checks
+        # Arrays are vetted through their element class: a PJH array of an
+        # unannotated class would otherwise only be caught store-by-store
+        # in check_ref_store, after the array itself is already durable.
+        # Primitive arrays hold no pointers; untyped REF arrays fall back
+        # to java.lang.Object (checked per store).
+        while klass.is_array:
+            if klass.name in self.allowed:
+                return  # the array type itself was explicitly allowed
+            if klass.element_kind is not FieldKind.REF:
+                return
+            if klass.element_klass is None:
+                return
+            klass = klass.element_klass
         name = klass.name
         if name in self.allowed or name in _ALWAYS_ALLOWED \
                 or name in _ANNOTATED_TYPES:

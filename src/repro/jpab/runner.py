@@ -35,6 +35,10 @@ class OperationResult:
     # Observatory span/counter deltas for this phase (empty when the
     # run used the no-op recorder).
     obs: Dict[str, object] = field(default_factory=dict)
+    # Ref-store barrier activity for this phase: barriers run ("checks")
+    # vs skipped via an analyzer certificate ("elided").  Zero for
+    # providers without an Espresso VM.
+    barrier: Dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -62,13 +66,23 @@ def make_jpa_em(clock: Clock, entities,
 def make_pjo_em(clock: Clock, entities, heap_dir,
                 field_tracking: bool = True,
                 deduplication: bool = True,
-                obs: Observatory = NULL_OBS) -> PjoEntityManager:
+                obs: Observatory = NULL_OBS,
+                certify: bool = False) -> PjoEntityManager:
     from repro.api import Espresso
     jvm = Espresso(heap_dir, clock=clock, observatory=obs)
     jvm.create_heap("jpab", 32 * 1024 * 1024)
     em = PjoEntityManager(jvm, field_tracking=field_tracking,
                           deduplication=deduplication)
     em.create_schema(entities)
+    if certify:
+        # Run the static closure analysis over the freshly defined dbp
+        # schema and install the barrier-elision certificate.  The db.*
+        # classes are persist-only by construction: the PJO provider
+        # allocates them exclusively with pnew.
+        from repro.analysis.closure import certify_session
+        db_names = {name for name in jvm.vm.metaspace.names()
+                    if name.startswith("db.")}
+        certify_session(jvm, persist_only=db_names)
     return em
 
 
@@ -101,11 +115,14 @@ def run_jpab_test(test: JpabTest, em_factory: Callable[[Clock], object],
     result = TestResult(provider=provider, test=test.name)
     devices = _nvm_devices(em)
     obs = observatory if observatory is not None else NULL_OBS
+    vm = getattr(getattr(em, "jvm", None), "vm", None)
     for operation in _RUN_ORDER:
         action = getattr(driver, operation.lower())
         start = clock.now_ns
         snapshot = clock.breakdown()
         nvm_before = snapshot_devices(devices)
+        checks_before = vm.barrier_checks if vm is not None else 0
+        elided_before = vm.barrier_elided if vm is not None else 0
         obs_before = obs.phase_snapshot() if obs.enabled else None
         with obs.span(f"jpab.{operation.lower()}", test=test.name,
                       provider=provider):
@@ -117,5 +134,8 @@ def run_jpab_test(test: JpabTest, em_factory: Callable[[Clock], object],
             breakdown=clock.breakdown_since(snapshot),
             nvm=device_counters(devices, since=nvm_before),
             obs=obs.phase_since(obs_before) if obs_before is not None else {},
+            barrier=({"checks": vm.barrier_checks - checks_before,
+                      "elided": vm.barrier_elided - elided_before}
+                     if vm is not None else {}),
         )
     return result

@@ -252,6 +252,10 @@ class NvmDevice(MemoryDevice):
         super().__init__(size_words, clock, latency, name)
         self._durable = np.zeros(self.size_words, dtype=np.int64)
         self._dirty_lines: Set[int] = set()
+        # Optional persist-order event tap (a PersistEventLog): when set,
+        # every store/flush/fence is recorded for the static hazard
+        # analyzer.  Duck-typed so the device layer has no new imports.
+        self.event_log = None
         self.fault_mode = FaultMode.ATOMIC
         self._fault_rng = random.Random(0)
         # Pre-flush durable snapshots of lines flushed since the last fence;
@@ -277,6 +281,8 @@ class NvmDevice(MemoryDevice):
 
     # -- dirtiness tracking ------------------------------------------------
     def _mark_dirty(self, offset: int, count: int = 1) -> None:
+        if self.event_log is not None:
+            self.event_log.record_store(offset, count)
         first = offset // LINE_WORDS
         last = (offset + count - 1) // LINE_WORDS
         if first == last:
@@ -315,6 +321,8 @@ class NvmDevice(MemoryDevice):
         for line in range(first, last + 1):
             self.stats.flushes += 1
             self.clock.charge(cost)
+            if self.event_log is not None:
+                self.event_log.record_flush(line)
             start = line * LINE_WORDS
             end = min(start + LINE_WORDS, self.size_words)
             if reordered and line not in self._unfenced:
@@ -326,6 +334,8 @@ class NvmDevice(MemoryDevice):
         """sfence: order prior flushes before later stores."""
         self.stats.fences += 1
         self.clock.charge(self.latency.sfence_ns)
+        if self.event_log is not None:
+            self.event_log.record_fence()
         self._unfenced.clear()
 
     def persist_all(self) -> None:
@@ -336,6 +346,8 @@ class NvmDevice(MemoryDevice):
             end = min(start + LINE_WORDS, self.size_words)
             self.stats.flushes += 1
             self.clock.charge(self.latency.clflush_ns)
+            if self.event_log is not None:
+                self.event_log.record_flush(line)
             if reordered and line not in self._unfenced:
                 self._unfenced[line] = self._durable[start:end].copy()
             self._durable[start:end] = self._words[start:end]

@@ -37,13 +37,73 @@ enqueued but not yet committed — before the read.
 
 from __future__ import annotations
 
+import json
 from contextlib import contextmanager
+from pathlib import Path
 from typing import Iterator, List, Set, Tuple
 
 from repro.errors import OrderingViolation
 from repro.nvm.device import LINE_WORDS, NvmDevice
 
-__all__ = ["OrderingViolation", "PersistDomain"]
+__all__ = ["OrderingViolation", "PersistDomain", "PersistEventLog"]
+
+
+class PersistEventLog:
+    """Ordered record of an :class:`NvmDevice`'s persistence traffic.
+
+    Installed as ``device.event_log`` (see
+    :meth:`repro.core.persistent_heap.PersistentHeap.enable_event_log`),
+    it captures the exact store/flush/fence/publish sequence a workload
+    produced, as plain tuples:
+
+    * ``("store", offset, count)`` — words written (word-granular);
+    * ``("flush", line)`` — one cache line flushed;
+    * ``("fence",)`` — an sfence: prior flushes become final;
+    * ``("publish", slot_offset, target_offset)`` — a PJH slot was made
+      to point at the PJH object at *target_offset* (heap-relative).
+
+    The log feeds :func:`repro.analysis.hazards.analyze_trace`, which
+    replays it against the persist-order rules.  Offsets are
+    device-relative, so logs are deterministic and comparable across
+    runs.
+    """
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.events: List[tuple] = []
+
+    def record_store(self, offset: int, count: int = 1) -> None:
+        self.events.append(("store", int(offset), int(count)))
+
+    def record_flush(self, line: int) -> None:
+        self.events.append(("flush", int(line)))
+
+    def record_fence(self) -> None:
+        self.events.append(("fence",))
+
+    def record_publish(self, slot_offset: int, target_offset: int) -> None:
+        self.events.append(("publish", int(slot_offset),
+                            int(target_offset)))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_json(self) -> str:
+        return json.dumps([list(e) for e in self.events]) + "\n"
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "PersistEventLog":
+        log = cls(name=Path(path).name)
+        for entry in json.loads(Path(path).read_text()):
+            log.events.append(tuple(
+                entry[0:1] + [int(v) for v in entry[1:]]))
+        return log
 
 
 class PersistDomain:

@@ -20,7 +20,13 @@ from repro.errors import IllegalArgumentException
 from repro.h2.values import SqlType
 from repro.jpa.model import EntityMeta
 from repro.jpa.sql_mapping import schema_columns
-from repro.runtime.klass import FieldKind, Klass, field
+from repro.runtime.klass import (
+    FieldKind,
+    Klass,
+    OBJECT_KLASS_NAME,
+    STRING_KLASS_NAME,
+    field,
+)
 from repro.runtime.objects import ObjectHandle
 
 _BOXED_LONG = "db.BoxedLong"
@@ -61,12 +67,23 @@ def _kind_for(sql_type: SqlType) -> FieldKind:
 
 def reference_field_names(meta: EntityMeta) -> set:
     """Schema columns that are entity references (stored as direct refs)."""
-    from repro.jpa.model import _REGISTRY, meta_of
-    names = set()
+    return set(reference_field_targets(meta))
+
+
+def reference_field_targets(meta: EntityMeta) -> dict:
+    """Reference column -> declared DBPersistable class of its target.
+
+    DBPersistable classes are one-per-root-table with no subclasses, so
+    the declared type is exact — which is what lets the static closure
+    analysis prove reference columns closed.
+    """
+    from repro.jpa.model import _REGISTRY, meta_of, resolve_target_meta
+    targets = {}
     for cls in _REGISTRY:
         if issubclass(cls, meta.root.cls):
-            names.update(name for name, _ in meta_of(cls).references)
-    return names
+            for name, ref in meta_of(cls).references:
+                targets[name] = f"db.{resolve_target_meta(ref).root.table}"
+    return targets
 
 
 def column_bit_index(meta: EntityMeta, name: str) -> int:
@@ -83,12 +100,22 @@ def dbp_klass(jvm, meta: EntityMeta) -> Klass:
     union + DTYPE; primitives inline, VARCHAR and references as refs),
     then collections (refs to persistent arrays).
     """
-    ref_names = reference_field_names(meta)
+    ref_targets = reference_field_targets(meta)
     fields = [field(NULLS_FIELD, FieldKind.INT)]
     for name, sql_type, *_rest in schema_columns(meta):
-        kind = FieldKind.REF if name in ref_names else _kind_for(sql_type)
-        fields.append(field(name, kind))
-    fields.extend(field(coll_name, FieldKind.REF)
+        if name in ref_targets:
+            fields.append(field(name, FieldKind.REF,
+                                declared=ref_targets[name]))
+        else:
+            kind = _kind_for(sql_type)
+            # VARCHAR columns hold boxed strings, exactly.
+            declared = (STRING_KLASS_NAME if kind is FieldKind.REF
+                        else None)
+            fields.append(field(name, kind, declared=declared))
+    # Collections are persistent Object[] of mixed boxed values: open by
+    # construction, so stores into them keep the full barrier.
+    fields.extend(field(coll_name, FieldKind.REF,
+                        declared=f"[L{OBJECT_KLASS_NAME};")
                   for coll_name, _c in _collections(meta))
     return _ensure_class(jvm, dbp_class_name(meta), fields)
 

@@ -43,19 +43,33 @@ class Residence(enum.Enum):
 
 @dataclass(frozen=True)
 class FieldDescriptor:
-    """One declared field: a name and an interpretation for its word."""
+    """One declared field: a name and an interpretation for its word.
+
+    ``declared`` optionally names the field's declared reference type (a
+    class or array-class name).  The runtime never enforces it — stores
+    stay dynamically typed, like the interpreter — but the static
+    persist-safety analyzer (:mod:`repro.analysis.closure`) uses it to
+    classify REF fields as closed/escaping/open, exactly the way javac's
+    verified field types feed NV-Heaps-style static checking.  ``None``
+    means "java.lang.Object" (nothing provable).
+    """
 
     name: str
     kind: FieldKind
+    declared: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise IllegalArgumentException("field name must be non-empty")
+        if self.declared is not None and self.kind is not FieldKind.REF:
+            raise IllegalArgumentException(
+                f"field {self.name!r}: only REF fields carry a declared type")
 
 
-def field(name: str, kind: FieldKind = FieldKind.REF) -> FieldDescriptor:
+def field(name: str, kind: FieldKind = FieldKind.REF,
+          declared: Optional[str] = None) -> FieldDescriptor:
     """Convenience constructor used by class-definition call sites."""
-    return FieldDescriptor(name, kind)
+    return FieldDescriptor(name, kind, declared)
 
 
 class Klass:

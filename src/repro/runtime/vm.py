@@ -101,6 +101,9 @@ class PersistentSpaceService:
     def on_class_defined(self, klass: Klass) -> None:
         """Alias-link a freshly defined DRAM class with its NVM twin."""
 
+    def on_ref_publish(self, slot_address: int, value_address: int) -> None:
+        """Event-log tap: a PJH slot was just made to point at *value*."""
+
 
 class EspressoVM:
     """A single "JVM" instance over simulated DRAM (plus attached PJH)."""
@@ -137,11 +140,24 @@ class EspressoVM:
         self._services: Dict[str, PersistentSpaceService] = {}
         self._current_service: Optional[PersistentSpaceService] = None
 
+        # Analyzer-issued barrier-elision certificate (repro.analysis):
+        # a SafetyCertificate whose covers(class, field) answers whether
+        # the ref-store barrier is provably a no-op for that store site.
+        # Kept duck-typed so the runtime never imports repro.analysis.
+        self.safety_certificate = None
+        self.barrier_checks = 0
+        self.barrier_elided = 0
+        # While >0, a heap's event log needs publish events, so elision
+        # is suspended to keep hazard traces complete.
+        self._publish_taps = 0
+
         # Bootstrap klasses.
         self.object_klass = self.define_class(OBJECT_KLASS_NAME)
         self.string_klass = self.define_class(
             STRING_KLASS_NAME,
-            [field("value", FieldKind.REF), field("hash", FieldKind.INT)])
+            [field("value", FieldKind.REF,
+                   declared=CHAR_ARRAY_KLASS_NAME),
+             field("hash", FieldKind.INT)])
         self.char_array_klass = self.array_klass(FieldKind.INT)
 
     # ==================================================================
@@ -157,6 +173,7 @@ class EspressoVM:
         self.metaspace.add(klass)
         for service in self._services.values():
             service.on_class_defined(klass)
+        self._note_class_defined(klass)
         return klass
 
     def array_klass(self, element: Union[Klass, FieldKind]) -> Klass:
@@ -175,7 +192,20 @@ class EspressoVM:
         self.metaspace.add(klass)
         for service in self._services.values():
             service.on_class_defined(klass)
+        self._note_class_defined(klass)
         return klass
+
+    def _note_class_defined(self, klass: Klass) -> None:
+        """A class defined after certification may widen certified cones."""
+        cert = self.safety_certificate
+        if cert is None:
+            return
+        ancestors = []
+        k = klass.super_klass
+        while k is not None:
+            ancestors.append(k.name)
+            k = k.super_klass
+        cert.note_class_defined(klass.name, ancestors)
 
     def lookup_class(self, name: str) -> Klass:
         klass = self.metaspace.lookup(name)
@@ -242,6 +272,8 @@ class EspressoVM:
         if isinstance(klass, str):
             klass = self.lookup_class(klass)
         self.constant_pool.resolve(klass.name, klass)
+        if self.safety_certificate is not None:
+            self.safety_certificate.note_dram_allocation(klass.name)
         address = self._allocate_dram(klass.instance_words)
         self.access.init_instance(address, klass)
         self.clock.charge(self.latency.cpu_op_ns * 2)
@@ -250,6 +282,8 @@ class EspressoVM:
     def new_array(self, element: Union[Klass, FieldKind],
                   length: int) -> ObjectHandle:
         klass = self.array_klass(element)
+        if self.safety_certificate is not None:
+            self.safety_certificate.note_dram_allocation(klass.name)
         address = self._allocate_dram(klass.array_words(length))
         self.access.init_array(address, klass, length)
         return self.handle(address)
@@ -376,6 +410,20 @@ class EspressoVM:
             return bits_to_float(word)
         return word
 
+    def _elide_barrier(self, class_name: str, field_name: str) -> bool:
+        """Skip the ref-store barrier for certified-closed store sites.
+
+        Sound because a certified field's holder class is persist-only
+        (never in DRAM) and its value cone is persist-only-or-null, so
+        the full barrier would add no remset entry and the safety hook
+        would see nothing volatile.  Disabled while an event-log tap is
+        active so hazard traces record every publish.
+        """
+        cert = self.safety_certificate
+        if cert is None or self._publish_taps:
+            return False
+        return cert.covers(class_name, field_name)
+
     def _ref_store_barrier(self, slot_address: int, holder_address: int,
                            value_address: int) -> None:
         """Classify the store and maintain remsets + safety policy."""
@@ -394,6 +442,10 @@ class EspressoVM:
             if service is not None:
                 service.on_ref_store(slot_address, value_address, True)
                 self._remset_pjh_to_dram.add(slot_address)
+        if self._publish_taps and not value_in_dram and not holder_in_dram:
+            service = self.service_of(holder_address)
+            if service is not None:
+                service.on_ref_publish(slot_address, value_address)
 
     def set_field(self, handle: ObjectHandle, name: str,
                   value: FieldValue) -> None:
@@ -404,7 +456,11 @@ class EspressoVM:
         word = self._word_for(descriptor.kind, value)
         self.access.set_field_word(address, offset, word)
         if descriptor.kind is FieldKind.REF:
-            self._ref_store_barrier(address + offset, address, word)
+            if self._elide_barrier(klass.name, name):
+                self.barrier_elided += 1
+            else:
+                self.barrier_checks += 1
+                self._ref_store_barrier(address + offset, address, word)
 
     def get_field(self, handle: ObjectHandle, name: str) -> FieldValue:
         address = self._require(handle).address
@@ -426,7 +482,11 @@ class EspressoVM:
         word = self._word_for(klass.element_kind, value)
         self.memory.write(slot, word)
         if klass.element_kind is FieldKind.REF:
-            self._ref_store_barrier(slot, address, word)
+            if self._elide_barrier(klass.name, "[]"):
+                self.barrier_elided += 1
+            else:
+                self.barrier_checks += 1
+                self._ref_store_barrier(slot, address, word)
 
     def array_get(self, handle: ObjectHandle, index: int) -> FieldValue:
         address = self._require(handle).address
@@ -465,9 +525,13 @@ class EspressoVM:
             src_address + layout.ARRAY_HEADER_WORDS + src_pos, length)
         self.memory.write_block(first_dst, words)
         if dst_klass.element_kind is FieldKind.REF:
-            for i in range(length):
-                self._ref_store_barrier(first_dst + i, dst_address,
-                                        int(words[i]))
+            if self._elide_barrier(dst_klass.name, "[]"):
+                self.barrier_elided += length
+            else:
+                self.barrier_checks += length
+                for i in range(length):
+                    self._ref_store_barrier(first_dst + i, dst_address,
+                                            int(words[i]))
 
     def read_string(self, handle: ObjectHandle) -> str:
         value = self.get_field(self._require(handle), "value")

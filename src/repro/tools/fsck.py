@@ -14,6 +14,11 @@ Validates, on a mounted heap:
 The crash-recovery test suites run this after every induced crash, so
 "recovery succeeded" means *structurally valid heap*, not merely "the
 values I looked at were right".
+
+CLI exit codes: 0 clean, 1 usage error, 2 structural errors, and — with
+``--check-escapes`` — 3 when the heap is structurally clean but holds
+NVM->DRAM out-pointers (legal under the user-guaranteed level, dangling
+after a reboot; the escape scan reports each offending slot).
 """
 
 from __future__ import annotations
@@ -31,6 +36,9 @@ class FsckReport:
     references: int = 0
     out_pointers: int = 0
     errors: List[str] = field(default_factory=list)
+    # Heap-relative slot offsets of every NVM->DRAM out-pointer found
+    # (the --check-escapes scan reports these).
+    escape_slots: List[int] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -45,6 +53,7 @@ class FsckReport:
             "objects": self.objects,
             "references": self.references,
             "out_pointers": self.out_pointers,
+            "escape_slots": list(self.escape_slots),
             "errors": list(self.errors),
         }
 
@@ -97,6 +106,7 @@ def fsck_heap(heap) -> FsckReport:
                     f"slot @{slot:#x} points into heap metadata ({value:#x})")
             else:
                 report.out_pointers += 1  # legal under UG/zeroing levels
+                report.escape_slots.append(slot - heap.base_address)
 
     # Pass 3: name table.
     for name, value, _index in heap.name_table.entries(ENTRY_TYPE_ROOT):
@@ -136,6 +146,9 @@ def main(argv=None) -> int:
     as_json = "--json" in args
     if as_json:
         args.remove("--json")
+    check_escapes = "--check-escapes" in args
+    if check_escapes:
+        args.remove("--check-escapes")
     if len(args) != 2:
         print(__doc__)
         return 1
@@ -147,12 +160,22 @@ def main(argv=None) -> int:
         # than dumping a traceback.
         report = FsckReport()
         report.error(f"unloadable ({exc.region}): {exc.detail}")
+    escapes_found = check_escapes and report.clean and report.out_pointers
     if as_json:
         print(json.dumps(report.to_dict(), indent=2))
-        return 0 if report.clean else 2
+        if not report.clean:
+            return 2
+        return 3 if escapes_found else 0
     print(f"objects: {report.objects}, references: {report.references}, "
           f"out-pointers: {report.out_pointers}")
     if report.clean:
+        if escapes_found:
+            for offset in report.escape_slots:
+                print(f"ESCAPE: slot at heap offset {offset} points "
+                      f"outside the heap")
+            print(f"fsck: {report.out_pointers} NVM->DRAM out-pointer(s) "
+                  f"— dangling after a reboot")
+            return 3
         print("clean")
         return 0
     for error in report.errors:

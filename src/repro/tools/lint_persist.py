@@ -2,12 +2,15 @@
 
 Every durable subsystem must route its flush traffic through a
 :class:`repro.nvm.persist.PersistDomain` so fence epochs stay explicit,
-dedupable and sweep-checkable.  This linter walks ``src/`` and flags:
+dedupable and sweep-checkable.  This entry point is now a thin wrapper
+over the AST rules **ESP301/ESP302** in :mod:`repro.analysis.srclint`
+(``python -m repro.analysis --rules ESP301,ESP302``); it keeps the
+historical output shape for the pinned tests:
 
-* any ``clflush(`` call — the primitive belongs to the device layer;
-* ``device.fence(`` / ``d.fence(`` — a bare sfence bypasses the domain's
-  epoch bookkeeping (``domain.fence()`` / ``heap.fence()`` stay legal:
-  they drain the open epoch first).
+* any ``clflush(...)`` call — the primitive belongs to the device layer;
+* ``device.fence(...)`` / ``d.fence(...)`` — a bare sfence bypasses the
+  domain's epoch bookkeeping (``domain.fence()`` / ``heap.fence()`` stay
+  legal: they drain the open epoch first).
 
 ``src/repro/nvm/`` (the persist layer itself) and ``src/repro/faults/``
 (the crash harness, which wraps ``device.clflush`` to count crash points)
@@ -19,38 +22,45 @@ Run via ``make lint-persist`` or ``python -m repro.tools.lint_persist``;
 
 from __future__ import annotations
 
-import re
 import sys
+import warnings
 from pathlib import Path
 from typing import List, Tuple
 
-# Paths (relative to src/) whose files may touch the primitives — plus
-# this linter itself, whose docstring names the forbidden tokens.
+# Paths (relative to src/) whose files may touch the primitives — kept
+# verbatim for the pinned tests; repro.analysis.srclint applies the same
+# list as PERSIST_EXEMPT.
 EXEMPT = ("repro/nvm/", "repro/faults/", "repro/tools/lint_persist.py")
 
-_PATTERNS = [
-    (re.compile(r"\bclflush\s*\("), "raw clflush call"),
-    (re.compile(r"\bdevice\.fence\s*\("), "raw fence on a device"),
-    (re.compile(r"\bd\.fence\s*\("), "raw fence on a device alias"),
-]
+_WARNED = False
+
+
+def reset_deprecation_warning() -> None:
+    """Forget that the CLI entry point has warned (for tests)."""
+    global _WARNED
+    _WARNED = False
+
+
+def _warn_deprecated() -> None:
+    global _WARNED
+    if _WARNED:
+        return
+    _WARNED = True
+    warnings.warn(
+        "python -m repro.tools.lint_persist is deprecated; use "
+        "python -m repro.analysis --rules ESP301,ESP302 "
+        "(make lint-persist)", DeprecationWarning, stacklevel=3)
 
 
 def find_violations(src_root: Path) -> List[Tuple[str, int, str, str]]:
-    """(relative path, line number, line, reason) per offending line."""
-    violations = []
-    for path in sorted(src_root.rglob("*.py")):
-        rel = path.relative_to(src_root).as_posix()
-        if any(rel.startswith(prefix) for prefix in EXEMPT):
-            continue
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            stripped = line.split("#", 1)[0]
-            for pattern, reason in _PATTERNS:
-                if pattern.search(stripped):
-                    violations.append((rel, lineno, line.strip(), reason))
-    return violations
+    """(relative path, line number, line, reason) per offending call."""
+    from repro.analysis.srclint import PERSIST_RULES, lint_paths
+    return [f.legacy_tuple()
+            for f in lint_paths([Path(src_root)], rules=PERSIST_RULES)]
 
 
 def main(argv=None) -> int:
+    _warn_deprecated()
     args = list(sys.argv[1:] if argv is None else argv)
     src_root = Path(args[0]) if args else Path(__file__).resolve().parents[2]
     violations = find_violations(src_root)

@@ -3,8 +3,11 @@
 The reproduction's determinism rests on one rule: every timestamp and
 every duration comes from :class:`repro.nvm.clock.Clock`.  A stray
 ``time.time()`` (or friend) silently breaks replayable benches, pinned
-regression counts and crash-sweep reproducibility.  This linter walks
-``src/`` and flags any wall-clock read:
+regression counts and crash-sweep reproducibility.  This entry point is
+now a thin wrapper over the AST rule **ESP303** in
+:mod:`repro.analysis.srclint` (``python -m repro.analysis --rules
+ESP303``); it keeps the historical output shape for the pinned tests.
+Flagged wall-clock reads:
 
 * ``time.time(`` / ``time.time_ns(``
 * ``time.monotonic(`` / ``time.monotonic_ns(``
@@ -20,40 +23,45 @@ Run via ``make lint-time`` or ``python -m repro.tools.lint_time``;
 
 from __future__ import annotations
 
-import re
 import sys
+import warnings
 from pathlib import Path
 from typing import List, Tuple
 
-# Paths (relative to src/) that may name wall-clock APIs — the simulated
-# clock, the observability layer, and this linter itself.
+# Paths (relative to src/) that may name wall-clock APIs — kept verbatim
+# for the pinned tests; repro.analysis.srclint applies the same list as
+# TIME_EXEMPT.
 EXEMPT = ("repro/nvm/clock.py", "repro/obs/", "repro/tools/lint_time.py")
 
-_PATTERNS = [
-    (re.compile(r"\btime\.time(_ns)?\s*\("), "wall-clock time.time"),
-    (re.compile(r"\btime\.monotonic(_ns)?\s*\("), "wall-clock time.monotonic"),
-    (re.compile(r"\btime\.perf_counter(_ns)?\s*\("),
-     "wall-clock time.perf_counter"),
-    (re.compile(r"\bdatetime\.(?:utc)?now\s*\("), "wall-clock datetime.now"),
-]
+_WARNED = False
+
+
+def reset_deprecation_warning() -> None:
+    """Forget that the CLI entry point has warned (for tests)."""
+    global _WARNED
+    _WARNED = False
+
+
+def _warn_deprecated() -> None:
+    global _WARNED
+    if _WARNED:
+        return
+    _WARNED = True
+    warnings.warn(
+        "python -m repro.tools.lint_time is deprecated; use "
+        "python -m repro.analysis --rules ESP303 (make lint-time)",
+        DeprecationWarning, stacklevel=3)
 
 
 def find_violations(src_root: Path) -> List[Tuple[str, int, str, str]]:
-    """(relative path, line number, line, reason) per offending line."""
-    violations = []
-    for path in sorted(src_root.rglob("*.py")):
-        rel = path.relative_to(src_root).as_posix()
-        if any(rel.startswith(prefix) for prefix in EXEMPT):
-            continue
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            stripped = line.split("#", 1)[0]
-            for pattern, reason in _PATTERNS:
-                if pattern.search(stripped):
-                    violations.append((rel, lineno, line.strip(), reason))
-    return violations
+    """(relative path, line number, line, reason) per offending call."""
+    from repro.analysis.srclint import TIME_RULES, lint_paths
+    return [f.legacy_tuple()
+            for f in lint_paths([Path(src_root)], rules=TIME_RULES)]
 
 
 def main(argv=None) -> int:
+    _warn_deprecated()
     args = list(sys.argv[1:] if argv is None else argv)
     src_root = Path(args[0]) if args else Path(__file__).resolve().parents[2]
     violations = find_violations(src_root)

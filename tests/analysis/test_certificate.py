@@ -1,0 +1,168 @@
+"""Barrier-elision certificates: coverage, revocation, and the proof
+that elision never changes durable state."""
+
+import pytest
+
+from repro.analysis.certificate import SafetyCertificate
+from repro.analysis.closure import certify_session
+from repro.api import Espresso
+from repro.core.safety import SafetyLevel
+from repro.errors import UnsafePointerError
+from repro.runtime.klass import FieldKind, field
+
+HEAP_BYTES = 256 * 1024
+
+
+def person_session(tmp_path, safety=SafetyLevel.USER_GUARANTEED,
+                   certify=True):
+    jvm = Espresso(tmp_path)
+    jvm.define_class("Person", [
+        field("id", FieldKind.INT),
+        field("name", FieldKind.REF, declared="java.lang.String")])
+    jvm.create_heap("h", HEAP_BYTES, safety=safety)
+    if safety is SafetyLevel.TYPE_BASED:
+        policy = jvm.heaps.heap("h").safety
+        for name in ("Person", "java.lang.String", "[J",
+                     "java.lang.Object"):
+            policy.allow(name)
+    if certify:
+        certify_session(jvm, persist_only={"Person"})
+    return jvm
+
+
+def store_names(jvm, n=10):
+    for i in range(n):
+        p = jvm.pnew("Person")
+        jvm.set_field(p, "id", i)
+        jvm.set_field(p, "name", jvm.pnew_string(f"name-{i}"))
+        jvm.flush_reachable(p)
+        jvm.set_root(f"p{i}", p)
+
+
+class TestUnit:
+    def test_covers_only_certified_fields(self):
+        cert = SafetyCertificate([("P", "q")], {"P", "Q"})
+        assert cert.covers("P", "q")
+        assert not cert.covers("P", "other")
+        assert not cert.covers("Q", "q")
+
+    def test_dram_allocation_revokes_dependents(self):
+        cert = SafetyCertificate([("P", "q"), ("P", "r")], {"P", "Q", "R"},
+                                 {("P", "q"): {"P", "Q"},
+                                  ("P", "r"): {"P", "R"}})
+        cert.note_dram_allocation("Q")
+        assert not cert.covers("P", "q")
+        assert cert.covers("P", "r")  # independent entry survives
+        assert cert.revocations
+        reason, class_name, hit = cert.revocations[0]
+        assert class_name == "Q" and ("P", "q") in hit
+
+    def test_unrelated_dram_allocation_is_ignored(self):
+        cert = SafetyCertificate([("P", "q")], {"P", "Q"},
+                                 {("P", "q"): {"P", "Q"}})
+        cert.note_dram_allocation("Elsewhere")
+        assert cert.covers("P", "q")
+        assert cert.revocations == []
+
+    def test_late_subclass_revokes_ancestor_cones(self):
+        """Defining R <: Q after certification widens cone(Q): the
+        verified premise 'cone(Q) = {Q}' no longer holds."""
+        cert = SafetyCertificate([("P", "q")], {"P", "Q"},
+                                 {("P", "q"): {"P", "Q"}})
+        cert.note_class_defined("R", ["Q", "java.lang.Object"])
+        assert not cert.covers("P", "q")
+
+    def test_persist_only_subclass_does_not_revoke(self):
+        cert = SafetyCertificate([("P", "q")], {"P", "Q", "R"},
+                                 {("P", "q"): {"P", "Q"}})
+        cert.note_class_defined("R", ["Q", "java.lang.Object"])
+        assert cert.covers("P", "q")
+
+    def test_fingerprint_stable_and_revocation_free(self):
+        a = SafetyCertificate([("P", "q")], {"P", "Q"})
+        b = SafetyCertificate([("P", "q")], {"Q", "P"})
+        assert a.fingerprint == b.fingerprint
+        b.note_dram_allocation("P")
+        assert a.fingerprint == b.fingerprint  # identity, not state
+
+
+class TestSessionElision:
+    def test_certified_session_elides_barriers(self, tmp_path):
+        jvm = person_session(tmp_path)
+        store_names(jvm)
+        assert jvm.vm.barrier_elided > 0
+
+    def test_uncertified_session_checks_everything(self, tmp_path):
+        jvm = person_session(tmp_path, certify=False)
+        store_names(jvm)
+        assert jvm.vm.barrier_elided == 0
+        assert jvm.vm.barrier_checks > 0
+
+    def test_dram_allocation_disables_elision(self, tmp_path):
+        jvm = person_session(tmp_path)
+        jvm.vm.new("Person")  # violates the persist-only premise
+        cert = jvm.vm.safety_certificate
+        assert not cert.covers("Person", "name")
+        assert cert.covers("java.lang.String", "value")  # untouched entry
+        p = jvm.pnew("Person")
+        name = jvm.pnew_string("x")
+        before = jvm.vm.barrier_elided
+        checks_before = jvm.vm.barrier_checks
+        jvm.set_field(p, "name", name)  # revoked: full barrier again
+        assert jvm.vm.barrier_elided == before
+        assert jvm.vm.barrier_checks == checks_before + 1
+        assert cert.revocations
+
+    def test_late_subclass_disables_elision_for_its_cone(self, tmp_path):
+        jvm = person_session(tmp_path)
+        person = jvm.vm.metaspace.lookup("Person")
+        jvm.define_class("Employee", [], super_klass=person)
+        cert = jvm.vm.safety_certificate
+        assert any("subclass-defined:Employee" in r[0]
+                   for r in cert.revocations)
+
+    def test_type_based_rejection_survives_certification(self, tmp_path):
+        """Elision never certifies what the policy would reject: an
+        uncovered field keeps the full barrier."""
+        jvm = person_session(tmp_path, safety=SafetyLevel.TYPE_BASED)
+        p = jvm.pnew("Person")
+        with pytest.raises(UnsafePointerError):
+            jvm.set_field(p, "name", jvm.new_string("volatile"))
+
+    def test_certificate_survives_restart_via_config(self, tmp_path):
+        from dataclasses import replace
+        jvm = person_session(tmp_path)
+        store_names(jvm, 3)
+        config = jvm.config
+        jvm.shutdown()
+        jvm2 = Espresso(tmp_path, config=replace(config))
+        jvm2.define_class("Person", [
+            field("id", FieldKind.INT),
+            field("name", FieldKind.REF, declared="java.lang.String")])
+        jvm2.load_heap("h")
+        assert jvm2.vm.safety_certificate is not None
+        p = jvm2.get_root("p0")
+        jvm2.set_field(p, "name", jvm2.pnew_string("again"))
+        assert jvm2.vm.barrier_elided > 0
+
+
+class TestDurableStateParity:
+    @pytest.mark.parametrize("safety", [SafetyLevel.USER_GUARANTEED,
+                                        SafetyLevel.ZEROING,
+                                        SafetyLevel.TYPE_BASED])
+    def test_elision_changes_no_durable_byte(self, tmp_path, safety):
+        """Acceptance gate: with and without the certificate the durable
+        image is byte-identical and fsck-clean at every safety level."""
+        from repro.tools.fsck import fsck_heap
+        images = {}
+        for certify in (False, True):
+            jvm = person_session(tmp_path / str(certify), safety=safety,
+                                 certify=certify)
+            store_names(jvm)
+            heap = jvm.heaps.heap("h")
+            report = fsck_heap(heap)
+            assert report.clean, report.errors
+            images[certify] = heap.device.durable_image().tobytes()
+            if certify:
+                assert jvm.vm.barrier_elided > 0
+        assert images[False] == images[True]

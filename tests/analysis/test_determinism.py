@@ -1,0 +1,73 @@
+"""The analyzer is deterministic: byte-identical JSON across runs and
+across unrelated session knobs (gc_workers)."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.closure import analyze_vm
+from repro.analysis.diagnostics import AnalysisReport
+from repro.api import Espresso
+from repro.runtime.klass import FieldKind, field
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+REPO_SRC = str(REPO_ROOT / "src")
+
+
+def run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *map(str, args)],
+        capture_output=True, text=True, env=env)
+
+
+def schema_report_json(tmp_path, gc_workers: int) -> str:
+    jvm = Espresso(tmp_path, gc_workers=gc_workers)
+    jvm.define_class("Leaf", [field("data", FieldKind.REF, declared="[J")])
+    jvm.define_class("Person", [
+        field("id", FieldKind.INT),
+        field("name", FieldKind.REF, declared="java.lang.String"),
+        field("leaf", FieldKind.REF, declared="Leaf")])
+    closure = analyze_vm(jvm.vm, persist_only={
+        "Person", "Leaf", "java.lang.String", "[J"})
+    report = AnalysisReport()
+    report.add_pass("closure", closure.diagnostics(include_open=True),
+                    closure.summary())
+    return report.to_json()
+
+
+def test_cli_json_is_byte_identical_across_runs(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "a.py").write_text("device.clflush(0)\nt = time.time()\n")
+    runs = [run_cli("--paths", tree, "--json") for _ in range(2)]
+    assert runs[0].returncode == runs[1].returncode == 1
+    assert runs[0].stdout == runs[1].stdout
+    assert runs[0].stdout  # non-empty: the comparison is meaningful
+
+
+def test_closure_report_identical_across_gc_workers(tmp_path):
+    first = schema_report_json(tmp_path / "w1", gc_workers=1)
+    second = schema_report_json(tmp_path / "w4", gc_workers=4)
+    assert first == second
+
+
+def test_closure_report_identical_across_runs(tmp_path):
+    first = schema_report_json(tmp_path / "a", gc_workers=2)
+    second = schema_report_json(tmp_path / "b", gc_workers=2)
+    assert first == second
+    assert '"closure"' in first
+
+
+def test_certificate_fingerprint_reproducible(tmp_path):
+    from repro.analysis.closure import certify_session
+
+    def fingerprint(where):
+        jvm = Espresso(where)
+        jvm.define_class("Person", [
+            field("name", FieldKind.REF, declared="java.lang.String")])
+        return certify_session(jvm, persist_only={"Person"}).fingerprint
+
+    assert fingerprint(tmp_path / "x") == fingerprint(tmp_path / "y")

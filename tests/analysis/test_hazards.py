@@ -1,0 +1,173 @@
+"""Persist-order hazard analysis over recorded event traces.
+
+Raw traces seed the three hazard classes; a live session's recorded
+trace (the real allocation + publication protocol) must come back clean.
+"""
+
+from repro.analysis.hazards import analyze_trace
+from repro.api import Espresso
+from repro.nvm.persist import PersistEventLog
+from repro.runtime.klass import FieldKind, field
+
+# Offsets are device-relative words; LINE_WORDS is 8, so offset 0 is
+# line 0 and offset 64 is line 8.
+TARGET = 0      # object header at line 0
+SLOT = 64       # pointer slot at line 8
+
+
+def codes(report):
+    return [d.code for d in report.findings]
+
+
+class TestSeededTraces:
+    def test_publish_before_persist_flagged(self):
+        """The seeded hazard: pointer durable, target header not."""
+        trace = [
+            ("store", TARGET, 2),          # init target header
+            ("store", SLOT, 1),            # write the pointer
+            ("publish", SLOT, TARGET),
+            ("flush", SLOT // 8),          # flush only the slot line
+            ("fence",),                    # pointer durable, header not
+        ]
+        report = analyze_trace(trace)
+        assert codes(report) == ["ESP201"]
+        assert f"slot {SLOT} -> target {TARGET}" in report.findings[0].where
+
+    def test_same_fence_publication_is_still_a_hazard(self):
+        """Header and pointer in one epoch: REORDERED may persist the
+        pointer first, so 'same fence' does not satisfy happens-before."""
+        trace = [
+            ("store", TARGET, 2),
+            ("store", SLOT, 1),
+            ("publish", SLOT, TARGET),
+            ("flush", TARGET // 8),
+            ("flush", SLOT // 8),
+            ("fence",),
+        ]
+        assert codes(analyze_trace(trace)) == ["ESP201"]
+
+    def test_header_persisted_first_is_clean(self):
+        trace = [
+            ("store", TARGET, 2),
+            ("flush", TARGET // 8),
+            ("fence",),                    # header durable in epoch 1
+            ("store", SLOT, 1),
+            ("publish", SLOT, TARGET),
+            ("flush", SLOT // 8),
+            ("fence",),                    # pointer durable in epoch 2
+        ]
+        report = analyze_trace(trace)
+        assert report.clean
+        assert report.stats["publishes"] == 1
+
+    def test_fenceless_flush_flagged(self):
+        trace = [
+            ("store", TARGET, 1),
+            ("flush", TARGET // 8),        # flushed, never fenced
+        ]
+        assert codes(analyze_trace(trace)) == ["ESP202"]
+
+    def test_flush_of_clean_line_ignored(self):
+        trace = [("flush", 3)]             # nothing dirty on line 3
+        assert analyze_trace(trace).clean
+
+    def test_write_after_publish_flagged(self):
+        trace = [
+            ("store", TARGET, 2),
+            ("flush", TARGET // 8),
+            ("fence",),
+            ("store", SLOT, 1),
+            ("publish", SLOT, TARGET),
+            ("flush", SLOT // 8),
+            ("fence",),
+            ("store", TARGET, 1),          # rewrite the published header
+        ]
+        report = analyze_trace(trace)
+        assert "ESP203" in codes(report)
+
+    def test_rewritten_header_repersisted_is_clean(self):
+        trace = [
+            ("store", TARGET, 2),
+            ("flush", TARGET // 8),
+            ("fence",),
+            ("store", SLOT, 1),
+            ("publish", SLOT, TARGET),
+            ("flush", SLOT // 8),
+            ("fence",),
+            ("store", TARGET, 1),
+            ("flush", TARGET // 8),
+            ("fence",),                    # re-persisted: no hazard
+        ]
+        assert analyze_trace(trace).clean
+
+    def test_unpublished_slot_never_flagged(self):
+        """A flush-before-publish of the slot line must not count as the
+        pointer's persistence (the flush snapshotted a pre-store value)."""
+        trace = [
+            ("store", SLOT, 1),
+            ("flush", SLOT // 8),
+            ("fence",),
+            ("store", TARGET, 2),
+            ("store", SLOT, 1),
+            ("publish", SLOT, TARGET),
+        ]
+        report = analyze_trace(trace)
+        # Slot never re-flushed after publish: the pointer never became
+        # durable, so no ESP201 — but the dirty lines were never fenced.
+        assert "ESP201" not in codes(report)
+
+
+class TestEventLogRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        log = PersistEventLog("t")
+        log.record_store(TARGET, 2)
+        log.record_flush(0)
+        log.record_fence()
+        log.record_publish(SLOT, TARGET)
+        path = tmp_path / "trace.json"
+        log.save(path)
+        loaded = PersistEventLog.load(path)
+        assert loaded.events == log.events
+
+
+class TestLiveTrace:
+    def test_real_session_protocol_is_hazard_free(self, tmp_path):
+        """pnew + set_field + flush_reachable replays clean: the heap's
+        allocation protocol persists every header before any pointer to
+        it can be published."""
+        jvm = Espresso(tmp_path)
+        node = jvm.define_class("Node", [field("v", FieldKind.INT),
+                                         field("next", FieldKind.REF)])
+        jvm.create_heap("h", 256 * 1024)
+        heap = jvm.heaps.heap("h")
+        log = heap.enable_event_log()
+        head = jvm.pnew(node)
+        for i in range(5):
+            n = jvm.pnew(node)
+            jvm.set_field(n, "v", i)
+            jvm.set_field(n, "next", jvm.get_field(head, "next"))
+            jvm.set_field(head, "next", n)
+            jvm.flush_reachable(head)
+        jvm.set_root("head", head)
+        heap.disable_event_log()
+        report = analyze_trace(log)
+        assert report.stats["publishes"] >= 5
+        assert report.findings == [], [d.render() for d in report.findings]
+
+    def test_elision_suspended_while_tracing(self, tmp_path):
+        """An installed certificate must not hide publishes from the
+        trace: the publish tap disables elision."""
+        from repro.analysis.closure import certify_session
+        jvm = Espresso(tmp_path)
+        jvm.define_class("Person", [
+            field("name", FieldKind.REF, declared="java.lang.String")])
+        jvm.create_heap("h", 256 * 1024)
+        certify_session(jvm, persist_only={"Person"})
+        heap = jvm.heaps.heap("h")
+        log = heap.enable_event_log()
+        p = jvm.pnew("Person")
+        jvm.set_field(p, "name", jvm.pnew_string("x"))
+        jvm.flush_reachable(p)
+        heap.disable_event_log()
+        assert any(e[0] == "publish" for e in log.events)
+        assert analyze_trace(log).clean

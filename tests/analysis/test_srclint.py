@@ -1,0 +1,182 @@
+"""AST-based source lint: rules ESP301/302/303 and the CLI around them."""
+
+import json
+import os
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+from repro.analysis.srclint import (
+    ALL_RULES,
+    PERSIST_RULES,
+    TIME_RULES,
+    lint_paths,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+REPO_SRC = str(REPO_ROOT / "src")
+
+
+def write_tree(root: Path, files: dict) -> Path:
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+    return root
+
+
+def run_cli(*args, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *map(str, args)],
+        capture_output=True, text=True, env=env, cwd=cwd)
+
+
+class TestRules:
+    def test_repo_source_is_clean(self):
+        roots = [REPO_ROOT / "src"]
+        if (REPO_ROOT / "examples").is_dir():
+            roots.append(REPO_ROOT / "examples")
+        assert lint_paths(roots, rules=ALL_RULES) == []
+
+    def test_raw_clflush_flagged(self, tmp_path):
+        write_tree(tmp_path, {"a.py": "device.clflush(0)\n"})
+        findings = lint_paths([tmp_path])
+        assert [f.code for f in findings] == ["ESP301"]
+        assert findings[0].reason == "raw clflush call"
+        assert findings[0].lineno == 1
+
+    def test_raw_device_fence_flagged(self, tmp_path):
+        write_tree(tmp_path, {"a.py": "device.fence()\n"})
+        assert [f.code for f in lint_paths([tmp_path])] == ["ESP302"]
+
+    def test_wallclock_read_flagged(self, tmp_path):
+        write_tree(tmp_path, {"a.py": "import time\nt = time.time()\n"})
+        findings = lint_paths([tmp_path])
+        assert [f.code for f in findings] == ["ESP303"]
+        assert findings[0].reason == "wall-clock time.time"
+
+    def test_strings_and_comments_are_immune(self, tmp_path):
+        """The advantage over the regex lint: no false positives on
+        mentions inside strings, comments, or docstrings."""
+        write_tree(tmp_path, {"a.py": (
+            '"""Docs mention device.clflush(0) and time.time()."""\n'
+            "# device.fence() in a comment\n"
+            's = "time.monotonic()"\n')})
+        assert lint_paths([tmp_path]) == []
+
+    def test_domain_fence_is_legal(self, tmp_path):
+        write_tree(tmp_path, {"a.py": "domain.fence()\nheap.fence()\n"})
+        assert lint_paths([tmp_path]) == []
+
+    def test_exempt_paths_skipped_per_rule_family(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/nvm/x.py": "device.clflush(0)\nt = time.time()\n",
+            "repro/nvm/clock.py": "t = time.time()\n",
+        })
+        findings = lint_paths([tmp_path])
+        # nvm/ is exempt from the persist rules but NOT the time rule;
+        # clock.py is exempt from the time rule.
+        assert [(f.path, f.code) for f in findings] \
+            == [("repro/nvm/x.py", "ESP303")]
+
+    def test_rule_restriction(self, tmp_path):
+        write_tree(tmp_path, {"a.py": "clflush(0)\nt = time.time()\n"})
+        assert [f.code for f in lint_paths([tmp_path], rules=TIME_RULES)] \
+            == ["ESP303"]
+        assert [f.code for f in lint_paths([tmp_path], rules=PERSIST_RULES)] \
+            == ["ESP301"]
+
+    def test_syntax_error_files_skipped(self, tmp_path):
+        write_tree(tmp_path, {"bad.py": "def broken(:\n"})
+        assert lint_paths([tmp_path]) == []
+
+
+class TestCli:
+    def test_exit_1_on_findings(self, tmp_path):
+        write_tree(tmp_path, {"a.py": "device.clflush(0)\n"})
+        proc = run_cli("--paths", tmp_path)
+        assert proc.returncode == 1
+        assert "ESP301" in proc.stdout
+
+    def test_exit_0_on_clean_tree(self, tmp_path):
+        write_tree(tmp_path, {"a.py": "x = 1\n"})
+        proc = run_cli("--paths", tmp_path)
+        assert proc.returncode == 0
+        assert "clean" in proc.stdout
+
+    def test_rules_flag_filters(self, tmp_path):
+        write_tree(tmp_path, {"a.py": "device.clflush(0)\nt = time.time()\n"})
+        proc = run_cli("--paths", tmp_path, "--rules", "ESP303")
+        assert proc.returncode == 1
+        assert "ESP303" in proc.stdout and "ESP301" not in proc.stdout
+
+    def test_unknown_rule_is_a_usage_error(self, tmp_path):
+        proc = run_cli("--paths", tmp_path, "--rules", "ESP999")
+        assert proc.returncode != 0
+        assert "unknown lint rule" in proc.stderr + proc.stdout
+
+    def test_json_output_parses(self, tmp_path):
+        write_tree(tmp_path, {"a.py": "device.clflush(0)\n"})
+        proc = run_cli("--paths", tmp_path, "--json")
+        payload = json.loads(proc.stdout)
+        assert payload["total_findings"] == 1
+        assert payload["passes"]["lint"][0]["code"] == "ESP301"
+
+    def test_baseline_suppresses_known_findings(self, tmp_path):
+        tree = write_tree(tmp_path / "tree", {"a.py": "device.clflush(0)\n"})
+        baseline = tmp_path / "baseline.json"
+        proc = run_cli("--paths", tree, "--write-baseline", baseline)
+        assert proc.returncode == 0
+        assert json.loads(baseline.read_text())["fingerprints"]
+        proc = run_cli("--paths", tree, "--baseline", baseline)
+        assert proc.returncode == 0
+        assert "suppressed by baseline" in proc.stdout
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for code in ("ESP101", "ESP201", "ESP301"):
+            assert code in proc.stdout
+
+
+class TestLegacyWrappers:
+    def test_find_violations_legacy_shape(self, tmp_path):
+        from repro.tools.lint_persist import find_violations
+        write_tree(tmp_path, {"a.py": "device.clflush(0)\n"})
+        assert find_violations(tmp_path) \
+            == [("a.py", 1, "device.clflush(0)", "raw clflush call")]
+
+    def test_find_violations_does_not_warn(self, tmp_path):
+        """pytest promotes DeprecationWarning to error: the library entry
+        point must stay silent (only the CLI warns)."""
+        from repro.tools.lint_time import find_violations
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            find_violations(tmp_path)
+
+    def test_legacy_main_warns_once(self, tmp_path, capsys):
+        from repro.tools import lint_persist
+        lint_persist.reset_deprecation_warning()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert lint_persist.main([str(tmp_path)]) == 0
+            assert lint_persist.main([str(tmp_path)]) == 0
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "repro.analysis" in str(deprecations[0].message)
+        capsys.readouterr()
+
+    def test_legacy_main_output_format(self, tmp_path, capsys):
+        from repro.tools import lint_time
+        lint_time.reset_deprecation_warning()
+        write_tree(tmp_path, {"a.py": "t = time.time()\n"})
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert lint_time.main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "a.py:1: wall-clock time.time: t = time.time()" in out
+        assert "lint-time: 1 violation(s)" in out

@@ -113,7 +113,7 @@ def test_properties_exposed():
 def test_config_dataclass_fields():
     assert [f.name for f in EspressoConfig.__dataclass_fields__.values()] \
         == ["clock", "latency", "heap_config", "alias_aware", "observatory",
-            "gc_workers"]
+            "gc_workers", "safety_certificate"]
 
 
 def test_each_alias_warns_once_and_delegates(tmp_path):

@@ -242,3 +242,78 @@ class TestTypeBased:
         p = jvm.pnew(person)
         jvm.set_field(p, "name", jvm.pnew_string("persistent"))
         assert jvm.read_string(jvm.get_field(p, "name")) == "persistent"
+
+
+class TestTypeBasedArrays:
+    """Array allocation paths are vetted through their element class.
+
+    A PJH array of an unannotated class would otherwise become durable
+    before the first per-store check could fire; the policy walks the
+    element chain at ``pnew_array``/``pnew_multi_array`` time instead.
+    """
+
+    def make_jvm(self, heap_dir, allowed):
+        jvm = Espresso(heap_dir)
+        jvm.create_heap("h", HEAP_BYTES, safety=SafetyLevel.TYPE_BASED)
+        heap = jvm.heaps.heap("h")
+        for name in allowed:
+            heap.safety.allow(name)
+        return jvm
+
+    def test_pnew_array_of_unannotated_element_rejected(self, heap_dir):
+        jvm = self.make_jvm(heap_dir, allowed=[])
+        person = define_person(jvm)
+        with pytest.raises(UnsafePointerError):
+            jvm.pnew_array(person, 4)
+
+    def test_pnew_array_of_allowed_element_accepted(self, heap_dir):
+        jvm = self.make_jvm(heap_dir, allowed=["Person"])
+        person = define_person(jvm)
+        array = jvm.pnew_array(person, 4)
+        assert jvm.heaps.heap("h").contains(array.address)
+
+    def test_pnew_array_of_object_elements_accepted(self, heap_dir):
+        """Object[] degrades to per-store checking (no static element)."""
+        jvm = self.make_jvm(heap_dir, allowed=[])
+        array = jvm.pnew_array(jvm.vm.object_klass, 4)
+        assert jvm.heaps.heap("h").contains(array.address)
+
+    def test_pnew_primitive_array_accepted(self, heap_dir):
+        jvm = self.make_jvm(heap_dir, allowed=[])
+        array = jvm.pnew_array(FieldKind.INT, 8)
+        assert jvm.heaps.heap("h").contains(array.address)
+
+    def test_pnew_multi_array_of_unannotated_element_rejected(self, heap_dir):
+        jvm = self.make_jvm(heap_dir, allowed=[])
+        person = define_person(jvm)
+        with pytest.raises(UnsafePointerError):
+            jvm.pnew_multi_array(person, (2, 2))
+
+    def test_nested_ref_array_walks_to_leaf_element(self, heap_dir):
+        """[[LPerson; is rejected through two array layers."""
+        jvm = self.make_jvm(heap_dir, allowed=[])
+        person = define_person(jvm)
+        inner = jvm.vm.array_klass(person)
+        with pytest.raises(UnsafePointerError):
+            jvm.pnew_array(inner, 2)
+
+    def test_array_copy_of_volatile_refs_rejected(self, heap_dir):
+        """Bulk copies keep the store barrier: DRAM refs cannot leak in."""
+        jvm = self.make_jvm(heap_dir,
+                            allowed=["Person", "java.lang.Object"])
+        person = define_person(jvm)
+        src = jvm.new_array(person, 2)  # DRAM array
+        jvm.vm.array_set(src, 0, jvm.vm.new(person))
+        dst = jvm.pnew_array(person, 2)
+        with pytest.raises(UnsafePointerError):
+            jvm.vm.array_copy(src, 0, dst, 0, 2)
+
+    def test_array_copy_of_persistent_refs_accepted(self, heap_dir):
+        jvm = self.make_jvm(heap_dir,
+                            allowed=["Person", "java.lang.Object"])
+        person = define_person(jvm)
+        src = jvm.pnew_array(person, 2)
+        jvm.vm.array_set(src, 0, jvm.pnew(person))
+        dst = jvm.pnew_array(person, 2)
+        jvm.vm.array_copy(src, 0, dst, 0, 2)
+        assert jvm.vm.array_get(dst, 0) is not None

@@ -95,3 +95,53 @@ def test_json_on_clean_heap_exits_0(heap_dir):
     payload = json.loads(proc.stdout)
     assert payload["clean"] is True
     assert payload["errors"] == []
+
+
+@pytest.fixture
+def escape_heap_dir(tmp_path):
+    """A structurally clean UG heap holding one NVM->DRAM out-pointer."""
+    jvm = Espresso(tmp_path)
+    node = jvm.define_class("Node", [field("v", FieldKind.INT),
+                                     field("next", FieldKind.REF)])
+    jvm.create_heap("h", 256 * 1024)
+    head = jvm.pnew(node)
+    jvm.set_field(head, "next", jvm.vm.new(node))  # DRAM ref: legal under UG
+    jvm.flush_reachable(head)
+    jvm.set_root("head", head)
+    jvm.shutdown()
+    return tmp_path
+
+
+def test_escapes_ignored_without_flag(escape_heap_dir):
+    proc = run_fsck(escape_heap_dir, "h")
+    assert proc.returncode == 0
+    assert "clean" in proc.stdout
+
+
+def test_check_escapes_exits_3(escape_heap_dir):
+    proc = run_fsck("--check-escapes", escape_heap_dir, "h")
+    assert proc.returncode == 3
+    assert "ESCAPE" in proc.stdout
+    assert "out-pointer" in proc.stdout
+
+
+def test_check_escapes_clean_heap_exits_0(heap_dir):
+    proc = run_fsck("--check-escapes", heap_dir, "h")
+    assert proc.returncode == 0
+    assert "clean" in proc.stdout
+
+
+def test_check_escapes_json_payload(escape_heap_dir):
+    proc = run_fsck("--json", "--check-escapes", escape_heap_dir, "h")
+    assert proc.returncode == 3
+    payload = json.loads(proc.stdout)
+    assert payload["clean"] is True
+    assert payload["out_pointers"] == 1
+    assert len(payload["escape_slots"]) == 1
+    assert payload["escape_slots"][0] > 0  # heap-relative slot offset
+
+
+def test_check_escapes_still_exits_2_when_corrupt(escape_heap_dir):
+    corrupt(escape_heap_dir)
+    proc = run_fsck("--check-escapes", escape_heap_dir, "h")
+    assert proc.returncode == 2
