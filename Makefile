@@ -4,8 +4,9 @@ export PYTHONPATH := src
 .PHONY: check test sweep sweep-fast fsck analyze lint-persist lint-time \
 	obs-report
 
-# The CI gate: the full static analyzer, then the tier-1 suite.
-check: analyze test
+# The CI gate: the full static analyzer, the tier-1 suite, then a
+# strided smoke pass of every crash sweep (including the resume layer).
+check: analyze test sweep-fast
 
 # All three analyzer passes: AST source lint (ESP3xx) over src/ and
 # examples/, persistent-closure analysis (ESP1xx) of the BasicTest

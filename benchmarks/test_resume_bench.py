@@ -1,0 +1,34 @@
+"""§14 benchmark: resume-after-crash accounting and checkpoint cost."""
+
+from repro.bench.resume_bench import (STEPS_PER_ITERATION, run_overhead,
+                                      run_resume)
+
+
+def test_checkpoint_overhead(benchmark, heap_dir):
+    result = benchmark.pedantic(
+        run_overhead, kwargs={"iterations": 6, "heap_dir": heap_dir},
+        rounds=1, iterations=1)
+    # The frame protocol costs extra fences (epoch bumps at every
+    # checkpoint) but only a sliver of extra flush traffic on top of the
+    # shared finalize GC + canonicalization.
+    assert result.resumable.get("fences", 0) > result.plain.get("fences", 0)
+    assert result.resumable.get("flushes", 0) >= result.plain.get("flushes", 0)
+    assert 0.0 < result.time_overhead_percent < 50.0
+
+
+def test_resume_accounting(heap_dir):
+    iterations = 6
+    rows, golden = run_resume(iterations=iterations, stride=11,
+                              heap_dir=heap_dir)
+    assert rows, "the stride never landed inside the task"
+    total = iterations * STEPS_PER_ITERATION
+    for row in rows:
+        # Byte-identity: every resumed run converges to the golden image.
+        assert row.image_sha256 == golden, row.crash_hit
+        # Replay accounting: skipped + executed never exceeds the full
+        # run, and post-completion crashes replay nothing.
+        assert 0 <= row.steps_total <= total
+        if row.frames_replayed:
+            assert row.steps_skipped > 0
+    # At least one mid-task crash exercised real replay.
+    assert any(row.frames_replayed for row in rows)

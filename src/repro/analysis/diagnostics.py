@@ -53,6 +53,11 @@ RULE_CATALOGUE: Dict[str, Tuple[str, str]] = {
     "ESP203": ("error",
                "write-after-publish: a published object's header line was "
                "rewritten and never re-persisted before end of trace"),
+    "ESP204": ("error",
+               "frame-top published before the frame record persisted: the "
+               "stack-top word became durable before every line of the "
+               "frame it points at — a crash in the window resumes into a "
+               "torn frame"),
     # -- source lint ------------------------------------------------------
     "ESP301": ("error",
                "raw clflush call outside the persist layer — route flush "

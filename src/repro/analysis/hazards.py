@@ -18,6 +18,14 @@ and a happens-before checker replays the log against three rules:
 * **ESP203 write-after-publish** — a published object's header words
   were rewritten later in the trace and never flushed+fenced again, so
   the durable image holds a stale header behind a durable pointer.
+* **ESP204 frame-top-before-frame** — the resume protocol's variant of
+  ESP201: a ``("frame", top, frame, words)`` event publishes the
+  persistent stack top, whose target span is the *whole frame record*,
+  not an object header.  Every line of the record must be durable at a
+  strictly earlier fence than the top word.  Frame publishes are exempt
+  from ESP203: checkpoints legitimately rewrite a published frame's
+  slots, and replay never reads a slot the durable ``pc`` has not
+  admitted.
 
 Word offsets in the log are heap-relative, so reports are deterministic
 across runs and ``gc_workers`` settings.
@@ -41,10 +49,11 @@ class _Publish:
 
     __slots__ = ("index", "slot_offset", "target_offset", "slot_line",
                  "target_lines", "slot_fence", "slot_flushed",
-                 "unpersisted_header", "rewritten_at")
+                 "unpersisted_header", "rewritten_at", "code")
 
     def __init__(self, index: int, slot_offset: int, target_offset: int,
-                 line_words: int, header_words: int) -> None:
+                 line_words: int, header_words: int,
+                 code: str = "ESP201") -> None:
         self.index = index
         self.slot_offset = slot_offset
         self.target_offset = target_offset
@@ -55,9 +64,13 @@ class _Publish:
         self.slot_flushed = False  # slot line flushed after the publish
         self.unpersisted_header: Set[int] = set()  # rewritten, not fenced
         self.rewritten_at: Optional[int] = None
+        self.code = code
 
     @property
     def where(self) -> str:
+        if self.code == "ESP204":
+            return (f"frame-top {self.slot_offset} -> "
+                    f"frame {self.target_offset}")
         return f"slot {self.slot_offset} -> target {self.target_offset}"
 
 
@@ -94,7 +107,8 @@ def analyze_trace(trace, line_words: Optional[int] = None,
 
     ``trace`` may be the log object itself or any iterable of event
     tuples: ``("store", offset, count)``, ``("flush", line)``,
-    ``("fence",)``, ``("publish", slot_offset, target_offset)``.
+    ``("fence",)``, ``("publish", slot_offset, target_offset)``,
+    ``("frame", top_offset, frame_offset, frame_words)``.
     """
     events = list(getattr(trace, "events", trace))
     if line_words is None:
@@ -111,7 +125,7 @@ def analyze_trace(trace, line_words: Optional[int] = None,
     publishes: List[_Publish] = []
     pending: List[_Publish] = []        # slot store not yet durable
     counts = {"events": len(events), "stores": 0, "flushes": 0,
-              "fences": 0, "publishes": 0}
+              "fences": 0, "publishes": 0, "frame_publishes": 0}
 
     for index, event in enumerate(events):
         kind = event[0]
@@ -156,10 +170,14 @@ def analyze_trace(trace, line_words: Optional[int] = None,
                 unsafe = sorted(ln for ln in pub.target_lines
                                 if ln not in durable_fence)
                 if unsafe:
+                    what = ("frame-top" if pub.code == "ESP204"
+                            else "pointer")
+                    target = ("frame record" if pub.code == "ESP204"
+                              else "target header")
                     findings.append(make_diagnostic(
-                        "ESP201", pub.where,
-                        f"pointer became durable at fence {fence_no} but "
-                        f"target header line(s) "
+                        pub.code, pub.where,
+                        f"{what} became durable at fence {fence_no} but "
+                        f"{target} line(s) "
                         f"{', '.join(str(ln) for ln in unsafe)} had no "
                         f"earlier durable fence",
                         event_index=pub.index, fence=fence_no,
@@ -174,6 +192,16 @@ def analyze_trace(trace, line_words: Optional[int] = None,
             pub = _Publish(index, int(event[1]), int(event[2]),
                            line_words, header_words)
             publishes.append(pub)
+            pending.append(pub)
+        elif kind == "frame":
+            counts["frame_publishes"] += 1
+            pub = _Publish(index, int(event[1]), int(event[2]),
+                           line_words, header_words, code="ESP204")
+            # The target span is the whole frame record, not a header.
+            pub.target_lines = _lines_of(int(event[2]), int(event[3]),
+                                         line_words)
+            # Pending only: frame pubs skip the ESP203 rewrite tracking
+            # (checkpoints rewrite published frames by design).
             pending.append(pub)
 
     for line in sorted(flushed):

@@ -52,6 +52,7 @@ from repro.obs import NULL_OBS, Observatory
 from repro.runtime.dram_heap import HeapConfig
 from repro.runtime.klass import FieldDescriptor, FieldKind, Klass
 from repro.runtime.objects import ObjectHandle
+from repro.runtime.resume import ResumableTask, TaskRegistry
 from repro.runtime.vm import EspressoVM
 
 #: Java-spelled aliases that have already warned this process (one-shot).
@@ -98,6 +99,15 @@ class EspressoConfig:
     #: across restart/crash_and_restart; see
     #: :func:`repro.analysis.closure.certify_session`.
     safety_certificate: Optional[object] = None
+    #: Opt into crash-transparent execution (§14): unlocks
+    #: :meth:`Espresso.register_task` / :meth:`Espresso.resumable_task`,
+    #: whose frame stacks live in the PJH frame segment and survive
+    #: ``crash_and_restart``.
+    resumable: bool = False
+    #: The session's :class:`~repro.runtime.resume.TaskRegistry`.  Shared
+    #: by reference across restarts (``replace(config)`` keeps it), so a
+    #: resumed process sees the same task functions.
+    task_registry: Optional[TaskRegistry] = None
 
 
 class Espresso:
@@ -293,6 +303,44 @@ class Espresso:
         """Force a collection of a PJH instance (System.gc() on PJH)."""
         service = self.vm._service_for(heap)
         return service.collect()
+
+    # -- crash-transparent tasks (§14; requires resumable=True) --------------
+    def register_task(self, name: str, fn=None):
+        """Register a deterministic task function ``fn(task, jvm, *args)``.
+
+        Usable as a decorator (``@jvm.register_task("sum")``).  The
+        registry lives in the session config, so ``crash_and_restart``
+        carries it into the resumed process.
+        """
+        self._require_resumable()
+        if self.config.task_registry is None:
+            self.config.task_registry = TaskRegistry()
+        if fn is None:
+            return self.config.task_registry.task(name)
+        return self.config.task_registry.register(name, fn)
+
+    def resumable_task(self, name: str,
+                       heap: Optional[str] = None) -> ResumableTask:
+        """A handle for running task ``name`` crash-transparently.
+
+        ``run(*args)`` executes to completion, checkpointing at every
+        frame boundary; after :meth:`crash_and_restart` (and
+        :meth:`load_heap`), calling ``run`` again resumes at the last
+        persisted boundary instead of starting over.
+        """
+        self._require_resumable()
+        service = self.vm._service_for(heap)
+        registry = self.config.task_registry
+        if registry is None:
+            registry = self.config.task_registry = TaskRegistry()
+        return ResumableTask(self, service, name, registry)
+
+    def _require_resumable(self) -> None:
+        if not self.config.resumable:
+            from repro.errors import IllegalStateException
+            raise IllegalStateException(
+                "crash-transparent tasks need "
+                "EspressoConfig(resumable=True)")
 
     # -- restart / crash simulation ------------------------------------------------------------
     def shutdown(self) -> None:

@@ -35,7 +35,12 @@ from repro.runtime.vm import EspressoVM
 
 from repro.core.metadata import MetadataArea, plan_layout
 from repro.core.persistent_heap import PersistentHeap
-from repro.core.recovery import RecoveryReport, recover
+from repro.core.recovery import (
+    FrameRecoveryReport,
+    RecoveryReport,
+    recover,
+    recover_frames,
+)
 from repro.core.safety import SafetyLevel, policy_for
 
 # PJH instances are mapped high, far above the DRAM heap, so that the
@@ -53,6 +58,8 @@ class LoadReport:
     remapped: bool = False
     klasses_reinitialized: int = 0
     recovery: RecoveryReport = dc_field(default_factory=RecoveryReport)
+    frame_recovery: FrameRecoveryReport = dc_field(
+        default_factory=FrameRecoveryReport)
     truncated_words: int = 0
     nullified_pointers: int = 0
     load_ns: float = 0.0
@@ -69,6 +76,10 @@ class HeapManager:
         self.vm = vm
         self.names = NameManager(heap_dir)
         self._mounted: Dict[str, PersistentHeap] = {}
+        # Device of the most recent load attempt that failed mid-phase
+        # (e.g. a SimulatedCrash inside recovery); its durable image is
+        # what a real machine would reboot from.
+        self._last_load_device: Optional[NvmDevice] = None
 
     # ------------------------------------------------------------------
     # Table 1 APIs
@@ -202,6 +213,8 @@ class HeapManager:
                 "klass-segment",
                 lambda: heap.klass_segment.reinitialize_all(self.vm.metaspace))
             report.recovery = phase("gc-recovery", lambda: recover(heap))
+            report.frame_recovery = phase(
+                "frame-recovery", lambda: recover_frames(heap))
             report.truncated_words = phase(
                 "data-heap", heap.validate_and_truncate)
             if heap.safety.scan_on_load():
@@ -211,6 +224,11 @@ class HeapManager:
                     "zeroing-scan",
                     lambda: heap.zeroing_scan(workers=self.vm.gc_workers))
         except BaseException:
+            # Keep a handle to the partially-recovered device: a crash
+            # *during recovery* must be resumable, so the caller can save
+            # this device's durable image and load again (the
+            # crash-during-recovery sweeps exercise exactly this).
+            self._last_load_device = device
             self.vm.memory.unmap(device)
             raise
         if report.remapped:

@@ -7,8 +7,11 @@ everything needed to rebuild and, if necessary, recover the heap:
 * the *heap size* and the replicated *top* pointer (§4.1),
 * the *global timestamp* and GC-in-progress flag (§4.2),
 * the locations of the mark bitmap, region bitmap, name table, Klass
-  segment, root-redo area and data heap, plus the serialized-compaction
-  cursor and chunked-move record of the recoverable collector.
+  segment, frame segment, root-redo area and data heap, plus the
+  serialized-compaction cursor and chunked-move record of the recoverable
+  collector,
+* the resumable-task block (status, checkpoint epoch, result, GC mark)
+  backing :mod:`repro.runtime.resume` (DESIGN.md §14).
 
 Every mutator persists its word(s) with clflush + sfence, so the metadata is
 crash consistent by construction.
@@ -24,7 +27,7 @@ from repro.nvm.device import NvmDevice
 from repro.nvm.persist import PersistDomain
 
 MAGIC = 0x455350_52_45_53_53  # "ESPRESS" squeezed into a word
-VERSION = 1
+VERSION = 2  # v2 added the frame segment + resumable-task block
 
 # Word offsets inside the metadata area (device offsets 0..METADATA_WORDS).
 _MAGIC = 0
@@ -64,6 +67,26 @@ _MOVE_SRC = 35
 _MOVE_DST = 36
 _MOVE_SIZE = 37
 _MOVE_PROGRESS = 38
+# Frame segment (repro.core.frame_segment) + resumable-task block
+# (repro.runtime.resume), grouped into one cache line (words 40-47) so
+# every task-protocol step persists with a single flush.
+_FRAME_SEG_OFF = 40
+_FRAME_SEG_WORDS = 41
+_FRAME_TOP = 42          # device offset of the frame-stack bump pointer
+_TASK_STATUS = 43        # TASK_NONE / TASK_RUNNING / TASK_DONE
+_TASK_EPOCH = 44         # monotonic checkpoint epoch of the current task
+_TASK_RESULT_KIND = 45   # 0 none / 1 int (ref results go through roots)
+_TASK_RESULT = 46
+_TASK_GC_MARK = 47       # timestamp recorded before the finalize GC; -1 idle
+
+#: Resumable-task status values (durable; see DESIGN.md §14).
+TASK_NONE = 0
+TASK_RUNNING = 1
+TASK_DONE = 2
+
+#: Public alias: the device word holding the frame-stack top pointer.
+#: The ("frame", top_offset, ...) hazard events key on it.
+FRAME_TOP_WORD = _FRAME_TOP
 
 METADATA_WORDS = 64
 
@@ -81,6 +104,7 @@ _GEOMETRY_WORDS = (
     _SCRATCH_OFF, _SCRATCH_WORDS,
     _ROOT_REDO_OFF, _ROOT_REDO_WORDS,
     _DATA_OFF, _DATA_WORDS, _REGION_WORDS,
+    _FRAME_SEG_OFF, _FRAME_SEG_WORDS,
 )
 
 
@@ -94,6 +118,8 @@ class HeapLayout:
     name_table_capacity: int
     klass_segment_offset: int
     klass_segment_words: int
+    frame_segment_offset: int
+    frame_segment_words: int
     bitmap_offset: int
     bitmap_words: int
     region_bitmap_offset: int
@@ -132,6 +158,13 @@ def plan_layout(size_words: int, region_words: int = 1024,
     klass_segment_words = max(512, min(65536, size_words // 16))
     cursor += klass_segment_words
 
+    # Frame segment: the persistent task stack (DESIGN.md §14).  Frames
+    # are small fixed-size records and stacks are shallow, so a sliver of
+    # the heap suffices.
+    frame_segment_offset = cursor
+    frame_segment_words = max(256, min(8192, size_words // 64))
+    cursor += frame_segment_words
+
     # Size the bitmaps for the *upper bound* of the data region (all the
     # remaining words).  The final data region is necessarily smaller, so
     # the persisted livemap can never overflow into the areas behind it.
@@ -161,6 +194,8 @@ def plan_layout(size_words: int, region_words: int = 1024,
         name_table_capacity=name_table_capacity,
         klass_segment_offset=klass_segment_offset,
         klass_segment_words=klass_segment_words,
+        frame_segment_offset=frame_segment_offset,
+        frame_segment_words=frame_segment_words,
         bitmap_offset=bitmap_offset,
         bitmap_words=bitmap_words,
         region_bitmap_offset=region_bitmap_offset,
@@ -211,6 +246,14 @@ class MetadataArea:
         self.device.write(_KLASS_SEG_OFF, layout.klass_segment_offset)
         self.device.write(_KLASS_SEG_WORDS, layout.klass_segment_words)
         self.device.write(_KLASS_SEG_TOP, layout.klass_segment_offset)
+        self.device.write(_FRAME_SEG_OFF, layout.frame_segment_offset)
+        self.device.write(_FRAME_SEG_WORDS, layout.frame_segment_words)
+        self.device.write(_FRAME_TOP, layout.frame_segment_offset)
+        self.device.write(_TASK_STATUS, TASK_NONE)
+        self.device.write(_TASK_EPOCH, 0)
+        self.device.write(_TASK_RESULT_KIND, 0)
+        self.device.write(_TASK_RESULT, 0)
+        self.device.write(_TASK_GC_MARK, -1)
         self.device.write(_BITMAP_OFF, layout.bitmap_offset)
         self.device.write(_BITMAP_WORDS, layout.bitmap_words)
         self.device.write(_REGION_BITMAP_OFF, layout.region_bitmap_offset)
@@ -264,6 +307,7 @@ class MetadataArea:
         for name, off_word, words_word in (
                 ("name_table", _NAME_TABLE_OFF, None),
                 ("klass_segment", _KLASS_SEG_OFF, _KLASS_SEG_WORDS),
+                ("frame_segment", _FRAME_SEG_OFF, _FRAME_SEG_WORDS),
                 ("bitmap", _BITMAP_OFF, _BITMAP_WORDS),
                 ("data", _DATA_OFF, _DATA_WORDS)):
             off = self._get(off_word)
@@ -281,6 +325,8 @@ class MetadataArea:
             name_table_capacity=self._get(_NAME_TABLE_CAPACITY),
             klass_segment_offset=self._get(_KLASS_SEG_OFF),
             klass_segment_words=self._get(_KLASS_SEG_WORDS),
+            frame_segment_offset=self._get(_FRAME_SEG_OFF),
+            frame_segment_words=self._get(_FRAME_SEG_WORDS),
             bitmap_offset=self._get(_BITMAP_OFF),
             bitmap_words=self._get(_BITMAP_WORDS),
             region_bitmap_offset=self._get(_REGION_BITMAP_OFF),
@@ -343,6 +389,43 @@ class MetadataArea:
     def set_klass_segment_top(self, value: int) -> None:
         self._set(_KLASS_SEG_TOP, value)
 
+    # -- resumable-task block (repro.runtime.resume; DESIGN.md §14) ----------
+    @property
+    def frame_top(self) -> int:
+        return self._get(_FRAME_TOP)
+
+    def set_frame_top(self, value: int) -> None:
+        self._set(_FRAME_TOP, value)
+
+    @property
+    def task_status(self) -> int:
+        return self._get(_TASK_STATUS)
+
+    def set_task_status(self, value: int) -> None:
+        self._set(_TASK_STATUS, value)
+
+    @property
+    def task_epoch(self) -> int:
+        return self._get(_TASK_EPOCH)
+
+    def set_task_epoch(self, value: int) -> None:
+        self._set(_TASK_EPOCH, value)
+
+    def task_result(self):
+        return self._get(_TASK_RESULT_KIND), self._get(_TASK_RESULT)
+
+    def set_task_result(self, kind: int, word: int) -> None:
+        self.device.write(_TASK_RESULT_KIND, kind)
+        self.device.write(_TASK_RESULT, word)
+        self._flush_range(_TASK_RESULT_KIND, 2)
+
+    @property
+    def task_gc_mark(self) -> int:
+        return self._get(_TASK_GC_MARK)
+
+    def set_task_gc_mark(self, value: int) -> None:
+        self._set(_TASK_GC_MARK, value)
+
     # -- serialized-compaction cursor + move record --------------------------
     def region_cursor(self):
         return self._get(_CURSOR_REGION), self._get(_CURSOR_INDEX)
@@ -374,6 +457,28 @@ class MetadataArea:
     def clear_move_record(self) -> None:
         self.device.write(_MOVE_VALID, 0)
         self._flush_range(_MOVE_VALID, 1)
+
+    def scrub_gc_progress(self) -> None:
+        """Reset the GC progress words to their initialize-time values.
+
+        The region cursor, move record and root-redo header are
+        breadcrumbs: each collection overwrites them as it goes and only
+        invalidates (never rewinds) them at the end, so the exact stale
+        values depend on how much copying that collection happened to do.
+        The resumable-task finalize scrub calls this so two runs that end
+        in the same live heap also end with identical metadata bytes.
+        """
+        self.device.write(_CURSOR_REGION, -1)
+        self.device.write(_CURSOR_INDEX, 0)
+        self.device.write(_MOVE_VALID, 0)
+        self.device.write(_MOVE_SRC, 0)
+        self.device.write(_MOVE_DST, 0)
+        self.device.write(_MOVE_SIZE, 0)
+        self.device.write(_MOVE_PROGRESS, 0)
+        self._flush_range(_CURSOR_REGION, 7)
+        self.device.write(_ROOT_REDO_COUNT, 0)
+        self.device.write(_ROOT_REDO_VALID, 0)
+        self._flush_range(_ROOT_REDO_COUNT, 2)
 
     # -- root redo ---------------------------------------------------------------
     @property

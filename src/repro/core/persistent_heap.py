@@ -36,6 +36,7 @@ from repro.runtime.objects import RootSlot
 from repro.runtime.spaces import Space
 from repro.runtime.vm import EspressoVM, PersistentSpaceService
 
+from repro.core.frame_segment import FrameSegment
 from repro.core.klass_segment import KlassSegment
 from repro.core.metadata import HeapLayout, MetadataArea
 from repro.core.name_table import ENTRY_TYPE_ROOT, NameTable
@@ -61,6 +62,7 @@ class PersistentHeap(PersistentSpaceService):
         self.layout: HeapLayout = None  # type: ignore[assignment]
         self.name_table: NameTable = None  # type: ignore[assignment]
         self.klass_segment: KlassSegment = None  # type: ignore[assignment]
+        self.frames: FrameSegment = None  # type: ignore[assignment]
         self.data_space: Space = None  # type: ignore[assignment]
 
     # ------------------------------------------------------------------
@@ -74,6 +76,8 @@ class PersistentHeap(PersistentSpaceService):
         self.klass_segment = KlassSegment(
             self.device, self.metadata, self.name_table, self.base_address,
             self.vm.registry)
+        self.frames = FrameSegment(
+            self.device, self.metadata, self.base_address, self.vm)
         self.data_space = Space(
             f"pjh:{self.name}", self.base_address + self.layout.data_offset,
             self.layout.data_words)
@@ -337,6 +341,38 @@ class PersistentHeap(PersistentSpaceService):
                 memory.write(slot, obj_layout.NULL)
                 nullified += 1
         return nullified
+
+    # ------------------------------------------------------------------
+    # Durable-image canonicalization (resumable-task finalize, §14)
+    # ------------------------------------------------------------------
+    def canonicalize_durable_image(self) -> None:
+        """Scrub every area whose durable bytes legitimately diverge
+        between a clean run and a crashed-and-resumed run of the same
+        task: the data tail above ``top`` (dead TLAB windows, truncated
+        allocations), both GC bitmap areas, the GC scratch area, the root
+        redo log, and the frame segment itself.  Pure overwrite with
+        canonical (zero) values, so replaying the scrub after a crash
+        converges on the same durable bytes — the property the resume
+        sweep's SHA-256 check rests on.
+        """
+        layout = self.layout
+        areas = [
+            (layout.bitmap_offset, layout.bitmap_words),
+            (layout.region_bitmap_offset, layout.region_bitmap_words),
+            (layout.scratch_offset, layout.scratch_words),
+            (layout.root_redo_offset, layout.root_redo_words),
+        ]
+        tail = self.metadata.top - self.base_address
+        end = layout.data_offset + layout.data_words
+        if end > tail:
+            areas.append((tail, end - tail))
+        for offset, words in areas:
+            if words:
+                self.device.fill(offset, words, 0)
+                self.persist.persist(offset, words)
+        self.metadata.set_alloc_scan_hint(self.metadata.top)
+        self.metadata.scrub_gc_progress()
+        self.frames.reset()
 
     # ------------------------------------------------------------------
     # Roots API backing (setRoot/getRoot go through the heap manager)

@@ -89,6 +89,17 @@ class SimulatedCrash(EspressoError):
     """
 
 
+class ResumeProtocolError(EspressoError):
+    """Raised when a resumable task's replay diverges from its durable stack.
+
+    On resume, the task function re-executes from the top and must request
+    the same call sequence (names, arguments, step sites) that built the
+    persisted frames.  A mismatch means the task is not deterministic — or
+    the registry maps its name to different code — and blind replay would
+    corrupt the image, so the engine refuses instead.
+    """
+
+
 class TransactionAbort(EspressoError):
     """Raised to roll back an ACID transaction (PCJ, PJO, H2)."""
 

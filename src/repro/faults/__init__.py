@@ -11,8 +11,9 @@ The package glues three existing mechanisms into one harness:
 
 :mod:`repro.faults.sweeps` registers one sweep per persistence layer (PJH
 allocation + GC, H2 SQL, the pjhlib collection library, PCJ's NVML undo
-log, and the PJO commit path); ``python -m repro.faults.sweep_all`` runs
-every sweep under every fault mode.
+log, the PJO commit path, mixed persist domains, and the crash-transparent
+resume protocol); ``python -m repro.faults.sweep_all`` runs every sweep
+under every fault mode.
 """
 
 from repro.faults.harness import (

@@ -255,6 +255,19 @@ class CrashSweepHarness:
             if not iteration.crashed:
                 break  # the workload outran the injection: sweep is done
             point += stride
+        if max_points is None and not report.exhausted:
+            # The backstop fired: the workload never completed within
+            # DEFAULT_MAX_POINTS injection points.  Returning a "capped"
+            # report here would let a sweep silently stop exercising its
+            # tail — every point past the cap would go untested while the
+            # sweep still looked green.  An explicit ``max_points`` opts
+            # into partial coverage; the default cap does not.
+            raise RuntimeError(
+                f"{self.name}[{fault_mode}/{strategy}]: workload still "
+                f"crashing after {cap} injection points (backstop "
+                f"DEFAULT_MAX_POINTS) — the sweep did not reach workload "
+                f"completion; pass max_points explicitly to accept a "
+                f"partial sweep")
         return report
 
     def sweep_global_hits(self, fault_mode: str = FaultMode.ATOMIC, *,

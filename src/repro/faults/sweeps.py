@@ -14,6 +14,10 @@ Layers covered:
 * ``pjo_commit``     — the PJO commit path with dedup + field tracking (flush)
 * ``mixed_domains``  — PJH allocation interleaved with H2 WAL commits, both
   routed through coalescing persist domains on separate devices (flush)
+* ``resume_task``    — crash-transparent execution: a resumable task's
+  persistent frame stack, crashed at every protocol failpoint and resumed
+  after restart; the resumed durable image must be byte-identical to an
+  uncrashed run's (failpoints)
 """
 
 from __future__ import annotations
@@ -567,3 +571,127 @@ def _mixed_harness() -> CrashSweepHarness:
 
 _register(SweepSpec("mixed_domains", "flush", _mixed_harness,
                     fast_stride=23, fast_max_points=10))
+
+
+# ----------------------------------------------------------------------
+# Crash-transparent execution (failpoint sweep over the resume protocol)
+# ----------------------------------------------------------------------
+def _resume_harness() -> CrashSweepHarness:
+    """Crash a resumable task at every ``resume.*`` protocol point.
+
+    The workload is a two-task program (``build`` pushes a persistent
+    linked list one node per step; each iteration also ``call``s a child
+    ``weigh`` frame) so every sweep walks pushes, checkpoints, child
+    enters, pops and the finalize tail.  The invariant is the tentpole
+    promise itself: after crash + restart + re-run, the heap's durable
+    image is SHA-256-identical to the image an *uncrashed* run produces,
+    and the task yields the same result.  The golden hash is computed
+    once per harness from a crash-free run with identical session setup.
+    """
+    import hashlib
+
+    from repro.api import Espresso, EspressoConfig
+    from repro.runtime.klass import FieldKind, field
+
+    N = 5
+    EXPECTED = sum(i * i for i in range(N))
+
+    def _define(jvm):
+        jvm.define_class("ResumeNode", [field("v", FieldKind.INT),
+                                        field("next", FieldKind.REF)])
+
+    def _mk(s, i, prev):
+        node = s.pnew("ResumeNode")
+        s.set_field(node, "v", i)
+        if prev is not None:
+            s.set_field(node, "next", prev)
+        s.flush_reachable(node)
+        return node
+
+    def _register_tasks(jvm):
+        @jvm.register_task("build")
+        def build(task, s, n):
+            prev = None
+            total = 0
+            for i in range(n):
+                prev = task.step(_mk, s, i, prev)
+                total += task.call("weigh", i)
+            s.set_root("list", prev)
+            return total
+
+        @jvm.register_task("weigh")
+        def weigh(task, s, i):
+            return task.step(lambda: i * i)
+
+    def _session(tmp):
+        cfg = EspressoConfig(resumable=True, observatory=Observatory(),
+                             gc_workers=GC_WORKERS)
+        jvm = Espresso(tmp / "heaps", config=cfg)
+        _define(jvm)
+        _register_tasks(jvm)
+        jvm.create_heap("h", 512 * 1024)
+        return jvm
+
+    def _image_hash(jvm):
+        device = jvm.heaps.heap("h").device
+        return hashlib.sha256(device.durable_image().tobytes()).hexdigest()
+
+    golden = {}
+
+    def _golden_hash():
+        if "hash" not in golden:
+            tmp = Path(tempfile.mkdtemp(prefix="sweep-resume-golden-"))
+            try:
+                jvm = jvm0 = _session(tmp)
+                assert jvm.resumable_task("build").run(N) == EXPECTED
+                golden["hash"] = _image_hash(jvm)
+            finally:
+                jvm0.shutdown()
+                shutil.rmtree(tmp, ignore_errors=True)
+        return golden["hash"]
+
+    def setup():
+        tmp = Path(tempfile.mkdtemp(prefix="sweep-resume-"))
+        jvm = _session(tmp)
+        return SimpleNamespace(tmp=tmp, jvm=jvm, obs=jvm.obs)
+
+    def workload(ctx):
+        ctx.jvm.resumable_task("build").run(N)
+
+    def recover(ctx, crashed):
+        # crash_and_restart: durable image saved, fresh VM, same config
+        # (the task registry rides along by reference) — a restarted JVM
+        # must redefine its classes, exactly like a real one reloading
+        # them.
+        jvm2 = ctx.jvm.crash_and_restart()
+        _define(jvm2)
+        jvm2.load_heap("h")
+        result = jvm2.resumable_task("build").run(N)
+        return SimpleNamespace(jvm=jvm2, result=result,
+                               heap=jvm2.heaps.heap("h"), obs=jvm2.obs)
+
+    def invariant(rctx, completed):
+        assert rctx.result == EXPECTED, rctx.result
+        resumed = _image_hash(rctx.jvm)
+        assert resumed == _golden_hash(), (
+            "resumed durable image diverged from the uncrashed run's")
+
+    def fsck(rctx):
+        from repro.tools.fsck import fsck_heap
+        report = fsck_heap(rctx.heap)
+        assert report.frames_clean, report.frame_errors
+        return report
+
+    def teardown(ctx, rctx):
+        shutil.rmtree(ctx.tmp, ignore_errors=True)
+
+    return CrashSweepHarness(
+        "resume_task",
+        setup=setup, workload=workload, recover=recover,
+        invariant=invariant, fsck=fsck, teardown=teardown,
+        devices=lambda ctx: [ctx.jvm.heaps.heap("h").device],
+        registry=lambda ctx: ctx.jvm.vm.failpoints)
+
+
+_register(SweepSpec("resume_task", "failpoint", _resume_harness,
+                    fast_stride=11, fast_max_points=10))

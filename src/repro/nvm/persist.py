@@ -60,7 +60,10 @@ class PersistEventLog:
     * ``("flush", line)`` — one cache line flushed;
     * ``("fence",)`` — an sfence: prior flushes become final;
     * ``("publish", slot_offset, target_offset)`` — a PJH slot was made
-      to point at the PJH object at *target_offset* (heap-relative).
+      to point at the PJH object at *target_offset* (heap-relative);
+    * ``("frame", top_offset, frame_offset, frame_words)`` — the frame
+      stack's top word is about to publish the *frame_words*-word frame
+      record at *frame_offset* (resumable-task pushes).
 
     The log feeds :func:`repro.analysis.hazards.analyze_trace`, which
     replays it against the persist-order rules.  Offsets are
@@ -84,6 +87,11 @@ class PersistEventLog:
     def record_publish(self, slot_offset: int, target_offset: int) -> None:
         self.events.append(("publish", int(slot_offset),
                             int(target_offset)))
+
+    def record_frame_publish(self, top_offset: int, frame_offset: int,
+                             frame_words: int) -> None:
+        self.events.append(("frame", int(top_offset), int(frame_offset),
+                            int(frame_words)))
 
     def clear(self) -> None:
         self.events.clear()

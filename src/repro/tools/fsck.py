@@ -9,16 +9,23 @@ Validates, on a mounted heap:
 * every root-table entry points to null or a valid object start;
 * every Klass entry resolves into the Klass segment;
 * the metadata invariants hold (top within bounds, no GC flag leaking
-  outside a collection, cursor/move records clear when idle).
+  outside a collection, cursor/move records clear when idle);
+* the frame segment is coherent (aligned published top, valid magic
+  words, intact parent chain, checkpoint epochs bounded by the task
+  epoch, and every published ``KIND_REF`` argument/step-slot/return
+  value landing on a live object start — no dangling frame refs).
 
 The crash-recovery test suites run this after every induced crash, so
 "recovery succeeded" means *structurally valid heap*, not merely "the
 values I looked at were right".
 
-CLI exit codes: 0 clean, 1 usage error, 2 structural errors, and — with
+CLI exit codes: 0 clean, 1 usage error, 2 structural errors; with
 ``--check-escapes`` — 3 when the heap is structurally clean but holds
 NVM->DRAM out-pointers (legal under the user-guaranteed level, dangling
-after a reboot; the escape scan reports each offending slot).
+after a reboot; the escape scan reports each offending slot); with
+``--check-frames`` — 4 when the heap is structurally clean but the frame
+segment is not (frame errors are always *collected*; the flag makes them
+fail the run).
 """
 
 from __future__ import annotations
@@ -35,7 +42,13 @@ class FsckReport:
     objects: int = 0
     references: int = 0
     out_pointers: int = 0
+    frames: int = 0
     errors: List[str] = field(default_factory=list)
+    # Frame-segment findings live apart from ``errors``: a dangling frame
+    # ref does not make the *object graph* invalid, so ``clean`` (and exit
+    # code 2) stay purely structural; ``--check-frames`` turns these into
+    # exit code 4.
+    frame_errors: List[str] = field(default_factory=list)
     # Heap-relative slot offsets of every NVM->DRAM out-pointer found
     # (the --check-escapes scan reports these).
     escape_slots: List[int] = field(default_factory=list)
@@ -44,8 +57,15 @@ class FsckReport:
     def clean(self) -> bool:
         return not self.errors
 
+    @property
+    def frames_clean(self) -> bool:
+        return not self.frame_errors
+
     def error(self, message: str) -> None:
         self.errors.append(message)
+
+    def frame_error(self, message: str) -> None:
+        self.frame_errors.append(message)
 
     def to_dict(self) -> dict:
         return {
@@ -53,6 +73,9 @@ class FsckReport:
             "objects": self.objects,
             "references": self.references,
             "out_pointers": self.out_pointers,
+            "frames": self.frames,
+            "frames_clean": self.frames_clean,
+            "frame_errors": list(self.frame_errors),
             "escape_slots": list(self.escape_slots),
             "errors": list(self.errors),
         }
@@ -128,7 +151,82 @@ def fsck_heap(heap) -> FsckReport:
         report.error("gc_in_progress flag set on an idle heap")
     if metadata.move_record() is not None:
         report.error("stale chunked-move record on an idle heap")
+    if metadata.root_redo_valid:
+        report.error("stale root-redo log on an idle heap")
+
+    # Pass 5: frame segment (resumable-task stack).
+    _check_frames(heap, starts, report)
     return report
+
+
+def _check_frames(heap, starts: Set[int], report: FsckReport) -> None:
+    """Validate the persistent task stack against the live object set."""
+    from repro.core.frame_segment import (FRAME_FINISHED, FRAME_WORDS,
+                                          KIND_INT, KIND_NONE, KIND_REF)
+    from repro.core.metadata import TASK_RUNNING
+    from repro.errors import HeapCorruptionError
+
+    frames = heap.frames
+    metadata = heap.metadata
+    top = metadata.frame_top
+    if not frames.offset <= top <= frames.limit:
+        report.frame_error(f"frame top {top} outside the segment "
+                           f"[{frames.offset}, {frames.limit})")
+        return
+    if (top - frames.offset) % FRAME_WORDS:
+        report.frame_error(f"frame top {top} not frame-aligned "
+                           f"(base {frames.offset}, stride {FRAME_WORDS})")
+        return
+    depth = (top - frames.offset) // FRAME_WORDS
+    if depth and metadata.task_status != TASK_RUNNING:
+        report.frame_error(f"{depth} live frame(s) on a heap whose task "
+                           f"status is {metadata.task_status} (not RUNNING)")
+    task_epoch = metadata.task_epoch
+
+    def check_value(kind: int, word: int, what: str) -> None:
+        if kind == KIND_REF:
+            target = heap.base_address + word
+            if target not in starts:
+                report.frame_error(f"{what} dangles: heap offset {word} "
+                                   f"is not an object start")
+        elif kind not in (KIND_NONE, KIND_INT):
+            report.frame_error(f"{what} has unknown value kind {kind}")
+
+    expected_parent = -1
+    for offset in frames.frame_offsets():
+        try:
+            view = frames.read_frame(offset)
+        except HeapCorruptionError as exc:
+            report.frame_error(str(exc))
+            return
+        report.frames += 1
+        where = f"frame {view.name!r}@{offset}"
+        if view.parent != expected_parent:
+            report.frame_error(f"{where}: parent link {view.parent}, "
+                               f"expected {expected_parent}")
+        if expected_parent == -1 and view.call_pc != -1:
+            report.frame_error(f"{where}: root frame carries call_pc "
+                               f"{view.call_pc}")
+        if not view.check_epoch <= task_epoch:
+            report.frame_error(f"{where}: checkpoint epoch "
+                               f"{view.check_epoch} ahead of task epoch "
+                               f"{task_epoch}")
+        if not view.birth_epoch <= view.check_epoch:
+            report.frame_error(f"{where}: checkpoint epoch "
+                               f"{view.check_epoch} behind birth epoch "
+                               f"{view.birth_epoch} (epochs only grow)")
+        for i, (kind, word) in enumerate(view.args):
+            check_value(kind, word, f"{where} arg {i}")
+        # Only *published* step slots (site < pc) are replay inputs; a
+        # torn checkpoint may leave garbage beyond pc, which replay never
+        # reads.
+        if view.pc > 0:
+            for site in range(view.pc):
+                kind, word = frames.slot(offset, site)
+                check_value(kind, word, f"{where} slot {site}")
+        if view.finished:
+            check_value(*view.ret, f"{where} return value")
+        expected_parent = offset
 
 
 def fsck(heap_dir, name: str) -> FsckReport:
@@ -149,6 +247,9 @@ def main(argv=None) -> int:
     check_escapes = "--check-escapes" in args
     if check_escapes:
         args.remove("--check-escapes")
+    check_frames = "--check-frames" in args
+    if check_frames:
+        args.remove("--check-frames")
     if len(args) != 2:
         print(__doc__)
         return 1
@@ -161,14 +262,23 @@ def main(argv=None) -> int:
         report = FsckReport()
         report.error(f"unloadable ({exc.region}): {exc.detail}")
     escapes_found = check_escapes and report.clean and report.out_pointers
+    frames_dirty = check_frames and report.clean and not report.frames_clean
     if as_json:
         print(json.dumps(report.to_dict(), indent=2))
         if not report.clean:
             return 2
+        if frames_dirty:
+            return 4
         return 3 if escapes_found else 0
     print(f"objects: {report.objects}, references: {report.references}, "
-          f"out-pointers: {report.out_pointers}")
+          f"out-pointers: {report.out_pointers}, frames: {report.frames}")
     if report.clean:
+        if frames_dirty:
+            for error in report.frame_errors:
+                print(f"FRAME: {error}")
+            print(f"fsck: {len(report.frame_errors)} frame-segment "
+                  f"error(s) — resumable-task stack inconsistent")
+            return 4
         if escapes_found:
             for offset in report.escape_slots:
                 print(f"ESCAPE: slot at heap offset {offset} points "

@@ -117,6 +117,89 @@ class TestSeededTraces:
         assert "ESP201" not in codes(report)
 
 
+class TestFrameTraces:
+    """ESP204: the resume protocol's frame-top publish ordering."""
+
+    FRAME = 128     # frame record at line 16, 64 words = lines 16..23
+    TOP = 42        # metadata frame-top word at line 5
+
+    def test_record_persisted_first_is_clean(self):
+        trace = [
+            ("store", self.FRAME, 64),
+            *[("flush", line) for line in range(16, 24)],
+            ("fence",),                    # whole record durable, epoch 1
+            ("frame", self.TOP, self.FRAME, 64),
+            ("store", self.TOP, 1),
+            ("flush", self.TOP // 8),
+            ("fence",),                    # top durable, epoch 2
+        ]
+        report = analyze_trace(trace)
+        assert report.clean, [d.render() for d in report.findings]
+        assert report.stats["frame_publishes"] == 1
+
+    def test_top_before_record_flagged(self):
+        """Publishing the top in the same epoch as (or before) the frame
+        record is the hazard the push protocol exists to avoid."""
+        trace = [
+            ("store", self.FRAME, 64),
+            ("frame", self.TOP, self.FRAME, 64),
+            ("store", self.TOP, 1),
+            ("flush", self.TOP // 8),
+            ("fence",),                    # top durable, record not
+        ]
+        report = analyze_trace(trace)
+        assert codes(report) == ["ESP204"]
+        assert f"frame-top {self.TOP} -> frame {self.FRAME}" \
+            in report.findings[0].where
+
+    def test_partially_persisted_record_flagged(self):
+        """Every line of the record counts, not just the first."""
+        trace = [
+            ("store", self.FRAME, 64),
+            ("flush", 16),                 # only the record's first line
+            ("fence",),
+            ("frame", self.TOP, self.FRAME, 64),
+            ("store", self.TOP, 1),
+            ("flush", self.TOP // 8),
+            ("fence",),
+        ]
+        assert codes(analyze_trace(trace)) == ["ESP204"]
+
+    def test_checkpoint_rewrite_of_published_frame_is_exempt(self):
+        """Checkpoints rewrite published frames by design: no ESP203."""
+        trace = [
+            ("store", self.FRAME, 64),
+            *[("flush", line) for line in range(16, 24)],
+            ("fence",),
+            ("frame", self.TOP, self.FRAME, 64),
+            ("store", self.TOP, 1),
+            ("flush", self.TOP // 8),
+            ("fence",),
+            # A checkpoint: step slot + pc rewritten in the record...
+            ("store", self.FRAME + 26, 2),
+            ("store", self.FRAME + 21, 1),
+            ("flush", (self.FRAME + 26) // 8),
+            ("flush", (self.FRAME + 21) // 8),
+            ("fence",),
+        ]
+        assert analyze_trace(trace).clean
+
+    def test_object_publish_rewrite_still_flagged(self):
+        """The exemption is frame-specific: an object publish followed by
+        an unpersisted header rewrite keeps firing ESP203."""
+        trace = [
+            ("store", TARGET, 2),
+            ("flush", TARGET // 8),
+            ("fence",),
+            ("store", SLOT, 1),
+            ("publish", SLOT, TARGET),
+            ("flush", SLOT // 8),
+            ("fence",),
+            ("store", TARGET, 1),          # header rewritten, never fenced
+        ]
+        assert codes(analyze_trace(trace)) == ["ESP203"]
+
+
 class TestEventLogRoundTrip:
     def test_save_load_round_trip(self, tmp_path):
         log = PersistEventLog("t")
@@ -171,3 +254,47 @@ class TestLiveTrace:
         heap.disable_event_log()
         assert any(e[0] == "publish" for e in log.events)
         assert analyze_trace(log).clean
+
+    def test_resume_protocol_is_hazard_free(self, tmp_path):
+        """A resumable task's full lifetime — pushes, checkpoints, child
+        frames, pops, finalize — replays with zero ESP2xx findings: the
+        frame protocol persists every record before publishing the top."""
+        from repro.api import EspressoConfig
+
+        jvm = Espresso(tmp_path,
+                       config=EspressoConfig(resumable=True))
+        jvm.define_class("RNode", [field("v", FieldKind.INT),
+                                   field("next", FieldKind.REF)])
+        jvm.create_heap("h", 512 * 1024)
+
+        @jvm.register_task("build")
+        def build(task, s, n):
+            prev = None
+            total = 0
+            for i in range(n):
+                prev = task.step(_mk_node, s, i, prev)
+                total += task.call("weigh", i)
+            s.set_root("list", prev)
+            return total
+
+        @jvm.register_task("weigh")
+        def weigh(task, s, i):
+            return task.step(lambda: i * i)
+
+        heap = jvm.heaps.heap("h")
+        log = heap.enable_event_log()
+        assert jvm.resumable_task("build").run(3) == 5
+        heap.disable_event_log()
+        report = analyze_trace(log)
+        # One root + three child frames published through the log.
+        assert report.stats["frame_publishes"] >= 4
+        assert report.findings == [], [d.render() for d in report.findings]
+
+
+def _mk_node(s, i, prev):
+    node = s.pnew("RNode")
+    s.set_field(node, "v", i)
+    if prev is not None:
+        s.set_field(node, "next", prev)
+    s.flush_reachable(node)
+    return node

@@ -64,6 +64,8 @@ EXPECTED_SURFACE = {
     "flush_reachable": ["handle"],
     "system_gc": [],
     "persistent_gc": ["heap"],
+    "register_task": ["name", "fn"],
+    "resumable_task": ["name", "heap"],
     "shutdown": [],
     "crash": [],
     "restart": [],
@@ -113,7 +115,7 @@ def test_properties_exposed():
 def test_config_dataclass_fields():
     assert [f.name for f in EspressoConfig.__dataclass_fields__.values()] \
         == ["clock", "latency", "heap_config", "alias_aware", "observatory",
-            "gc_workers", "safety_certificate"]
+            "gc_workers", "safety_certificate", "resumable", "task_registry"]
 
 
 def test_each_alias_warns_once_and_delegates(tmp_path):

@@ -179,6 +179,36 @@ class TestCallbacks:
             _correct_harness().sweep_flush_boundaries("lava")
 
 
+class TestBackstop:
+    """Hitting DEFAULT_MAX_POINTS without completion is an error, not a
+    quietly "capped" report — an explicit ``max_points`` opts into partial
+    coverage, the default backstop does not."""
+
+    def test_default_cap_raises_when_workload_never_completes(self,
+                                                              monkeypatch):
+        import repro.faults.harness as harness_mod
+        monkeypatch.setattr(harness_mod, "DEFAULT_MAX_POINTS", 3)
+        with pytest.raises(RuntimeError, match="backstop"):
+            _correct_harness(rounds=100).sweep_flush_boundaries()
+
+    def test_explicit_max_points_still_returns_capped_report(self,
+                                                             monkeypatch):
+        import repro.faults.harness as harness_mod
+        monkeypatch.setattr(harness_mod, "DEFAULT_MAX_POINTS", 3)
+        report = _correct_harness(rounds=100).sweep_flush_boundaries(
+            max_points=3)
+        assert len(report.iterations) == 3
+        assert not report.exhausted
+        assert "capped" in report.summary()
+
+    def test_default_cap_quiet_when_workload_completes(self, monkeypatch):
+        import repro.faults.harness as harness_mod
+        # 2 rounds = 4 flushes: exhausts on iteration 5, inside the cap.
+        monkeypatch.setattr(harness_mod, "DEFAULT_MAX_POINTS", 8)
+        report = _correct_harness(rounds=2).sweep_flush_boundaries()
+        assert report.exhausted
+
+
 class TestTimelineDump:
     """A failing check ships the traced contexts' span timelines."""
 

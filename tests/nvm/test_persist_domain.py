@@ -201,8 +201,8 @@ class TestPinnedFlushCounts:
         before = heap.device.stats.snapshot()
         result = jvm.persistent_gc()
         delta = heap.device.stats.delta(before)
-        assert (delta.flushes, delta.fences) == (601, 134)
-        assert delta.epochs == 134
+        assert (delta.flushes, delta.fences) == (591, 132)
+        assert delta.epochs == 132
         # The GC result mirrors the same counters per collection.
-        assert (result.flushes, result.fences) == (601, 134)
-        assert result.epochs == 134
+        assert (result.flushes, result.fences) == (591, 132)
+        assert result.epochs == 132

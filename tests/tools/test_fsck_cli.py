@@ -5,7 +5,10 @@ scripts and CI:
 
 * ``0`` — heap loads and is structurally clean;
 * ``1`` — usage error (wrong argument count); usage text on stdout;
-* ``2`` — heap is corrupt or unloadable; errors on stdout.
+* ``2`` — heap is corrupt or unloadable; errors on stdout;
+* ``3`` — (``--check-escapes``) clean but holding NVM->DRAM out-pointers;
+* ``4`` — (``--check-frames``) clean but the resumable-task frame
+  segment is inconsistent.
 
 These tests run the real subprocess so the contract is pinned end to
 end (module entry point, argv parsing, SystemExit plumbing), not just
@@ -20,7 +23,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.api import Espresso
+from repro.api import Espresso, EspressoConfig
+from repro.errors import SimulatedCrash
 from repro.runtime.klass import FieldKind, field
 
 REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
@@ -144,4 +148,99 @@ def test_check_escapes_json_payload(escape_heap_dir):
 def test_check_escapes_still_exits_2_when_corrupt(escape_heap_dir):
     corrupt(escape_heap_dir)
     proc = run_fsck("--check-escapes", escape_heap_dir, "h")
+    assert proc.returncode == 2
+
+
+@pytest.fixture
+def frame_heap_dir(tmp_path):
+    """A loadable heap crashed mid-task: live frames, checkpointed slots.
+
+    Returns ``(heap_dir, root_frame_offset)`` so tests can corrupt a
+    specific frame word in the saved image.
+    """
+    jvm = Espresso(tmp_path, config=EspressoConfig(resumable=True))
+    jvm.define_class("Node", [field("v", FieldKind.INT),
+                              field("next", FieldKind.REF)])
+
+    @jvm.register_task("build")
+    def build(task, s, n):
+        prev = None
+        for i in range(n):
+            def mk(i=i, prev=prev):
+                node = s.pnew("Node")
+                s.set_field(node, "v", i)
+                if prev is not None:
+                    s.set_field(node, "next", prev)
+                s.flush_reachable(node)
+                return node
+            prev = task.step(mk)
+        s.set_root("list", prev)
+        return n
+
+    jvm.create_heap("h", 256 * 1024)
+    root_frame = jvm.heaps.heap("h").frames.offset
+    # Root push costs 2 failpoint hits, each step checkpoint 1 more:
+    # hit 5 lands after step slots 0..2 are durably checkpointed.
+    jvm.vm.failpoints.crash_on_global_hit(5)
+    with pytest.raises(SimulatedCrash):
+        jvm.resumable_task("build").run(4)
+    jvm.crash()  # saves the durable image mid-task
+    return tmp_path, root_frame
+
+
+def corrupt_frame_slot(frame_heap_dir):
+    """Dangle a checkpointed KIND_REF step slot in the saved image."""
+    from repro.core.frame_segment import F_SLOTS
+    heap_dir, root_frame = frame_heap_dir
+    jvm = Espresso(heap_dir)
+    image = jvm.heaps.names.load_image("h")
+    image[root_frame + F_SLOTS + 1] = 999_999  # slot 0's word, no object there
+    jvm.heaps.names.save_image("h", image)
+    return heap_dir
+
+
+def test_frames_ignored_without_flag(frame_heap_dir):
+    heap_dir = corrupt_frame_slot(frame_heap_dir)
+    proc = run_fsck(heap_dir, "h")
+    assert proc.returncode == 0
+    assert "clean" in proc.stdout
+
+
+def test_check_frames_exits_4(frame_heap_dir):
+    heap_dir = corrupt_frame_slot(frame_heap_dir)
+    proc = run_fsck("--check-frames", heap_dir, "h")
+    assert proc.returncode == 4
+    assert "FRAME" in proc.stdout
+    assert "dangles" in proc.stdout
+
+
+def test_check_frames_live_stack_is_clean(frame_heap_dir):
+    """A mid-task heap with an intact frame stack passes the check."""
+    heap_dir, _root_frame = frame_heap_dir
+    proc = run_fsck("--check-frames", heap_dir, "h")
+    assert proc.returncode == 0
+    assert "clean" in proc.stdout
+
+
+def test_check_frames_clean_heap_exits_0(heap_dir):
+    proc = run_fsck("--check-frames", heap_dir, "h")
+    assert proc.returncode == 0
+    assert "clean" in proc.stdout
+
+
+def test_check_frames_json_payload(frame_heap_dir):
+    heap_dir = corrupt_frame_slot(frame_heap_dir)
+    proc = run_fsck("--json", "--check-frames", heap_dir, "h")
+    assert proc.returncode == 4
+    payload = json.loads(proc.stdout)
+    assert payload["clean"] is True          # object graph is fine
+    assert payload["frames_clean"] is False
+    assert payload["frames"] >= 1
+    assert payload["frame_errors"]
+
+
+def test_check_frames_still_exits_2_when_corrupt(frame_heap_dir):
+    heap_dir = corrupt_frame_slot(frame_heap_dir)
+    corrupt(heap_dir)
+    proc = run_fsck("--check-frames", heap_dir, "h")
     assert proc.returncode == 2
