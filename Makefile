@@ -2,11 +2,17 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check test sweep sweep-fast fsck analyze lint-persist lint-time \
-	obs-report
+	obs-report fleet-smoke
 
-# The CI gate: the full static analyzer, the tier-1 suite, then a
-# strided smoke pass of every crash sweep (including the resume layer).
-check: analyze test sweep-fast
+# The CI gate: the full static analyzer, the tier-1 suite, a strided
+# smoke pass of every crash sweep (including the fleet fail-over
+# layer), then the end-to-end fleet smoke.
+check: analyze test sweep-fast fleet-smoke
+
+# End-to-end fleet smoke: 2 shards, contended traffic, one fail-over,
+# reload from the durable directory, fsck on every heap.
+fleet-smoke:
+	$(PYTHON) -m repro.fleet.smoke
 
 # All three analyzer passes: AST source lint (ESP3xx) over src/ and
 # examples/, persistent-closure analysis (ESP1xx) of the BasicTest

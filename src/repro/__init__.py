@@ -15,7 +15,8 @@ Entry points:
 """
 
 from repro.api import Espresso, EspressoConfig
-from repro.core.safety import SafetyLevel, persistent_type
+from repro.core.safety import (PersistentTypeRegistry, SafetyLevel,
+                               persistent_type)
 from repro.obs import NULL_OBS, Observatory
 from repro.runtime.klass import FieldDescriptor, FieldKind, Klass, field
 
@@ -29,6 +30,7 @@ __all__ = [
     "FieldDescriptor",
     "FieldKind",
     "Klass",
+    "PersistentTypeRegistry",
     "SafetyLevel",
     "field",
     "persistent_type",

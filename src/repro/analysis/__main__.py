@@ -71,7 +71,6 @@ def _run_closure(report: AnalysisReport, verbose: bool) -> None:
     import tempfile
 
     from repro.analysis.closure import analyze_vm
-    from repro.core import safety
     from repro.runtime.klass import CHAR_ARRAY_KLASS_NAME, STRING_KLASS_NAME
 
     with tempfile.TemporaryDirectory(prefix="repro-analyze-") as tmp:
@@ -84,7 +83,7 @@ def _run_closure(report: AnalysisReport, verbose: bool) -> None:
         em.create_schema(BASIC_TEST.entities)
         db_names = {name for name in jvm.vm.metaspace.names()
                     if name.startswith("db.")}
-        persist_only = (db_names | set(safety.annotated_type_names())
+        persist_only = (db_names | jvm.config.persistent_types.names()
                         | {STRING_KLASS_NAME, CHAR_ARRAY_KLASS_NAME})
         closure = analyze_vm(jvm.vm, persist_only=persist_only)
     summary = closure.summary()

@@ -219,21 +219,18 @@ def analyze_closure(klasses: Sequence[Klass],
     """Classify every REF field of every persistable class in *klasses*.
 
     ``persistable`` — classes allowed into the PJH at all (defaults to
-    the ``persistent_type`` registry plus the always-allowed runtime
-    classes).  ``persist_only`` — the subset asserted to be allocated
-    *exclusively* with ``pnew`` (defaults to the annotation registry;
-    the always-allowed classes are **not** assumed persist-only since
+    the always-allowed runtime classes; callers with a session should go
+    through :func:`analyze_vm`, which adds the session's
+    ``persistent_type`` registry).  ``persist_only`` — the subset
+    asserted to be allocated *exclusively* with ``pnew`` (the
+    always-allowed classes are **not** assumed persist-only since
     ``new``/``new_string`` create them freely in DRAM).
     """
     if persistable is None:
-        persistable_set = (safety.annotated_type_names()
-                           | set(safety._ALWAYS_ALLOWED))
+        persistable_set = set(safety._ALWAYS_ALLOWED)
     else:
         persistable_set = set(persistable)
-    if persist_only is None:
-        persist_only_set = set(safety.annotated_type_names())
-    else:
-        persist_only_set = set(persist_only)
+    persist_only_set = set(persist_only or ())
     # persist-only (allocated exclusively with pnew) implies persistable.
     persistable_set |= persist_only_set
 
@@ -311,13 +308,16 @@ def analyze_vm(vm, persistable: Optional[Iterable[str]] = None,
     per-name dedup inside :func:`analyze_closure`.
     """
     klasses = [vm.metaspace.lookup(name) for name in vm.metaspace.names()]
+    registry = getattr(vm, "persistent_types", None)
+    annotated: Set[str] = registry.names() if registry is not None else set()
     if persistable is None:
         allowed: Set[str] = set()
         for service in getattr(vm, "_services", {}).values():
             policy = getattr(service, "safety", None)
             allowed |= set(getattr(policy, "allowed", ()) or ())
-        persistable = (safety.annotated_type_names()
-                       | set(safety._ALWAYS_ALLOWED) | allowed)
+        persistable = annotated | set(safety._ALWAYS_ALLOWED) | allowed
+    if persist_only is None:
+        persist_only = annotated
     return analyze_closure(klasses, persistable, persist_only)
 
 
@@ -325,14 +325,16 @@ def certify_session(jvm, persist_only: Optional[Iterable[str]] = None,
                     install: bool = True) -> SafetyCertificate:
     """Analyze a live session and (optionally) install the certificate.
 
-    ``persist_only`` defaults to the annotation registry.  The String
+    ``persist_only`` defaults to the session's annotation registry
+    (``jvm.config.persistent_types``).  The String
     machinery (``java.lang.String`` and its ``[J`` value arrays) is
     added optimistically — ``pnew_string`` is the only PJH string
     factory — with the certificate's dynamic revocation as the safety
     net: the first DRAM ``new_string`` revokes the dependent entries.
     """
     if persist_only is None:
-        persist_only_set = set(safety.annotated_type_names())
+        registry = getattr(jvm.config, "persistent_types", None)
+        persist_only_set = registry.names() if registry is not None else set()
     else:
         persist_only_set = set(persist_only)
     persist_only_set |= {STRING_KLASS_NAME, CHAR_ARRAY_KLASS_NAME}

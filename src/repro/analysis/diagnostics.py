@@ -68,6 +68,11 @@ RULE_CATALOGUE: Dict[str, Tuple[str, str]] = {
     "ESP303": ("error",
                "wall-clock read outside the simulated-clock layer — read "
                "time from repro.nvm.clock.Clock instead"),
+    "ESP305": ("error",
+               "module-level mutable state in the session/core layers — "
+               "many Espresso sessions share one process, so state must "
+               "live on the instance/config (or become an immutable "
+               "table)"),
 }
 
 

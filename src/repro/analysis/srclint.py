@@ -16,10 +16,19 @@ the forbidden APIs freely — only actual call expressions are flagged:
   ``time.monotonic``/``_ns``, ``time.perf_counter``/``_ns``,
   ``datetime.now``/``utcnow``): every timestamp must come from
   :class:`repro.nvm.clock.Clock` or determinism is lost.
+* **ESP305** — module-level mutable state in the session/core layers
+  (``repro/api.py``, ``repro/core/``, ``repro/fleet/``): a top-level
+  container that the module itself mutates, or any ``global`` statement.
+  Many :class:`Espresso` sessions live in one process (the fleet mounts
+  K of them), so session state must hang off the instance/config, never
+  the module.  Immutable lookup tables stay legal — only *mutated*
+  containers are flagged.
 
 The historical exemption lists are preserved per rule family: the
 persist layer and the crash harness may flush and fence, the simulated
-clock and the observability layer may name wall-clock APIs.
+clock and the observability layer may name wall-clock APIs.  ESP305 is
+the inverse shape: an *include* list — it only applies to the
+re-entrant layers, everywhere else is out of scope.
 """
 
 from __future__ import annotations
@@ -34,7 +43,9 @@ from repro.analysis.diagnostics import Diagnostic, make_diagnostic
 #: Rules delegated to by the legacy lint-persist / lint-time entry points.
 PERSIST_RULES = ("ESP301", "ESP302")
 TIME_RULES = ("ESP303",)
-ALL_RULES = PERSIST_RULES + TIME_RULES
+#: The re-entrancy gate over the session/core layers.
+SESSION_RULES = ("ESP305",)
+ALL_RULES = PERSIST_RULES + TIME_RULES + SESSION_RULES
 
 #: Per-rule-family exemption prefixes (relative to a lint root).
 PERSIST_EXEMPT = ("repro/nvm/", "repro/faults/",
@@ -46,6 +57,12 @@ _EXEMPT_FOR: Dict[str, Tuple[str, ...]] = {
     "ESP301": PERSIST_EXEMPT,
     "ESP302": PERSIST_EXEMPT,
     "ESP303": TIME_EXEMPT,
+    "ESP305": (),
+}
+
+#: Include prefixes: these rules apply *only* under the listed paths.
+_ONLY_FOR: Dict[str, Tuple[str, ...]] = {
+    "ESP305": ("repro/api.py", "repro/core/", "repro/fleet/"),
 }
 
 _WALLCLOCK_TIME = {
@@ -122,10 +139,120 @@ class _CallScanner(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+#: Containers whose top-level construction makes a name "mutable state".
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter", "ChainMap", "WeakValueDictionary",
+    "WeakKeyDictionary",
+})
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.DictComp, ast.SetComp)
+#: Method calls that mutate a container in place.
+_MUTATOR_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "insert", "pop", "popitem", "popleft", "remove", "setdefault",
+    "update",
+})
+
+
+def _is_mutable_container(value: Optional[ast.expr]) -> bool:
+    if isinstance(value, _MUTABLE_LITERALS):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _module_container_names(tree: ast.Module) -> Set[str]:
+    """Names bound to a mutable container at module top level."""
+    names: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and _is_mutable_container(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name) \
+                and _is_mutable_container(stmt.value):
+            names.add(stmt.target.id)
+    return names
+
+
+class _ModuleStateScanner(ast.NodeVisitor):
+    """ESP305: in-module mutation of module-level containers + globals.
+
+    A constant lookup table defined once and only read stays legal; the
+    rule fires on the *mutation* sites (``X.add(...)``, ``X[k] = v``,
+    ``del X[k]``, ``X += ...``) and on every ``global`` statement.
+    """
+
+    def __init__(self, containers: Set[str]) -> None:
+        self.containers = containers
+        self.hits: List[Tuple[int, int, str, str]] = []
+
+    def _target_name(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Subscript) \
+                and isinstance(node.value, ast.Name):
+            return node.value.id
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) \
+                and func.attr in _MUTATOR_METHODS \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id in self.containers:
+            self.hits.append((
+                node.lineno, node.col_offset, "ESP305",
+                f"mutation of module-level container "
+                f"{func.value.id!r}"))
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            name = self._target_name(target)
+            if name in self.containers:
+                self.hits.append((
+                    node.lineno, node.col_offset, "ESP305",
+                    f"item store into module-level container {name!r}"))
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        name = self._target_name(node.target)
+        if name is None and isinstance(node.target, ast.Name):
+            name = node.target.id
+        if name in self.containers:
+            self.hits.append((
+                node.lineno, node.col_offset, "ESP305",
+                f"augmented store into module-level container {name!r}"))
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            name = self._target_name(target)
+            if name in self.containers:
+                self.hits.append((
+                    node.lineno, node.col_offset, "ESP305",
+                    f"item delete from module-level container {name!r}"))
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.hits.append((
+            node.lineno, node.col_offset, "ESP305",
+            f"global statement over {', '.join(node.names)} — module "
+            f"state is not re-entrant"))
+        self.generic_visit(node)
+
+
 def lint_file(path: Path, rel: str,
               rules: Iterable[str] = ALL_RULES) -> List[LintFinding]:
     active = {r for r in rules
-              if not any(rel.startswith(p) for p in _EXEMPT_FOR[r])}
+              if not any(rel.startswith(p) for p in _EXEMPT_FOR[r])
+              and (r not in _ONLY_FOR
+                   or any(rel.startswith(p) for p in _ONLY_FOR[r]))}
     if not active:
         return []
     try:
@@ -135,6 +262,10 @@ def lint_file(path: Path, rel: str,
         return []  # unreadable / non-parsing files are out of scope
     scanner = _CallScanner(active)
     scanner.visit(tree)
+    if "ESP305" in active:
+        state = _ModuleStateScanner(_module_container_names(tree))
+        state.visit(tree)
+        scanner.hits.extend(state.hits)
     lines = source.splitlines()
     findings = [
         LintFinding(rel, lineno, col, code, reason,

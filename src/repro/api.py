@@ -45,7 +45,7 @@ from repro.core.flush_api import (
 )
 from repro.core.heap_manager import HeapManager
 from repro.core.persistent_heap import PersistentHeap
-from repro.core.safety import SafetyLevel
+from repro.core.safety import PersistentTypeRegistry, SafetyLevel
 from repro.nvm.clock import Clock
 from repro.nvm.latency import DEFAULT_LATENCY, LatencyConfig
 from repro.obs import NULL_OBS, Observatory
@@ -54,25 +54,6 @@ from repro.runtime.klass import FieldDescriptor, FieldKind, Klass
 from repro.runtime.objects import ObjectHandle
 from repro.runtime.resume import ResumableTask, TaskRegistry
 from repro.runtime.vm import EspressoVM
-
-#: Java-spelled aliases that have already warned this process (one-shot).
-_WARNED_ALIASES: Set[str] = set()
-
-
-def reset_deprecation_warnings() -> None:
-    """Forget which Java-spelled aliases have warned (for tests)."""
-    _WARNED_ALIASES.clear()
-
-
-def _warn_alias(java_name: str, snake_name: str) -> None:
-    if java_name in _WARNED_ALIASES:
-        return
-    _WARNED_ALIASES.add(java_name)
-    warnings.warn(
-        f"Espresso.{java_name}() is deprecated; use "
-        f"Espresso.{snake_name}() (the canonical snake_case API)",
-        DeprecationWarning, stacklevel=3)
-
 
 @dataclass
 class EspressoConfig:
@@ -108,6 +89,11 @@ class EspressoConfig:
     #: by reference across restarts (``replace(config)`` keeps it), so a
     #: resumed process sees the same task functions.
     task_registry: Optional[TaskRegistry] = None
+    #: The session's ``@persistent_type`` annotation registry (type-based
+    #: safety, §3.4).  Per-session so concurrently open sessions never see
+    #: each other's annotations; carried by reference across restarts.
+    #: ``None`` means a fresh empty registry is made at construction.
+    persistent_types: Optional[PersistentTypeRegistry] = None
 
 
 class Espresso:
@@ -129,14 +115,19 @@ class Espresso:
                 alias_aware=alias_aware, observatory=observatory,
                 gc_workers=gc_workers)
         self.config = config
+        if config.persistent_types is None:
+            config.persistent_types = PersistentTypeRegistry()
         obs = config.observatory if config.observatory is not None else NULL_OBS
         self.vm = EspressoVM(clock=config.clock, latency=config.latency,
                              heap_config=config.heap_config,
                              alias_aware=config.alias_aware, obs=obs,
                              gc_workers=config.gc_workers)
         self.vm.safety_certificate = config.safety_certificate
+        self.vm.persistent_types = config.persistent_types
         self.heaps = HeapManager(self.vm, heap_dir)
         self.heap_dir = Path(heap_dir)
+        #: Java-spelled aliases that have already warned in this session.
+        self._warned_aliases: Set[str] = set()
 
     @classmethod
     def open(cls, heap_dir: Union[str, Path], name: str, size_bytes: int,
@@ -244,36 +235,59 @@ class Espresso:
                  heap: Optional[str] = None) -> Optional[ObjectHandle]:
         return self.heaps.get_root(root_name, heap)
 
+    # -- type-based safety annotations (§3.4) --------------------------------
+    def persistent_type(self, target):
+        """Annotate a class (or class-name string) as persistable under
+        this session's type-based safety.  Usable as a decorator; returns
+        *target*.  The registry lives in the session config
+        (``persistent_types``), so annotations never leak into other
+        concurrently open sessions and survive ``restart``.
+        """
+        return self.config.persistent_types.add(target)
+
     # -- Table 1 Java spellings (deprecated thin aliases) --------------------
+    def reset_deprecation_warnings(self) -> None:
+        """Forget which Java-spelled aliases have warned (for tests)."""
+        self._warned_aliases.clear()
+
+    def _warn_alias(self, java_name: str, snake_name: str) -> None:
+        if java_name in self._warned_aliases:
+            return
+        self._warned_aliases.add(java_name)
+        warnings.warn(
+            f"Espresso.{java_name}() is deprecated; use "
+            f"Espresso.{snake_name}() (the canonical snake_case API)",
+            DeprecationWarning, stacklevel=3)
+
     def createHeap(self, name: str, size_bytes: int,
                    safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
                    region_words: int = 1024) -> PersistentHeap:
         """Deprecated Java spelling of :meth:`create_heap`."""
-        _warn_alias("createHeap", "create_heap")
+        self._warn_alias("createHeap", "create_heap")
         return self.create_heap(name, size_bytes, safety, region_words)
 
     def loadHeap(self, name: str,
                  safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
                  salvage: bool = False) -> PersistentHeap:
         """Deprecated Java spelling of :meth:`load_heap`."""
-        _warn_alias("loadHeap", "load_heap")
+        self._warn_alias("loadHeap", "load_heap")
         return self.load_heap(name, safety, salvage)
 
     def existsHeap(self, name: str) -> bool:
         """Deprecated Java spelling of :meth:`exists_heap`."""
-        _warn_alias("existsHeap", "exists_heap")
+        self._warn_alias("existsHeap", "exists_heap")
         return self.exists_heap(name)
 
     def setRoot(self, root_name: str, value: Optional[ObjectHandle],
                 heap: Optional[str] = None) -> None:
         """Deprecated Java spelling of :meth:`set_root`."""
-        _warn_alias("setRoot", "set_root")
+        self._warn_alias("setRoot", "set_root")
         self.set_root(root_name, value, heap)
 
     def getRoot(self, root_name: str,
                 heap: Optional[str] = None) -> Optional[ObjectHandle]:
         """Deprecated Java spelling of :meth:`get_root`."""
-        _warn_alias("getRoot", "get_root")
+        self._warn_alias("getRoot", "get_root")
         return self.get_root(root_name, heap)
 
     # -- §3.5 flush APIs --------------------------------------------------------------

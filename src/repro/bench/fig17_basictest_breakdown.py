@@ -180,7 +180,7 @@ def main(count: int = 100) -> Fig17Result:
                for (provider, op), counters in result.barrier.items()},
             "elision": result.elision,
         },
-    })
+    }, params={"count": result.count})
     return result
 
 

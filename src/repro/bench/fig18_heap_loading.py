@@ -107,7 +107,7 @@ def main(object_counts: List[int] | None = None) -> Fig18Result:
         "zero_workers": ZERO_WORKERS,
         "series": {str(count): times
                    for count, times in sorted(result.series.items())},
-    })
+    }, params={"klass_count": KLASS_COUNT, "zero_workers": ZERO_WORKERS})
     print(f"wrote {path}")
     return result
 

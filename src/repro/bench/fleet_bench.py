@@ -1,0 +1,211 @@
+"""Fleet scaling benchmark: throughput/latency vs shard count, §15.
+
+A contended KV session-store workload (every tenant touches the fleet
+every round) is replayed against fleets of 1/2/4/8 shards sharing one
+simulated clock.  Because :meth:`FleetRouter.drain` commits the *max*
+over per-shard service meters (the shards are parallel in simulated
+time), throughput should scale with the shard count up to the load of
+the busiest shard — the paper's "more heaps, more parallelism" argument
+applied to serving instead of GC.
+
+The second half measures fail-over: with every shard's queue loaded,
+one shard power-fails; the survivors drain their queues, the victim
+recovers on the gang, and the recovery time lands in the report via
+:mod:`repro.obs.fleet`.
+
+Emits ``BENCH_fleet.json`` through the shared bench envelope.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.harness import format_table, write_bench_json
+from repro.fleet import FleetConfig, FleetRouter
+
+SHARD_COUNTS = (1, 2, 4, 8)
+SESSIONS = 64
+ROUNDS = 4
+RECOVERY_SHARDS = 8
+
+
+@dataclass
+class ScalingRow:
+    shards: int
+    requests: int
+    elapsed_ms: float
+    throughput_ops_per_ms: float
+    p50_ns: float
+    p99_ns: float
+    speedup: float  # vs the smallest shard count in the run
+
+
+@dataclass
+class FleetBenchResult:
+    rows: List[ScalingRow]
+    recovery: Dict[str, object]
+    sessions: int
+    rounds: int
+
+    @property
+    def max_speedup(self) -> float:
+        return self.rows[-1].speedup
+
+
+def _tenants(count: int) -> List[str]:
+    return [f"tenant-{i}" for i in range(count)]
+
+
+def _drive(fleet: FleetRouter, sessions: Sequence[str],
+           rounds: int) -> Tuple[int, float]:
+    """Contended rounds: every tenant puts, drain, every tenant gets.
+
+    Submitting the whole round before draining is what makes the load
+    *contended* — each shard serves its entire slice back to back, so
+    the batch time is the busiest shard's service time.
+    """
+    before = fleet.clock.now_ns
+    ops = 0
+    for rnd in range(rounds):
+        for sid in sessions:
+            fleet.submit(sid, "put", f"r{rnd}", f"{sid}.{rnd}")
+        fleet.drain()
+        for sid in sessions:
+            fleet.submit(sid, "get", f"r{rnd}")
+        fleet.drain()
+        ops += 2 * len(sessions)
+    return ops, fleet.clock.now_ns - before
+
+
+def _config(shards: int, sessions: int) -> FleetConfig:
+    return FleetConfig(shards=shards, shard_size_bytes=512 * 1024,
+                       max_in_flight=max(64, 2 * sessions))
+
+
+def run_scaling(base_dir, shard_counts: Sequence[int] = SHARD_COUNTS,
+                sessions: int = SESSIONS,
+                rounds: int = ROUNDS) -> List[ScalingRow]:
+    """One fresh fleet per shard count, identical workload, same tenants."""
+    base_dir = Path(base_dir)
+    tenants = _tenants(sessions)
+    rows: List[ScalingRow] = []
+    baseline = None
+    for count in shard_counts:
+        fleet = FleetRouter.create(base_dir / f"fleet-{count}",
+                                   _config(count, sessions))
+        ops, elapsed_ns = _drive(fleet, tenants, rounds)
+        report = fleet.report()
+        elapsed_ms = elapsed_ns / 1e6
+        throughput = ops / elapsed_ms
+        if baseline is None:
+            baseline = throughput
+        rows.append(ScalingRow(
+            shards=count,
+            requests=int(report["requests"]),
+            elapsed_ms=elapsed_ms,
+            throughput_ops_per_ms=throughput,
+            p50_ns=float(report["p50_ns"]),
+            p99_ns=float(report["p99_ns"]),
+            speedup=throughput / baseline,
+        ))
+        fleet.shutdown()
+    return rows
+
+
+def run_recovery(base_dir, shards: int = RECOVERY_SHARDS,
+                 sessions: int = SESSIONS,
+                 rounds: int = 2) -> Dict[str, object]:
+    """Crash one shard with every queue loaded; measure the fail-over.
+
+    Returns the recovery time plus what happened to in-flight traffic:
+    the victim's queue is dropped, the survivors' queues are served
+    during the outage, and the victim's committed state is intact after
+    recovery.
+    """
+    base_dir = Path(base_dir)
+    tenants = _tenants(sessions)
+    fleet = FleetRouter.create(base_dir / "fleet-recovery",
+                               _config(shards, sessions))
+    _drive(fleet, tenants, rounds)  # committed warm state on every shard
+
+    victim = fleet.route(tenants[0])
+    for sid in tenants:  # load every queue, then pull the plug
+        fleet.submit(sid, "put", "hot", sid)
+    dropped = fleet.crash_shard(victim)
+    served_during_outage = len(fleet.drain())
+    recovery_ns = fleet.recover_shard(victim)
+    victim_intact = fleet.get(tenants[0], "r0") == f"{tenants[0]}.0"
+    report = fleet.report()
+    fleet.shutdown()
+    return {
+        "shards": shards,
+        "victim": victim,
+        "dropped": dropped,
+        "served_during_outage": served_during_outage,
+        "recovery_ns": recovery_ns,
+        "recovery_ms": recovery_ns / 1e6,
+        "victim_state_intact": victim_intact,
+        "summary": report["recovery"],
+    }
+
+
+def run(base_dir, shard_counts: Sequence[int] = SHARD_COUNTS,
+        sessions: int = SESSIONS, rounds: int = ROUNDS,
+        recovery_shards: int = RECOVERY_SHARDS) -> FleetBenchResult:
+    rows = run_scaling(base_dir, shard_counts, sessions, rounds)
+    recovery = run_recovery(base_dir, recovery_shards, sessions)
+    return FleetBenchResult(rows=rows, recovery=recovery,
+                            sessions=sessions, rounds=rounds)
+
+
+def emit(result: FleetBenchResult, out_dir=None) -> str:
+    """Write ``BENCH_fleet.json`` via the shared envelope; returns path."""
+    return write_bench_json("fleet", {
+        "scaling": [{
+            "shards": row.shards,
+            "requests": row.requests,
+            "elapsed_ms": row.elapsed_ms,
+            "throughput_ops_per_ms": row.throughput_ops_per_ms,
+            "p50_ns": row.p50_ns,
+            "p99_ns": row.p99_ns,
+            "speedup": row.speedup,
+        } for row in result.rows],
+        "max_speedup": result.max_speedup,
+        "scaling_target_met": result.max_speedup >= 3.0,
+        "recovery": result.recovery,
+    }, out_dir=out_dir, params={
+        "shard_counts": [row.shards for row in result.rows],
+        "sessions": result.sessions,
+        "rounds": result.rounds,
+    })
+
+
+def main() -> FleetBenchResult:
+    with tempfile.TemporaryDirectory() as tmp:
+        result = run(tmp)
+    print(format_table(
+        ["Shards", "Requests", "Elapsed (ms)", "ops/ms", "p50 (ns)",
+         "p99 (ns)", "Speedup"],
+        [(row.shards, row.requests, f"{row.elapsed_ms:.3f}",
+          f"{row.throughput_ops_per_ms:.1f}", row.p50_ns, row.p99_ns,
+          f"{row.speedup:.2f}x") for row in result.rows],
+        title=(f"§15 — fleet throughput vs shard count "
+               f"({result.sessions} tenants, {result.rounds} contended "
+               f"rounds; target: {result.rows[-1].shards}-shard ≥ 3x "
+               f"1-shard)")))
+    rec = result.recovery
+    print(f"fail-over ({rec['shards']} shards): victim shard "
+          f"{rec['victim']} dropped {rec['dropped']} in-flight, survivors "
+          f"served {rec['served_during_outage']} during the outage, "
+          f"recovered in {rec['recovery_ms']:.3f} ms, committed state "
+          f"intact: {rec['victim_state_intact']}")
+    path = emit(result)
+    print(f"wrote {path}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

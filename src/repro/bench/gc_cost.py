@@ -146,7 +146,7 @@ def main(object_count: int = 8000) -> GcCostResult:
                      "speedup": row.speedup,
                      "image_sha256": row.image_sha256}
                     for row in scaling],
-    })
+    }, params={"objects": object_count})
     print(f"wrote {path}")
     return result
 

@@ -39,19 +39,51 @@ def snapshot_devices(devices: Dict[str, NvmDevice]) -> Dict[str, DeviceStats]:
             for label, device in devices.items()}
 
 
+#: Version stamp for the shared BENCH_*.json envelope below.  Bump when
+#: an envelope key changes meaning; result fields are bench-owned.
+BENCH_SCHEMA_VERSION = 1
+
+#: Envelope keys ``bench_payload`` owns; result dicts may not reuse them.
+_ENVELOPE_KEYS = ("bench", "schema_version", "params")
+
+
+def bench_payload(bench: str, results: Dict,
+                  params: Optional[Dict] = None) -> Dict:
+    """Assemble the shared ``BENCH_*.json`` schema for *bench*.
+
+    Every writer used to hand-roll its JSON; the shared envelope adds
+    ``bench`` (the name), ``schema_version`` and ``params`` (the knobs
+    the run was invoked with) while leaving every result field at top
+    level, so existing consumers and diffs keep working unchanged.
+    """
+    for key in _ENVELOPE_KEYS:
+        if key in results:
+            raise ValueError(
+                f"result field {key!r} collides with the bench envelope")
+    return {
+        "bench": bench,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "params": dict(params or {}),
+        **results,
+    }
+
+
 def write_bench_json(name: str, payload: Dict,
-                     out_dir: Optional[str] = None) -> str:
+                     out_dir: Optional[str] = None,
+                     params: Optional[Dict] = None) -> str:
     """Write ``BENCH_<name>.json`` (repo root by default); returns the path.
 
     Every figure benchmark emits its rows *and* the per-phase NVM flush,
     fence, dedup and epoch counters here so regressions in flush traffic
-    are diffable without re-reading stdout tables.
+    are diffable without re-reading stdout tables.  The payload is
+    wrapped in the shared :func:`bench_payload` envelope.
     """
     if out_dir is None:
         out_dir = os.environ.get("BENCH_OUT_DIR", ".")
     path = os.path.join(out_dir, f"BENCH_{name}.json")
     with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
+        json.dump(bench_payload(name, payload, params), fh,
+                  indent=2, sort_keys=True)
         fh.write("\n")
     return path
 

@@ -251,7 +251,7 @@ def main(iterations: int = 8, stride: int = 5) -> None:
             "image_sha256": row.image_sha256,
             "image_match": row.image_sha256 == golden,
         } for row in rows],
-    })
+    }, params={"iterations": iterations})
     print(f"wrote {path}")
 
 

@@ -66,7 +66,7 @@ def main(transactions: int = 60) -> TpccBenchResult:
         "states_agree": result.states_agree,
         "nvm": {"jpa": result.jpa.nvm, "pjo": result.pjo.nvm},
         "obs": {"jpa": result.jpa.obs, "pjo": result.pjo.obs},
-    })
+    }, params={"transactions": transactions})
     return result
 
 

@@ -19,12 +19,12 @@ from repro.core.persistent_heap import PersistentHeap
 from repro.core.pgc import PersistentGC, PersistentGCResult
 from repro.core.recovery import RecoveryReport, recover
 from repro.core.safety import (
+    PersistentTypeRegistry,
     SafetyLevel,
     SafetyPolicy,
     TypeBasedPolicy,
     UserGuaranteedPolicy,
     ZeroingPolicy,
-    annotated_type_names,
     persistent_type,
 )
 
@@ -42,7 +42,7 @@ __all__ = [
     "TypeBasedPolicy",
     "UserGuaranteedPolicy",
     "ZeroingPolicy",
-    "annotated_type_names",
+    "PersistentTypeRegistry",
     "persistent_type",
     "FlushReport",
     "flush_array_element",

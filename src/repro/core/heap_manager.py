@@ -81,6 +81,10 @@ class HeapManager:
         # what a real machine would reboot from.
         self._last_load_device: Optional[NvmDevice] = None
 
+    def _type_registry(self):
+        """The owning session's @persistent_type registry (may be None)."""
+        return getattr(self.vm, "persistent_types", None)
+
     # ------------------------------------------------------------------
     # Table 1 APIs
     # ------------------------------------------------------------------
@@ -102,8 +106,9 @@ class HeapManager:
                                name=f"pjh:{name}")
             self.vm.memory.map(base, device)
             self.names.register(name, size_words, base)
-            heap = PersistentHeap(name, self.vm, device, base,
-                                  safety=policy_for(safety))
+            heap = PersistentHeap(
+                name, self.vm, device, base,
+                safety=policy_for(safety, self._type_registry()))
             heap.initialize_fresh(heap_layout)
             self.vm.attach_persistent_space(heap)
             self._mounted[name] = heap
@@ -166,8 +171,9 @@ class HeapManager:
                                                  start=PJH_BASE_START)
             report.remapped = True
         self.vm.memory.map(base, device)
-        heap = PersistentHeap(name, self.vm, device, base,
-                              safety=policy_for(safety))
+        heap = PersistentHeap(
+            name, self.vm, device, base,
+            safety=policy_for(safety, self._type_registry()))
 
         # Exceptions that carry meaning of their own and must not be
         # re-labelled as corruption.

@@ -60,27 +60,80 @@ class ZeroingPolicy(SafetyPolicy):
         return True
 
 
-# The @persistent_type annotation registry (paper §3.4: "a library atop
-# Java to allow [users to define] classes with simple annotations, and only
-# objects with those classes will be persisted into PJH").
-_ANNOTATED_TYPES: Set[str] = set()
+# Runtime-internal classes every type-based heap needs (immutable: the
+# session/core layers carry no module-level mutable state — ESP305).
+_ALWAYS_ALLOWED = frozenset({"java.lang.Object", "java.lang.String"})
 
-# Runtime-internal classes every type-based heap needs.
-_ALWAYS_ALLOWED = {"java.lang.Object", "java.lang.String"}
+#: Attribute set on Python classes decorated with :func:`persistent_type`.
+_PERSISTENT_MARK = "__espresso_persistent__"
+
+
+class PersistentTypeRegistry:
+    """Per-session ``@persistent_type`` annotation registry (paper §3.4).
+
+    The paper describes "a library atop Java to allow [users to define]
+    classes with simple annotations, and only objects with those classes
+    will be persisted into PJH".  One registry belongs to one session
+    (``EspressoConfig.persistent_types``) so concurrently open sessions
+    never see each other's annotations; ``restart``/``crash_and_restart``
+    carry it forward by reference, like the task registry.
+    """
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._names: Set[str] = set(names)
+
+    def add(self, target):
+        """Annotate a class (or class name) as persistable.  Usable as a
+        decorator on Python entity classes or called with a plain
+        class-name string for VM-defined classes; returns *target*.
+        """
+        self._names.add(_name_of(target))
+        return target
+
+    # The decorator spelling mirrors the old module-level function.
+    persistent_type = add
+
+    def discard(self, target) -> None:
+        self._names.discard(_name_of(target))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def names(self) -> Set[str]:
+        return set(self._names)
+
+
+def _name_of(target) -> str:
+    return target if isinstance(target, str) else target.__name__
 
 
 def persistent_type(target):
-    """Annotate a class (or class name) as persistable under type-based
-    safety.  Usable as a decorator on Python entity classes or called with
-    a plain class-name string for VM-defined classes.
+    """Mark a Python class as persistable under type-based safety.
+
+    Session-free decorator form: stamps the class with an attribute that
+    :func:`is_marked_persistent` reports and that sessions pick up when
+    the class is handed to ``Espresso.persistent_type`` /
+    :meth:`PersistentTypeRegistry.add`.
+    Registering a plain class-name string requires a session —
+    use ``jvm.persistent_type("Name")`` or a
+    :class:`PersistentTypeRegistry` directly, since a bare string has no
+    class object to carry the mark and a global registry would leak
+    annotations across concurrently open sessions.
     """
-    name = target if isinstance(target, str) else target.__name__
-    _ANNOTATED_TYPES.add(name)
+    if isinstance(target, str):
+        raise TypeError(
+            "persistent_type(name_string) needs a session registry: use "
+            "jvm.persistent_type(name) or PersistentTypeRegistry.add(name)")
+    setattr(target, _PERSISTENT_MARK, True)
     return target
 
 
-def annotated_type_names() -> Set[str]:
-    return set(_ANNOTATED_TYPES)
+def is_marked_persistent(target) -> bool:
+    """True for classes decorated with :func:`persistent_type`."""
+    return bool(getattr(target, _PERSISTENT_MARK, False))
 
 
 class TypeBasedPolicy(SafetyPolicy):
@@ -88,13 +141,16 @@ class TypeBasedPolicy(SafetyPolicy):
 
     Guarantees no pointer within PJH points out of it, "a similar safety
     level to NV-Heaps".  Allowed classes come from the per-policy allow
-    list plus the global :func:`persistent_type` annotation registry.
+    list plus the owning session's :class:`PersistentTypeRegistry`.
     """
 
     level = SafetyLevel.TYPE_BASED
 
-    def __init__(self, allowed: Optional[Iterable[str]] = None) -> None:
+    def __init__(self, allowed: Optional[Iterable[str]] = None,
+                 registry: Optional[PersistentTypeRegistry] = None) -> None:
         self.allowed: Set[str] = set(allowed or ())
+        self.registry = registry if registry is not None \
+            else PersistentTypeRegistry()
 
     def allow(self, name: str) -> None:
         self.allowed.add(name)
@@ -115,7 +171,7 @@ class TypeBasedPolicy(SafetyPolicy):
             klass = klass.element_klass
         name = klass.name
         if name in self.allowed or name in _ALWAYS_ALLOWED \
-                or name in _ANNOTATED_TYPES:
+                or name in self.registry:
             return
         raise UnsafePointerError(
             f"type-based safety: {name!r} is not annotated as persistent")
@@ -128,9 +184,11 @@ class TypeBasedPolicy(SafetyPolicy):
                 f"({value_address:#x}) into persistent memory is forbidden")
 
 
-def policy_for(level: SafetyLevel) -> SafetyPolicy:
+def policy_for(level: SafetyLevel,
+               registry: Optional[PersistentTypeRegistry] = None
+               ) -> SafetyPolicy:
     if level is SafetyLevel.USER_GUARANTEED:
         return UserGuaranteedPolicy()
     if level is SafetyLevel.ZEROING:
         return ZeroingPolicy()
-    return TypeBasedPolicy()
+    return TypeBasedPolicy(registry=registry)

@@ -112,6 +112,36 @@ class UnsafePointerError(EspressoError):
     """Raised by the type-based safety checker on an NVM->DRAM store."""
 
 
+class ShardDownError(EspressoError):
+    """Raised by the fleet router when a request targets a crashed shard.
+
+    Sessions hash to exactly one shard and never migrate silently; while
+    that shard is down its traffic fails fast instead of landing on a
+    sibling whose heap does not hold the session's data.
+    """
+
+    def __init__(self, shard: int, session_id: str) -> None:
+        super().__init__(
+            f"shard {shard} is down (session {session_id!r} routes there)")
+        self.shard = shard
+        self.session_id = session_id
+
+
+class FleetBusyError(EspressoError):
+    """Raised by fleet admission control when a shard's queue is full.
+
+    Backpressure, not buffering: beyond ``max_in_flight`` queued requests
+    per shard the router refuses new work so one hot shard cannot grow an
+    unbounded backlog.
+    """
+
+    def __init__(self, shard: int, in_flight: int) -> None:
+        super().__init__(
+            f"shard {shard} at admission limit ({in_flight} in flight)")
+        self.shard = shard
+        self.in_flight = in_flight
+
+
 class OrderingViolation(EspressoError):
     """Raised by a strict persist domain on a broken durability ordering.
 

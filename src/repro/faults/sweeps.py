@@ -18,6 +18,13 @@ Layers covered:
   persistent frame stack, crashed at every protocol failpoint and resumed
   after restart; the resumed durable image must be byte-identical to an
   uncrashed run's (failpoints)
+* ``fleet_failover`` — the sharded multi-heap fleet: one shard is
+  power-failed at every flush boundary mid-traffic while its siblings
+  keep serving, then recovered on the worker gang; every shard and the
+  shard directory fsck clean, routing stays correct (no request lands on
+  a down shard, no session migrates), and the durable directory image is
+  byte-identical to an uncrashed run's (flush boundaries, victim device
+  only)
 """
 
 from __future__ import annotations
@@ -695,3 +702,176 @@ def _resume_harness() -> CrashSweepHarness:
 
 _register(SweepSpec("resume_task", "failpoint", _resume_harness,
                     fast_stride=11, fast_max_points=10))
+
+
+# ----------------------------------------------------------------------
+# Fleet fail-over: one shard crashed mid-traffic, siblings keep serving
+# ----------------------------------------------------------------------
+def _fleet_harness() -> CrashSweepHarness:
+    """Flush-boundary sweep of a 3-shard fleet, bombing ONE shard.
+
+    Only the victim shard's device is instrumented, so every injection
+    point models a single-shard power failure under live multi-tenant
+    traffic.  Recovery is the router's own fail-over path: assert the
+    survivors serve (reads *and* writes) while the victim fails fast
+    with :class:`~repro.errors.ShardDownError`, then bring the victim
+    back on the recovery gang.  Afterwards: committed KV state is
+    consistent on every shard, no session silently migrated, every
+    shard heap and the directory heap fsck clean, and the durable shard
+    directory is byte-identical to an uncrashed fleet's — fail-over
+    writes zero directory flushes by design.
+    """
+    import hashlib
+    import zlib
+
+    from repro.errors import ShardDownError
+    from repro.fleet.directory import DIRECTORY_HEAP, shard_heap_name
+    from repro.fleet.router import FleetConfig, FleetRouter
+
+    SHARDS = 3
+    VICTIM = 0
+    ROUNDS = 3
+
+    def _config():
+        return FleetConfig(shards=SHARDS, shard_size_bytes=256 * 1024,
+                           max_in_flight=32, gc_workers=GC_WORKERS)
+
+    def _sessions():
+        """Two session ids per shard, in deterministic order."""
+        per_shard = {i: [] for i in range(SHARDS)}
+        i = 0
+        while any(len(v) < 2 for v in per_shard.values()):
+            sid = f"tenant-{i}"
+            home = zlib.crc32(sid.encode()) % SHARDS
+            if len(per_shard[home]) < 2:
+                per_shard[home].append(sid)
+            i += 1
+        return per_shard
+
+    def _directory_image_hash(fleet):
+        heap = fleet.directory_jvm.heaps.heap(DIRECTORY_HEAP)
+        return hashlib.sha256(heap.device.durable_image().tobytes()) \
+            .hexdigest()
+
+    golden = {}
+
+    def _golden_hash():
+        """Directory image of an uncrashed fleet with identical setup."""
+        if "hash" not in golden:
+            tmp = Path(tempfile.mkdtemp(prefix="sweep-fleet-golden-"))
+            try:
+                fleet = FleetRouter.create(tmp / "fleet", _config())
+                golden["hash"] = _directory_image_hash(fleet)
+            finally:
+                shutil.rmtree(tmp, ignore_errors=True)
+        return golden["hash"]
+
+    def setup():
+        tmp = Path(tempfile.mkdtemp(prefix="sweep-fleet-"))
+        fleet = FleetRouter.create(tmp / "fleet", _config())
+        return SimpleNamespace(tmp=tmp, fleet=fleet, sessions=_sessions(),
+                               committed={}, inflight={},
+                               obs=fleet.shards[VICTIM].jvm.obs)
+
+    def workload(ctx):
+        fleet = ctx.fleet
+        for rnd in range(ROUNDS):
+            ctx.inflight = {}
+            for sids in ctx.sessions.values():
+                for sid in sids:
+                    value = f"{sid}.r{rnd}"
+                    fleet.submit(sid, "put", "state", value)
+                    ctx.inflight[sid] = value
+            fleet.drain()   # the bomb fires here, mid-drain on the victim
+            ctx.committed.update(ctx.inflight)
+            ctx.inflight = {}
+
+    def recover(ctx, crashed):
+        fleet = ctx.fleet
+        fleet.crash_shard(VICTIM)
+        # Survivors keep serving while the victim is down: reads of
+        # committed state and fresh writes both succeed...
+        for shard_index in range(SHARDS):
+            if shard_index == VICTIM:
+                continue
+            sid = ctx.sessions[shard_index][0]
+            expected = ctx.committed.get(sid) or ctx.inflight.get(sid)
+            got = fleet.get(sid, "state")
+            if ctx.committed.get(sid) is not None and \
+                    sid not in ctx.inflight:
+                assert got == expected, (sid, got, expected)
+            fleet.put(sid, "probe", "alive")
+            assert fleet.get(sid, "probe") == "alive"
+        # ...and the victim's traffic fails fast instead of landing on a
+        # sibling that does not hold its data.
+        victim_sid = ctx.sessions[VICTIM][0]
+        try:
+            fleet.submit(victim_sid, "get", "state")
+            raise AssertionError("down shard accepted a request")
+        except ShardDownError as exc:
+            assert exc.shard == VICTIM
+        placements_before = dict(fleet.placements)
+        fleet.recover_shard(VICTIM)
+        return SimpleNamespace(fleet=fleet,
+                               sessions=ctx.sessions,
+                               committed=dict(ctx.committed),
+                               inflight=dict(ctx.inflight),
+                               placements_before=placements_before,
+                               obs=fleet.shards[VICTIM].jvm.obs)
+
+    def invariant(rctx, completed):
+        fleet = rctx.fleet
+        # Committed KV state is intact on every shard; the crashed
+        # round's writes are atomic per key: old value, new value, or
+        # (first round) absent — never garbage.
+        for sids in rctx.sessions.values():
+            for sid in sids:
+                got = fleet.get(sid, "state")
+                allowed = set()
+                if sid in rctx.inflight:
+                    allowed.add(rctx.inflight[sid])
+                    allowed.add(rctx.committed.get(sid))
+                else:
+                    allowed.add(rctx.committed.get(sid))
+                assert got in allowed, (sid, got, allowed)
+        if completed:
+            for sid, value in rctx.committed.items():
+                assert fleet.get(sid, "state") == value
+        # Routing correctness: no session migrated across the fail-over.
+        for sid, home in rctx.placements_before.items():
+            assert fleet.route(sid) == home, (sid, home)
+        # Zero directory writes during traffic, crash and fail-over: the
+        # durable directory image matches an uncrashed fleet's, byte for
+        # byte.
+        assert _directory_image_hash(fleet) == _golden_hash(), (
+            "fleet directory image diverged from the uncrashed run's")
+
+    def fsck(rctx):
+        from repro.tools.fsck import fsck_heap
+        fleet = rctx.fleet
+        report = fsck_heap(
+            fleet.directory_jvm.heaps.heap(DIRECTORY_HEAP))
+        assert report.clean, ("directory", report.errors)
+        for shard in fleet.shards:
+            report = fsck_heap(
+                shard.jvm.heaps.heap(shard_heap_name(shard.index)))
+            assert report.clean, (shard.index, report.errors)
+        return report  # the last shard's; all were asserted above
+
+    def teardown(ctx, rctx):
+        shutil.rmtree(ctx.tmp, ignore_errors=True)
+
+    def victim_device(ctx):
+        heap = ctx.fleet.shards[VICTIM].jvm.heaps.heap(
+            shard_heap_name(VICTIM))
+        return [heap.device]
+
+    return CrashSweepHarness(
+        "fleet_failover",
+        setup=setup, workload=workload, recover=recover,
+        invariant=invariant, fsck=fsck, teardown=teardown,
+        devices=victim_device)
+
+
+_register(SweepSpec("fleet_failover", "flush", _fleet_harness,
+                    fast_stride=19, fast_max_points=8))

@@ -1,0 +1,52 @@
+"""repro.fleet: a sharded multi-heap fleet with shard-level fail-over.
+
+K persistent heaps serve as tenant shards behind a
+:class:`~repro.fleet.router.FleetRouter` that hashes session ids to
+shards.  A durable, crash-consistent shard directory
+(:mod:`repro.fleet.directory`) records the fleet's shape; each shard is
+its own re-entrant :class:`~repro.api.Espresso` session with a
+recoverable KV store (:mod:`repro.fleet.store`); admission control,
+fail-over and parallel loading live in :mod:`repro.fleet.router`.
+
+Quickstart::
+
+    from repro.fleet import FleetConfig, FleetRouter
+
+    fleet = FleetRouter.create("/tmp/fleet", FleetConfig(shards=4))
+    fleet.put("session-7", "cart", "3 espressos")
+    fleet.get("session-7", "cart")      # served by session-7's shard
+    fleet.crash_shard(fleet.route("session-7"))
+    fleet.recover_shard(fleet.route("session-7"))
+    fleet.get("session-7", "cart")      # back, committed state intact
+    fleet.shutdown()
+
+    fleet = FleetRouter.load("/tmp/fleet")   # shards mount in parallel
+"""
+
+from repro.fleet.directory import (
+    DIRECTORY_HEAP,
+    FleetDirectory,
+    ShardRecord,
+    shard_heap_name,
+)
+from repro.fleet.router import (
+    FleetConfig,
+    FleetRouter,
+    Request,
+    SHARD_DOWN,
+    SHARD_UP,
+)
+from repro.fleet.store import ShardStore
+
+__all__ = [
+    "DIRECTORY_HEAP",
+    "FleetConfig",
+    "FleetDirectory",
+    "FleetRouter",
+    "Request",
+    "SHARD_DOWN",
+    "SHARD_UP",
+    "ShardRecord",
+    "ShardStore",
+    "shard_heap_name",
+]

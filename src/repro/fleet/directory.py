@@ -1,0 +1,127 @@
+"""The durable shard directory: name-table-backed, published after persist.
+
+The directory is itself a (small) PJH instance named
+:data:`DIRECTORY_HEAP`, so fleet bookkeeping inherits every durability
+property the heap already has: CRC-checksummed name-table entries, fsck,
+and the name table's crash-consistent publication protocol (payload epoch
+commits before the count bump publishes an entry).
+
+On top of that, every directory record follows the NVTraverse-style
+persist-at-the-destination discipline:
+
+1. ``pnew`` the record object and write its fields;
+2. ``flush_reachable`` — the record is durable *before* anyone can find it;
+3. ``set_root`` — a single name-table publish makes it reachable.
+
+A crash between (2) and (3) leaves an unreachable-but-harmless object the
+next GC reclaims; a crash inside (3) is covered by the name table's own
+protocol.  Nothing in the directory is ever updated in place after
+publication — shard records are immutable, and shard up/down state is
+deliberately *volatile* (after power loss every shard needs a reload
+anyway) — so fail-over and recovery cost **zero** directory flushes and
+the durable directory image of a crashed-and-recovered fleet is
+byte-identical to an uncrashed run's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import CorruptHeapError
+from repro.runtime.klass import FieldKind, field
+
+#: Name of the directory's own heap inside the fleet directory.
+DIRECTORY_HEAP = "__fleet__"
+#: Size of the directory heap: records are tiny, 256 KiB is plenty.
+DIRECTORY_HEAP_BYTES = 256 * 1024
+
+_META_KLASS = "fleet.Meta"
+_SHARD_KLASS = "fleet.Shard"
+_META_ROOT = "fleet:meta"
+
+
+def _shard_root(index: int) -> str:
+    return f"shard:{index}"
+
+
+def shard_heap_name(index: int) -> str:
+    """The PJH name of shard *index*'s data heap."""
+    return f"shard-{index}"
+
+
+@dataclass(frozen=True)
+class ShardRecord:
+    """One published shard: the immutable durable facts about it."""
+
+    index: int
+    size_bytes: int
+
+
+def _define(jvm) -> None:
+    jvm.define_class(_META_KLASS, [field("shards", FieldKind.INT),
+                                   field("shard_size_bytes", FieldKind.INT)])
+    jvm.define_class(_SHARD_KLASS, [field("index", FieldKind.INT),
+                                    field("size_bytes", FieldKind.INT)])
+
+
+class FleetDirectory:
+    """Reader/writer for the durable shard directory heap.
+
+    *jvm* is the directory's own session (the router gives it a dedicated
+    one sharing the fleet clock); the directory heap must already be
+    mounted in it.
+    """
+
+    def __init__(self, jvm) -> None:
+        self.jvm = jvm
+        _define(jvm)
+
+    # -- publication (create-time only) --------------------------------
+    def publish_meta(self, shards: int, shard_size_bytes: int) -> None:
+        jvm = self.jvm
+        meta = jvm.pnew(_META_KLASS, heap=DIRECTORY_HEAP)
+        jvm.set_field(meta, "shards", int(shards))
+        jvm.set_field(meta, "shard_size_bytes", int(shard_size_bytes))
+        jvm.flush_reachable(meta)              # persist at the destination
+        jvm.set_root(_META_ROOT, meta, heap=DIRECTORY_HEAP)  # then publish
+
+    def publish_shard(self, index: int, size_bytes: int) -> None:
+        jvm = self.jvm
+        record = jvm.pnew(_SHARD_KLASS, heap=DIRECTORY_HEAP)
+        jvm.set_field(record, "index", int(index))
+        jvm.set_field(record, "size_bytes", int(size_bytes))
+        jvm.flush_reachable(record)
+        jvm.set_root(_shard_root(index), record, heap=DIRECTORY_HEAP)
+
+    # -- lookup ---------------------------------------------------------
+    def shard_count(self) -> int:
+        meta = self.jvm.get_root(_META_ROOT, heap=DIRECTORY_HEAP)
+        if meta is None:
+            raise CorruptHeapError("fleet.directory",
+                                   "meta record missing or unpublished")
+        return self.jvm.get_field(meta, "shards")
+
+    def shard(self, index: int) -> Optional[ShardRecord]:
+        record = self.jvm.get_root(_shard_root(index), heap=DIRECTORY_HEAP)
+        if record is None:
+            return None
+        return ShardRecord(
+            index=self.jvm.get_field(record, "index"),
+            size_bytes=self.jvm.get_field(record, "size_bytes"))
+
+    def shards(self) -> List[ShardRecord]:
+        """All published shard records; every index must be present."""
+        records = []
+        for index in range(self.shard_count()):
+            record = self.shard(index)
+            if record is None:
+                raise CorruptHeapError(
+                    "fleet.directory",
+                    f"shard record {index} missing (unpublished create?)")
+            if record.index != index:
+                raise CorruptHeapError(
+                    "fleet.directory",
+                    f"shard record {index} carries index {record.index}")
+            records.append(record)
+        return records

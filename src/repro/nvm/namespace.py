@@ -12,6 +12,12 @@ A manifest JSON records per-heap attributes: size in words and the address
 hint at which the heap was mapped.  The address hint also lives *inside* the
 heap's metadata area — the manifest copy merely lets the manager size the
 device before the metadata is readable.
+
+Several live sessions may share one heap directory (the fleet mounts K
+shard sessions over a common root), so the manifest is re-read before
+every query: a registration made through one session's manager is visible
+to managers constructed earlier, and duplicate-name races resolve to
+:class:`~repro.errors.HeapExistsError` rather than a silent overwrite.
 """
 
 from __future__ import annotations
@@ -42,11 +48,29 @@ class NameManager:
         self.root.mkdir(parents=True, exist_ok=True)
         self._manifest_path = self.root / self.MANIFEST
         self._manifest: Dict[str, Dict] = {}
-        if self._manifest_path.exists():
-            self._manifest = json.loads(self._manifest_path.read_text())
+        self._refresh()
 
     # -- manifest ------------------------------------------------------------
-    def _save_manifest(self) -> None:
+    def _refresh(self) -> None:
+        """Adopt on-disk registrations made by other live sessions.
+
+        Entries this manager already holds win on conflict (our address
+        hints may be newer than what was last written out), so a refresh
+        never un-registers or clobbers local state — it only learns names.
+        """
+        if not self._manifest_path.exists():
+            return
+        try:
+            on_disk = json.loads(self._manifest_path.read_text())
+        except (OSError, ValueError):
+            return  # a concurrent writer mid-rewrite: keep our view
+        for name, attrs in on_disk.items():
+            self._manifest.setdefault(name, attrs)
+
+    def _save_manifest(self, drop: str | None = None) -> None:
+        self._refresh()
+        if drop is not None:
+            self._manifest.pop(drop, None)  # a refresh must not resurrect it
         self._manifest_path.write_text(json.dumps(self._manifest, indent=2))
 
     def _image_path(self, name: str) -> Path:
@@ -54,6 +78,8 @@ class NameManager:
 
     # -- registry API ---------------------------------------------------------
     def exists(self, name: str) -> bool:
+        if name not in self._manifest:
+            self._refresh()
         return name in self._manifest
 
     def register(self, name: str, size_words: int, address_hint: int) -> Path:
@@ -68,6 +94,8 @@ class NameManager:
         return self._image_path(name)
 
     def attributes(self, name: str) -> Dict:
+        if name not in self._manifest:
+            self._refresh()
         try:
             return dict(self._manifest[name])
         except KeyError:
@@ -84,9 +112,10 @@ class NameManager:
         if path.exists():
             path.unlink()
         del self._manifest[name]
-        self._save_manifest()
+        self._save_manifest(drop=name)
 
     def names(self) -> List[str]:
+        self._refresh()
         return sorted(self._manifest)
 
     # -- image I/O ---------------------------------------------------------------

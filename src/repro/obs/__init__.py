@@ -6,6 +6,7 @@ DESIGN.md §11 for the span vocabulary and how it maps onto the paper's
 GC phases (§4.2) and recovery steps (§4.3).
 """
 
+from repro.obs.fleet import LatencyRecorder, aggregate_fleet, percentile
 from repro.obs.observatory import NULL_OBS, NullObservatory, Observatory
 from repro.obs.registry import GaugeValue, HistogramData, MetricsRegistry
 from repro.obs.tracing import Span, Tracer
@@ -26,5 +27,8 @@ __all__ = [
     "HistogramData",
     "Tracer",
     "Span",
+    "LatencyRecorder",
+    "aggregate_fleet",
+    "percentile",
     "render_report",
 ]

@@ -1,0 +1,95 @@
+"""Fleet-level observability: percentile latency and recovery aggregation.
+
+The per-session :class:`~repro.obs.registry.HistogramData` is a streaming
+summary (count/total/min/max) — cheap, but it cannot answer "what was the
+p99?".  The fleet router cares about exactly that, so this module adds a
+sample-keeping :class:`LatencyRecorder` (one per shard, plus one for
+recoveries) and :func:`aggregate_fleet`, which folds the per-shard
+recorders into the ``BENCH_fleet.json`` shape: per-shard and fleet-wide
+p50/p99 request latency plus single-shard recovery time.
+
+Percentiles use the deterministic nearest-rank method on the sorted
+samples — no interpolation, so the aggregate is bit-stable across runs of
+the simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.obs.observatory import NULL_OBS, Observatory
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of *samples*; 0.0 if empty."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if q <= 0:
+        return ordered[0]
+    if q >= 100:
+        return ordered[-1]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
+class LatencyRecorder:
+    """Sample-keeping latency series feeding percentile aggregation.
+
+    Every sample is also forwarded to the owning observatory's streaming
+    histogram (``obs.observe``), so the usual obs exporters keep working;
+    the raw samples stay here for p50/p99.
+    """
+
+    def __init__(self, metric: str,
+                 obs: Observatory = NULL_OBS) -> None:
+        self.metric = metric
+        self.obs = obs
+        self.samples: List[float] = []
+
+    def record(self, value_ns: float) -> None:
+        self.samples.append(float(value_ns))
+        self.obs.observe(self.metric, float(value_ns))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def p50(self) -> float:
+        return percentile(self.samples, 50)
+
+    def p99(self) -> float:
+        return percentile(self.samples, 99)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": len(self.samples),
+            "p50_ns": self.p50(),
+            "p99_ns": self.p99(),
+            "max_ns": max(self.samples) if self.samples else 0.0,
+        }
+
+
+def aggregate_fleet(per_shard: Mapping[int, LatencyRecorder],
+                    recovery: Optional[LatencyRecorder] = None
+                    ) -> Dict[str, object]:
+    """Fold per-shard recorders into the fleet-wide report dict.
+
+    Fleet percentiles are computed over the *concatenation* of every
+    shard's samples (a request's latency does not care which shard served
+    it), not an average of per-shard percentiles.
+    """
+    merged: List[float] = []
+    shards: Dict[str, Dict[str, float]] = {}
+    for index in sorted(per_shard):
+        recorder = per_shard[index]
+        merged.extend(recorder.samples)
+        shards[str(index)] = recorder.summary()
+    report: Dict[str, object] = {
+        "requests": len(merged),
+        "p50_ns": percentile(merged, 50),
+        "p99_ns": percentile(merged, 99),
+        "per_shard": shards,
+    }
+    if recovery is not None:
+        report["recovery"] = recovery.summary()
+    return report

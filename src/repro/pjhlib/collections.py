@@ -328,18 +328,33 @@ class PjhHashmap(_PjhBase):
             self._rehash(buckets, n)
 
     def _rehash(self, buckets: ObjectHandle, n: int) -> None:
+        # Splicing reuses the live entry objects, so every mutated "next"
+        # pointer must be undo-logged *and* flushed: a crash mid-rehash
+        # rolls the chains back wholesale (the old bucket array is still
+        # the published one), and a crash after the bucket flip must not
+        # resurrect pre-rehash next pointers from unflushed lines.
         jvm, vm = self.jvm, self.jvm.vm
         bigger = jvm.pnew_array(vm.object_klass, n * 2)
+        self.txn.begin()
         for i in range(n):
             cursor = jvm.array_get(buckets, i)
             while cursor is not None:
                 nxt = jvm.get_field(cursor, "next")
                 target = jvm.get_field(cursor, "hash") % (n * 2)
+                entry_klass = vm.klass_of(cursor)
+                slot = cursor.address + entry_klass.field_offset("next")
+                self.txn.log_slot(slot)
                 jvm.set_field(cursor, "next", jvm.array_get(bigger, target))
+                self._flush_words(slot, 1)
                 jvm.array_set(bigger, target, cursor)
                 cursor = nxt
         jvm.flush_object(bigger)
-        self._acid_field_store("buckets", bigger)
+        klass = vm.klass_of(self.h)
+        buckets_slot = self.h.address + klass.field_offset("buckets")
+        self.txn.log_slot(buckets_slot)
+        jvm.set_field(self.h, "buckets", bigger)
+        self._flush_words(buckets_slot, 1)
+        self.txn.commit()
 
     def get(self, key) -> Optional[ObjectHandle]:
         jvm = self.jvm

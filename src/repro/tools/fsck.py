@@ -26,6 +26,12 @@ after a reboot; the escape scan reports each offending slot); with
 ``--check-frames`` — 4 when the heap is structurally clean but the frame
 segment is not (frame errors are always *collected*; the flag makes them
 fail the run).
+
+``--all-heaps <dir>`` checks every heap registered under a directory
+(e.g. a fleet: the ``__fleet__`` directory heap plus every shard) and
+exits with the *worst* per-heap code, ranked 2 > 4 > 3 > 0.  With
+``--json`` it emits one aggregate document mapping heap name to its
+report plus that heap's exit code.
 """
 
 from __future__ import annotations
@@ -237,6 +243,93 @@ def fsck(heap_dir, name: str) -> FsckReport:
     return fsck_heap(heap)
 
 
+#: Exit-code severity for --all-heaps aggregation: structural corruption
+#: (2) beats an inconsistent frame stack (4) beats out-pointers (3) beats
+#: clean (0).  Code 1 (usage) never comes out of a heap check.
+_SEVERITY = {0: 0, 3: 1, 4: 2, 2: 3}
+
+
+def _worst(codes) -> int:
+    return max(codes, key=lambda code: _SEVERITY[code], default=0)
+
+
+def _check_one(heap_dir, name: str, check_escapes: bool,
+               check_frames: bool):
+    """fsck one heap; returns ``(report, exit_code)``, never raises."""
+    from repro.errors import CorruptHeapError
+    try:
+        report = fsck(heap_dir, name)
+    except CorruptHeapError as exc:
+        # The image would not even load: report the failing region rather
+        # than dumping a traceback.
+        report = FsckReport()
+        report.error(f"unloadable ({exc.region}): {exc.detail}")
+    if not report.clean:
+        return report, 2
+    if check_frames and not report.frames_clean:
+        return report, 4
+    if check_escapes and report.out_pointers:
+        return report, 3
+    return report, 0
+
+
+def _print_one(report: FsckReport, code: int) -> None:
+    print(f"objects: {report.objects}, references: {report.references}, "
+          f"out-pointers: {report.out_pointers}, frames: {report.frames}")
+    if code == 2:
+        for error in report.errors:
+            print(f"ERROR: {error}")
+    elif code == 4:
+        for error in report.frame_errors:
+            print(f"FRAME: {error}")
+        print(f"fsck: {len(report.frame_errors)} frame-segment "
+              f"error(s) — resumable-task stack inconsistent")
+    elif code == 3:
+        for offset in report.escape_slots:
+            print(f"ESCAPE: slot at heap offset {offset} points "
+                  f"outside the heap")
+        print(f"fsck: {report.out_pointers} NVM->DRAM out-pointer(s) "
+              f"— dangling after a reboot")
+    else:
+        print("clean")
+
+
+def _main_all_heaps(heap_dir, as_json: bool, check_escapes: bool,
+                    check_frames: bool) -> int:
+    """``fsck --all-heaps <dir>``: every registered heap, worst code wins."""
+    import json
+    from repro.api import Espresso
+    names = Espresso(heap_dir).heaps.names.names()
+    if not names:
+        print(f"fsck: no heaps under {heap_dir}")
+        return 1
+    results = {}
+    codes = {}
+    for name in names:
+        report, code = _check_one(heap_dir, name, check_escapes,
+                                  check_frames)
+        results[name] = report
+        codes[name] = code
+    worst = _worst(codes.values())
+    if as_json:
+        payload = {
+            "heaps": {name: dict(results[name].to_dict(),
+                                 exit_code=codes[name])
+                      for name in names},
+            "scanned": len(names),
+            "worst": worst,
+        }
+        print(json.dumps(payload, indent=2))
+        return worst
+    for name in names:
+        print(f"--- {name} ---")
+        _print_one(results[name], codes[name])
+    dirty = sum(1 for code in codes.values() if code != 0)
+    print(f"fsck: {len(names)} heap(s) scanned, {dirty} dirty, "
+          f"worst exit code {worst}")
+    return worst
+
+
 def main(argv=None) -> int:
     import json
     import sys
@@ -250,47 +343,23 @@ def main(argv=None) -> int:
     check_frames = "--check-frames" in args
     if check_frames:
         args.remove("--check-frames")
+    all_heaps = "--all-heaps" in args
+    if all_heaps:
+        args.remove("--all-heaps")
+        if len(args) != 1:
+            print(__doc__)
+            return 1
+        return _main_all_heaps(args[0], as_json, check_escapes,
+                               check_frames)
     if len(args) != 2:
         print(__doc__)
         return 1
-    from repro.errors import CorruptHeapError
-    try:
-        report = fsck(args[0], args[1])
-    except CorruptHeapError as exc:
-        # The image would not even load: report the failing region rather
-        # than dumping a traceback.
-        report = FsckReport()
-        report.error(f"unloadable ({exc.region}): {exc.detail}")
-    escapes_found = check_escapes and report.clean and report.out_pointers
-    frames_dirty = check_frames and report.clean and not report.frames_clean
+    report, code = _check_one(args[0], args[1], check_escapes, check_frames)
     if as_json:
         print(json.dumps(report.to_dict(), indent=2))
-        if not report.clean:
-            return 2
-        if frames_dirty:
-            return 4
-        return 3 if escapes_found else 0
-    print(f"objects: {report.objects}, references: {report.references}, "
-          f"out-pointers: {report.out_pointers}, frames: {report.frames}")
-    if report.clean:
-        if frames_dirty:
-            for error in report.frame_errors:
-                print(f"FRAME: {error}")
-            print(f"fsck: {len(report.frame_errors)} frame-segment "
-                  f"error(s) — resumable-task stack inconsistent")
-            return 4
-        if escapes_found:
-            for offset in report.escape_slots:
-                print(f"ESCAPE: slot at heap offset {offset} points "
-                      f"outside the heap")
-            print(f"fsck: {report.out_pointers} NVM->DRAM out-pointer(s) "
-                  f"— dangling after a reboot")
-            return 3
-        print("clean")
-        return 0
-    for error in report.errors:
-        print(f"ERROR: {error}")
-    return 2
+        return code
+    _print_one(report, code)
+    return code
 
 
 if __name__ == "__main__":

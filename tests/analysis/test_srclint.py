@@ -1,4 +1,4 @@
-"""AST-based source lint: rules ESP301/302/303 and the CLI around them."""
+"""AST-based source lint: rules ESP301/302/303/305 and the CLI around them."""
 
 import json
 import os
@@ -10,6 +10,7 @@ from pathlib import Path
 from repro.analysis.srclint import (
     ALL_RULES,
     PERSIST_RULES,
+    SESSION_RULES,
     TIME_RULES,
     lint_paths,
 )
@@ -24,6 +25,73 @@ def write_tree(root: Path, files: dict) -> Path:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(content)
     return root
+
+
+class TestEsp305ModuleState:
+    """ESP305: module-level mutable state in the session/core layers."""
+
+    CORE = "repro/core/thing.py"
+
+    def _lint(self, tmp_path, source, rel=None):
+        write_tree(tmp_path, {rel or self.CORE: source})
+        return lint_paths([tmp_path], rules=SESSION_RULES)
+
+    def test_mutated_module_set_flagged(self, tmp_path):
+        findings = self._lint(tmp_path, (
+            "_SEEN = set()\n"
+            "def remember(x):\n"
+            "    _SEEN.add(x)\n"))
+        assert [f.code for f in findings] == ["ESP305"]
+        assert findings[0].lineno == 3
+        assert "_SEEN" in findings[0].reason
+
+    def test_item_store_and_delete_flagged(self, tmp_path):
+        findings = self._lint(tmp_path, (
+            "_CACHE = {}\n"
+            "def put(k, v):\n"
+            "    _CACHE[k] = v\n"
+            "def drop(k):\n"
+            "    del _CACHE[k]\n"))
+        assert [f.code for f in findings] == ["ESP305", "ESP305"]
+
+    def test_global_statement_flagged(self, tmp_path):
+        findings = self._lint(tmp_path, (
+            "_COUNT = 0\n"
+            "def bump():\n"
+            "    global _COUNT\n"
+            "    _COUNT += 1\n"))
+        assert [f.code for f in findings] == ["ESP305"]
+        assert "global" in findings[0].reason
+
+    def test_readonly_lookup_table_is_legal(self, tmp_path):
+        assert self._lint(tmp_path, (
+            "_KIND = {1: \'int\', 2: \'ref\'}\n"
+            "def kind(code):\n"
+            "    return _KIND[code]\n")) == []
+
+    def test_frozenset_and_tuple_are_legal(self, tmp_path):
+        assert self._lint(tmp_path, (
+            "ALLOWED = frozenset({\'a\', \'b\'})\n"
+            "ORDER = (\'a\', \'b\')\n")) == []
+
+    def test_instance_state_is_legal(self, tmp_path):
+        assert self._lint(tmp_path, (
+            "class Session:\n"
+            "    def __init__(self):\n"
+            "        self.seen = set()\n"
+            "    def remember(self, x):\n"
+            "        self.seen.add(x)\n")) == []
+
+    def test_only_applies_to_session_core_layers(self, tmp_path):
+        source = "_SEEN = set()\ndef f(x):\n    _SEEN.add(x)\n"
+        assert self._lint(tmp_path, source, rel="repro/jpa/model.py") == []
+        assert self._lint(tmp_path, source, rel="repro/fleet/router.py") != []
+        assert self._lint(tmp_path, source, rel="repro/api.py") != []
+
+    def test_default_rules_include_esp305(self, tmp_path):
+        write_tree(tmp_path, {self.CORE:
+                              "_SEEN = set()\ndef f(x):\n    _SEEN.add(x)\n"})
+        assert [f.code for f in lint_paths([tmp_path])] == ["ESP305"]
 
 
 def run_cli(*args, cwd=None):

@@ -19,11 +19,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.api import (
-    Espresso,
-    EspressoConfig,
-    reset_deprecation_warnings,
-)
+from repro.api import Espresso, EspressoConfig
 from repro.nvm.clock import Clock
 from repro.nvm.latency import LatencyConfig
 from repro.obs import NULL_OBS, Observatory
@@ -64,6 +60,8 @@ EXPECTED_SURFACE = {
     "flush_reachable": ["handle"],
     "system_gc": [],
     "persistent_gc": ["heap"],
+    "persistent_type": ["target"],
+    "reset_deprecation_warnings": [],
     "register_task": ["name", "fn"],
     "resumable_task": ["name", "heap"],
     "shutdown": [],
@@ -115,11 +113,11 @@ def test_properties_exposed():
 def test_config_dataclass_fields():
     assert [f.name for f in EspressoConfig.__dataclass_fields__.values()] \
         == ["clock", "latency", "heap_config", "alias_aware", "observatory",
-            "gc_workers", "safety_certificate", "resumable", "task_registry"]
+            "gc_workers", "safety_certificate", "resumable", "task_registry",
+            "persistent_types"]
 
 
 def test_each_alias_warns_once_and_delegates(tmp_path):
-    reset_deprecation_warnings()
     jvm = Espresso(tmp_path / "heaps")
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
@@ -140,24 +138,34 @@ def test_each_alias_warns_once_and_delegates(tmp_path):
     for java, snake in JAVA_ALIASES.items():
         assert any(java in str(w.message) and snake in str(w.message)
                    for w in deprecations), java
-    reset_deprecation_warnings()
 
 
 def test_alias_warns_again_after_reset(tmp_path):
-    reset_deprecation_warnings()
     jvm = Espresso(tmp_path / "heaps")
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
         jvm.existsHeap("x")
-        reset_deprecation_warnings()
+        jvm.reset_deprecation_warnings()
         jvm.existsHeap("x")
     assert len([w for w in caught
                 if issubclass(w.category, DeprecationWarning)]) == 2
-    reset_deprecation_warnings()
+
+
+def test_alias_warnings_deduped_per_session_not_per_process(tmp_path):
+    """Two live sessions each warn once: the dedup set is per instance."""
+    a = Espresso(tmp_path / "a")
+    b = Espresso(tmp_path / "b")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        a.existsHeap("x")
+        b.existsHeap("x")
+        a.existsHeap("x")
+        b.existsHeap("x")
+    assert len([w for w in caught
+                if issubclass(w.category, DeprecationWarning)]) == 2
 
 
 def test_snake_case_calls_never_warn(tmp_path):
-    reset_deprecation_warnings()
     jvm = Espresso(tmp_path / "heaps")
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")

@@ -1,6 +1,16 @@
 """Tests for the bench harness utilities and result determinism."""
 
-from repro.bench.harness import breakdown_percentages, format_table
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    BENCH_SCHEMA_VERSION,
+    bench_payload,
+    breakdown_percentages,
+    format_table,
+    write_bench_json,
+)
 
 
 class TestFormatTable:
@@ -36,6 +46,50 @@ class TestBreakdownPercentages:
     def test_empty_breakdown(self):
         shares = breakdown_percentages({}, ["x"])
         assert shares == {"x": 0.0, "other": 0.0}
+
+
+class TestBenchPayload:
+    def test_envelope_plus_flat_results(self):
+        payload = bench_payload("demo", {"speedup": 2.0, "rows": [1, 2]},
+                                params={"count": 7})
+        assert payload["bench"] == "demo"
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["params"] == {"count": 7}
+        # result fields stay top-level: migration without field changes
+        assert payload["speedup"] == 2.0
+        assert payload["rows"] == [1, 2]
+
+    def test_params_default_to_empty(self):
+        assert bench_payload("demo", {})["params"] == {}
+
+    def test_reserved_keys_rejected(self):
+        for key in ("bench", "schema_version", "params"):
+            with pytest.raises(ValueError):
+                bench_payload("demo", {key: 1})
+
+    def test_write_bench_json_wraps_envelope(self, tmp_path):
+        path = write_bench_json("demo", {"x": 1}, out_dir=tmp_path,
+                                params={"n": 3})
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert path.endswith("BENCH_demo.json")
+        assert payload["bench"] == "demo"
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["params"] == {"n": 3}
+        assert payload["x"] == 1
+
+    def test_every_bench_writer_shares_the_envelope(self, tmp_path,
+                                                    monkeypatch):
+        """The gc bench (cheapest writer) emits the shared schema."""
+        monkeypatch.setenv("BENCH_OUT_DIR", str(tmp_path))
+        from repro.bench.gc_cost import main
+        main(object_count=60)
+        with open(tmp_path / "BENCH_gc_scaling.json") as fh:
+            payload = json.load(fh)
+        assert payload["bench"] == "gc_scaling"
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["params"] == {"objects": 60}
+        assert payload["scaling"]  # legacy fields untouched
 
 
 class TestDeterminism:

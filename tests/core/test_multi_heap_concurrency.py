@@ -1,0 +1,154 @@
+"""Concurrent multi-heap open/close across sessions sharing one directory.
+
+The fleet layer mounts K shard sessions over a common heap directory, so
+the name manager / name table paths that were historically exercised
+single-heap get pinned here for the concurrent shapes: duplicate names
+across sessions, load-while-another-session-is-creating, unload ordering,
+and same-name root/klass entries living in different heaps' name tables.
+"""
+
+import pytest
+
+from repro.api import Espresso
+from repro.core.name_table import ENTRY_TYPE_KLASS, ENTRY_TYPE_ROOT
+from repro.errors import HeapExistsError, HeapNotFoundError
+from repro.runtime.klass import FieldKind, field
+
+
+def _node(jvm):
+    return jvm.define_class("Node", [field("v", FieldKind.INT)])
+
+
+def _put(jvm, heap, root, v):
+    node = jvm.pnew("Node", heap=heap)
+    jvm.set_field(node, "v", v)
+    jvm.flush_reachable(node)
+    jvm.set_root(root, node, heap=heap)
+
+
+class TestCrossSessionNameManager:
+    def test_registration_visible_to_earlier_session(self, tmp_path):
+        """load-while-creating: B registers after A's manager was built."""
+        a = Espresso(tmp_path)
+        b = Espresso(tmp_path)
+        assert not a.exists_heap("shard-0")
+        _node(b)
+        b.create_heap("shard-0", 256 * 1024)
+        _put(b, "shard-0", "r", 41)
+        b.shutdown()
+        # A's NameManager predates the registration yet must see it.
+        assert a.exists_heap("shard-0")
+        _node(a)
+        a.load_heap("shard-0")
+        assert a.get_field(a.get_root("r"), "v") == 41
+
+    def test_duplicate_name_across_sessions_raises(self, tmp_path):
+        a = Espresso(tmp_path)
+        b = Espresso(tmp_path)
+        a.create_heap("shard-0", 256 * 1024)
+        with pytest.raises(HeapExistsError):
+            b.create_heap("shard-0", 256 * 1024)
+
+    def test_remove_does_not_resurrect_via_refresh(self, tmp_path):
+        a = Espresso(tmp_path)
+        a.create_heap("dead", 256 * 1024)
+        a.shutdown()
+        a.heaps.names.remove("dead")
+        assert not Espresso(tmp_path).exists_heap("dead")
+        with pytest.raises(HeapNotFoundError):
+            Espresso(tmp_path).load_heap("dead")
+
+    def test_sibling_sessions_mount_distinct_heaps(self, tmp_path):
+        sessions = []
+        for i in range(3):
+            jvm = Espresso(tmp_path)
+            _node(jvm)
+            jvm.create_heap(f"shard-{i}", 256 * 1024)
+            _put(jvm, f"shard-{i}", "r", i)
+            sessions.append(jvm)
+        # every session sees the full namespace, but mounts only its own
+        for i, jvm in enumerate(sessions):
+            assert jvm.heaps.names.names() == \
+                ["shard-0", "shard-1", "shard-2"]
+            assert jvm.heaps.mounted_names() == [f"shard-{i}"]
+            assert jvm.get_field(jvm.get_root("r"), "v") == i
+
+
+class TestUnloadOrdering:
+    def test_unload_out_of_creation_order(self, tmp_path):
+        jvm = Espresso(tmp_path)
+        _node(jvm)
+        for name in ("a", "b", "c"):
+            jvm.create_heap(name, 256 * 1024)
+        for name, v in (("a", 1), ("b", 2), ("c", 3)):
+            _put(jvm, name, "r", v)
+        jvm.heaps.unload_heap("b")            # middle first
+        assert jvm.heaps.mounted_names() == ["a", "c"]
+        jvm.heaps.unload_heap("c")
+        jvm.heaps.unload_heap("a")
+        assert jvm.heaps.mounted_names() == []
+        jvm2 = jvm.restart()
+        _node(jvm2)
+        for name, v in (("c", 3), ("a", 1), ("b", 2)):  # reload shuffled
+            jvm2.load_heap(name)
+            assert jvm2.get_field(jvm2.get_root("r", heap=name), "v") == v
+
+    def test_one_sessions_unload_leaves_siblings_serving(self, tmp_path):
+        a = Espresso(tmp_path)
+        b = Espresso(tmp_path)
+        for i, jvm in enumerate((a, b)):
+            _node(jvm)
+            jvm.create_heap(f"s{i}", 256 * 1024)
+            _put(jvm, f"s{i}", "r", i + 10)
+        a.shutdown()
+        assert b.get_field(b.get_root("r"), "v") == 11
+        _put(b, "s1", "r2", 12)               # still writable
+        assert b.get_field(b.get_root("r2"), "v") == 12
+
+
+class TestNameTableCollisions:
+    def test_same_root_name_in_two_heaps_stays_heap_local(self, tmp_path):
+        jvm = Espresso(tmp_path)
+        _node(jvm)
+        jvm.create_heap("a", 256 * 1024)
+        jvm.create_heap("b", 256 * 1024)
+        _put(jvm, "a", "shared", 1)
+        _put(jvm, "b", "shared", 2)
+        assert jvm.get_field(jvm.get_root("shared", heap="a"), "v") == 1
+        assert jvm.get_field(jvm.get_root("shared", heap="b"), "v") == 2
+        jvm2 = jvm.restart()
+        _node(jvm2)
+        jvm2.load_heap("a")
+        jvm2.load_heap("b")
+        assert jvm2.get_field(jvm2.get_root("shared", heap="a"), "v") == 1
+        assert jvm2.get_field(jvm2.get_root("shared", heap="b"), "v") == 2
+
+    def test_root_and_klass_entries_do_not_collide(self, tmp_path):
+        """One name table, same name, different entry types."""
+        jvm = Espresso(tmp_path)
+        _node(jvm)
+        heap = jvm.create_heap("h", 256 * 1024)
+        node = jvm.pnew("Node")
+        jvm.flush_reachable(node)
+        jvm.set_root("Node", node)            # root named like the klass
+        table = heap.name_table
+        klass_value = table.lookup(ENTRY_TYPE_KLASS, "Node")
+        root_value = table.lookup(ENTRY_TYPE_ROOT, "Node")
+        assert klass_value is not None and root_value is not None
+        assert klass_value != root_value
+        assert jvm.get_root("Node").address == node.address
+
+    def test_same_klass_name_across_shards(self, tmp_path):
+        """Each shard's name table carries its own Klass entry."""
+        sessions = []
+        for i in range(2):
+            jvm = Espresso(tmp_path)
+            _node(jvm)
+            jvm.create_heap(f"shard-{i}", 256 * 1024)
+            _put(jvm, f"shard-{i}", "r", i)
+            sessions.append(jvm)
+        for i, jvm in enumerate(sessions):
+            heap = jvm.heaps.heap(f"shard-{i}")
+            assert heap.name_table.lookup(ENTRY_TYPE_KLASS, "Node") \
+                is not None
+            assert jvm.get_field(jvm.get_root("r"), "v") == i

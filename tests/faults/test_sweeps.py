@@ -16,10 +16,10 @@ ALL_PAIRS = [(name, mode) for name in sorted(SWEEPS)
              for mode in FaultMode.ALL]
 
 
-def test_registry_covers_all_seven_layers():
-    assert sorted(SWEEPS) == ["h2_sql", "mixed_domains", "pcj_nvml",
-                              "pjh_alloc_gc", "pjhlib", "pjo_commit",
-                              "resume_task"]
+def test_registry_covers_all_eight_layers():
+    assert sorted(SWEEPS) == ["fleet_failover", "h2_sql", "mixed_domains",
+                              "pcj_nvml", "pjh_alloc_gc", "pjhlib",
+                              "pjo_commit", "resume_task"]
 
 
 @pytest.mark.parametrize("name,mode", ALL_PAIRS)

@@ -10,7 +10,8 @@ application using both the fine-grained and coarse-grained models — the
 import pytest
 
 from repro.api import Espresso
-from repro.core.safety import SafetyLevel, _ANNOTATED_TYPES, persistent_type
+from repro.core.safety import (SafetyLevel, is_marked_persistent,
+                               persistent_type)
 from repro.errors import SimulatedCrash, UnsafePointerError
 from repro.jpab.model import BasicPerson
 from repro.pjhlib import PjhHashmap, PjhLong, PjhTransaction
@@ -138,27 +139,51 @@ class TestMultipleHeaps:
 
 class TestPersistentTypeAnnotation:
     def test_annotation_feeds_type_based_safety(self, tmp_path):
-        try:
-            jvm = Espresso(tmp_path / "h")
-            safe = jvm.define_class("SafeType", [field("v", FieldKind.INT)])
-            unsafe = jvm.define_class("UnsafeType")
-            persistent_type("SafeType")
-            jvm.create_heap("t", 256 * 1024, safety=SafetyLevel.TYPE_BASED)
-            obj = jvm.pnew(safe)  # annotated: allowed
-            assert jvm.vm.in_pjh(obj.address)
-            with pytest.raises(UnsafePointerError):
-                jvm.pnew(unsafe)
-        finally:
-            _ANNOTATED_TYPES.discard("SafeType")
+        jvm = Espresso(tmp_path / "h")
+        safe = jvm.define_class("SafeType", [field("v", FieldKind.INT)])
+        unsafe = jvm.define_class("UnsafeType")
+        jvm.persistent_type("SafeType")
+        jvm.create_heap("t", 256 * 1024, safety=SafetyLevel.TYPE_BASED)
+        obj = jvm.pnew(safe)  # annotated: allowed
+        assert jvm.vm.in_pjh(obj.address)
+        with pytest.raises(UnsafePointerError):
+            jvm.pnew(unsafe)
 
-    def test_decorator_form(self):
-        try:
-            @persistent_type
-            class Decorated:
-                pass
-            assert "Decorated" in _ANNOTATED_TYPES
-        finally:
-            _ANNOTATED_TYPES.discard("Decorated")
+    def test_annotations_are_per_session(self, tmp_path):
+        """One session's @persistent_type never leaks into another."""
+        a = Espresso(tmp_path / "a")
+        b = Espresso(tmp_path / "b")
+        for jvm in (a, b):
+            jvm.define_class("SafeType", [field("v", FieldKind.INT)])
+            jvm.create_heap("t", 256 * 1024, safety=SafetyLevel.TYPE_BASED)
+        a.persistent_type("SafeType")
+        assert a.vm.in_pjh(a.pnew("SafeType").address)
+        with pytest.raises(UnsafePointerError):
+            b.pnew("SafeType")
+
+    def test_annotation_survives_restart(self, tmp_path):
+        jvm = Espresso(tmp_path / "h")
+        jvm.define_class("SafeType", [field("v", FieldKind.INT)])
+        jvm.persistent_type("SafeType")
+        jvm.create_heap("t", 256 * 1024, safety=SafetyLevel.TYPE_BASED)
+        jvm2 = jvm.restart()
+        jvm2.define_class("SafeType", [field("v", FieldKind.INT)])
+        jvm2.load_heap("t", safety=SafetyLevel.TYPE_BASED)
+        assert jvm2.vm.in_pjh(jvm2.pnew("SafeType").address)
+
+    def test_decorator_form(self, tmp_path):
+        @persistent_type
+        class Decorated:
+            pass
+        assert is_marked_persistent(Decorated)
+
+        jvm = Espresso(tmp_path / "h")
+        jvm.persistent_type(Decorated)
+        assert "Decorated" in jvm.config.persistent_types
+
+    def test_string_form_requires_a_session(self):
+        with pytest.raises(TypeError):
+            persistent_type("Unbound")
 
 
 class TestUnifiedPersistence:

@@ -186,3 +186,34 @@ def test_property_pjh_hashmap_matches_dict(tmp_path_factory, ops):
     assert m.size() == len(model)
     for k, v in model.items():
         assert jvm.get_field(m.get(PjhLong(jvm, txn, k)), "value") == v
+
+
+class TestRehashDurability:
+    """Rehash splices live entries, so it must be undo-logged + flushed.
+
+    Regression: pre-fix, mutated ``next`` pointers were never flushed, so
+    a crash *after* a rehash resurrected stale chain pointers and
+    committed entries silently vanished (the fleet smoke found this with
+    >12 entries per shard — the sweep's 8-entry workload never rehashed).
+    """
+
+    def test_entries_survive_crash_after_rehash(self, tmp_path):
+        jvm = Espresso(tmp_path / "heaps")
+        jvm.create_heap("lib", 2 * 1024 * 1024)
+        txn = PjhTransaction(jvm)
+        m = PjhHashmap(jvm, txn)
+        jvm.set_root("table", m.h)
+        jvm.set_root("txn_entries", txn._entries)
+        jvm.set_root("txn_meta", txn._meta)
+        count = 40                      # crosses two rehash thresholds
+        for i in range(count):
+            m.put(PjhLong(jvm, txn, i), PjhLong(jvm, txn, i * 3))
+        jvm2 = jvm.crash_and_restart()  # unflushed lines are lost
+        jvm2.load_heap("lib")
+        txn2 = PjhTransaction.reattach(jvm2, jvm2.get_root("txn_entries"),
+                                       jvm2.get_root("txn_meta"))
+        assert not txn2.recover()       # nothing mid-flight to roll back
+        m2 = PjhHashmap(jvm2, txn2, handle=jvm2.get_root("table"))
+        assert m2.size() == count
+        for i in range(count):
+            assert jvm2.get_field(m2.get_raw(i), "value") == i * 3

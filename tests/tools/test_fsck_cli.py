@@ -244,3 +244,108 @@ def test_check_frames_still_exits_2_when_corrupt(frame_heap_dir):
     corrupt(heap_dir)
     proc = run_fsck("--check-frames", heap_dir, "h")
     assert proc.returncode == 2
+
+
+# --- --all-heaps: aggregate fleet-style checking, worst exit code wins ------
+
+
+@pytest.fixture
+def multi_heap_dir(tmp_path):
+    """Three independent clean heaps under one directory."""
+    jvm = Espresso(tmp_path)
+    node = jvm.define_class("Node", [field("v", FieldKind.INT),
+                                     field("next", FieldKind.REF)])
+    for name in ("alpha", "beta", "gamma"):
+        jvm.create_heap(name, 256 * 1024)
+        head = jvm.pnew(node, heap=name)
+        jvm.set_field(head, "v", 7)
+        jvm.flush_reachable(head)
+        jvm.set_root("head", head, heap=name)
+    jvm.shutdown()
+    return tmp_path
+
+
+def corrupt_named(heap_dir, name):
+    jvm = Espresso(heap_dir)
+    image = jvm.heaps.names.load_image(name)
+    image[0] ^= 0xFF
+    jvm.heaps.names.save_image(name, image)
+
+
+def test_all_heaps_exit_0_when_every_heap_clean(multi_heap_dir):
+    proc = run_fsck("--all-heaps", multi_heap_dir)
+    assert proc.returncode == 0
+    for name in ("alpha", "beta", "gamma"):
+        assert f"--- {name} ---" in proc.stdout
+    assert "3 heap(s) scanned, 0 dirty" in proc.stdout
+
+
+def test_all_heaps_exit_1_on_extra_positional(multi_heap_dir):
+    proc = run_fsck("--all-heaps", multi_heap_dir, "alpha")
+    assert proc.returncode == 1
+    assert "fsck" in proc.stdout  # usage text, not a traceback
+
+
+def test_all_heaps_exit_1_on_empty_directory(tmp_path):
+    proc = run_fsck("--all-heaps", tmp_path)
+    assert proc.returncode == 1
+    assert "no heaps" in proc.stdout
+
+
+def test_all_heaps_exit_2_when_one_heap_corrupt(multi_heap_dir):
+    corrupt_named(multi_heap_dir, "beta")
+    proc = run_fsck("--all-heaps", multi_heap_dir)
+    assert proc.returncode == 2
+    assert "ERROR" in proc.stdout
+    assert "3 heap(s) scanned, 1 dirty" in proc.stdout
+
+
+def test_all_heaps_exit_3_on_escapes(escape_heap_dir):
+    proc = run_fsck("--all-heaps", "--check-escapes", escape_heap_dir)
+    assert proc.returncode == 3
+    assert "ESCAPE" in proc.stdout
+
+
+def test_all_heaps_exit_4_on_frame_damage(frame_heap_dir):
+    heap_dir = corrupt_frame_slot(frame_heap_dir)
+    proc = run_fsck("--all-heaps", "--check-frames", heap_dir)
+    assert proc.returncode == 4
+    assert "FRAME" in proc.stdout
+
+
+def test_all_heaps_corruption_outranks_escapes(escape_heap_dir):
+    """Worst-wins: a corrupt sibling beats a clean-but-escaping heap."""
+    jvm = Espresso(escape_heap_dir)
+    jvm.create_heap("sick", 256 * 1024)
+    jvm.shutdown()
+    corrupt_named(escape_heap_dir, "sick")
+    proc = run_fsck("--all-heaps", "--check-escapes", escape_heap_dir)
+    assert proc.returncode == 2
+
+
+def test_all_heaps_json_aggregates_per_heap(multi_heap_dir):
+    corrupt_named(multi_heap_dir, "gamma")
+    proc = run_fsck("--json", "--all-heaps", multi_heap_dir)
+    assert proc.returncode == 2
+    payload = json.loads(proc.stdout)
+    assert payload["scanned"] == 3
+    assert payload["worst"] == 2
+    assert set(payload["heaps"]) == {"alpha", "beta", "gamma"}
+    assert payload["heaps"]["alpha"]["exit_code"] == 0
+    assert payload["heaps"]["gamma"]["exit_code"] == 2
+    assert payload["heaps"]["gamma"]["clean"] is False
+
+
+def test_all_heaps_covers_a_real_fleet(tmp_path):
+    """The flag's reason to exist: one command over a whole fleet."""
+    from repro.fleet import FleetConfig, FleetRouter
+    fleet = FleetRouter.create(
+        tmp_path / "fleet",
+        FleetConfig(shards=2, shard_size_bytes=512 * 1024))
+    fleet.put("alice", "k", "v")
+    fleet.shutdown()
+    proc = run_fsck("--json", "--all-heaps", tmp_path / "fleet")
+    assert proc.returncode == 0
+    payload = json.loads(proc.stdout)
+    assert set(payload["heaps"]) == {"__fleet__", "shard-0", "shard-1"}
+    assert payload["worst"] == 0
