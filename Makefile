@@ -2,17 +2,24 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check test sweep sweep-fast fsck analyze lint-persist lint-time \
-	obs-report fleet-smoke
+	obs-report fleet-smoke concurrent-smoke
 
 # The CI gate: the full static analyzer, the tier-1 suite, a strided
-# smoke pass of every crash sweep (including the fleet fail-over
-# layer), then the end-to-end fleet smoke.
-check: analyze test sweep-fast fleet-smoke
+# smoke pass of every crash sweep (including the fleet fail-over and
+# concurrent-gang layers), then the end-to-end fleet and gang smokes.
+check: analyze test sweep-fast fleet-smoke concurrent-smoke
 
 # End-to-end fleet smoke: 2 shards, contended traffic, one fail-over,
 # reload from the durable directory, fsck on every heap.
 fleet-smoke:
 	$(PYTHON) -m repro.fleet.smoke
+
+# End-to-end gang smoke: a 2-mutator contended KV run on the lock-free
+# durable map — hazard-clean trace, crash, recover, durable
+# linearizability check, fsck.
+concurrent-smoke:
+	$(PYTHON) -c "from repro.workloads.concurrent_kv import main; \
+	raise SystemExit(main())"
 
 # All three analyzer passes: AST source lint (ESP3xx) over src/ and
 # examples/, persistent-closure analysis (ESP1xx) of the BasicTest

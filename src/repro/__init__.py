@@ -8,13 +8,16 @@ H2-style SQL database), all running on a simulated NVM substrate.
 
 Entry points:
 
+* :func:`repro.open_heap` — *the* way in: create-or-load one heap as a
+  context-managed session (``with repro.open_heap(dir, name, ...)``).
 * :class:`repro.Espresso` — one "JVM" with the persistence extensions.
+* :meth:`repro.fleet.FleetRouter.session` — the sharded multi-heap way in.
 * :mod:`repro.pcj` — the Persistent Collections for Java baseline.
 * :mod:`repro.jpa` / :mod:`repro.pjo` — coarse-grained persistence layers.
 * :mod:`repro.bench` — harnesses regenerating every figure in the paper.
 """
 
-from repro.api import Espresso, EspressoConfig
+from repro.api import Espresso, EspressoConfig, open_heap
 from repro.core.safety import (PersistentTypeRegistry, SafetyLevel,
                                persistent_type)
 from repro.obs import NULL_OBS, Observatory
@@ -33,6 +36,7 @@ __all__ = [
     "PersistentTypeRegistry",
     "SafetyLevel",
     "field",
+    "open_heap",
     "persistent_type",
     "__version__",
 ]

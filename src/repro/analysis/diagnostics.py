@@ -58,6 +58,12 @@ RULE_CATALOGUE: Dict[str, Tuple[str, str]] = {
                "stack-top word became durable before every line of the "
                "frame it points at — a crash in the window resumes into a "
                "torn frame"),
+    "ESP205": ("error",
+               "racy publish without persist edge: in a multi-mutator "
+               "trace a pointer was published whose target was flushed "
+               "only by a different mutator, with no fence between — "
+               "another legal interleaving orders the publish before the "
+               "flush, recovering a dangling reference"),
     # -- source lint ------------------------------------------------------
     "ESP301": ("error",
                "raw clflush call outside the persist layer — route flush "

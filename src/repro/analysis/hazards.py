@@ -26,9 +26,25 @@ and a happens-before checker replays the log against three rules:
   from ESP203: checkpoints legitimately rewrite a published frame's
   slots, and replay never reads a slot the durable ``pc`` has not
   admitted.
+* **ESP205 racy publish without persist edge** — the concurrent-trace
+  rule.  Multi-mutator traces tag stores, flushes and publishes with the
+  issuing mutator (see :meth:`PersistEventLog.mutator`); the replay then
+  has a *per-mutator program order* in addition to the global order of
+  the recorded schedule.  A publish by mutator M whose target line was
+  last flushed by a different mutator N, with **no fence between N's
+  flush and M's publish**, is racy: the recorded schedule happened to
+  order the flush first, but nothing synchronises the two mutators, so
+  another legal interleaving (or the hardware's write-back timing)
+  orders M's publish before N's flush completes — publish-before-persist
+  in disguise.  The persist edge must be in M's own program order (M
+  flushed the destination itself before linking it — the Zuriel/
+  NVTraverse discipline) or separated from the publish by a global
+  fence.  Lines never flushed before the publish are left to ESP201,
+  which already checks the durability ordering at fence time.
 
 Word offsets in the log are heap-relative, so reports are deterministic
-across runs and ``gc_workers`` settings.
+across runs, ``gc_workers`` and ``mutators`` settings (the mutator
+gang's schedule is seeded, so the trace itself is replayable).
 """
 
 from __future__ import annotations
@@ -108,7 +124,10 @@ def analyze_trace(trace, line_words: Optional[int] = None,
     ``trace`` may be the log object itself or any iterable of event
     tuples: ``("store", offset, count)``, ``("flush", line)``,
     ``("fence",)``, ``("publish", slot_offset, target_offset)``,
-    ``("frame", top_offset, frame_offset, frame_words)``.
+    ``("frame", top_offset, frame_offset, frame_words)``.  Concurrent
+    traces append a mutator index to store/flush/publish/frame events
+    (recorded under :meth:`PersistEventLog.mutator`); tagged publishes
+    are additionally checked against the ESP205 racy-publish rule.
     """
     events = list(getattr(trace, "events", trace))
     if line_words is None:
@@ -124,14 +143,27 @@ def analyze_trace(trace, line_words: Optional[int] = None,
     fence_no = 0
     publishes: List[_Publish] = []
     pending: List[_Publish] = []        # slot store not yet durable
+    # line -> (mutator tag, fence count when the flush was issued); feeds
+    # the ESP205 racy-publish check on tagged (concurrent) traces.
+    last_flush: Dict[int, Tuple[Optional[int], int]] = {}
+    mutators_seen: Set[int] = set()
     counts = {"events": len(events), "stores": 0, "flushes": 0,
-              "fences": 0, "publishes": 0, "frame_publishes": 0}
+              "fences": 0, "publishes": 0, "frame_publishes": 0,
+              "mutators": 0}
+
+    def _mutator_tag(event: tuple, untagged_len: int) -> Optional[int]:
+        if len(event) <= untagged_len:
+            return None
+        tag = int(event[untagged_len])
+        mutators_seen.add(tag)
+        return tag
 
     for index, event in enumerate(events):
         kind = event[0]
         if kind == "store":
             offset = int(event[1])
             count = int(event[2]) if len(event) > 2 else 1
+            _mutator_tag(event, 3)
             counts["stores"] += 1
             dirty |= _lines_of(offset, count, line_words)
             span = range(offset, offset + count)
@@ -146,7 +178,9 @@ def analyze_trace(trace, line_words: Optional[int] = None,
                         offset, count, line_words) & pub.target_lines
         elif kind == "flush":
             line = int(event[1])
+            flusher = _mutator_tag(event, 2)
             counts["flushes"] += 1
+            last_flush[line] = (flusher, fence_no)
             if line in dirty:
                 dirty.discard(line)
                 flushed.add(line)
@@ -189,12 +223,38 @@ def analyze_trace(trace, line_words: Optional[int] = None,
             flushed = set()
         elif kind == "publish":
             counts["publishes"] += 1
+            publisher = _mutator_tag(event, 3)
             pub = _Publish(index, int(event[1]), int(event[2]),
                            line_words, header_words)
             publishes.append(pub)
             pending.append(pub)
+            if publisher is not None:
+                # ESP205: every target line flushed before this publish
+                # needs a persist edge to the publisher — same mutator's
+                # program order, or a global fence after the flush.
+                racy = sorted(
+                    line for line in pub.target_lines
+                    if line in last_flush
+                    and last_flush[line][0] is not None
+                    and last_flush[line][0] != publisher
+                    and last_flush[line][1] == fence_no)
+                if racy:
+                    others = sorted({last_flush[line][0] for line in racy})
+                    findings.append(make_diagnostic(
+                        "ESP205", pub.where,
+                        f"mutator {publisher} published a pointer whose "
+                        f"target line(s) "
+                        f"{', '.join(str(ln) for ln in racy)} were flushed "
+                        f"only by mutator(s) "
+                        f"{', '.join(str(m) for m in others)} with no "
+                        f"fence between the flush and the publish — no "
+                        f"persist edge orders the flush before the "
+                        f"publish under other interleavings",
+                        event_index=index, mutator=publisher,
+                        lines=",".join(str(ln) for ln in racy)))
         elif kind == "frame":
             counts["frame_publishes"] += 1
+            _mutator_tag(event, 4)
             pub = _Publish(index, int(event[1]), int(event[2]),
                            line_words, header_words, code="ESP204")
             # The target span is the whole frame record, not a header.
@@ -210,6 +270,7 @@ def analyze_trace(trace, line_words: Optional[int] = None,
             f"flushed after the last fence of the trace (fence "
             f"{fence_no}); the flush is revocable under the reordered "
             f"fault model", fence=fence_no))
+    counts["mutators"] = len(mutators_seen)
     for pub in publishes:
         if pub.slot_fence is not None and pub.unpersisted_header:
             bad = sorted(pub.unpersisted_header)

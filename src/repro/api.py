@@ -24,9 +24,12 @@ Quickstart (the paper's Figure 11)::
         jvm.set_field(p, "name", jvm.pnew_string("Jimmy"))
         jvm.set_root("Jimmy_info", p)
 
-or, with the create-or-load convenience::
+or, with the create-or-load convenience (``repro.open_heap`` is *the*
+recommended way in — keyword-only, context-managed)::
 
-    jvm = Espresso.open("/tmp/heaps", "Jimmy", 1024 * 1024)
+    with repro.open_heap("/tmp/heaps", "Jimmy",
+                         size_bytes=1024 * 1024) as jvm:
+        ...
 """
 
 from __future__ import annotations
@@ -74,16 +77,22 @@ class EspressoConfig:
     #: durable heap image is byte-identical for any value; only the
     #: simulated pause (max over workers) changes.
     gc_workers: int = 1
+    #: Simulated mutator gang width (mirroring ``gc_workers``): the
+    #: default size of :meth:`Espresso.mutator_gang`.  Like the GC knob
+    #: it never changes *what* a seeded run computes — interleavings are
+    #: chosen by the gang's seed, not by this count — only how many
+    #: simulated threads the work fans out over.
+    mutators: int = 1
     #: Analyzer-issued barrier-elision certificate (a
     #: :class:`repro.analysis.SafetyCertificate`, kept untyped to avoid a
     #: hard dependency).  Installed on the VM at construction and carried
-    #: across restart/crash_and_restart; see
+    #: across restart/restart(crash=True); see
     #: :func:`repro.analysis.closure.certify_session`.
     safety_certificate: Optional[object] = None
     #: Opt into crash-transparent execution (§14): unlocks
     #: :meth:`Espresso.register_task` / :meth:`Espresso.resumable_task`,
     #: whose frame stacks live in the PJH frame segment and survive
-    #: ``crash_and_restart``.
+    #: ``restart(crash=True)``.
     resumable: bool = False
     #: The session's :class:`~repro.runtime.resume.TaskRegistry`.  Shared
     #: by reference across restarts (``replace(config)`` keeps it), so a
@@ -99,21 +108,43 @@ class EspressoConfig:
 class Espresso:
     """One simulated JVM with Espresso's persistence extensions."""
 
-    def __init__(self, heap_dir: Union[str, Path],
+    def __init__(self, heap_dir: Union[str, Path], *legacy,
                  clock: Optional[Clock] = None,
                  latency: LatencyConfig = DEFAULT_LATENCY,
                  heap_config: Optional[HeapConfig] = None,
                  alias_aware: bool = True,
                  observatory: Optional[Observatory] = None,
                  gc_workers: int = 1,
+                 mutators: int = 1,
                  config: Optional[EspressoConfig] = None) -> None:
+        #: Java-spelled aliases / legacy shims that already warned here.
+        self._warned_aliases: Set[str] = set()
+        if legacy:
+            # Pre-redesign signature: clock (then latency, ...) were
+            # positional.  Accept and map them, warning once.
+            self._warn_alias("__init__(heap_dir, clock, ...)",
+                             "__init__(heap_dir, clock=...)")
+            names = ("clock", "latency", "heap_config", "alias_aware",
+                     "observatory", "gc_workers", "config")
+            if len(legacy) > len(names):
+                raise TypeError(
+                    f"Espresso() takes at most {len(names)} positional "
+                    f"config arguments, got {len(legacy)}")
+            provided = dict(zip(names, legacy))
+            clock = provided.get("clock", clock)
+            latency = provided.get("latency", latency)
+            heap_config = provided.get("heap_config", heap_config)
+            alias_aware = provided.get("alias_aware", alias_aware)
+            observatory = provided.get("observatory", observatory)
+            gc_workers = provided.get("gc_workers", gc_workers)
+            config = provided.get("config", config)
         if config is None:
             config = EspressoConfig(
                 clock=clock, latency=latency,
                 heap_config=(heap_config if heap_config is not None
                              else HeapConfig()),
                 alias_aware=alias_aware, observatory=observatory,
-                gc_workers=gc_workers)
+                gc_workers=gc_workers, mutators=mutators)
         self.config = config
         if config.persistent_types is None:
             config.persistent_types = PersistentTypeRegistry()
@@ -126,25 +157,69 @@ class Espresso:
         self.vm.persistent_types = config.persistent_types
         self.heaps = HeapManager(self.vm, heap_dir)
         self.heap_dir = Path(heap_dir)
-        #: Java-spelled aliases that have already warned in this session.
-        self._warned_aliases: Set[str] = set()
 
     @classmethod
-    def open(cls, heap_dir: Union[str, Path], name: str, size_bytes: int,
+    def open(cls, heap_dir: Union[str, Path], name: str, *legacy,
+             size_bytes: Optional[int] = None,
              safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
              region_words: int = 1024,
              config: Optional[EspressoConfig] = None) -> "Espresso":
         """Create-or-load convenience: a session with ``name`` mounted.
 
         Loads the heap if it exists (``size_bytes`` is then ignored —
-        the stored geometry wins), creates it otherwise.
+        the stored geometry wins), creates it otherwise.  Creating a
+        heap that does not exist yet requires ``size_bytes``.  This is
+        the one keyword-only config path shared with
+        :meth:`FleetRouter.load <repro.fleet.FleetRouter.load>`; prefer
+        :func:`repro.open_heap` / :meth:`session` as the way in.
         """
+        if legacy:
+            # Pre-redesign signature: open(dir, name, size_bytes, ...).
+            names = ("size_bytes", "safety", "region_words", "config")
+            if len(legacy) > len(names):
+                raise TypeError(
+                    f"Espresso.open() takes at most {len(names)} "
+                    f"positional arguments after name, got {len(legacy)}")
+            provided = dict(zip(names, legacy))
+            size_bytes = provided.get("size_bytes", size_bytes)
+            safety = provided.get("safety", safety)
+            region_words = provided.get("region_words", region_words)
+            config = provided.get("config", config)
         jvm = cls(heap_dir, config=config)
+        if legacy:
+            jvm._warn_alias("open(dir, name, size_bytes)",
+                            "open(dir, name, size_bytes=...)")
         if jvm.exists_heap(name):
             jvm.load_heap(name, safety)
         else:
+            if size_bytes is None:
+                from repro.errors import IllegalArgumentException
+                raise IllegalArgumentException(
+                    f"heap {name!r} does not exist and no size_bytes was "
+                    f"given to create it")
             jvm.create_heap(name, size_bytes, safety, region_words)
         return jvm
+
+    @classmethod
+    def session(cls, heap_dir: Union[str, Path],
+                name: Optional[str] = None, *,
+                size_bytes: Optional[int] = None,
+                safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
+                region_words: int = 1024,
+                config: Optional[EspressoConfig] = None) -> "Espresso":
+        """Context-managed session: ``with Espresso.session(...) as jvm:``.
+
+        With *name* the heap is mounted create-or-load (like
+        :meth:`open`); without, the session starts with no heap mounted.
+        Exiting the ``with`` block shuts down cleanly — or crashes the
+        session (losing unflushed lines) if the body raised, exactly
+        like the plain constructor's context manager.
+        """
+        if name is None:
+            return cls(heap_dir, config=config)
+        return cls.open(heap_dir, name, size_bytes=size_bytes,
+                        safety=safety, region_words=region_words,
+                        config=config)
 
     # -- class definition ---------------------------------------------------
     def define_class(self, name: str,
@@ -254,6 +329,12 @@ class Espresso:
         if java_name in self._warned_aliases:
             return
         self._warned_aliases.add(java_name)
+        if "(" in java_name:  # legacy-signature shim, not a Java alias
+            warnings.warn(
+                f"Espresso.{java_name} is deprecated; use "
+                f"Espresso.{snake_name}",
+                DeprecationWarning, stacklevel=3)
+            return
         warnings.warn(
             f"Espresso.{java_name}() is deprecated; use "
             f"Espresso.{snake_name}() (the canonical snake_case API)",
@@ -323,7 +404,7 @@ class Espresso:
         """Register a deterministic task function ``fn(task, jvm, *args)``.
 
         Usable as a decorator (``@jvm.register_task("sum")``).  The
-        registry lives in the session config, so ``crash_and_restart``
+        registry lives in the session config, so ``restart(crash=True)``
         carries it into the resumed process.
         """
         self._require_resumable()
@@ -338,7 +419,7 @@ class Espresso:
         """A handle for running task ``name`` crash-transparently.
 
         ``run(*args)`` executes to completion, checkpointing at every
-        frame boundary; after :meth:`crash_and_restart` (and
+        frame boundary; after ``restart(crash=True)`` (and
         :meth:`load_heap`), calling ``run`` again resumes at the last
         persisted boundary instead of starting over.
         """
@@ -369,18 +450,25 @@ class Espresso:
             for name in list(self.heaps.mounted_names()):
                 self.heaps.unload_heap(name, crash=True)
 
-    def restart(self) -> "Espresso":
-        """Shut down gracefully and come back as a fresh 'JVM process',
-        carrying the full session config (clock, latency, heap config,
-        alias awareness, observatory)."""
-        self.shutdown()
+    def restart(self, crash: bool = False) -> "Espresso":
+        """Come back as a fresh 'JVM process' with the same session
+        config (clock, latency, heap config, observatory, ``gc_workers``,
+        ``mutators``, ...).
+
+        ``crash=False`` shuts down gracefully first; ``crash=True``
+        simulates power loss — every mounted heap drops its unflushed
+        lines — before the new process starts.
+        """
+        if crash:
+            self.crash()
+        else:
+            self.shutdown()
         return Espresso(self.heap_dir, config=replace(self.config))
 
     def crash_and_restart(self) -> "Espresso":
-        """Crash and come back as a fresh 'JVM process' with the same
-        session config."""
-        self.crash()
-        return Espresso(self.heap_dir, config=replace(self.config))
+        """Deprecated: use :meth:`restart` with ``crash=True``."""
+        self._warn_alias("crash_and_restart()", "restart(crash=True)")
+        return self.restart(crash=True)
 
     # -- context manager: `with Espresso(...) as jvm:` shuts down cleanly ----
     def __enter__(self) -> "Espresso":
@@ -394,6 +482,19 @@ class Espresso:
             # explicitly flushed, exactly like a crash would.
             self.crash()
 
+    # -- concurrent mutation (§16) -------------------------------------------
+    def mutator_gang(self, seed: int = 0,
+                     mutators: Optional[int] = None):
+        """A :class:`~repro.runtime.mutators.MutatorGang` on this
+        session's clock: *mutators* simulated threads (default the
+        config's ``mutators`` knob) interleaved by a schedule seeded
+        with *seed* — same seed, same interleaving, same durable image.
+        """
+        from repro.runtime.mutators import MutatorGang
+        width = self.config.mutators if mutators is None else mutators
+        return MutatorGang(self.clock, mutators=width, seed=seed,
+                           obs=self.obs)
+
     @property
     def clock(self) -> Clock:
         return self.vm.clock
@@ -402,3 +503,26 @@ class Espresso:
     def obs(self) -> Observatory:
         """The session's observability recorder (NULL_OBS when disabled)."""
         return self.vm.obs
+
+
+def open_heap(heap_dir: Union[str, Path], name: str, *,
+              size_bytes: Optional[int] = None,
+              safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
+              region_words: int = 1024,
+              config: Optional[EspressoConfig] = None) -> Espresso:
+    """THE way into a single-heap session: create-or-load ``name``.
+
+    Keyword-only beyond ``(heap_dir, name)`` and usable as a context
+    manager::
+
+        with repro.open_heap("/tmp/heaps", "Jimmy",
+                             size_bytes=1024 * 1024) as jvm:
+            ...
+
+    Equivalent to :meth:`Espresso.open` with the redesigned keyword-only
+    signature; multi-shard sessions use
+    :meth:`repro.fleet.FleetRouter.session` the same way.
+    """
+    return Espresso.open(heap_dir, name, size_bytes=size_bytes,
+                         safety=safety, region_words=region_words,
+                         config=config)

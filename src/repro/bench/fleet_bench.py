@@ -95,7 +95,7 @@ def run_scaling(base_dir, shard_counts: Sequence[int] = SHARD_COUNTS,
     baseline = None
     for count in shard_counts:
         fleet = FleetRouter.create(base_dir / f"fleet-{count}",
-                                   _config(count, sessions))
+                                   config=_config(count, sessions))
         ops, elapsed_ns = _drive(fleet, tenants, rounds)
         report = fleet.report()
         elapsed_ms = elapsed_ns / 1e6
@@ -128,7 +128,7 @@ def run_recovery(base_dir, shards: int = RECOVERY_SHARDS,
     base_dir = Path(base_dir)
     tenants = _tenants(sessions)
     fleet = FleetRouter.create(base_dir / "fleet-recovery",
-                               _config(shards, sessions))
+                               config=_config(shards, sessions))
     _drive(fleet, tenants, rounds)  # committed warm state on every shard
 
     victim = fleet.route(tenants[0])

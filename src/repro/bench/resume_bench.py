@@ -183,7 +183,7 @@ def run_resume(iterations: int = 8, stride: int = 5,
             pass
         else:
             break  # the bomb outlived the workload: sweep complete
-        jvm2 = jvm.crash_and_restart()
+        jvm2 = jvm.restart(crash=True)
         _define(jvm2)
         jvm2.load_heap("h")
         since = jvm2.obs.metrics.counters_snapshot()

@@ -75,7 +75,7 @@ class PersistentTypeRegistry:
     classes with simple annotations, and only objects with those classes
     will be persisted into PJH".  One registry belongs to one session
     (``EspressoConfig.persistent_types``) so concurrently open sessions
-    never see each other's annotations; ``restart``/``crash_and_restart``
+    never see each other's annotations; ``restart``/``restart(crash=True)``
     carry it forward by reference, like the task registry.
     """
 

@@ -90,6 +90,19 @@ class SweepReport:
                 f"{self.crash_points} crash points, "
                 f"{'exhausted' if self.exhausted else 'capped'}")
 
+    def to_dict(self) -> dict:
+        """JSON-friendly per-layer summary (``sweep_all --json``)."""
+        return {
+            "name": self.name,
+            "strategy": self.strategy,
+            "fault_mode": self.fault_mode,
+            "points": len(self.iterations),
+            "crash_points": self.crash_points,
+            "fsck_checked": sum(1 for it in self.iterations
+                                if it.fsck_clean is not None),
+            "exhausted": self.exhausted,
+        }
+
 
 class _FlushBomb:
     """Instrument several devices' ``clflush`` to raise after N flushes.

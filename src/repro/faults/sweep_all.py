@@ -5,14 +5,19 @@ Usage::
     python -m repro.faults.sweep_all            # exhaustive (same as `make sweep`)
     python -m repro.faults.sweep_all --fast     # strided smoke pass
     python -m repro.faults.sweep_all --sweep h2_sql --mode torn
+    python -m repro.faults.sweep_all --fast --json sweeps.json
 
 Prints one summary line per (sweep, mode) pair; exits non-zero if any
-iteration's invariant or fsck assertion fails.
+iteration's invariant or fsck assertion fails.  ``--json PATH`` also
+writes a machine-readable summary with per-layer point counts (total
+injection points, crash points, fsck-checked recoveries, exhaustion),
+so a CI run's sweep coverage is diffable without scraping stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List
 
@@ -34,11 +39,15 @@ def main(argv: List[str] = None) -> int:
                         help="run only this sweep")
     parser.add_argument("--mode", choices=FaultMode.ALL, default=None,
                         help="run only this fault mode")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write a JSON summary with per-layer "
+                             "point counts")
     args = parser.parse_args(argv)
 
     names = [args.sweep] if args.sweep else sorted(SWEEPS)
     modes = [args.mode] if args.mode else list(FaultMode.ALL)
     failures = 0
+    layers: List[dict] = []
     for name in names:
         for mode in modes:
             try:
@@ -46,9 +55,25 @@ def main(argv: List[str] = None) -> int:
                                    seed=args.seed)
             except AssertionError as exc:
                 failures += 1
+                layers.append({"name": name, "fault_mode": mode,
+                               "failed": True, "error": str(exc)})
                 print(f"{name}[{mode}]: FAILED: {exc}")
                 continue
+            layers.append(dict(report.to_dict(), failed=False))
             print(report.summary())
+    if args.json:
+        summary = {
+            "fast": bool(args.fast),
+            "seed": args.seed,
+            "failures": failures,
+            "layers": layers,
+            "total_points": sum(l.get("points", 0) for l in layers),
+            "total_crash_points": sum(l.get("crash_points", 0)
+                                      for l in layers),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
     if failures:
         print(f"{failures} sweep(s) failed", file=sys.stderr)
         return 1

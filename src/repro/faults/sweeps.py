@@ -25,6 +25,12 @@ Layers covered:
   a down shard, no session migrates), and the durable directory image is
   byte-identical to an uncrashed run's (flush boundaries, victim device
   only)
+* ``concurrent_kv``  — the concurrent mutator gang hammering the
+  lock-free durable map: a 3-mutator contended KV workload is crashed at
+  every flush boundary (each an arbitrary cut through the seeded
+  interleaving); the recovered map must pass its protocol audit, satisfy
+  durable linearizability against the gang's recorded history, and fsck
+  clean (flush boundaries)
 """
 
 from __future__ import annotations
@@ -666,11 +672,11 @@ def _resume_harness() -> CrashSweepHarness:
         ctx.jvm.resumable_task("build").run(N)
 
     def recover(ctx, crashed):
-        # crash_and_restart: durable image saved, fresh VM, same config
+        # restart(crash=True): durable image saved, fresh VM, same config
         # (the task registry rides along by reference) — a restarted JVM
         # must redefine its classes, exactly like a real one reloading
         # them.
-        jvm2 = ctx.jvm.crash_and_restart()
+        jvm2 = ctx.jvm.restart(crash=True)
         _define(jvm2)
         jvm2.load_heap("h")
         result = jvm2.resumable_task("build").run(N)
@@ -760,7 +766,7 @@ def _fleet_harness() -> CrashSweepHarness:
         if "hash" not in golden:
             tmp = Path(tempfile.mkdtemp(prefix="sweep-fleet-golden-"))
             try:
-                fleet = FleetRouter.create(tmp / "fleet", _config())
+                fleet = FleetRouter.create(tmp / "fleet", config=_config())
                 golden["hash"] = _directory_image_hash(fleet)
             finally:
                 shutil.rmtree(tmp, ignore_errors=True)
@@ -768,7 +774,7 @@ def _fleet_harness() -> CrashSweepHarness:
 
     def setup():
         tmp = Path(tempfile.mkdtemp(prefix="sweep-fleet-"))
-        fleet = FleetRouter.create(tmp / "fleet", _config())
+        fleet = FleetRouter.create(tmp / "fleet", config=_config())
         return SimpleNamespace(tmp=tmp, fleet=fleet, sessions=_sessions(),
                                committed={}, inflight={},
                                obs=fleet.shards[VICTIM].jvm.obs)
@@ -875,3 +881,59 @@ def _fleet_harness() -> CrashSweepHarness:
 
 _register(SweepSpec("fleet_failover", "flush", _fleet_harness,
                     fast_stride=19, fast_max_points=8))
+
+
+# ----------------------------------------------------------------------
+# Concurrent mutator gang on the lock-free durable map (flush sweep):
+# crashing after the N-th clflush lands at an arbitrary point of the
+# seeded interleaving, so every boundary is a different cut through the
+# contended multi-mutator schedule.
+# ----------------------------------------------------------------------
+def _concurrent_kv_harness() -> CrashSweepHarness:
+    from repro.api import Espresso
+    from repro.workloads.concurrent_kv import ConcurrentKvWorkload
+
+    MUTATORS = 3
+
+    def setup():
+        tmp = Path(tempfile.mkdtemp(prefix="sweep-ckv-"))
+        jvm = Espresso(tmp / "heaps", observatory=Observatory(),
+                       gc_workers=GC_WORKERS, mutators=MUTATORS)
+        jvm.create_heap("kv", 2 * 1024 * 1024)
+        workload = ConcurrentKvWorkload(jvm, mutators=MUTATORS,
+                                        ops_per_mutator=5, key_space=3,
+                                        seed=7, buckets=4)
+        return SimpleNamespace(tmp=tmp, jvm=jvm, workload=workload,
+                               obs=jvm.obs)
+
+    def workload(ctx):
+        ctx.workload.run()
+
+    def recover(ctx, crashed):
+        ctx.jvm.crash()
+        jvm = Espresso(ctx.tmp / "heaps", observatory=Observatory(),
+                       gc_workers=GC_WORKERS, mutators=MUTATORS)
+        jvm.load_heap("kv")
+        return SimpleNamespace(jvm=jvm, workload=ctx.workload,
+                               heap=jvm.heaps.heap("kv"), obs=jvm.obs)
+
+    def invariant(rctx, completed):
+        problems = rctx.workload.check_after_recovery(rctx.jvm, completed)
+        assert not problems, problems
+
+    def fsck(rctx):
+        from repro.tools.fsck import fsck_heap
+        return fsck_heap(rctx.heap)
+
+    def teardown(ctx, rctx):
+        shutil.rmtree(ctx.tmp, ignore_errors=True)
+
+    return CrashSweepHarness(
+        "concurrent_kv",
+        setup=setup, workload=workload, recover=recover,
+        invariant=invariant, fsck=fsck, teardown=teardown,
+        devices=lambda ctx: [ctx.jvm.heaps.heap("kv").device])
+
+
+_register(SweepSpec("concurrent_kv", "flush", _concurrent_kv_harness,
+                    fast_stride=23, fast_max_points=8))

@@ -8,11 +8,16 @@ its own re-entrant :class:`~repro.api.Espresso` session with a
 recoverable KV store (:mod:`repro.fleet.store`); admission control,
 fail-over and parallel loading live in :mod:`repro.fleet.router`.
 
-Quickstart::
+Quickstart (``Fleet`` is the short alias; ``session`` load-or-creates)::
 
-    from repro.fleet import FleetConfig, FleetRouter
+    from repro.fleet import Fleet, FleetConfig
 
-    fleet = FleetRouter.create("/tmp/fleet", FleetConfig(shards=4))
+    with Fleet.session("/tmp/fleet", config=FleetConfig(shards=4)) as fleet:
+        fleet.put("session-7", "cart", "3 espressos")
+
+or step by step::
+
+    fleet = FleetRouter.create("/tmp/fleet", config=FleetConfig(shards=4))
     fleet.put("session-7", "cart", "3 espressos")
     fleet.get("session-7", "cart")      # served by session-7's shard
     fleet.crash_shard(fleet.route("session-7"))
@@ -38,8 +43,12 @@ from repro.fleet.router import (
 )
 from repro.fleet.store import ShardStore
 
+#: Short alias for the redesigned session API (``Fleet.session(...)``).
+Fleet = FleetRouter
+
 __all__ = [
     "DIRECTORY_HEAP",
+    "Fleet",
     "FleetConfig",
     "FleetDirectory",
     "FleetRouter",

@@ -39,6 +39,7 @@ of this — see :mod:`repro.fleet.directory`.
 
 from __future__ import annotations
 
+import warnings
 import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -82,6 +83,9 @@ class FleetConfig:
     max_in_flight: int = 64
     #: Recovery/GC gang width inside each shard session.
     gc_workers: int = 1
+    #: Mutator gang width inside each shard session (the
+    #: ``EspressoConfig.mutators`` knob, propagated to every shard).
+    mutators: int = 1
     safety: SafetyLevel = SafetyLevel.USER_GUARANTEED
     #: Observe per-shard metrics?  One Observatory per shard when True.
     observe: bool = True
@@ -148,10 +152,32 @@ class FleetRouter:
                        clock: Clock) -> Espresso:
         obs = Observatory() if config.observe else None
         return Espresso(fleet_dir, config=EspressoConfig(
-            clock=clock, observatory=obs, gc_workers=config.gc_workers))
+            clock=clock, observatory=obs, gc_workers=config.gc_workers,
+            mutators=config.mutators))
+
+    @staticmethod
+    def _accept_legacy(method: str, legacy: tuple, config, clock):
+        """Map pre-redesign positional (config, clock) args, warning once
+        per call site style (keyword-only is the one config path shared
+        with :meth:`Espresso.open`)."""
+        if not legacy:
+            return config, clock
+        if len(legacy) > 2:
+            raise TypeError(
+                f"FleetRouter.{method}() takes at most 2 positional "
+                f"arguments after fleet_dir, got {len(legacy)}")
+        warnings.warn(
+            f"FleetRouter.{method}(fleet_dir, config, clock) with "
+            f"positional arguments is deprecated; pass config= and "
+            f"clock= as keywords",
+            DeprecationWarning, stacklevel=3)
+        provided = dict(zip(("config", "clock"), legacy))
+        return (provided.get("config", config),
+                provided.get("clock", clock))
 
     @classmethod
-    def create(cls, fleet_dir, config: Optional[FleetConfig] = None,
+    def create(cls, fleet_dir, *legacy,
+               config: Optional[FleetConfig] = None,
                clock: Optional[Clock] = None) -> "FleetRouter":
         """Create a fresh fleet: directory heap first, then K shards.
 
@@ -159,6 +185,7 @@ class FleetRouter:
         crash mid-create leaves a directory that either does not list
         the shard or lists a fully created one.
         """
+        config, clock = cls._accept_legacy("create", legacy, config, clock)
         config = config if config is not None else FleetConfig()
         if config.shards < 1:
             raise IllegalArgumentException(
@@ -184,13 +211,15 @@ class FleetRouter:
                    fleet_obs)
 
     @classmethod
-    def load(cls, fleet_dir, config: Optional[FleetConfig] = None,
+    def load(cls, fleet_dir, *legacy,
+             config: Optional[FleetConfig] = None,
              clock: Optional[Clock] = None) -> "FleetRouter":
         """Mount an existing fleet; shard heaps load on a worker gang.
 
         The durable directory is the source of truth for shard count and
         size — ``config.shards`` is overwritten from it.
         """
+        config, clock = cls._accept_legacy("load", legacy, config, clock)
         config = config if config is not None else FleetConfig()
         clock = clock if clock is not None else Clock()
         fleet_obs = Observatory()
@@ -219,6 +248,23 @@ class FleetRouter:
                   for i in range(len(records))]
         return cls(fleet_dir, config, clock, dir_jvm, directory, shards,
                    fleet_obs)
+
+    @classmethod
+    def session(cls, fleet_dir, *,
+                config: Optional[FleetConfig] = None,
+                clock: Optional[Clock] = None) -> "FleetRouter":
+        """Context-managed way into a fleet: load-or-create, mirroring
+        :meth:`Espresso.session` / :func:`repro.open_heap`.
+
+        Loads the fleet when its durable shard directory exists (the
+        directory's shard count/size win over *config*), creates it
+        otherwise.  Use as ``with FleetRouter.session(dir) as fleet:`` —
+        a clean exit shuts every shard down.
+        """
+        probe = Espresso(fleet_dir, config=EspressoConfig(clock=clock))
+        if probe.exists_heap(DIRECTORY_HEAP):
+            return cls.load(fleet_dir, config=config, clock=clock)
+        return cls.create(fleet_dir, config=config, clock=clock)
 
     @classmethod
     def _make_shard(cls, index: int, jvm: Espresso,

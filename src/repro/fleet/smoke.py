@@ -28,7 +28,7 @@ def run_smoke(fleet_dir: Path, verbose: bool = True) -> dict:
     """Run the smoke scenario; returns the summary dict (raises on fail)."""
     config = FleetConfig(shards=2, shard_size_bytes=512 * 1024,
                          max_in_flight=32, gc_workers=2)
-    fleet = FleetRouter.create(fleet_dir, config)
+    fleet = FleetRouter.create(fleet_dir, config=config)
     expected = {}
 
     # Phase 1: contended traffic across 8 sessions.
@@ -60,7 +60,7 @@ def run_smoke(fleet_dir: Path, verbose: bool = True) -> dict:
     # Phase 4: full restart from the durable directory.
     report = fleet.report()
     fleet.shutdown()
-    fleet2 = FleetRouter.load(fleet_dir, FleetConfig(gc_workers=2))
+    fleet2 = FleetRouter.load(fleet_dir, config=FleetConfig(gc_workers=2))
     assert len(fleet2.shards) == 2
     for (sid, key), value in sorted(expected.items()):
         assert fleet2.get(sid, key) == value, (sid, key)

@@ -74,24 +74,51 @@ class PersistEventLog:
     def __init__(self, name: str = "trace") -> None:
         self.name = name
         self.events: List[tuple] = []
+        #: When set (see :meth:`mutator`), every recorded store, flush and
+        #: publish carries this mutator index as a trailing tag, giving
+        #: the hazard analyzer per-mutator program order (ESP205).
+        #: Fences stay untagged: an sfence is a global ordering point.
+        self.current_mutator = None
+
+    def _tag(self, event: tuple) -> tuple:
+        if self.current_mutator is None:
+            return event
+        return event + (int(self.current_mutator),)
+
+    @contextmanager
+    def mutator(self, index: int) -> Iterator[None]:
+        """Attribute events recorded inside the block to mutator *index*.
+
+        The mutator gang wraps every scheduled step in this, so a
+        multi-mutator trace records which simulated thread issued each
+        store/flush/publish — the per-mutator program order the ESP205
+        rule replays.  Nesting restores the outer tag on exit.
+        """
+        previous = self.current_mutator
+        self.current_mutator = index
+        try:
+            yield
+        finally:
+            self.current_mutator = previous
 
     def record_store(self, offset: int, count: int = 1) -> None:
-        self.events.append(("store", int(offset), int(count)))
+        self.events.append(self._tag(("store", int(offset), int(count))))
 
     def record_flush(self, line: int) -> None:
-        self.events.append(("flush", int(line)))
+        self.events.append(self._tag(("flush", int(line))))
 
     def record_fence(self) -> None:
         self.events.append(("fence",))
 
     def record_publish(self, slot_offset: int, target_offset: int) -> None:
-        self.events.append(("publish", int(slot_offset),
-                            int(target_offset)))
+        self.events.append(self._tag(("publish", int(slot_offset),
+                                      int(target_offset))))
 
     def record_frame_publish(self, top_offset: int, frame_offset: int,
                              frame_words: int) -> None:
-        self.events.append(("frame", int(top_offset), int(frame_offset),
-                            int(frame_words)))
+        self.events.append(self._tag(("frame", int(top_offset),
+                                      int(frame_offset),
+                                      int(frame_words))))
 
     def clear(self) -> None:
         self.events.clear()

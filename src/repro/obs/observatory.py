@@ -40,7 +40,7 @@ class Observatory:
         An Observatory may be built before the session that owns the
         clock; the session binds it on construction so timestamps flow
         in simulated time.  An Observatory carried across
-        ``restart()``/``crash_and_restart()`` rebinds to the successor
+        ``restart()``/``restart(crash=True)`` rebinds to the successor
         session's clock, so post-recovery spans keep advancing.
         """
         self.clock = clock

@@ -4,7 +4,7 @@ Espresso (the paper) makes the *heap* survive power loss; a crash still
 kills the running computation.  This module closes that gap for marked
 tasks: their frame stack lives in the PJH frame segment
 (:mod:`repro.core.frame_segment`) and is incrementally checkpointed at
-frame-boundary safepoints, so ``Espresso.crash_and_restart`` resumes the
+frame-boundary safepoints, so ``Espresso.restart(crash=True)`` resumes the
 task at the last persisted boundary instead of rerunning it — the
 persistent-stack execution model of Aksenov et al. (PAPERS.md).
 

@@ -1,0 +1,22 @@
+"""Multi-mutator workloads: contended scenarios for sweeps and benches.
+
+The first resident is :mod:`repro.workloads.concurrent_kv` — a contended
+multi-mutator KV workload over the lock-free durable map, with a
+durable-linearizability checker that validates recovered state against
+the gang's recorded history.  ``python -m repro.workloads.concurrent_kv``
+runs the 2-mutator smoke wired into ``make concurrent-smoke``.
+"""
+
+from repro.workloads.concurrent_kv import (
+    ConcurrentKvWorkload,
+    KvOp,
+    check_recovered_state,
+    make_ops,
+)
+
+__all__ = [
+    "ConcurrentKvWorkload",
+    "KvOp",
+    "check_recovered_state",
+    "make_ops",
+]

@@ -298,3 +298,82 @@ def _mk_node(s, i, prev):
         s.set_field(node, "next", prev)
     s.flush_reachable(node)
     return node
+
+
+class TestRacyPublish:
+    """ESP205: cross-mutator publishes need a persist edge."""
+
+    def test_cross_mutator_publish_same_epoch_is_racy(self):
+        """Mutator 1 publishes a pointer whose target only mutator 0
+        flushed, with no fence between: under another interleaving the
+        publish may land before the flush."""
+        trace = [
+            ("store", TARGET, 2, 0),
+            ("flush", TARGET // 8, 0),     # m0 flushed the header...
+            ("store", SLOT, 1, 1),
+            ("publish", SLOT, TARGET, 1),  # ...but m1 publishes, no fence
+            ("flush", SLOT // 8, 1),
+            ("fence",),
+        ]
+        report = analyze_trace(trace)
+        assert "ESP205" in codes(report)
+        esp205 = [d for d in report.findings if d.code == "ESP205"][0]
+        assert "mutator 1" in esp205.message
+        assert report.stats["mutators"] == 2
+
+    def test_same_mutator_program_order_is_clean(self):
+        trace = [
+            ("store", TARGET, 2, 0),
+            ("flush", TARGET // 8, 0),
+            ("fence",),
+            ("store", SLOT, 1, 0),
+            ("publish", SLOT, TARGET, 0),  # same mutator: program order
+            ("flush", SLOT // 8, 0),
+            ("fence",),
+        ]
+        assert analyze_trace(trace).clean
+
+    def test_fence_between_flush_and_publish_is_clean(self):
+        trace = [
+            ("store", TARGET, 2, 0),
+            ("flush", TARGET // 8, 0),
+            ("fence",),                    # global persist edge
+            ("store", SLOT, 1, 1),
+            ("publish", SLOT, TARGET, 1),  # cross-mutator, but ordered
+            ("flush", SLOT // 8, 1),
+            ("fence",),
+        ]
+        assert analyze_trace(trace).clean
+
+    def test_untagged_traces_never_fire_esp205(self):
+        """Single-mutator (legacy) traces carry no tags; the racy-publish
+        rule stays out of their way even when the shape matches."""
+        trace = [
+            ("store", TARGET, 2),
+            ("flush", TARGET // 8),
+            ("store", SLOT, 1),
+            ("publish", SLOT, TARGET),
+            ("flush", SLOT // 8),
+            ("fence",),
+        ]
+        report = analyze_trace(trace)
+        assert "ESP205" not in codes(report)
+        assert report.stats["mutators"] == 0
+
+    def test_live_gang_trace_is_hazard_free(self, tmp_path):
+        """The shipped lock-free map protocol under a contended 3-mutator
+        gang replays with zero findings — including ESP205."""
+        from repro.workloads.concurrent_kv import ConcurrentKvWorkload
+
+        jvm = Espresso(tmp_path / "heaps", mutators=3)
+        jvm.create_heap("kv", 2 * 1024 * 1024)
+        heap = jvm.heaps.heap("kv")
+        log = heap.enable_event_log()
+        workload = ConcurrentKvWorkload(jvm, mutators=3,
+                                        ops_per_mutator=6, seed=4)
+        workload.run(event_log=log)
+        heap.disable_event_log()
+        report = analyze_trace(log)
+        assert report.stats["mutators"] == 3
+        assert report.stats["publishes"] > 0
+        assert report.findings == [], [d.render() for d in report.findings]

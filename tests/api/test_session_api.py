@@ -8,9 +8,10 @@ Three contracts pinned here:
 * every Java-spelled Table 1 alias still works, warns exactly once per
   process with ``DeprecationWarning``, and delegates to its snake_case
   canonical twin;
-* ``restart()`` / ``crash_and_restart()`` carry the *full* session
-  config — clock, latency, heap config, alias awareness, observatory —
-  instead of silently resetting knobs to defaults.
+* ``restart()`` / ``restart(crash=True)`` carry the *full* session
+  config — clock, latency, heap config, alias awareness, observatory,
+  ``gc_workers``, ``mutators`` — instead of silently resetting knobs to
+  defaults (``crash_and_restart()`` remains as a warning shim).
 """
 
 import inspect
@@ -29,8 +30,10 @@ from repro.runtime.klass import FieldKind, field
 # The canonical surface: public method name -> parameter names
 # (self excluded).  Java aliases are listed separately below.
 EXPECTED_SURFACE = {
-    "open": ["heap_dir", "name", "size_bytes", "safety", "region_words",
-             "config"],
+    "open": ["heap_dir", "name", "legacy", "size_bytes", "safety",
+             "region_words", "config"],
+    "session": ["heap_dir", "name", "size_bytes", "safety",
+                "region_words", "config"],
     "define_class": ["name", "fields", "super_klass"],
     "new": ["klass"],
     "new_array": ["element", "length"],
@@ -66,8 +69,9 @@ EXPECTED_SURFACE = {
     "resumable_task": ["name", "heap"],
     "shutdown": [],
     "crash": [],
-    "restart": [],
+    "restart": ["crash"],
     "crash_and_restart": [],
+    "mutator_gang": ["seed", "mutators"],
 }
 
 JAVA_ALIASES = {
@@ -113,8 +117,8 @@ def test_properties_exposed():
 def test_config_dataclass_fields():
     assert [f.name for f in EspressoConfig.__dataclass_fields__.values()] \
         == ["clock", "latency", "heap_config", "alias_aware", "observatory",
-            "gc_workers", "safety_certificate", "resumable", "task_registry",
-            "persistent_types"]
+            "gc_workers", "mutators", "safety_certificate", "resumable",
+            "task_registry", "persistent_types"]
 
 
 def test_each_alias_warns_once_and_delegates(tmp_path):
@@ -180,7 +184,7 @@ def test_snake_case_calls_never_warn(tmp_path):
 
 
 def test_open_creates_then_loads(tmp_path):
-    jvm = Espresso.open(tmp_path / "heaps", "box", 128 * 1024)
+    jvm = Espresso.open(tmp_path / "heaps", "box", size_bytes=128 * 1024)
     node = jvm.define_class("N", [field("v", FieldKind.INT)])
     n = jvm.pnew(node)
     jvm.set_field(n, "v", 41)
@@ -188,9 +192,47 @@ def test_open_creates_then_loads(tmp_path):
     jvm.set_root("r", n)
     jvm.shutdown()
 
-    jvm2 = Espresso.open(tmp_path / "heaps", "box", 128 * 1024)
+    jvm2 = Espresso.open(tmp_path / "heaps", "box")  # exists: no size needed
     jvm2.define_class("N", [field("v", FieldKind.INT)])
     assert jvm2.get_field(jvm2.get_root("r"), "v") == 41
+
+
+def test_open_positional_size_bytes_warns_once(tmp_path):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        jvm = Espresso.open(tmp_path / "heaps", "box", 128 * 1024)
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "size_bytes=" in str(deprecations[0].message)
+    assert jvm.exists_heap("box")
+
+
+def test_open_missing_heap_without_size_raises(tmp_path):
+    from repro.errors import IllegalArgumentException
+    with pytest.raises(IllegalArgumentException):
+        Espresso.open(tmp_path / "heaps", "nope")
+
+
+def test_session_context_manager_creates_then_loads(tmp_path):
+    with Espresso.session(tmp_path / "heaps", "box",
+                          size_bytes=128 * 1024) as jvm:
+        node = jvm.define_class("N", [field("v", FieldKind.INT)])
+        n = jvm.pnew(node)
+        jvm.set_field(n, "v", 43)
+        jvm.flush_reachable(n)
+        jvm.set_root("r", n)
+    # clean exit shut the session down; reopening sees the data
+    with Espresso.session(tmp_path / "heaps", "box") as jvm2:
+        jvm2.define_class("N", [field("v", FieldKind.INT)])
+        assert jvm2.get_field(jvm2.get_root("r"), "v") == 43
+
+
+def test_open_heap_is_the_way_in(tmp_path):
+    import repro
+    with repro.open_heap(tmp_path / "heaps", "box",
+                         size_bytes=128 * 1024) as jvm:
+        assert jvm.exists_heap("box")
 
 
 def test_restart_carries_full_config(tmp_path):
@@ -214,17 +256,45 @@ def test_restart_carries_full_config(tmp_path):
     assert jvm2.vm.alias_aware is False
 
 
-def test_crash_and_restart_carries_full_config(tmp_path):
+def test_crash_restart_carries_full_config(tmp_path):
     obs = Observatory()
     latency = LatencyConfig(nvm_read_ns=7, nvm_write_ns=7,
                             clflush_ns=7, sfence_ns=7)
     jvm = Espresso(tmp_path / "heaps", latency=latency, alias_aware=False,
-                   observatory=obs)
+                   observatory=obs, gc_workers=3, mutators=4)
     jvm.create_heap("h", 64 * 1024)
-    jvm2 = jvm.crash_and_restart()
+    jvm2 = jvm.restart(crash=True)
     assert jvm2.config.latency is latency
     assert jvm2.config.alias_aware is False
     assert jvm2.obs is obs
+    assert jvm2.config.gc_workers == 3
+    assert jvm2.config.mutators == 4
+    # the carried knob sizes the default gang of the restarted session
+    assert jvm2.mutator_gang().n == 4
+    assert jvm2.mutator_gang(mutators=2).n == 2
+
+
+def test_restart_carries_mutators_without_crash(tmp_path):
+    jvm = Espresso(tmp_path / "heaps", mutators=8)
+    jvm.create_heap("h", 64 * 1024)
+    jvm2 = jvm.restart()
+    assert jvm2.config.mutators == 8
+    assert jvm2.mutator_gang().n == 8
+
+
+def test_crash_and_restart_shim_warns_once_and_delegates(tmp_path):
+    obs = Observatory()
+    jvm = Espresso(tmp_path / "heaps", observatory=obs, mutators=2)
+    jvm.create_heap("h", 64 * 1024)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        jvm2 = jvm.crash_and_restart()
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "restart(crash=True)" in str(deprecations[0].message)
+    assert jvm2.obs is obs
+    assert jvm2.config.mutators == 2
 
 
 def test_restarted_observatory_rebinds_to_new_clock(tmp_path):

@@ -16,10 +16,10 @@ ALL_PAIRS = [(name, mode) for name in sorted(SWEEPS)
              for mode in FaultMode.ALL]
 
 
-def test_registry_covers_all_eight_layers():
-    assert sorted(SWEEPS) == ["fleet_failover", "h2_sql", "mixed_domains",
-                              "pcj_nvml", "pjh_alloc_gc", "pjhlib",
-                              "pjo_commit", "resume_task"]
+def test_registry_covers_all_nine_layers():
+    assert sorted(SWEEPS) == ["concurrent_kv", "fleet_failover", "h2_sql",
+                              "mixed_domains", "pcj_nvml", "pjh_alloc_gc",
+                              "pjhlib", "pjo_commit", "resume_task"]
 
 
 @pytest.mark.parametrize("name,mode", ALL_PAIRS)
@@ -66,3 +66,26 @@ def test_pjh_alloc_gc_site_sweeps(mode):
                  "pgc.redo_persisted"):
         report = harness.sweep_site(site, mode)
         assert report.exhausted, report.summary()
+
+
+def test_sweep_all_json_summary(tmp_path, capsys):
+    """``sweep_all --json`` writes per-layer point counts."""
+    import json
+
+    from repro.faults.sweep_all import main
+
+    out = tmp_path / "sweeps.json"
+    rc = main(["--fast", "--sweep", "concurrent_kv", "--mode", "atomic",
+               "--json", str(out)])
+    assert rc == 0
+    summary = json.loads(out.read_text())
+    assert summary["failures"] == 0
+    assert summary["fast"] is True
+    (layer,) = summary["layers"]
+    assert layer["name"] == "concurrent_kv"
+    assert layer["failed"] is False
+    assert layer["points"] == layer["crash_points"] + 1  # final clean run
+    assert layer["fsck_checked"] == layer["points"]
+    assert layer["exhausted"] is True
+    assert summary["total_points"] == layer["points"]
+    assert summary["total_crash_points"] == layer["crash_points"]

@@ -24,7 +24,7 @@ from repro.tools.fsck import fsck
 def _fleet(tmp_path, shards=2, **kw):
     kw.setdefault("shard_size_bytes", 512 * 1024)
     return FleetRouter.create(tmp_path / "fleet",
-                              FleetConfig(shards=shards, **kw))
+                              config=FleetConfig(shards=shards, **kw))
 
 
 class TestRouting:
@@ -180,8 +180,9 @@ class TestDurability:
             fleet.put(f"s{i}", "k", f"v{i}")
         fleet.shutdown()
         # the directory, not the config, dictates the shape on load
-        reloaded = FleetRouter.load(tmp_path / "fleet",
-                                    FleetConfig(shards=1, gc_workers=2))
+        reloaded = FleetRouter.load(
+            tmp_path / "fleet",
+            config=FleetConfig(shards=1, gc_workers=2))
         assert len(reloaded.shards) == 4
         assert reloaded.config.shards == 4
         for i in range(12):
@@ -228,3 +229,50 @@ class TestObservability:
     def test_shards_have_independent_observatories(self, tmp_path):
         fleet = _fleet(tmp_path, shards=2)
         assert fleet.shards[0].jvm.obs is not fleet.shards[1].jvm.obs
+
+
+class TestSessionApi:
+    def test_session_creates_then_reenters(self, tmp_path):
+        """Fleet.session is the one front door: first use creates, later
+        uses load from the durable directory, same call shape."""
+        from repro.fleet import Fleet
+
+        with Fleet.session(tmp_path / "fleet",
+                           config=FleetConfig(
+                               shards=2,
+                               shard_size_bytes=512 * 1024)) as fleet:
+            fleet.put("alice", "k", "v1")
+            fleet.shutdown()
+        with Fleet.session(tmp_path / "fleet") as reloaded:
+            assert len(reloaded.shards) == 2
+            assert reloaded.get("alice", "k") == "v1"
+            reloaded.shutdown()
+
+    def test_fleet_alias_is_the_router(self):
+        from repro.fleet import Fleet
+
+        assert Fleet is FleetRouter
+
+    def test_mutators_knob_reaches_every_shard(self, tmp_path):
+        fleet = _fleet(tmp_path, mutators=4)
+        for shard in fleet.shards:
+            assert shard.jvm.config.mutators == 4
+        gang = fleet.shards[0].jvm.mutator_gang()
+        assert gang.n == 4
+
+    def test_positional_config_warns_once(self, tmp_path):
+        import warnings
+
+        with pytest.warns(DeprecationWarning, match="config"):
+            fleet = FleetRouter.create(
+                tmp_path / "fleet",
+                FleetConfig(shards=1, shard_size_bytes=512 * 1024))
+        fleet.put("a", "k", "v")
+        fleet.shutdown()
+        with pytest.warns(DeprecationWarning, match="config"):
+            FleetRouter.load(tmp_path / "fleet", FleetConfig(shards=1))
+
+    def test_too_many_positionals_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            FleetRouter.create(tmp_path / "fleet",
+                               FleetConfig(shards=1), None, "extra")

@@ -208,7 +208,7 @@ class TestRehashDurability:
         count = 40                      # crosses two rehash thresholds
         for i in range(count):
             m.put(PjhLong(jvm, txn, i), PjhLong(jvm, txn, i * 3))
-        jvm2 = jvm.crash_and_restart()  # unflushed lines are lost
+        jvm2 = jvm.restart(crash=True)  # unflushed lines are lost
         jvm2.load_heap("lib")
         txn2 = PjhTransaction.reattach(jvm2, jvm2.get_root("txn_entries"),
                                        jvm2.get_root("txn_meta"))

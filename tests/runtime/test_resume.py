@@ -184,7 +184,7 @@ class TestProtocolErrors:
         jvm.vm.failpoints.crash_on_global_hit(hit)
         with pytest.raises(SimulatedCrash):
             jvm.resumable_task("build").run(N)
-        jvm2 = jvm.crash_and_restart()
+        jvm2 = jvm.restart(crash=True)
         _define(jvm2)
         jvm2.load_heap("h")
         return jvm2
@@ -237,7 +237,7 @@ class TestCrashResume:
         jvm.vm.failpoints.crash_on_global_hit(20)
         with pytest.raises(SimulatedCrash):
             jvm.resumable_task("build").run(N)
-        jvm2 = jvm.crash_and_restart()
+        jvm2 = jvm.restart(crash=True)
         _define(jvm2)
         jvm2.load_heap("h")
         assert jvm2.resumable_task("build").status == "running"
@@ -263,7 +263,7 @@ class TestCrashResume:
         jvm.vm.failpoints.crash_on_global_hit(7)
         with pytest.raises(SimulatedCrash):
             jvm.resumable_task("build").run(N)
-        jvm2 = jvm.crash_and_restart()
+        jvm2 = jvm.restart(crash=True)
         _define(jvm2)
         heap = jvm2.load_heap("h")
         assert heap.frames.depth() >= 1
@@ -276,7 +276,7 @@ class TestCrashResume:
         jvm.vm.failpoints.crash_on_global_hit(13)
         with pytest.raises(SimulatedCrash):
             jvm.resumable_task("build").run(N)
-        jvm2 = jvm.crash_and_restart()
+        jvm2 = jvm.restart(crash=True)
         _define(jvm2)
         jvm2.load_heap("h")
         assert jvm2.resumable_task("build").run(N) == EXPECTED

@@ -341,7 +341,7 @@ def test_all_heaps_covers_a_real_fleet(tmp_path):
     from repro.fleet import FleetConfig, FleetRouter
     fleet = FleetRouter.create(
         tmp_path / "fleet",
-        FleetConfig(shards=2, shard_size_bytes=512 * 1024))
+        config=FleetConfig(shards=2, shard_size_bytes=512 * 1024))
     fleet.put("alice", "k", "v")
     fleet.shutdown()
     proc = run_fsck("--json", "--all-heaps", tmp_path / "fleet")
