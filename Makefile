@@ -2,12 +2,22 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check test sweep sweep-fast fsck analyze lint-persist lint-time \
-	obs-report fleet-smoke concurrent-smoke
+	obs-report fleet-smoke concurrent-smoke elision-report
 
 # The CI gate: the full static analyzer, the tier-1 suite, a strided
 # smoke pass of every crash sweep (including the fleet fail-over and
-# concurrent-gang layers), then the end-to-end fleet and gang smokes.
-check: analyze test sweep-fast fleet-smoke concurrent-smoke
+# concurrent-gang layers), the end-to-end fleet and gang smokes, then
+# the flush-elision gates.
+check: analyze test sweep-fast fleet-smoke concurrent-smoke elision-report
+
+# Per-bench clflush/sfence deltas for the allocation buffers + flush-
+# elision certificate (DESIGN.md §17): re-runs the fig17 and TPC-C
+# elision legs at CI sizes, enforces the pinned gates (reduction beats
+# the -16.2% coalescing baseline, SHA-256-identical images, hazard- and
+# fsck-clean) and checks analysis-baseline.json covers the canonical
+# trace's ESP401/402 fingerprints.  Writes ELISION_REPORT.json.
+elision-report:
+	$(PYTHON) -m repro.bench.elision_report
 
 # End-to-end fleet smoke: 2 shards, contended traffic, one fail-over,
 # reload from the durable directory, fsck on every heap.

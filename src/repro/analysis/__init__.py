@@ -21,6 +21,12 @@ shared :mod:`repro.analysis.diagnostics` framework:
    replacing the historical ``lint-persist``/``lint-time`` regex greps:
    raw ``clflush``/device-fence calls outside the persist layer, and
    wall-clock reads outside the simulated clock.
+4. **Flush/fence-elision analysis** (:mod:`repro.analysis.elision`) —
+   replays the same traces to prove which flushes rewrote already-durable
+   bytes and which fences ordered nothing (ESP401/ESP402), issuing a
+   revocable :class:`~repro.analysis.elision.FlushElisionCertificate`
+   that :class:`~repro.nvm.persist.PersistDomain` consumes at
+   ``commit_epoch`` time.
 """
 
 from repro.analysis.certificate import SafetyCertificate
@@ -36,6 +42,12 @@ from repro.analysis.diagnostics import (
     Diagnostic,
     RULE_CATALOGUE,
 )
+from repro.analysis.elision import (
+    ElisionReport,
+    FlushElisionCertificate,
+    analyze_elision,
+    certify_elision,
+)
 from repro.analysis.hazards import HazardReport, analyze_trace
 from repro.analysis.srclint import LintFinding, lint_paths
 
@@ -43,14 +55,18 @@ __all__ = [
     "AnalysisReport",
     "ClosureReport",
     "Diagnostic",
+    "ElisionReport",
     "FieldClassification",
+    "FlushElisionCertificate",
     "HazardReport",
     "LintFinding",
     "RULE_CATALOGUE",
     "SafetyCertificate",
     "analyze_closure",
+    "analyze_elision",
     "analyze_trace",
     "analyze_vm",
+    "certify_elision",
     "certify_session",
     "lint_paths",
 ]

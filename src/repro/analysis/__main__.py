@@ -12,6 +12,8 @@ apply):
 * **hazards** — ``--trace FILE`` replays a recorded
   :class:`~repro.nvm.persist.PersistEventLog` through the
   happens-before checker (ESP201/ESP202/ESP203).
+* **elision** — ``--trace FILE --elision`` additionally replays the same
+  log through the flush/fence-redundancy prover (ESP401/ESP402).
 
 Findings print one per line (``CODE where: message``); ``--json`` emits
 the full report.  A baseline file of finding fingerprints suppresses
@@ -102,6 +104,16 @@ def _run_hazards(report: AnalysisReport, trace_path: Path) -> None:
     report.add_pass("hazards", hazards.diagnostics(), summary)
 
 
+def _run_elision(report: AnalysisReport, trace_path: Path) -> None:
+    from repro.analysis.elision import analyze_elision
+    from repro.nvm.persist import PersistEventLog
+    log = PersistEventLog.load(trace_path)
+    elision = analyze_elision(log)
+    summary = elision.summary()
+    summary["trace"] = trace_path.name
+    report.add_pass("elision", elision.diagnostics(), summary)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -118,6 +130,10 @@ def main(argv=None) -> int:
     parser.add_argument("--trace", type=Path, default=None, metavar="FILE",
                         help="replay a saved PersistEventLog through the "
                              "persist-order hazard pass")
+    parser.add_argument("--elision", action="store_true",
+                        help="with --trace: also run the flush/fence-"
+                             "elision pass (ESP401/ESP402 redundancy "
+                             "findings)")
     parser.add_argument("--verbose", action="store_true",
                         help="include informational closure diagnostics "
                              "(ESP102-105)")
@@ -147,6 +163,10 @@ def main(argv=None) -> int:
         _run_closure(report, args.verbose)
     if args.trace is not None:
         _run_hazards(report, args.trace)
+        if args.elision:
+            _run_elision(report, args.trace)
+    elif args.elision:
+        raise SystemExit("--elision needs --trace FILE")
 
     if args.write_baseline is not None:
         baseline = Baseline.from_report(report)

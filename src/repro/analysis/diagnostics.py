@@ -11,7 +11,8 @@ Code ranges:
 
 * ``ESP1xx`` — persistent-closure analysis (class/field classification);
 * ``ESP2xx`` — persist-order hazards (trace-based happens-before);
-* ``ESP3xx`` — source lint (AST rules over ``src/`` + ``examples/``).
+* ``ESP3xx`` — source lint (AST rules over ``src/`` + ``examples/``);
+* ``ESP4xx`` — flush/fence-elision analysis (trace-based redundancy).
 """
 
 from __future__ import annotations
@@ -79,6 +80,16 @@ RULE_CATALOGUE: Dict[str, Tuple[str, str]] = {
                "many Espresso sessions share one process, so state must "
                "live on the instance/config (or become an immutable "
                "table)"),
+    # -- flush/fence-elision analysis --------------------------------------
+    "ESP401": ("info",
+               "redundant flush: the line was flushed again with no "
+               "store to it since its previous flush — the clflush "
+               "rewrites identical bytes and is elidable under a "
+               "FlushElisionCertificate"),
+    "ESP402": ("info",
+               "redundant fence: no flush happened since the previous "
+               "fence — the sfence orders nothing and is elidable under "
+               "a FlushElisionCertificate"),
 }
 
 

@@ -18,7 +18,8 @@ the forbidden APIs freely — only actual call expressions are flagged:
   :class:`repro.nvm.clock.Clock` or determinism is lost.
 * **ESP305** — module-level mutable state in the session/core layers
   (``repro/api.py``, ``repro/core/``, ``repro/fleet/``,
-  ``repro/runtime/``, ``repro/pjhlib/concurrent.py``): a top-level
+  ``repro/runtime/``, ``repro/pjhlib/concurrent.py``,
+  ``repro/tools/``): a top-level
   container that the module itself mutates, or any ``global`` statement.
   Many :class:`Espresso` sessions live in one process (the fleet mounts
   K of them), so session state must hang off the instance/config, never
@@ -64,7 +65,8 @@ _EXEMPT_FOR: Dict[str, Tuple[str, ...]] = {
 #: Include prefixes: these rules apply *only* under the listed paths.
 _ONLY_FOR: Dict[str, Tuple[str, ...]] = {
     "ESP305": ("repro/api.py", "repro/core/", "repro/fleet/",
-               "repro/runtime/", "repro/pjhlib/concurrent.py"),
+               "repro/runtime/", "repro/pjhlib/concurrent.py",
+               "repro/tools/"),
 }
 
 _WALLCLOCK_TIME = {

@@ -89,6 +89,21 @@ class EspressoConfig:
     #: across restart/restart(crash=True); see
     #: :func:`repro.analysis.closure.certify_session`.
     safety_certificate: Optional[object] = None
+    #: Analyzer-issued flush/fence-elision certificate (a
+    #: :class:`repro.analysis.elision.FlushElisionCertificate`, untyped
+    #: for the same reason).  Installed on the VM and consumed by each
+    #: heap's :class:`~repro.nvm.persist.PersistDomain` at
+    #: ``commit_epoch`` time; see
+    #: :func:`repro.analysis.elision.certify_elision`.
+    elision_certificate: Optional[object] = None
+    #: Per-mutator allocation-buffer size in 8-byte words (§17).  Each
+    #: simulated mutator bump-allocates from a private buffer this big,
+    #: persisting the replicated ``top`` once per refill instead of once
+    #: per ``pnew``.  ``0`` disables buffering (every allocation claims
+    #: and persists ``top`` directly, the pre-§17 behaviour).  The durable
+    #: image is byte-identical for any value after
+    #: ``canonicalize_durable_image()`` / shutdown.
+    alloc_buffer_words: int = 256
     #: Opt into crash-transparent execution (§14): unlocks
     #: :meth:`Espresso.register_task` / :meth:`Espresso.resumable_task`,
     #: whose frame stacks live in the PJH frame segment and survive
@@ -154,6 +169,8 @@ class Espresso:
                              alias_aware=config.alias_aware, obs=obs,
                              gc_workers=config.gc_workers)
         self.vm.safety_certificate = config.safety_certificate
+        self.vm.elision_certificate = config.elision_certificate
+        self.vm.alloc_buffer_words = config.alloc_buffer_words
         self.vm.persistent_types = config.persistent_types
         self.heaps = HeapManager(self.vm, heap_dir)
         self.heap_dir = Path(heap_dir)
@@ -328,17 +345,20 @@ class Espresso:
     def _warn_alias(self, java_name: str, snake_name: str) -> None:
         if java_name in self._warned_aliases:
             return
-        self._warned_aliases.add(java_name)
         if "(" in java_name:  # legacy-signature shim, not a Java alias
             warnings.warn(
                 f"Espresso.{java_name} is deprecated; use "
                 f"Espresso.{snake_name}",
                 DeprecationWarning, stacklevel=3)
-            return
-        warnings.warn(
-            f"Espresso.{java_name}() is deprecated; use "
-            f"Espresso.{snake_name}() (the canonical snake_case API)",
-            DeprecationWarning, stacklevel=3)
+        else:
+            warnings.warn(
+                f"Espresso.{java_name}() is deprecated; use "
+                f"Espresso.{snake_name}() (the canonical snake_case API)",
+                DeprecationWarning, stacklevel=3)
+        # Marked only after the warn returns: under
+        # ``-W error::DeprecationWarning`` every call must keep raising,
+        # not go silent after the first swallowed error.
+        self._warned_aliases.add(java_name)
 
     def createHeap(self, name: str, size_bytes: int,
                    safety: SafetyLevel = SafetyLevel.USER_GUARANTEED,
@@ -493,7 +513,7 @@ class Espresso:
         from repro.runtime.mutators import MutatorGang
         width = self.config.mutators if mutators is None else mutators
         return MutatorGang(self.clock, mutators=width, seed=seed,
-                           obs=self.obs)
+                           obs=self.obs, vm=self.vm)
 
     @property
     def clock(self) -> Clock:

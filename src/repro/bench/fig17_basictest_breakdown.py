@@ -42,10 +42,15 @@ class Fig17Result:
     # Barrier-elision summary: baseline vs certified PJO runs, durable
     # image equality and fsck verdicts (empty unless ``certified=True``).
     elision: Dict[str, object] = field(default_factory=dict)
+    # Flush-elision summary: baseline vs trace-certified PJO runs —
+    # clflush/sfence totals, combined reduction, durable-image SHA-256s
+    # and fsck verdicts (empty unless ``flush_certified=True``).
+    flush_elision: Dict[str, object] = field(default_factory=dict)
 
 
 def run(count: int = 100, heap_dir: Path | None = None,
-        trace: bool = False, certified: bool = False) -> Fig17Result:
+        trace: bool = False, certified: bool = False,
+        flush_certified: bool = False) -> Fig17Result:
     """Run both providers; ``trace=True`` records per-operation span and
     counter deltas with one Observatory per provider (the default no-op
     recorder leaves timings and flush counts untouched).
@@ -55,6 +60,14 @@ def run(count: int = 100, heap_dir: Path | None = None,
     elided/checked barrier split plus proof that elision changed no
     durable byte: the baseline and certified PJH images compare equal
     and both pass fsck.
+
+    ``flush_certified=True`` adds an unmeasured *probe* run that records
+    the H2-PJO persist trace, certifies its redundant clflush/sfence
+    traffic (:func:`repro.analysis.elision.certify_elision` — the hazard
+    pass must come back clean first), then runs ``H2-PJO-elided`` with
+    the :class:`~repro.analysis.elision.FlushElisionCertificate`
+    installed and records the flush/fence deltas plus the same
+    no-durable-byte-changed proof.
     """
     root = heap_dir if heap_dir is not None else Path(tempfile.mkdtemp())
     result = Fig17Result(count=count)
@@ -62,11 +75,18 @@ def run(count: int = 100, heap_dir: Path | None = None,
     pjo_obs: Optional[Observatory] = Observatory() if trace else None
     ems: Dict[str, object] = {}
 
-    def pjo_factory(label: str, subdir: str, obs, certify: bool):
+    def pjo_factory(label: str, subdir: str, obs, certify: bool,
+                    elision_cert=None, alloc_buffer_words=None):
         def build(clock):
             em = make_pjo_em(
                 clock, BASIC_TEST.entities, root / subdir, certify=certify,
+                alloc_buffer_words=alloc_buffer_words,
                 **({"obs": obs} if obs is not None else {}))
+            if elision_cert is not None:
+                em.jvm.vm.elision_certificate = elision_cert
+                em.jvm.config.elision_certificate = elision_cert
+                em.jvm.heaps.heap("jpab").install_elision_certificate(
+                    elision_cert)
             ems[label] = em
             return em
         return build
@@ -89,6 +109,24 @@ def run(count: int = 100, heap_dir: Path | None = None,
                         True),
             count, "H2-PJO-certified", observatory=cert_obs)
         runs.append(("H2-PJO-certified", cert))
+    if flush_certified:
+        flush_cert, probe_log = _probe_flush_elision(count, root)
+        elided_obs: Optional[Observatory] = Observatory() if trace else None
+        elided = run_jpab_test(
+            BASIC_TEST,
+            pjo_factory("H2-PJO-elided", "fig17-elided", elided_obs,
+                        False, elision_cert=flush_cert),
+            count, "H2-PJO-elided", observatory=elided_obs)
+        runs.append(("H2-PJO-elided", elided))
+        # The pre-PR flush protocol (per-object top persists, no TLABs,
+        # no certificate): PR 2's epoch-coalescing-only baseline the
+        # pinned reduction is measured against.  Unmeasured in the
+        # breakdown table — only its device totals matter.
+        run_jpab_test(
+            BASIC_TEST,
+            pjo_factory("H2-PJO-coalesced", "fig17-coalesced", None,
+                        False, alloc_buffer_words=0),
+            count, "H2-PJO-coalesced")
     for provider, test_result in runs:
         for op in OPERATIONS:
             breakdown = test_result.operations[op].breakdown
@@ -105,7 +143,39 @@ def run(count: int = 100, heap_dir: Path | None = None,
     if certified:
         result.elision = _elision_summary(ems["H2-PJO"],
                                           ems["H2-PJO-certified"])
+    if flush_certified:
+        result.flush_elision = _flush_elision_summary(
+            ems["H2-PJO-coalesced"], ems["H2-PJO"], ems["H2-PJO-elided"],
+            flush_cert, probe_log)
     return result
+
+
+def _probe_flush_elision(count: int, root: Path):
+    """Trace a twin (unmeasured) H2-PJO run and certify its redundancy.
+
+    The probe gets its own heap so the measured baseline stays untraced —
+    an attached event log keeps a publish tap alive and must record the
+    uncertified flush sequence (the certificate suspends itself while a
+    log is attached), so tracing the baseline itself would both perturb
+    it and record nothing elidable.
+    """
+    from repro.analysis.elision import certify_elision
+
+    probe: Dict[str, object] = {}
+
+    def build(clock):
+        em = make_pjo_em(clock, BASIC_TEST.entities, root / "fig17-probe")
+        em.jvm.heaps.heap("jpab").enable_event_log("fig17-probe")
+        probe["em"] = em
+        return em
+
+    run_jpab_test(BASIC_TEST, build, count, "H2-PJO-probe")
+    em = probe["em"]
+    log = em.jvm.heaps.heap("jpab").disable_event_log()
+    # install=False: the certificate is carried to a fresh session; the
+    # probe session itself is discarded.  Raises if the trace has any
+    # ESP201-205 hazard error.
+    return certify_elision(em.jvm, log, install=False), log
 
 
 def _elision_summary(baseline_em, certified_em) -> Dict[str, object]:
@@ -141,11 +211,71 @@ def _elision_summary(baseline_em, certified_em) -> Dict[str, object]:
     return summary
 
 
+def _flush_elision_summary(coalesced_em, baseline_em, elided_em, cert,
+                           probe_log) -> Dict[str, object]:
+    """clflush/sfence totals and reductions, plus the safety evidence.
+
+    ``reduction`` (the pinned number) compares the certified run against
+    the *coalesced* leg — PR 2's epoch-coalescing protocol with neither
+    TLABs nor a certificate — so it captures the whole buffered+elided
+    delta.  ``elision_reduction`` isolates the certificate's share
+    (certified vs the buffered-uncertified baseline); that pair runs the
+    identical allocation protocol, so its durable images must match byte
+    for byte (SHA-256).  Totals are whole-session (schema + CRUD) device
+    counters; the hazard verdict is the probe trace's ESP201-205 pass.
+    """
+    import hashlib
+
+    import numpy as np
+
+    from repro.analysis.hazards import analyze_trace
+    from repro.tools.fsck import fsck_heap
+
+    summary: Dict[str, object] = {}
+    heaps = {}
+    for label, em in (("coalesced", coalesced_em),
+                      ("baseline", baseline_em),
+                      ("certified", elided_em)):
+        heap = em.jvm.heaps.heap("jpab")
+        heaps[label] = heap
+        stats = heap.device.stats
+        summary[label] = {"flushes": stats.flushes, "fences": stats.fences,
+                          "flushes_elided": stats.flushes_elided,
+                          "fences_elided": stats.fences_elided}
+    totals = {label: summary[label]["flushes"] + summary[label]["fences"]
+              for label in ("coalesced", "baseline", "certified")}
+    summary["reduction"] = (1.0 - totals["certified"] / totals["coalesced"]
+                            if totals["coalesced"] else 0.0)
+    summary["elision_reduction"] = (
+        1.0 - totals["certified"] / totals["baseline"]
+        if totals["baseline"] else 0.0)
+    hazards = analyze_trace(probe_log)
+    hazard_diags = hazards.diagnostics()
+    summary["hazards"] = {
+        "errors": sum(1 for d in hazard_diags if d.severity == "error"),
+        "warnings": sum(1 for d in hazard_diags if d.severity == "warning"),
+    }
+    images = {label: heap.device.durable_image()
+              for label, heap in heaps.items()}
+    summary["durable_image_equal"] = bool(np.array_equal(
+        images["baseline"], images["certified"]))
+    summary["durable_image_sha256"] = {
+        label: hashlib.sha256(image.tobytes()).hexdigest()
+        for label, image in images.items()}
+    summary["fsck_clean"] = {label: fsck_heap(heap).clean
+                             for label, heap in heaps.items()}
+    summary["certificate"] = cert.to_dict()
+    return summary
+
+
 def main(count: int = 100) -> Fig17Result:
-    result = run(count, trace=True, certified=True)
+    result = run(count, trace=True, certified=True, flush_certified=True)
     rows = []
+    providers = ["H2-JPA", "H2-PJO", "H2-PJO-certified", "H2-PJO-elided"]
     for op in OPERATIONS:
-        for provider in ("H2-JPA", "H2-PJO", "H2-PJO-certified"):
+        for provider in providers:
+            if (provider, op) not in result.cells:
+                continue
             cell = result.cells[(provider, op)]
             total = sum(cell.values())
             rows.append((op, provider,
@@ -167,6 +297,17 @@ def main(count: int = 100) -> Fig17Result:
               f" ref-store barriers skipped "
               f"({elision['elision_ratio']:.1%}); durable image equal: "
               f"{elision['durable_image_equal']}")
+    if result.flush_elision:
+        fe = result.flush_elision
+        print(f"flush elision: clflush+sfence "
+              f"{fe['coalesced']['flushes'] + fe['coalesced']['fences']} "
+              f"(coalesced) -> "
+              f"{fe['certified']['flushes'] + fe['certified']['fences']} "
+              f"({fe['reduction']:.1%} reduction, of which "
+              f"{fe['elision_reduction']:.1%} from the certificate: "
+              f"{fe['certified']['flushes_elided']} flushes + "
+              f"{fe['certified']['fences_elided']} fences elided); "
+              f"durable image equal: {fe['durable_image_equal']}")
     write_bench_json("fig17", {
         "count": result.count,
         "cells": {f"{provider}/{op}": cell
@@ -180,6 +321,7 @@ def main(count: int = 100) -> Fig17Result:
                for (provider, op), counters in result.barrier.items()},
             "elision": result.elision,
         },
+        "flush_elision": result.flush_elision,
     }, params={"count": result.count})
     return result
 

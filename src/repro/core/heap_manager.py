@@ -294,6 +294,10 @@ class HeapManager:
     def save_heap(self, name: str) -> None:
         """Graceful persist: flush all dirty lines, then store the image."""
         heap = self._heap(name)
+        # Retire live allocation buffers first so the saved image is
+        # canonical: the topmost tail truncates back, interior tails
+        # become int[] fillers, and the buffer table empties.
+        heap._retire_all_buffers()
         heap.device.persist_all()
         self.names.save_image(name, heap.device.durable_image())
 
@@ -397,9 +401,21 @@ def _remap_pointers(heap: PersistentHeap, old_base: int, new_base: int) -> None:
 
     data_start = layout.data_offset
     top_offset = metadata.top - old_base
+    # Allocation buffers claimed but not settled at crash time leave
+    # zeroed gaps *inside* the walked range; their table entries (data-
+    # relative, so relocation-independent) say how far to skip.
+    buffer_ends = {}
+    for _slot, rel_start, extent in metadata.alloc_buffer_entries():
+        region = data_start + rel_start
+        buffer_ends[region] = region + extent
     cursor = data_start
     while cursor < top_offset:
         if device.read(cursor + obj_layout.KLASS_WORD_OFFSET) == 0:
+            skip = next((end for start, end in buffer_ends.items()
+                         if start <= cursor < end), None)
+            if skip is not None and skip > cursor:
+                cursor = min(skip, top_offset)
+                continue
             break  # zeroed tail below the TLAB high watermark
         shift(cursor + obj_layout.KLASS_WORD_OFFSET)
         klass = temp_registry.resolve(

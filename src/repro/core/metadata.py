@@ -78,6 +78,17 @@ _TASK_EPOCH = 44         # monotonic checkpoint epoch of the current task
 _TASK_RESULT_KIND = 45   # 0 none / 1 int (ref results go through roots)
 _TASK_RESULT = 46
 _TASK_GC_MARK = 47       # timestamp recorded before the finalize GC; -1 idle
+# Per-mutator allocation-buffer table (words 48-63): one packed word per
+# mutator slot, ``(data-relative start << 16) | extent_words``; 0 = no
+# buffer claimed.  The start is stored relative to the data base so a
+# remapped reload reads the same entry, and the whole claim is a single
+# persisted word store, atomic under every fault mode.
+_ALLOC_BUF_TABLE = 48
+ALLOC_BUF_SLOTS = 16
+_ALLOC_BUF_EXTENT_BITS = 16
+#: Largest per-mutator buffer expressible in a table entry.
+ALLOC_BUF_MAX_WORDS = (1 << _ALLOC_BUF_EXTENT_BITS) - 1
+_ALLOC_BUF_EXTENT_MASK = ALLOC_BUF_MAX_WORDS
 
 #: Resumable-task status values (durable; see DESIGN.md §14).
 TASK_NONE = 0
@@ -271,6 +282,8 @@ class MetadataArea:
         self.device.write(_CURSOR_REGION, -1)
         self.device.write(_CURSOR_INDEX, 0)
         self.device.write(_MOVE_VALID, 0)
+        for slot in range(ALLOC_BUF_SLOTS):
+            self.device.write(_ALLOC_BUF_TABLE + slot, 0)
         self.device.write(_LAYOUT_CRC, self._geometry_crc())
         # Magic last: a heap is valid only once fully initialized.
         self.device.write(_MAGIC, MAGIC)
@@ -425,6 +438,38 @@ class MetadataArea:
 
     def set_task_gc_mark(self, value: int) -> None:
         self._set(_TASK_GC_MARK, value)
+
+    # -- per-mutator allocation-buffer table (DESIGN.md §17) -----------------
+    def alloc_buffer_entry(self, slot: int):
+        """``(data-relative start, extent_words)`` or ``None`` if unclaimed."""
+        word = self._get(_ALLOC_BUF_TABLE + slot)
+        if word == 0:
+            return None
+        return (word >> _ALLOC_BUF_EXTENT_BITS,
+                word & _ALLOC_BUF_EXTENT_MASK)
+
+    def set_alloc_buffer_entry(self, slot: int, rel_start: int,
+                               extent_words: int) -> None:
+        if not 0 <= slot < ALLOC_BUF_SLOTS:
+            raise IllegalArgumentException(
+                f"allocation-buffer slot {slot} out of range")
+        if not 0 < extent_words <= ALLOC_BUF_MAX_WORDS:
+            raise IllegalArgumentException(
+                f"allocation-buffer extent {extent_words} out of range")
+        self._set(_ALLOC_BUF_TABLE + slot,
+                  (rel_start << _ALLOC_BUF_EXTENT_BITS) | extent_words)
+
+    def clear_alloc_buffer_entry(self, slot: int) -> None:
+        self._set(_ALLOC_BUF_TABLE + slot, 0)
+
+    def alloc_buffer_entries(self):
+        """Claimed slots as ``[(slot, rel_start, extent_words), ...]``."""
+        out = []
+        for slot in range(ALLOC_BUF_SLOTS):
+            entry = self.alloc_buffer_entry(slot)
+            if entry is not None:
+                out.append((slot, entry[0], entry[1]))
+        return out
 
     # -- serialized-compaction cursor + move record --------------------------
     def region_cursor(self):

@@ -31,16 +31,40 @@ from repro.errors import OutOfMemoryError
 from repro.nvm.device import NvmDevice
 from repro.nvm.persist import PersistDomain, PersistEventLog
 from repro.runtime import layout as obj_layout
-from repro.runtime.klass import Klass
+from repro.runtime.klass import FieldKind, Klass
 from repro.runtime.objects import RootSlot
 from repro.runtime.spaces import Space
 from repro.runtime.vm import EspressoVM, PersistentSpaceService
 
 from repro.core.frame_segment import FrameSegment
 from repro.core.klass_segment import KlassSegment
-from repro.core.metadata import HeapLayout, MetadataArea
+from repro.core.metadata import (ALLOC_BUF_MAX_WORDS, ALLOC_BUF_SLOTS,
+                                 HeapLayout, MetadataArea)
 from repro.core.name_table import ENTRY_TYPE_ROOT, NameTable
 from repro.core.safety import SafetyPolicy, UserGuaranteedPolicy
+
+
+class _AllocBuffer:
+    """One mutator's live allocation window (absolute addresses).
+
+    The window [start, end) was durably zeroed and covered by the durable
+    ``top`` when it was claimed; ``cursor`` (volatile) is where the next
+    object goes.  The matching metadata table entry makes the claim
+    recoverable: a crash leaves the tail [cursor, end) durably zero, and
+    recovery truncates or plugs it (DESIGN.md §17).
+    """
+
+    __slots__ = ("slot", "start", "cursor", "end")
+
+    def __init__(self, slot: int, start: int, end: int) -> None:
+        self.slot = slot
+        self.start = start
+        self.cursor = start
+        self.end = end
+
+    @property
+    def tail_words(self) -> int:
+        return self.end - self.cursor
 
 
 class PersistentHeap(PersistentSpaceService):
@@ -83,6 +107,34 @@ class PersistentHeap(PersistentSpaceService):
             self.layout.data_words)
         self.data_space.set_top(self.metadata.top)
         self._durable_top_watermark = self.metadata.top
+        # Per-mutator allocation buffers, keyed by mutator slot.  Always
+        # empty right after a mount: fresh heaps have no claims, and
+        # recovery (validate_and_truncate) settles any crashed claims
+        # before allocation resumes.
+        self._buffers: dict = {}
+        # A session-level flush-elision certificate covers every domain
+        # of a newly mounted heap (certify_elision installs it the same
+        # way on heaps already mounted when it runs).
+        cert = getattr(self.vm, "elision_certificate", None)
+        if cert is not None:
+            self.install_elision_certificate(cert)
+
+    def install_elision_certificate(self, cert) -> None:
+        """Hand a :class:`~repro.analysis.elision.FlushElisionCertificate`
+        to every persist domain of this heap (data, metadata, name table,
+        Klass segment, frames — GC-worker forks inherit it).
+
+        Installing onto a flush-disabled domain the certificate claims to
+        cover revokes it: the §6.4 no-flush baseline must not report
+        elisions as wins.
+        """
+        for domain in (self.persist, self.metadata.persist,
+                       self.name_table.persist, self.klass_segment.persist,
+                       self.frames.persist):
+            if (cert is not None and not domain.enabled
+                    and cert.covers_domain(domain.name)):
+                cert.revoke("covered domain is flush-disabled", domain.name)
+            domain.elision = cert
 
     def initialize_fresh(self, heap_layout: HeapLayout) -> None:
         """First-time setup of a newly created heap."""
@@ -166,16 +218,72 @@ class PersistentHeap(PersistentSpaceService):
         self.vm.obs.inc("pjh.alloc.objects")
         return address
 
-    # Allocation proceeds TLAB-style: the durable top replica is advanced
-    # in chunks of this many words, so the clflush+sfence of step 2 is paid
-    # once per chunk rather than once per object (HotSpot allocates out of
-    # thread-local buffers the same way).  The durable top is therefore a
-    # *high watermark*: never below the true top, so no live object can be
-    # truncated, while the zeroed tail beyond the true top is dropped by
-    # validate_and_truncate on load.
+    # Allocation proceeds TLAB-style: each mutator bump-allocates out of a
+    # private buffer of this many words (HotSpot's thread-local allocation
+    # buffers), so the clflush+sfence of step 2 is paid once per buffer
+    # refill rather than once per object.  The claim protocol keeps the
+    # paper's ordering: the window is durably zeroed, the replicated top
+    # advances over it, and a metadata table entry records the claim — all
+    # fenced before the first object lands in it.  A crash leaves the
+    # unclaimed tail durably zero; recovery truncates it (topmost buffer)
+    # or plugs it with an int[] filler (interior buffer).  Override per
+    # session with EspressoConfig(alloc_buffer_words=...).
     TLAB_WORDS = 256
 
     def _allocate_raw(self, size_words: int) -> int:
+        slot = getattr(self.vm, "current_mutator", 0)
+        buffer_words = min(
+            getattr(self.vm, "alloc_buffer_words", self.TLAB_WORDS) or 0,
+            ALLOC_BUF_MAX_WORDS)
+        buffered = (0 <= slot < ALLOC_BUF_SLOTS
+                    and buffer_words >= 2 * obj_layout.ARRAY_HEADER_WORDS)
+        if buffered:
+            buf = self._buffers.get(slot)
+            if buf is None or not self._fits(buf.tail_words, size_words):
+                if self._fits(buffer_words, size_words):
+                    try:
+                        buf = self._refill_buffer(slot, buffer_words)
+                    except OutOfMemoryError:
+                        buf = None  # buffer won't fit; try a direct claim
+                else:
+                    buf = None  # oversize for a fresh buffer
+            if buf is not None:
+                address = buf.cursor
+                buf.cursor += size_words
+                self.vm.failpoints.hit("pjh.alloc.top_persisted")
+                return address
+        # Oversize (or unbuffered) allocation: claim directly from the
+        # space with a per-object top persist — the §4.1 protocol verbatim.
+        # A torn oversize object is always topmost (the claim and header
+        # init happen inside one mutator step), so the load-time tail walk
+        # truncates it without needing a table entry.
+        address = self._claim_words(size_words)
+        self._update_scan_hint(
+            min([b.start for b in self._buffers.values()] + [address]))
+        self.vm.failpoints.hit("pjh.alloc.top_persisted")
+        return address
+
+    def _update_scan_hint(self, hint: int) -> None:
+        if self.metadata.alloc_scan_hint != hint:
+            self.metadata.set_alloc_scan_hint(hint)
+
+    @staticmethod
+    def _fits(available_words: int, size_words: int) -> bool:
+        """Min-gap rule: an allocation fits iff it leaves a tail of 0 or
+        >= ARRAY_HEADER_WORDS words, so every crash-time or retirement
+        tail can hold an int[] filler (or nothing at all)."""
+        remainder = available_words - size_words
+        return remainder == 0 or remainder >= obj_layout.ARRAY_HEADER_WORDS
+
+    def _claim_words(self, size_words: int) -> int:
+        """Claim a durably-zeroed window at the top of the data space and
+        advance the replicated durable top over it (§4.1 step 2).
+
+        Zero first, top second: after a compacting GC the space above the
+        old top still holds stale object images, and a crash between the
+        top bump and the first header flush must not let the load-time
+        tail walk resurrect them.
+        """
         address = self.data_space.allocate(size_words)
         if address is None:
             self.collect()
@@ -184,31 +292,88 @@ class PersistentHeap(PersistentSpaceService):
             raise OutOfMemoryError(
                 f"PJH {self.name!r} cannot satisfy {size_words}-word "
                 f"allocation ({self.data_space.free_words} words free)")
-        # Step 2: persist the replicated top before anything else.
-        top = self.data_space.top
-        if top > self._durable_top_watermark:
-            chunks = (top - self.data_space.base
-                      + self.TLAB_WORDS - 1) // self.TLAB_WORDS
-            watermark = min(self.data_space.end,
-                            self.data_space.base + chunks * self.TLAB_WORDS)
-            # Zero the newly claimed window durably *before* the watermark
-            # can cover it.  After a compacting GC the space above the old
-            # top still holds stale object images; without this, a crash
-            # between the top bump and the first header flush would let the
-            # load-time tail walk resurrect them.
-            old_watermark = self._durable_top_watermark
-            window = old_watermark - self.base_address
-            self.device.fill(window, watermark - old_watermark, 0)
-            self.persist.persist(window, watermark - old_watermark)
-            self.metadata.set_top(watermark)
-            # Scan hint: load-time tail validation walks from here instead
-            # of from the heap base, keeping UG loads O(#Klasses) (Fig 18).
-            # Top first, hint second: a crash in between leaves the hint
-            # one TLAB behind, which only lengthens the walk slightly.
-            self.metadata.set_alloc_scan_hint(address)
-            self._durable_top_watermark = watermark
-        self.vm.failpoints.hit("pjh.alloc.top_persisted")
+        offset = address - self.base_address
+        self.device.fill(offset, size_words, 0)
+        self.persist.persist(offset, size_words)
+        self.metadata.set_top(self.data_space.top)
+        self._durable_top_watermark = self.metadata.top
         return address
+
+    def _refill_buffer(self, slot: int, buffer_words: int) -> _AllocBuffer:
+        """Retire *slot*'s old buffer and claim a fresh durably-zero one.
+
+        Claim order (each step its own fenced epoch, so the reordered
+        fault model cannot swap them): zero the window, advance the
+        durable top, publish the table entry, lower the scan hint.  A
+        crash after the top bump but before the entry leaves a durably
+        zero topmost window with no claim — the classic tail walk
+        truncates it.  An entry is only ever durable *after* the top
+        covers its window.
+        """
+        self._retire_buffer(slot)
+        start = self._claim_words(buffer_words)
+        buf = _AllocBuffer(slot, start, start + buffer_words)
+        self.metadata.set_alloc_buffer_entry(
+            slot, start - self.data_space.base, buffer_words)
+        self._buffers[slot] = buf
+        # Scan hint: load-time validation starts at the lowest live
+        # buffer, below which every header (and filler) is already fenced.
+        self._update_scan_hint(min(b.start for b in self._buffers.values()))
+        self.vm.failpoints.hit("pjh.alloc.buffer_claimed")
+        self.vm.obs.inc("pjh.alloc.buffer_refills")
+        return buf
+
+    def _retire_buffer(self, slot: int) -> None:
+        """Plug *slot*'s unused tail with an int[] filler and drop the
+        claim.  Filler first, entry clear second: a crash in between
+        leaves a claim whose window parses cleanly, which recovery simply
+        un-claims."""
+        buf = self._buffers.pop(slot, None)
+        if buf is None:
+            return
+        if buf.cursor < buf.end:
+            self._write_filler(buf.cursor, buf.end - buf.cursor)
+        self.metadata.clear_alloc_buffer_entry(slot)
+        self.vm.failpoints.hit("pjh.alloc.buffer_retired")
+
+    def _retire_all_buffers(self) -> None:
+        """Settle every live buffer so the heap parses linearly again
+        (GC, clean unload, image canonicalization).  The topmost buffer's
+        tail is given back by retreating the top; interior tails get
+        fillers."""
+        if not self._buffers:
+            return
+        for slot in sorted(self._buffers,
+                           key=lambda s: -self._buffers[s].end):
+            buf = self._buffers[slot]
+            if buf.cursor < buf.end and buf.end == self.data_space.top:
+                del self._buffers[slot]
+                self.data_space.set_top(buf.cursor)
+                self.metadata.set_top(buf.cursor)
+                self._durable_top_watermark = buf.cursor
+                self.metadata.clear_alloc_buffer_entry(slot)
+                self.vm.failpoints.hit("pjh.alloc.buffer_retired")
+            else:
+                self._retire_buffer(slot)
+        self._update_scan_hint(self.metadata.top)
+
+    def _write_filler(self, address: int, words: int) -> None:
+        """Overwrite [address, address+words) with a durable int[] filler
+        so the heap stays linearly parseable (*words* is 0-or->=3 by the
+        min-gap rule).  Fillers are unreachable, so the next collection
+        reclaims them."""
+        filler_klass = self.persistent_klass_for(
+            self.vm.array_klass(FieldKind.INT))
+        offset = address - self.base_address
+        self.device.write_block(offset, np.zeros(words, dtype=np.int64))
+        self.device.write(offset + obj_layout.MARK_WORD_OFFSET,
+                          obj_layout.mark_encode())
+        self.device.write(offset + obj_layout.KLASS_WORD_OFFSET,
+                          filler_klass.address)
+        self.device.write(offset + obj_layout.ARRAY_LENGTH_OFFSET,
+                          words - obj_layout.ARRAY_HEADER_WORDS)
+        self.persist.persist(offset, words)
+        self.vm.obs.inc("pjh.alloc.fillers")
 
     def _init_object(self, address: int, klass: Klass,
                      length: Optional[int]) -> None:
@@ -256,18 +421,92 @@ class PersistentHeap(PersistentSpaceService):
     # Heap walking and load-time validation
     # ------------------------------------------------------------------
     def walk(self) -> Iterator[int]:
-        """Yield the address of every object below top, in address order."""
+        """Yield the address of every object below top, in address order.
+
+        The unfilled tail of a live allocation buffer holds no objects
+        yet, so the walk hops from its cursor straight to its end.
+        """
+        tails = {b.cursor: b.end for b in self._buffers.values()
+                 if b.cursor < b.end}
         cursor = self.data_space.base
         access = self.vm.access
         while cursor < self.data_space.top:
+            skip = tails.get(cursor)
+            if skip is not None:
+                cursor = skip
+                continue
             yield cursor
             cursor += access.object_words(cursor)
 
+    def _settle_buffer_claims(self) -> int:
+        """Recovery for crashed allocation-buffer claims (DESIGN.md §17).
+
+        Walks every claimed window recorded in the metadata table, highest
+        first.  A window that parses to its end was fully used — the claim
+        is simply dropped.  A window with a durably-zero tail either loses
+        the tail (topmost window: the durable top retreats to the last
+        good object) or gets an int[] filler over it (interior window), so
+        the heap parses linearly again.  Every step is idempotent: a crash
+        during recovery leaves either the old shape (re-runs identically)
+        or the repaired shape with a stale claim (re-walk parses cleanly
+        and just drops the claim).  Returns the words truncated.
+        """
+        registry = self.vm.registry
+        base = self.data_space.base
+        running_top = self.data_space.top
+        truncated = 0
+        entries = self.metadata.alloc_buffer_entries()
+        for slot, rel_start, extent in sorted(entries,
+                                              key=lambda e: -e[1]):
+            start = base + rel_start
+            if start >= running_top:
+                # Stale claim above the durable frontier (left by a crash
+                # between an earlier recovery's truncation and its entry
+                # clear): nothing durable lives in it.
+                self.metadata.clear_alloc_buffer_entry(slot)
+                continue
+            end = min(start + extent, running_top)
+            cursor, sizes = start, []
+            while cursor < end:
+                klass_ptr = self.device.read(
+                    cursor - self.base_address
+                    + obj_layout.KLASS_WORD_OFFSET)
+                if not registry.knows(klass_ptr):
+                    break  # header never became durable
+                size = self.vm.access.object_words(cursor)
+                if cursor + size > end:
+                    break  # body overruns the claimed window
+                sizes.append(size)
+                cursor += size
+            gap = end - cursor
+            if gap and gap < obj_layout.ARRAY_HEADER_WORDS:
+                # Too small to hold a filler.  Every completed allocation
+                # leaves a tail of 0 or >= ARRAY_HEADER_WORDS words (the
+                # min-gap rule), so this shape only arises when the torn
+                # fault model persisted the last object's klass word but
+                # not its array length — roll that object back into the
+                # gap; its allocation never finished its persist epoch.
+                cursor -= sizes.pop()
+                gap = end - cursor
+            if gap:
+                if end == running_top:
+                    running_top = cursor
+                    truncated += gap
+                    self.data_space.set_top(cursor)
+                    self.metadata.set_top(cursor)
+                    self._durable_top_watermark = cursor
+                else:
+                    self._write_filler(cursor, gap)
+            self.metadata.clear_alloc_buffer_entry(slot)
+        return truncated
+
     def validate_and_truncate(self) -> int:
-        """Drop a trailing object whose header never became durable.
+        """Settle crashed buffer claims, then drop a trailing object whose
+        header never became durable.
 
         Returns the number of words truncated (0 in the common case).
         """
+        truncated = self._settle_buffer_claims()
         registry = self.vm.registry
         cursor = self.data_space.base
         hint = self.metadata.alloc_scan_hint
@@ -284,12 +523,11 @@ class PersistentHeap(PersistentSpaceService):
                 break  # body overruns the durable top
             cursor += size
         if cursor < top:
-            truncated = top - cursor
+            truncated += top - cursor
             self.data_space.set_top(cursor)
             self.metadata.set_top(cursor)
             self._durable_top_watermark = cursor
-            return truncated
-        return 0
+        return truncated
 
     def zeroing_scan(self, workers: Optional[int] = None) -> int:
         """Nullify every pointer that leaves this PJH (zeroing safety).
@@ -355,6 +593,10 @@ class PersistentHeap(PersistentSpaceService):
         converges on the same durable bytes — the property the resume
         sweep's SHA-256 check rests on.
         """
+        # Settle live allocation buffers first: the topmost tail retreats
+        # the top, so the canonical image's ``top`` is the true object
+        # frontier in clean and resumed runs alike.
+        self._retire_all_buffers()
         layout = self.layout
         areas = [
             (layout.bitmap_offset, layout.bitmap_words),
@@ -391,6 +633,9 @@ class PersistentHeap(PersistentSpaceService):
     # ------------------------------------------------------------------
     def collect(self):
         from repro.core.pgc import PersistentGC
+        # The collector walks and compacts a linear heap: settle every
+        # live buffer first (fillers become garbage and are reclaimed).
+        self._retire_all_buffers()
         result = PersistentGC(self).collect()
         self._durable_top_watermark = self.metadata.top
         return result

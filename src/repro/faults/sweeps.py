@@ -8,6 +8,11 @@ walks carry ``@pytest.mark.sweep`` and run via ``make sweep`` /
 Layers covered:
 
 * ``pjh_alloc_gc``   — persistent allocation + persistent GC (failpoints)
+* ``pjh_alloc_buffer`` — the per-mutator allocation-buffer claim protocol:
+  tiny TLABs over freshly-reclaimed (stale-image) space, crashed at every
+  flush boundary of the zero/top/table-entry/filler sequence; recovery
+  must truncate or plug every partially-filled window with no resurrected
+  objects (flush boundaries)
 * ``h2_sql``         — the SQL engine's WAL (flush boundaries)
 * ``pjhlib``         — Java-level ACID collections (flush boundaries)
 * ``pcj_nvml``       — PCJ's NVML-style undo-log transactions (flush)
@@ -181,6 +186,122 @@ def _pjh_harness() -> CrashSweepHarness:
 
 _register(SweepSpec("pjh_alloc_gc", "failpoint", _pjh_harness,
                     fast_stride=13, fast_max_points=10))
+
+
+# ----------------------------------------------------------------------
+# Per-mutator allocation buffers: the refill/retire claim protocol
+# (flush-boundary sweep, fsck after recovery)
+# ----------------------------------------------------------------------
+def _alloc_buffer_harness() -> CrashSweepHarness:
+    """Crash the TLAB claim protocol at every flush boundary.
+
+    Tiny buffers (32 words) force a refill every couple of allocations,
+    so the bomb lands inside partially-filled windows, between the
+    durable zeroing / top bump / table-entry publish of a claim, and in
+    the filler writes of retirement.  The workload GCs a batch of
+    garbage first, so every buffer is claimed over reclaimed space that
+    still holds stale object images — the exact shape where a sloppy
+    tail truncation would resurrect dead objects.
+    """
+    from repro.api import Espresso, EspressoConfig
+    from repro.runtime.klass import FieldKind, field
+
+    BUF_WORDS = 32
+    GARBAGE = 10
+    ROUNDS = 10
+
+    def _config():
+        return EspressoConfig(observatory=Observatory(),
+                              gc_workers=GC_WORKERS,
+                              alloc_buffer_words=BUF_WORDS)
+
+    def setup():
+        tmp = Path(tempfile.mkdtemp(prefix="sweep-tlab-"))
+        jvm = Espresso(tmp / "heaps", config=_config())
+        node = jvm.define_class("BufNode", [field("v", FieldKind.INT),
+                                            field("next", FieldKind.REF)])
+        jvm.create_heap("h", 256 * 1024, region_words=128)
+        # Pre-crash churn OUTSIDE the sweep window: garbage, then a
+        # compacting GC, so the data tail is littered with stale images.
+        keep = jvm.pnew(node)
+        jvm.set_field(keep, "v", 0)
+        jvm.flush_reachable(keep)
+        jvm.set_root("keep", keep)
+        for i in range(GARBAGE):
+            dead = jvm.pnew(node)
+            jvm.set_field(dead, "v", 1000 + i)
+            dead.close()
+        jvm.persistent_gc()
+        return SimpleNamespace(tmp=tmp, jvm=jvm, node=node, obs=jvm.obs)
+
+    def workload(ctx):
+        jvm = ctx.jvm
+        keep = jvm.get_root("keep")
+        for i in range(1, ROUNDS + 1):
+            n = jvm.pnew(ctx.node)
+            jvm.set_field(n, "v", i)
+            jvm.set_field(n, "next", keep)
+            keep = n
+            jvm.flush_reachable(keep)
+            jvm.set_root("keep", keep)
+        # An oversize array leaves the buffered path for a direct claim
+        # mid-stream, then one more buffered node lands after it.
+        jvm.pnew_array(jvm.vm.object_klass, 2 * BUF_WORDS)
+        tail = jvm.pnew(ctx.node)
+        jvm.set_field(tail, "v", ROUNDS + 1)
+        jvm.set_field(tail, "next", keep)
+        jvm.flush_reachable(tail)
+        jvm.set_root("keep", tail)
+
+    def recover(ctx, crashed):
+        ctx.jvm.crash()
+        jvm = Espresso(ctx.tmp / "heaps", config=_config())
+        jvm.load_heap("h")
+        return SimpleNamespace(jvm=jvm, heap=jvm.heaps.heap("h"),
+                               obs=jvm.obs)
+
+    def invariant(rctx, completed):
+        jvm, heap = rctx.jvm, rctx.heap
+        # The rooted chain is a contiguous committed prefix.
+        chain = []
+        cursor = jvm.get_root("keep")
+        while cursor is not None:
+            chain.append(jvm.get_field(cursor, "v"))
+            cursor = jvm.get_field(cursor, "next")
+        assert chain == list(range(chain[0], -1, -1)), chain
+        if completed:
+            assert chain[0] == ROUNDS + 1, chain
+        # No resurrected objects: every surviving BufNode is one the
+        # post-GC workload wrote — never a 1000+ garbage stamp exposed
+        # out of a stale image under a settled buffer tail.  An in-flight
+        # allocation may survive with durably-zero fields (pnew only
+        # guarantees the header, §3.5), so v=0 can repeat; a *written*
+        # stamp cannot.
+        values = []
+        for address in heap.walk():
+            if jvm.vm.access.klass_of(address).name == "BufNode":
+                values.append(jvm.get_field(jvm.vm.handle(address), "v"))
+        assert all(0 <= v <= ROUNDS + 1 for v in values), sorted(values)
+        positive = [v for v in values if v > 0]
+        assert len(positive) == len(set(positive)), sorted(values)
+        assert set(chain) <= set(values)
+
+    def fsck(rctx):
+        from repro.tools.fsck import fsck_heap
+        return fsck_heap(rctx.heap)
+
+    def teardown(ctx, rctx):
+        shutil.rmtree(ctx.tmp, ignore_errors=True)
+
+    return CrashSweepHarness(
+        "pjh_alloc_buffer",
+        setup=setup, workload=workload, recover=recover,
+        invariant=invariant, fsck=fsck, teardown=teardown,
+        devices=lambda ctx: [ctx.jvm.heaps.heap("h").device])
+
+
+_register(SweepSpec("pjh_alloc_buffer", "flush", _alloc_buffer_harness,
+                    fast_stride=11, fast_max_points=10))
 
 
 # ----------------------------------------------------------------------

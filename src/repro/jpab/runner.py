@@ -67,9 +67,14 @@ def make_pjo_em(clock: Clock, entities, heap_dir,
                 field_tracking: bool = True,
                 deduplication: bool = True,
                 obs: Observatory = NULL_OBS,
-                certify: bool = False) -> PjoEntityManager:
+                certify: bool = False,
+                alloc_buffer_words: Optional[int] = None) -> PjoEntityManager:
     from repro.api import Espresso
     jvm = Espresso(heap_dir, clock=clock, observatory=obs)
+    if alloc_buffer_words is not None:
+        # Pin the TLAB size before any allocation (0 = the per-object
+        # §4.1 top-persist protocol, the pre-buffer baseline).
+        jvm.vm.alloc_buffer_words = alloc_buffer_words
     jvm.create_heap("jpab", 32 * 1024 * 1024)
     em = PjoEntityManager(jvm, field_tracking=field_tracking,
                           deduplication=deduplication)

@@ -77,7 +77,10 @@ class DeviceStats:
     ``flushes_deduped`` counts flush requests a
     :class:`~repro.nvm.persist.PersistDomain` elided because the line was
     already pending in the open fence epoch; ``epochs`` counts committed
-    (non-empty) fence epochs.
+    (non-empty) fence epochs.  ``flushes_elided``/``fences_elided`` count
+    operations a certified domain skipped because the line was already
+    durably identical (see :mod:`repro.analysis.elision`) — they never
+    reach the device, so they appear in no other counter.
     """
 
     reads: int = 0
@@ -86,10 +89,13 @@ class DeviceStats:
     fences: int = 0
     flushes_deduped: int = 0
     epochs: int = 0
+    flushes_elided: int = 0
+    fences_elided: int = 0
 
     def snapshot(self) -> "DeviceStats":
         return DeviceStats(self.reads, self.writes, self.flushes, self.fences,
-                           self.flushes_deduped, self.epochs)
+                           self.flushes_deduped, self.epochs,
+                           self.flushes_elided, self.fences_elided)
 
     def delta(self, since: "DeviceStats") -> "DeviceStats":
         """Counters accumulated since an earlier :meth:`snapshot`."""
@@ -100,6 +106,8 @@ class DeviceStats:
             self.fences - since.fences,
             self.flushes_deduped - since.flushes_deduped,
             self.epochs - since.epochs,
+            self.flushes_elided - since.flushes_elided,
+            self.fences_elided - since.fences_elided,
         )
 
     def as_dict(self) -> Dict[str, int]:
@@ -110,6 +118,8 @@ class DeviceStats:
             "fences": self.fences,
             "flushes_deduped": self.flushes_deduped,
             "epochs": self.epochs,
+            "flushes_elided": self.flushes_elided,
+            "fences_elided": self.fences_elided,
         }
 
 
@@ -261,6 +271,10 @@ class NvmDevice(MemoryDevice):
         # Pre-flush durable snapshots of lines flushed since the last fence;
         # only populated in REORDERED mode (a crash may undo these flushes).
         self._unfenced: Dict[int, np.ndarray] = {}
+        # Lines flushed since the last fence, tracked in *every* fault
+        # mode: a fence is redundant exactly when this is empty (it would
+        # order nothing), which is what certified fence elision tests.
+        self._unfenced_lines: Set[int] = set()
 
     # -- fault model -------------------------------------------------------
     def set_fault_mode(self, mode: str, seed: int = 0) -> None:
@@ -271,6 +285,7 @@ class NvmDevice(MemoryDevice):
         self.fault_mode = mode
         self._fault_rng = random.Random(seed)
         self._unfenced.clear()
+        self._unfenced_lines.clear()
 
     # -- latency ----------------------------------------------------------
     def _read_cost(self) -> float:
@@ -327,6 +342,7 @@ class NvmDevice(MemoryDevice):
             end = min(start + LINE_WORDS, self.size_words)
             if reordered and line not in self._unfenced:
                 self._unfenced[line] = self._durable[start:end].copy()
+            self._unfenced_lines.add(line)
             self._durable[start:end] = self._words[start:end]
             self._dirty_lines.discard(line)
 
@@ -337,6 +353,7 @@ class NvmDevice(MemoryDevice):
         if self.event_log is not None:
             self.event_log.record_fence()
         self._unfenced.clear()
+        self._unfenced_lines.clear()
 
     def persist_all(self) -> None:
         """Flush every dirty line (used for checkpoint-style image saves)."""
@@ -350,12 +367,41 @@ class NvmDevice(MemoryDevice):
                 self.event_log.record_flush(line)
             if reordered and line not in self._unfenced:
                 self._unfenced[line] = self._durable[start:end].copy()
+            self._unfenced_lines.add(line)
             self._durable[start:end] = self._words[start:end]
         self._dirty_lines.clear()
 
     @property
     def dirty_line_count(self) -> int:
         return len(self._dirty_lines)
+
+    @property
+    def has_unfenced(self) -> bool:
+        """True while any flush since the last fence awaits ordering."""
+        return bool(self._unfenced_lines)
+
+    def line_durably_equal(self, line: int) -> bool:
+        """True when *line*'s live content already equals its durable copy.
+
+        Flushing such a line is the identity operation under every fault
+        mode — ATOMIC/REORDERED copy identical bytes, and TORN tearing a
+        store that rewrote the durable value cannot produce a third value
+        — so a certified domain may skip the ``clflush`` entirely.
+        """
+        start = line * LINE_WORDS
+        end = min(start + LINE_WORDS, self.size_words)
+        return bool(
+            (self._words[start:end] == self._durable[start:end]).all())
+
+    def mark_line_clean(self, line: int) -> None:
+        """Drop *line*'s dirty bit without flushing.
+
+        Only legal when :meth:`line_durably_equal` holds — the caller
+        (certified flush elision) is asserting the flush it skipped would
+        have been a no-op, so the line must stop counting as dirty just
+        as if it had been flushed.
+        """
+        self._dirty_lines.discard(line)
 
     # -- crash / restart ------------------------------------------------------
     def _tear_dirty_lines(self) -> None:
@@ -398,6 +444,7 @@ class NvmDevice(MemoryDevice):
         self._words = self._durable.copy()
         self._dirty_lines.clear()
         self._unfenced.clear()
+        self._unfenced_lines.clear()
         self._hot.clear()
 
     def durable_image(self) -> np.ndarray:
@@ -414,6 +461,7 @@ class NvmDevice(MemoryDevice):
         self._words = self._durable.copy()
         self._dirty_lines.clear()
         self._unfenced.clear()
+        self._unfenced_lines.clear()
 
     def durable_word(self, offset: int) -> int:
         """Read straight from the durable array (no charge: test helper)."""

@@ -156,6 +156,14 @@ class PersistDomain:
         self.strict = strict
         # Cache lines enqueued in the current (open) fence epoch.
         self._pending: Set[int] = set()
+        #: Analyzer-issued flush-elision certificate (a
+        #: :class:`repro.analysis.elision.FlushElisionCertificate`, duck-
+        #: typed so the persist layer stays import-free).  When it covers
+        #: this domain, :meth:`commit_epoch` skips the ``clflush`` of any
+        #: pending line whose live content already equals its durable
+        #: copy, and skips the trailing ``sfence`` when nothing remains
+        #: for it to order.  ``None`` (the default) changes nothing.
+        self.elision = None
 
     # ------------------------------------------------------------------
     # Enqueueing
@@ -193,8 +201,10 @@ class PersistDomain:
         source-stamp epoch) are preserved without coupling its pending
         lines to any other worker's epochs.
         """
-        return PersistDomain(self.device, name=f"{self.name}:{suffix}",
-                             enabled=self.enabled, strict=self.strict)
+        child = PersistDomain(self.device, name=f"{self.name}:{suffix}",
+                              enabled=self.enabled, strict=self.strict)
+        child.elision = self.elision
+        return child
 
     # ------------------------------------------------------------------
     # Epoch commit / fencing
@@ -214,11 +224,41 @@ class PersistDomain:
         """Issue every pending line (sorted, coalesced) + one fence.
 
         An empty epoch commits for free: no flush, no fence, no counter.
-        Returns the number of lines flushed.
+        Returns the number of lines drained from the epoch (flushed or
+        provably elided).
+
+        When a :class:`~repro.analysis.elision.FlushElisionCertificate`
+        covers this domain (and no event log is tracing — traces must
+        record the uncertified sequence), any pending line whose live
+        content already equals its durable copy is dropped instead of
+        flushed: the ``clflush`` would be the identity operation under
+        every fault mode.  If that empties the epoch *and* no earlier
+        flush on the device still awaits ordering, the trailing fence is
+        skipped too — it would order nothing.  Both skips are counted in
+        ``DeviceStats.flushes_elided`` / ``fences_elided``.
         """
         if not self._pending:
             return 0
-        flushed = len(self._pending)
+        drained = len(self._pending)
+        cert = self.elision
+        if (cert is not None and cert.active
+                and cert.covers_domain(self.name)
+                and self.device.event_log is None):
+            redundant = [line for line in self._pending
+                         if self.device.line_durably_equal(line)]
+            for line in redundant:
+                self.device.mark_line_clean(line)
+                self._pending.discard(line)
+            self.device.stats.flushes_elided += len(redundant)
+            cert.note_elided(flushes=len(redundant))
+            if not self._pending:
+                if self.device.has_unfenced:
+                    self.device.fence()
+                else:
+                    self.device.stats.fences_elided += 1
+                    cert.note_elided(fences=1)
+                self.device.stats.epochs += 1
+                return drained
         size = self.device.size_words
         for first_line, n_lines in self._runs():
             start = first_line * LINE_WORDS
@@ -227,7 +267,7 @@ class PersistDomain:
         self._pending.clear()
         self.device.fence()
         self.device.stats.epochs += 1
-        return flushed
+        return drained
 
     def fence(self) -> None:
         """Drain the epoch and fence unconditionally.

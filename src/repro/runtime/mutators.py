@@ -104,10 +104,14 @@ class MutatorGang:
     """
 
     def __init__(self, clock: Clock, mutators: int = 1, seed: int = 0,
-                 obs: Observatory = NULL_OBS) -> None:
+                 obs: Observatory = NULL_OBS, vm=None) -> None:
         self.pool = WorkerPool(clock, workers=mutators, obs=obs,
                                label="mutators")
         self.clock = clock
+        #: When set, each scheduled step publishes its mutator index as
+        #: ``vm.current_mutator`` so the heap routes the step's
+        #: allocations into that mutator's allocation buffer.
+        self.vm = vm
         self.n = self.pool.n
         self.seed = int(seed)
         self.obs = obs
@@ -178,6 +182,10 @@ class MutatorGang:
                 self._step += 1
                 op.steps += 1
                 worker = self.pool.workers[index]
+                saved_mutator = None
+                if self.vm is not None:
+                    saved_mutator = getattr(self.vm, "current_mutator", 0)
+                    self.vm.current_mutator = index
                 try:
                     with self.clock.divert(worker.meter):
                         if event_log is not None:
@@ -193,6 +201,9 @@ class MutatorGang:
                     current[index] = None
                     self._record(index, op.name, "response", stop.value)
                     continue
+                finally:
+                    if self.vm is not None:
+                        self.vm.current_mutator = saved_mutator
                 if marker is not None:
                     kind, payload = marker[0], tuple(marker[1:])
                     if kind not in MARKER_KINDS:

@@ -121,6 +121,16 @@ class EspressoVM:
         # Simulated GC gang width: old GC (DRAM and PJH), recovery and
         # the zeroing load scan all fan out over this many workers.
         self.gc_workers = max(1, int(gc_workers))
+        # Which mutator is executing right now: index into the PJH
+        # allocation-buffer table.  The MutatorGang sets/restores it
+        # around every interleave step; single-threaded sessions stay 0.
+        self.current_mutator = 0
+        # Per-mutator allocation-buffer size in words (EspressoConfig
+        # knob; 0 disables buffering and restores per-object top flushes).
+        self.alloc_buffer_words = 256
+        # Analyzer-issued flush-elision certificate (repro.analysis):
+        # installed onto every heap's persist domains at create/load time.
+        self.elision_certificate = None
         self.failpoints = FailpointRegistry()
         self.memory = AddressSpace()
         self.registry = KlassRegistry()

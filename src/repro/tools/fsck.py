@@ -94,10 +94,20 @@ def fsck_heap(heap) -> FsckReport:
     registry = vm.registry
     space = heap.data_space
 
-    # Pass 1: walk objects, record valid starts.
+    # Pass 1: walk objects, record valid starts.  On a live heap the
+    # unclaimed tail of each mutator's allocation buffer is still zeroed
+    # (no object header yet) — skip those windows; a loaded-from-disk
+    # heap has already settled every buffer claim during recovery.
+    tails = {buf.cursor: buf.end
+             for buf in getattr(heap, "_buffers", {}).values()
+             if buf.cursor < buf.end}
     starts: Set[int] = set()
     cursor = space.base
     while cursor < space.top:
+        skip = tails.get(cursor)
+        if skip is not None:
+            cursor = skip
+            continue
         klass_ptr = vm.memory.read(cursor + layout.KLASS_WORD_OFFSET)
         if not registry.knows(klass_ptr):
             report.error(f"object @{cursor:#x}: unresolvable klass pointer "

@@ -32,24 +32,25 @@ from typing import List, Tuple
 # list as PERSIST_EXEMPT.
 EXEMPT = ("repro/nvm/", "repro/faults/", "repro/tools/lint_persist.py")
 
-_WARNED = False
-
-
 def reset_deprecation_warning() -> None:
     """Forget that the CLI entry point has warned (for tests)."""
-    global _WARNED
-    _WARNED = False
+    _warn_deprecated.warned = False
 
 
 def _warn_deprecated() -> None:
-    global _WARNED
-    if _WARNED:
+    # One-shot state lives on the function, not in a module global: the
+    # ESP305 re-entrancy lint covers repro/tools/, and a CLI entry
+    # point's once-per-process warning is process state, not session
+    # state.  The flag is set only *after* warnings.warn returns — under
+    # ``-W error::DeprecationWarning`` the warn raises, and marking
+    # first would silently swallow every later call's error.
+    if getattr(_warn_deprecated, "warned", False):
         return
-    _WARNED = True
     warnings.warn(
         "python -m repro.tools.lint_persist is deprecated; use "
         "python -m repro.analysis --rules ESP301,ESP302 "
         "(make lint-persist)", DeprecationWarning, stacklevel=3)
+    _warn_deprecated.warned = True
 
 
 def find_violations(src_root: Path) -> List[Tuple[str, int, str, str]]:

@@ -29,6 +29,8 @@ class TpccResult:
     nvm: Dict[str, Dict[str, Dict[str, int]]] = field(default_factory=dict)
     # Observatory span/counter deltas per phase; empty without tracing.
     obs: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    # The recorded PersistEventLog (pjo + ``record_trace=True`` only).
+    trace: Optional[object] = None
 
     @property
     def tx_per_ms(self) -> float:
@@ -36,12 +38,17 @@ class TpccResult:
 
 
 def _make_em(provider: str, clock: Clock, heap_dir: Path,
-             obs: Observatory = NULL_OBS):
+             obs: Observatory = NULL_OBS,
+             alloc_buffer_words: Optional[int] = None):
     if provider == "jpa":
         database = Database(size_words=1 << 22, clock=clock, obs=obs)
         return JpaEntityManager(database)
     from repro.api import Espresso
     jvm = Espresso(heap_dir, clock=clock, observatory=obs)
+    if alloc_buffer_words is not None:
+        # 0 = the per-object §4.1 top-persist protocol (no TLABs) — the
+        # epoch-coalescing-only baseline the benches compare against.
+        jvm.vm.alloc_buffer_words = alloc_buffer_words
     jvm.create_heap("tpcc", 64 * 1024 * 1024)
     return PjoEntityManager(jvm)
 
@@ -49,18 +56,37 @@ def _make_em(provider: str, clock: Clock, heap_dir: Path,
 def run_tpcc(provider: str, transactions: int = 60, seed: int = 7,
              heap_dir: Optional[Path] = None,
              warehouses: int = 1, items: int = 15,
-             observatory: Optional[Observatory] = None) -> TpccResult:
+             observatory: Optional[Observatory] = None,
+             record_trace: bool = False,
+             elision_certificate=None,
+             alloc_buffer_words: Optional[int] = None) -> TpccResult:
     """Run a seeded transaction mix; identical seeds produce identical
     business outcomes on either provider (the cross-provider test relies
     on this).  Passing a live *observatory* records per-phase (populate /
-    transactions) span and counter deltas in ``result.obs``."""
+    transactions) span and counter deltas in ``result.obs``.
+
+    PJO-only hooks for the flush-elision pipeline: ``record_trace=True``
+    records the heap's persist trace into ``result.trace`` (detached
+    before the shutdown persist, so the trace covers exactly the
+    workload), and *elision_certificate* installs a
+    :class:`~repro.analysis.elision.FlushElisionCertificate` on the
+    session before any population traffic."""
     from repro.bench.harness import device_counters, snapshot_devices
     from repro.jpab.runner import _nvm_devices
 
     root = heap_dir if heap_dir is not None else Path(tempfile.mkdtemp())
     clock = Clock()
     obs = observatory if observatory is not None else NULL_OBS
-    em = _make_em(provider, clock, root / provider, obs=obs)
+    em = _make_em(provider, clock, root / provider, obs=obs,
+                  alloc_buffer_words=alloc_buffer_words)
+    if provider == "pjo":
+        if elision_certificate is not None:
+            em.jvm.vm.elision_certificate = elision_certificate
+            em.jvm.config.elision_certificate = elision_certificate
+            em.jvm.heaps.heap("tpcc").install_elision_certificate(
+                elision_certificate)
+        if record_trace:
+            em.jvm.heaps.heap("tpcc").enable_event_log("tpcc")
     app = TpccApplication(em)
     devices = _nvm_devices(em)
     populate_before = snapshot_devices(devices)
@@ -109,5 +135,7 @@ def run_tpcc(provider: str, transactions: int = 60, seed: int = 7,
                              if tx_obs_before is not None else {}))
     if provider == "pjo":
         em.clear()
+        if record_trace:
+            result.trace = em.jvm.heaps.heap("tpcc").disable_event_log()
         em.jvm.shutdown()  # persist the heap image: the run is durable
     return result

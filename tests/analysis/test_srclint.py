@@ -87,6 +87,8 @@ class TestEsp305ModuleState:
         assert self._lint(tmp_path, source, rel="repro/jpa/model.py") == []
         assert self._lint(tmp_path, source, rel="repro/fleet/router.py") != []
         assert self._lint(tmp_path, source, rel="repro/api.py") != []
+        assert self._lint(tmp_path, source,
+                          rel="repro/tools/lint_persist.py") != []
 
     def test_default_rules_include_esp305(self, tmp_path):
         write_tree(tmp_path, {self.CORE:
@@ -236,6 +238,24 @@ class TestLegacyWrappers:
                         if issubclass(w.category, DeprecationWarning)]
         assert len(deprecations) == 1
         assert "repro.analysis" in str(deprecations[0].message)
+        capsys.readouterr()
+
+    def test_legacy_main_raises_on_every_call_under_error_filter(
+            self, tmp_path, capsys):
+        """``-W error::DeprecationWarning`` must fail every invocation,
+        not only the first: marking the one-shot flag before the warn
+        would swallow all later errors."""
+        import pytest
+
+        from repro.tools import lint_persist, lint_time
+        for mod in (lint_persist, lint_time):
+            mod.reset_deprecation_warning()
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                for _ in range(2):
+                    with pytest.raises(DeprecationWarning,
+                                       match="repro.analysis"):
+                        mod.main([str(tmp_path)])
         capsys.readouterr()
 
     def test_legacy_main_output_format(self, tmp_path, capsys):

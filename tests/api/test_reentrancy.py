@@ -54,7 +54,8 @@ def test_two_sessions_have_independent_device_stats_and_epochs(tmp_path):
     # b saw none of a's traffic: no writes, no flushes, no fence epochs.
     assert delta_b.as_dict() == {"reads": 0, "writes": 0, "flushes": 0,
                                  "fences": 0, "flushes_deduped": 0,
-                                 "epochs": 0}
+                                 "epochs": 0, "flushes_elided": 0,
+                                 "fences_elided": 0}
 
 
 def test_two_sessions_have_independent_clocks_and_observatories(tmp_path):

@@ -117,7 +117,8 @@ def test_properties_exposed():
 def test_config_dataclass_fields():
     assert [f.name for f in EspressoConfig.__dataclass_fields__.values()] \
         == ["clock", "latency", "heap_config", "alias_aware", "observatory",
-            "gc_workers", "mutators", "safety_certificate", "resumable",
+            "gc_workers", "mutators", "safety_certificate",
+            "elision_certificate", "alloc_buffer_words", "resumable",
             "task_registry", "persistent_types"]
 
 
@@ -167,6 +168,29 @@ def test_alias_warnings_deduped_per_session_not_per_process(tmp_path):
         b.existsHeap("x")
     assert len([w for w in caught
                 if issubclass(w.category, DeprecationWarning)]) == 2
+
+
+def test_alias_raises_on_every_call_under_error_filter(tmp_path):
+    """``-W error::DeprecationWarning`` must fail every aliased call:
+    marking the dedup set before the warn would swallow all later
+    errors and silently let legacy spellings back in."""
+    jvm = Espresso(tmp_path / "heaps")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        for _ in range(2):
+            with pytest.raises(DeprecationWarning, match="existsHeap"):
+                jvm.existsHeap("x")
+        with pytest.raises(DeprecationWarning, match="size_bytes="):
+            Espresso.open(tmp_path / "h2", "box", 128 * 1024)
+        with pytest.raises(DeprecationWarning, match="size_bytes="):
+            Espresso.open(tmp_path / "h3", "box", 128 * 1024)
+    # The swallowed-error calls never reached the dedup set, so the
+    # session still owes its one ordinary warning.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        jvm.existsHeap("x")
+    assert len([w for w in caught
+                if issubclass(w.category, DeprecationWarning)]) == 1
 
 
 def test_snake_case_calls_never_warn(tmp_path):

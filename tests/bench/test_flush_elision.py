@@ -1,0 +1,48 @@
+"""Pinned flush-elision acceptance: the fig17 and TPC-C clflush+sfence
+reduction must beat PR 2's -16.2% epoch-coalescing baseline, with
+SHA-256-identical durable images, a clean ESP201-205 hazard pass and
+fsck-clean heaps on every leg."""
+
+from repro.bench.fig17_basictest_breakdown import run as run_fig17
+from repro.bench.tpcc_bench import run as run_tpcc_bench
+
+#: PR 2's epoch-coalescing win on fig17 clflushes — the bar to beat.
+COALESCING_BASELINE = 0.162
+
+
+def _check_summary(fe):
+    assert fe["reduction"] > COALESCING_BASELINE
+    # The certificate contributes on top of the allocation buffers.
+    assert 0.0 < fe["elision_reduction"] < fe["reduction"]
+    assert fe["certified"]["flushes_elided"] > 0
+    assert fe["certified"]["fences_elided"] > 0
+    assert fe["hazards"]["errors"] == 0
+    assert fe["durable_image_equal"]
+    sha = fe["durable_image_sha256"]
+    assert sha["baseline"] == sha["certified"]
+    assert len(sha["certified"]) == 64
+    assert all(fe["fsck_clean"].values())
+    cert = fe["certificate"]
+    assert cert["active"] and not cert["revocations"]
+    assert cert["evidence"]["redundant_flushes"] > 0
+    assert cert["elided"]["flushes"] == fe["certified"]["flushes_elided"]
+
+
+def test_fig17_flush_elision_beats_coalescing_baseline(tmp_path):
+    result = run_fig17(count=30, heap_dir=tmp_path, flush_certified=True)
+    fe = result.flush_elision
+    _check_summary(fe)
+    assert "pjh:jpab" in fe["certificate"]["scopes"]
+    # The elided run is a full measured leg of the breakdown.
+    assert any(provider == "H2-PJO-elided"
+               for provider, _ in result.cells)
+
+
+def test_tpcc_flush_elision_beats_coalescing_baseline(tmp_path):
+    result = run_tpcc_bench(transactions=40, heap_dir=tmp_path,
+                            flush_certified=True)
+    fe = result.flush_elision
+    _check_summary(fe)
+    assert "pjh:tpcc" in fe["certificate"]["scopes"]
+    # Elision must not change the business outcome either.
+    assert result.pjo_elided.snapshot == result.pjo.snapshot

@@ -16,9 +16,10 @@ ALL_PAIRS = [(name, mode) for name in sorted(SWEEPS)
              for mode in FaultMode.ALL]
 
 
-def test_registry_covers_all_nine_layers():
+def test_registry_covers_all_ten_layers():
     assert sorted(SWEEPS) == ["concurrent_kv", "fleet_failover", "h2_sql",
-                              "mixed_domains", "pcj_nvml", "pjh_alloc_gc",
+                              "mixed_domains", "pcj_nvml",
+                              "pjh_alloc_buffer", "pjh_alloc_gc",
                               "pjhlib", "pjo_commit", "resume_task"]
 
 

@@ -201,8 +201,61 @@ class TestPinnedFlushCounts:
         before = heap.device.stats.snapshot()
         result = jvm.persistent_gc()
         delta = heap.device.stats.delta(before)
-        assert (delta.flushes, delta.fences) == (591, 132)
-        assert delta.epochs == 132
-        # The GC result mirrors the same counters per collection.
+        # 591/132 for the collection itself, +3/+3 for retiring the live
+        # allocation buffer first (truncate top, clear the table entry,
+        # move the scan hint — one single-word epoch each).
+        assert (delta.flushes, delta.fences) == (594, 135)
+        assert delta.epochs == 135
+        # The GC result counts the collection alone (the buffers are
+        # retired before it snapshots its baseline).
         assert (result.flushes, result.fences) == (591, 132)
         assert result.epochs == 132
+
+
+class TestForkDedupIndependence:
+    """fork() hands each GC worker its own pending set: no false dedup
+    against the parent's open epoch, no entangled epoch drains, and the
+    cross-domain re-flush stays an honest (elidable) clflush."""
+
+    def test_fork_pending_sets_are_independent(self, device, domain):
+        device.write(0, 1)
+        domain.flush(0)
+        child = domain.fork("gc-w0")
+        device.write(1, 2)                     # same cache line
+        assert child.flush(1) == 1             # no false dedup vs parent
+        assert device.stats.flushes_deduped == 0
+        assert domain.pending_lines == 1 and child.pending_lines == 1
+        child.commit_epoch()
+        # The child's commit drains only the child's epoch ...
+        assert domain.pending_lines == 1
+        domain.commit_epoch()
+        # ... and each domain issued its own clflush: the cross-domain
+        # redundancy is a second real flush, never a flushes_deduped.
+        assert device.stats.flushes == 2
+        assert device.stats.flushes_deduped == 0
+        assert device.stats.epochs == 2
+
+    def test_worker_forks_count_dedup_per_domain(self, device, domain):
+        device.write(0, 1)
+        domain.flush(0)
+        workers = [domain.fork(f"gc-w{i}") for i in range(2)]
+        for worker in workers:
+            assert worker.flush(0) == 1        # first touch in THIS domain
+            assert worker.flush(0) == 0        # local duplicate dedups
+        assert device.stats.flushes_deduped == 2   # one per worker, not 4
+
+    def test_certificate_elides_the_cross_domain_reflush(self, device,
+                                                         domain):
+        from repro.analysis.elision import FlushElisionCertificate
+
+        domain.elision = FlushElisionCertificate(["test"])
+        child = domain.fork("gc-w0")
+        device.write(0, 5)
+        domain.flush(0)
+        child.flush(0)
+        child.commit_epoch()      # the worker makes line 0 durable first
+        domain.commit_epoch()     # the parent's flush is provably redundant
+        assert device.stats.flushes == 1
+        assert device.stats.flushes_elided == 1
+        assert device.stats.fences == 1
+        assert device.stats.fences_elided == 1

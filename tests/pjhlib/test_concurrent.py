@@ -11,6 +11,7 @@ still be gone after reattach).
 import pytest
 
 from repro.api import Espresso
+from repro.errors import SimulatedCrash
 from repro.pjhlib.concurrent import PjhConcurrentMap, PjhConcurrentSet
 from repro.runtime.mutators import MutatorGang
 
@@ -20,6 +21,16 @@ def ctx(tmp_path):
     jvm = Espresso(tmp_path / "heaps")
     jvm.create_heap("lib", 2 * 1024 * 1024)
     return jvm
+
+
+def _abandon_remove_after_durability(table, key):
+    """Drive a remove up to its durability point (``valid=0`` flushed and
+    fenced) and abandon it there — the physical unlink never runs."""
+    gen = table.remove_op(key)
+    while True:
+        marker = next(gen)
+        if marker is not None and marker[0] == "durable":
+            return
 
 
 class TestMapBasics:
@@ -153,6 +164,82 @@ class TestRecovery:
         _, table2 = self._crash_reattach(ctx, table)
         assert table2.snapshot_raw() == {5: 50}
         assert table2.audit() == []
+
+    def test_crash_loop_with_dead_node_runs(self, tmp_path):
+        """Repeated crash/recover cycles over one chain that keeps
+        accumulating runs of logically-deleted nodes (durable ``valid=0``,
+        unlink never executed, including a re-insert of a dead key):
+        every reattach must complete the unlinks without ever producing
+        a false cycle or duplicate-key positive in ``audit()``."""
+        jvm = Espresso(tmp_path / "heaps")
+        jvm.create_heap("lib", 4 * 1024 * 1024)
+        table = PjhConcurrentMap(jvm, buckets=1)   # one chain for everything
+        jvm.set_root("table", table.h)
+        model = {}
+        for cycle in range(4):
+            base = cycle * 10
+            for i in range(base, base + 6):
+                table.put(i, i * 3)
+                model[i] = i * 3
+            # Three consecutive in-flight deletes: abandon each right
+            # after its durability point, before the physical unlink.
+            for i in range(base, base + 3):
+                _abandon_remove_after_durability(table, i)
+                del model[i]
+            # Re-insert one durably-deleted key while its dead node is
+            # still linked: the chain now holds a live and a dead node
+            # for the same key — audit must not call that a duplicate.
+            table.put(base, base * 5)
+            model[base] = base * 5
+            assert table.audit() == []
+            jvm = jvm.restart(crash=True)
+            jvm.load_heap("lib")
+            table = PjhConcurrentMap.reattach(jvm, jvm.get_root("table"))
+            assert table.audit() == []
+            assert table.snapshot_raw() == model
+            assert table.size() == len(model)
+
+    @pytest.mark.parametrize("nth", range(1, 6))
+    def test_crash_during_recovery_unlinking_is_idempotent(self, tmp_path,
+                                                           nth):
+        """Crash reattach itself after its N-th unlink flush: the next
+        recovery must still finish the job with a clean audit."""
+        jvm = Espresso(tmp_path / "heaps")
+        jvm.create_heap("lib", 2 * 1024 * 1024)
+        table = PjhConcurrentMap(jvm, buckets=1)
+        jvm.set_root("table", table.h)
+        for i in range(6):
+            table.put(i, i)
+        for i in (0, 2, 3, 5):   # dead head run + interior run
+            _abandon_remove_after_durability(table, i)
+        jvm2 = jvm.restart(crash=True)
+        jvm2.load_heap("lib")
+        device = jvm2.heaps.heap("lib").device
+        original = device.clflush
+        remaining = [nth]
+
+        def bombed(offset, count=1, asynchronous=False):
+            original(offset, count, asynchronous)
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                raise SimulatedCrash("crash mid-recovery")
+
+        device.clflush = bombed
+        crashed = False
+        try:
+            PjhConcurrentMap.reattach(jvm2, jvm2.get_root("table"))
+        except SimulatedCrash:
+            crashed = True
+        finally:
+            del device.__dict__["clflush"]
+        jvm3 = jvm2.restart(crash=True)
+        jvm3.load_heap("lib")
+        table3 = PjhConcurrentMap.reattach(jvm3, jvm3.get_root("table"))
+        assert table3.audit() == []
+        assert table3.snapshot_raw() == {1: 1, 4: 4}
+        assert table3.size() == 2
+        if not crashed:   # bomb never fired: the sweep range is exhausted
+            assert nth > 4
 
     def test_set_survives_crash(self, ctx):
         members = PjhConcurrentSet(ctx, buckets=2)

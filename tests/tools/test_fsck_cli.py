@@ -158,7 +158,10 @@ def frame_heap_dir(tmp_path):
     Returns ``(heap_dir, root_frame_offset)`` so tests can corrupt a
     specific frame word in the saved image.
     """
-    jvm = Espresso(tmp_path, config=EspressoConfig(resumable=True))
+    # alloc_buffer_words=0 keeps the historical failpoint-hit arithmetic
+    # below exact (buffered allocation adds a refill hit per buffer).
+    jvm = Espresso(tmp_path, config=EspressoConfig(resumable=True,
+                                                   alloc_buffer_words=0))
     jvm.define_class("Node", [field("v", FieldKind.INT),
                               field("next", FieldKind.REF)])
 
