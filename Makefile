@@ -1,8 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test sweep sweep-fast fsck analyze lint-persist lint-time \
-	obs-report fleet-smoke concurrent-smoke elision-report
+.PHONY: check test sweep sweep-fast fsck analyze analyze-fast \
+	lint-persist lint-time obs-report fleet-smoke concurrent-smoke \
+	elision-report
 
 # The CI gate: the full static analyzer, the tier-1 suite, a strided
 # smoke pass of every crash sweep (including the fleet fail-over and
@@ -31,11 +32,23 @@ concurrent-smoke:
 	$(PYTHON) -c "from repro.workloads.concurrent_kv import main; \
 	raise SystemExit(main())"
 
-# All three analyzer passes: AST source lint (ESP3xx) over src/ and
-# examples/, persistent-closure analysis (ESP1xx) of the BasicTest
-# DBPersistable schema, baseline-filtered.  Exit 1 on any finding.
+# The full analyzer: AST source lint (ESP3xx) over src/ and examples/,
+# persistent-closure analysis (ESP1xx) of the BasicTest DBPersistable
+# schema, and the static interprocedural persist-order verifier
+# (ESP5xx) over the durable subsystems, baseline-filtered with the
+# justified-exception file.  Exit 1 on any non-baselined finding —
+# this is what makes `make check` fail on new hazards.
 analyze:
-	$(PYTHON) -m repro.analysis --closure-schema --baseline analysis-baseline.json
+	$(PYTHON) -m repro.analysis --closure-schema --static-order \
+	  --assumptions analysis-assumptions.json \
+	  --baseline analysis-baseline.json
+
+# Inner-loop variant: skips the closure boot and the interprocedural
+# pass (call summaries, ESP501/ESP505) — seconds, for edit-compile-lint.
+analyze-fast:
+	$(PYTHON) -m repro.analysis --static-order --no-interprocedural \
+	  --assumptions analysis-assumptions.json \
+	  --baseline analysis-baseline.json
 
 # Tier-1: the full unit/integration suite (exhaustive sweeps deselected).
 test:

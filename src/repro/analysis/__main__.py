@@ -14,11 +14,20 @@ apply):
   happens-before checker (ESP201/ESP202/ESP203).
 * **elision** — ``--trace FILE --elision`` additionally replays the same
   log through the flush/fence-redundancy prover (ESP401/ESP402).
+* **static order** — ``--static-order`` runs the CFG + interprocedural
+  persist-order verifier (ESP501-505) over the in-tree durable
+  subsystems (or ``--paths``); ``--assumptions FILE`` supplies justified
+  suppressions/contracts, ``--no-interprocedural`` keeps only the
+  intra-procedural rules for fast inner-loop runs.
 
 Findings print one per line (``CODE where: message``); ``--json`` emits
 the full report.  A baseline file of finding fingerprints suppresses
 known findings (``--baseline``, refresh with ``--write-baseline``).
-Exit codes: 0 clean, 1 findings remain, 2 usage error.
+``--update-baseline`` regenerates the baseline *family-aware*: only the
+fingerprints of rule families whose passes actually ran are replaced,
+and the update is refused outright while error-severity findings are
+present (errors are fixed or justified in the assumptions file, never
+baselined).  Exit codes: 0 clean, 1 findings remain, 2 usage error.
 """
 
 from __future__ import annotations
@@ -114,6 +123,60 @@ def _run_elision(report: AnalysisReport, trace_path: Path) -> None:
     report.add_pass("elision", elision.diagnostics(), summary)
 
 
+def _run_static_order(report: AnalysisReport, paths, assumptions_path,
+                      interprocedural: bool) -> None:
+    from repro.analysis.static_order import (Assumptions, analyze_paths,
+                                             load_assumptions)
+    if assumptions_path is not None and assumptions_path.exists():
+        assumptions = load_assumptions(assumptions_path)
+    else:
+        assumptions = Assumptions.empty()
+    result = analyze_paths(paths=paths, repo_root=_REPO_ROOT,
+                           assumptions=assumptions,
+                           interprocedural=interprocedural)
+    report.add_pass("static_order", result.diagnostics(), result.summary())
+
+
+#: Rule family (the ESP digit) each pass owns, for family-aware baseline
+#: regeneration: --update-baseline only replaces fingerprints of families
+#: whose passes actually ran, so e.g. the elision-pass entries survive a
+#: run that did not load a trace.
+_PASS_FAMILY = {"lint": "3", "closure": "1", "hazards": "2",
+                "elision": "4", "static_order": "5"}
+
+
+def _fingerprint_family(fingerprint: str) -> str:
+    return fingerprint[3] if fingerprint.startswith("ESP") \
+        and len(fingerprint) > 3 else "?"
+
+
+def _update_baseline(report: AnalysisReport, path: Path) -> int:
+    errors = report.errors()
+    if errors:
+        for diag in errors:
+            print(diag.render())
+        print(f"repro.analysis: refusing to update {path}: "
+              f"{len(errors)} error-severity finding(s) present — fix "
+              f"them or justify them in the assumptions file")
+        return 2
+    old = Baseline.load(path) if path.exists() else Baseline()
+    ran = {_PASS_FAMILY.get(name) for name in report.passes}
+    kept = {fp for fp in old.fingerprints
+            if _fingerprint_family(fp) not in ran}
+    new = {d.fingerprint for d in report.findings}
+    added = sorted(new - old.fingerprints)
+    removed = sorted(fp for fp in old.fingerprints
+                     if _fingerprint_family(fp) in ran and fp not in new)
+    Baseline(kept | new).save(path)
+    print(f"updated {path}: +{len(added)} -{len(removed)} "
+          f"({len(kept | new)} total)")
+    for fp in added:
+        print(f"  + {fp}")
+    for fp in removed:
+        print(f"  - {fp}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -134,6 +197,25 @@ def main(argv=None) -> int:
                         help="with --trace: also run the flush/fence-"
                              "elision pass (ESP401/ESP402 redundancy "
                              "findings)")
+    parser.add_argument("--static-order", action="store_true",
+                        help="run the static persist-order verifier "
+                             "(ESP501-505) over the in-tree durable "
+                             "subsystems, or over --paths when given")
+    parser.add_argument("--no-interprocedural", action="store_true",
+                        help="with --static-order: skip call summaries "
+                             "and the whole-call-graph rules (ESP501 "
+                             "helper resolution, ESP505) for fast "
+                             "inner-loop runs")
+    parser.add_argument("--assumptions", type=Path, default=None,
+                        metavar="FILE",
+                        help="with --static-order: justified suppressions "
+                             "and defers-fence contracts (JSON; every "
+                             "entry must carry a 'why')")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="regenerate the --baseline file from this "
+                             "run's findings (family-aware: only rule "
+                             "families whose passes ran are replaced); "
+                             "refused while error findings are present")
     parser.add_argument("--verbose", action="store_true",
                         help="include informational closure diagnostics "
                              "(ESP102-105)")
@@ -167,6 +249,14 @@ def main(argv=None) -> int:
             _run_elision(report, args.trace)
     elif args.elision:
         raise SystemExit("--elision needs --trace FILE")
+    if args.static_order:
+        _run_static_order(report, args.paths, args.assumptions,
+                          interprocedural=not args.no_interprocedural)
+
+    if args.update_baseline:
+        baseline_path = args.baseline \
+            or (_REPO_ROOT / "analysis-baseline.json")
+        return _update_baseline(report, baseline_path)
 
     if args.write_baseline is not None:
         baseline = Baseline.from_report(report)

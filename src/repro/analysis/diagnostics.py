@@ -12,7 +12,9 @@ Code ranges:
 * ``ESP1xx`` — persistent-closure analysis (class/field classification);
 * ``ESP2xx`` — persist-order hazards (trace-based happens-before);
 * ``ESP3xx`` — source lint (AST rules over ``src/`` + ``examples/``);
-* ``ESP4xx`` — flush/fence-elision analysis (trace-based redundancy).
+* ``ESP4xx`` — flush/fence-elision analysis (trace-based redundancy);
+* ``ESP5xx`` — static persist-order verification (CFG + interprocedural
+  dataflow over the durable subsystems' source, all paths, no traces).
 """
 
 from __future__ import annotations
@@ -90,6 +92,31 @@ RULE_CATALOGUE: Dict[str, Tuple[str, str]] = {
                "redundant fence: no flush happened since the previous "
                "fence — the sfence orders nothing and is elidable under "
                "a FlushElisionCertificate"),
+    # -- static persist-order verification ---------------------------------
+    "ESP501": ("error",
+               "publish without dominating persist: a path reaches a "
+               "declared publish point with no flush+fence of the payload "
+               "before it — a crash in the window recovers a reachable "
+               "pointer to unpersisted data"),
+    "ESP502": ("error",
+               "unlogged durable-metadata store: a @durable_metadata "
+               "function stores outside any undo-log/transaction coverage "
+               "— a crash mid-mutation cannot roll the structure back"),
+    "ESP503": ("warning",
+               "fence-less flush at function exit: a flush enqueued in "
+               "this function is still pending on a returning path — the "
+               "epoch is never committed, so the flush may never become "
+               "durable"),
+    "ESP504": ("warning",
+               "sibling branch skips durability: one arm of a conditional "
+               "performs a flush+fence its sibling arm skips while still "
+               "storing or flushing — one path persists, the other "
+               "silently does not"),
+    "ESP505": ("error",
+               "call-graph escape: a helper defers its fence to the "
+               "caller, but a call-graph root invokes it on a path whose "
+               "epoch is never committed — the pending flush escapes the "
+               "analyzed world"),
 }
 
 

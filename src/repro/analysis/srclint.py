@@ -19,7 +19,7 @@ the forbidden APIs freely — only actual call expressions are flagged:
 * **ESP305** — module-level mutable state in the session/core layers
   (``repro/api.py``, ``repro/core/``, ``repro/fleet/``,
   ``repro/runtime/``, ``repro/pjhlib/concurrent.py``,
-  ``repro/tools/``): a top-level
+  ``repro/tools/``, ``repro/workloads/``, ``repro/bench/``): a top-level
   container that the module itself mutates, or any ``global`` statement.
   Many :class:`Espresso` sessions live in one process (the fleet mounts
   K of them), so session state must hang off the instance/config, never
@@ -66,7 +66,7 @@ _EXEMPT_FOR: Dict[str, Tuple[str, ...]] = {
 _ONLY_FOR: Dict[str, Tuple[str, ...]] = {
     "ESP305": ("repro/api.py", "repro/core/", "repro/fleet/",
                "repro/runtime/", "repro/pjhlib/concurrent.py",
-               "repro/tools/"),
+               "repro/tools/", "repro/workloads/", "repro/bench/"),
 }
 
 _WALLCLOCK_TIME = {

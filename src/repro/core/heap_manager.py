@@ -29,6 +29,7 @@ from repro.errors import (
 )
 from repro.nvm.device import NvmDevice
 from repro.nvm.namespace import NameManager
+from repro.nvm.publish import publish_point
 from repro.runtime import layout as obj_layout
 from repro.runtime.objects import ObjectHandle
 from repro.runtime.vm import EspressoVM
@@ -246,6 +247,7 @@ class HeapManager:
         report.load_ns = self.vm.clock.now_ns - start_ns
         return heap, report
 
+    @publish_point("fleet-routed root binding")
     def set_root(self, root_name: str, value: Optional[ObjectHandle],
                  heap: Optional[str] = None) -> None:
         """Mark an object as a named entry point (paper Table 1 setRoot)."""

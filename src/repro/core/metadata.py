@@ -25,6 +25,7 @@ from repro.errors import CorruptHeapError, IllegalArgumentException
 from repro.nvm.checksum import crc32_words
 from repro.nvm.device import NvmDevice
 from repro.nvm.persist import PersistDomain
+from repro.nvm.publish import publish_point
 
 MAGIC = 0x455350_52_45_53_53  # "ESPRESS" squeezed into a word
 VERSION = 2  # v2 added the frame segment + resumable-task block
@@ -392,7 +393,11 @@ class MetadataArea:
     def name_table_count(self) -> int:
         return self._get(_NAME_TABLE_COUNT)
 
+    @publish_point("name-table entry count")
     def set_name_table_count(self, value: int) -> None:
+        # Publishing store of the name-table insert protocol: bumping the
+        # count makes the (already persisted) entry at index count-1
+        # recoverable.  ESP501 holds callers to flushing the entry first.
         self._set(_NAME_TABLE_COUNT, value)
 
     @property
@@ -407,7 +412,11 @@ class MetadataArea:
     def frame_top(self) -> int:
         return self._get(_FRAME_TOP)
 
+    @publish_point("frame-stack top pointer")
     def set_frame_top(self, value: int) -> None:
+        # Publishing store of the frame-push protocol (DESIGN.md §14):
+        # advancing the top makes the frame below it part of the
+        # recoverable stack, so the frame words must be durable first.
         self._set(_FRAME_TOP, value)
 
     @property

@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import OutOfMemoryError
 from repro.nvm.device import NvmDevice
 from repro.nvm.persist import PersistDomain, PersistEventLog
+from repro.nvm.publish import publish_point
 from repro.runtime import layout as obj_layout
 from repro.runtime.klass import FieldKind, Klass
 from repro.runtime.objects import RootSlot
@@ -619,7 +620,12 @@ class PersistentHeap(PersistentSpaceService):
     # ------------------------------------------------------------------
     # Roots API backing (setRoot/getRoot go through the heap manager)
     # ------------------------------------------------------------------
+    @publish_point("heap root binding")
     def set_root(self, root_name: str, address: int) -> None:
+        # Publishing store: once the name-table entry lands, *address* is
+        # recoverable.  The entry itself is persisted before the count
+        # bump inside NameTable.put; durability of the object graph the
+        # root references is the caller's obligation (paper §3 flush API).
         self.name_table.put(ENTRY_TYPE_ROOT, root_name, address)
 
     def get_root(self, root_name: str) -> Optional[int]:

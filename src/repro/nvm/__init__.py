@@ -23,6 +23,12 @@ from repro.nvm.failpoints import DOCUMENTED_SITES, FailpointRegistry
 from repro.nvm.latency import DEFAULT_LATENCY, LatencyConfig
 from repro.nvm.namespace import NameManager
 from repro.nvm.persist import OrderingViolation, PersistDomain
+from repro.nvm.publish import (
+    durable_metadata,
+    publish_point,
+    registered_durable_metadata,
+    registered_publish_points,
+)
 
 __all__ = [
     "AddressSpace",
@@ -43,4 +49,8 @@ __all__ = [
     "PersistDomain",
     "WORD_BYTES",
     "crc32_words",
+    "durable_metadata",
+    "publish_point",
+    "registered_durable_metadata",
+    "registered_publish_points",
 ]

@@ -37,6 +37,7 @@ from repro.nvm.clock import Clock
 from repro.nvm.device import NvmDevice
 from repro.nvm.latency import DEFAULT_LATENCY, LatencyConfig
 from repro.nvm.persist import PersistDomain
+from repro.nvm.publish import publish_point
 from repro.obs import NULL_OBS, Observatory
 
 # Pool metadata word offsets.
@@ -380,7 +381,11 @@ class MemoryPool:
     # ------------------------------------------------------------------
     # Root directory
     # ------------------------------------------------------------------
+    @publish_point("PCJ root-directory entry")
     def set_root(self, name: str, payload_offset: int) -> None:
+        # Publishing store: the root entry makes *payload_offset*
+        # recoverable.  The entry pair is fenced here; durability of the
+        # payload object itself is the caller's obligation.
         key = _hash64(name)
         d = self.device
         if key in self._root_cache:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import ArrayIndexOutOfBoundsException, IllegalArgumentException
+from repro.nvm.publish import durable_metadata
 from repro.runtime.klass import FieldKind, Klass, field
 from repro.runtime.objects import ObjectHandle
 
@@ -327,6 +328,7 @@ class PjhHashmap(_PjhBase):
         if new_size > n * self._LOAD_FACTOR:
             self._rehash(buckets, n)
 
+    @durable_metadata("hashmap rehash splice")
     def _rehash(self, buckets: ObjectHandle, n: int) -> None:
         # Splicing reuses the live entry objects, so every mutated "next"
         # pointer must be undo-logged *and* flushed: a crash mid-rehash

@@ -41,6 +41,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import IllegalArgumentException
+from repro.nvm.publish import publish_point
 from repro.runtime.klass import FieldKind, field
 from repro.runtime.objects import ObjectHandle
 
@@ -181,6 +182,16 @@ class PjhConcurrentMap:
             jvm.flush_object(node)
             jvm.set_field(node, "flushed", 1)
 
+    @publish_point("concurrent-map CAS link")
+    def _link_bucket(self, array: ObjectHandle, index: int,
+                     node: ObjectHandle) -> None:
+        # Publishing store of the insert protocol: linking *node* into
+        # the bucket makes it (and everything it references) reachable
+        # from the recovered map.  ESP501 holds callers to the fence-2
+        # discipline — the node, including its next pointer, must be
+        # durable before this store.
+        self.jvm.array_set(array, index, node)
+
     # ------------------------------------------------------------------
     # Gang ops (generators; every yield is an interleave point)
     # ------------------------------------------------------------------
@@ -238,7 +249,7 @@ class PjhConcurrentMap:
             # CAS: re-read, compare, link — one interleave step.
             if not _same(jvm.array_get(array, index), head):
                 continue  # lost the race; retraverse and retry
-            jvm.array_set(array, index, node)
+            self._link_bucket(array, index, node)
             self._size += 1
             yield ("linearized", "put", key)
             # Fence 3: link durable — the op's durability point.
@@ -287,14 +298,10 @@ class PjhConcurrentMap:
             if prev is None:
                 if not _same(jvm.array_get(array, index), found):
                     return True
-                jvm.array_set(array, index, nxt)
-                self._flush_slot(vm.access.element_slot(array.address, index))
             else:
                 if not _same(jvm.get_field(prev, "next"), found):
                     return True
-                jvm.set_field(prev, "next", nxt)
-                self._flush_slot(
-                    prev.address + vm.klass_of(prev).field_offset("next"))
+            self._unlink(array, index, prev, found, nxt)
             return True
 
     def get_op(self, key) -> Iterator:
@@ -414,9 +421,15 @@ class PjhConcurrentMap:
                     break
         return problems
 
+    @publish_point("concurrent-map unlink")
     def _unlink(self, array: ObjectHandle, index: int,
                 prev: Optional[ObjectHandle], node: ObjectHandle,
                 nxt: Optional[ObjectHandle]) -> None:
+        # Publishing store of the delete protocol's cleanup half: the
+        # bucket (or predecessor) pointer now reaches *nxt* directly.
+        # nxt is already durable — its own link fenced when it was
+        # inserted — so the obligation on callers is the valid=0 fence
+        # (remove_op) or recovery context (reattach).
         jvm, vm = self.jvm, self.jvm.vm
         if prev is None:
             jvm.array_set(array, index, nxt)

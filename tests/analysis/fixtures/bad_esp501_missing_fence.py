@@ -1,0 +1,26 @@
+"""ESP501 fixture: payload flushed but not fenced before the publish.
+
+``hg_append`` gets the payload into the flush queue, but the fence
+only lands *after* the head store — the store can become durable ahead
+of the still-queued payload flush.
+"""
+
+from repro.nvm.publish import publish_point
+
+HEAD = 0
+
+
+class HalfGuardedLog:
+    def __init__(self, device, pd):
+        self.device = device
+        self.pd = pd
+
+    @publish_point("half-guarded-log head")
+    def hg_set_head(self, value):
+        self.device.write(HEAD, value)
+
+    def hg_append(self, offset, record, value):
+        self.device.write_block(offset, record)
+        self.pd.clflush(offset)
+        self.hg_set_head(value)          # BAD: flush not yet fenced
+        self.pd.commit_epoch()           # fence arrives too late

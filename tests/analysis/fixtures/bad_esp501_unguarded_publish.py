@@ -1,0 +1,24 @@
+"""ESP501 fixture: publish reached with no flush or fence at all.
+
+``ul_append`` stores the record payload and immediately calls the
+declared publish point — the payload is in the write-back cache only,
+so a crash right after the head store recovers a dangling pointer.
+"""
+
+from repro.nvm.publish import publish_point
+
+HEAD = 0
+
+
+class UnguardedLog:
+    def __init__(self, device, pd):
+        self.device = device
+        self.pd = pd
+
+    @publish_point("unguarded-log head")
+    def ul_set_head(self, value):
+        self.device.write(HEAD, value)
+
+    def ul_append(self, offset, record, value):
+        self.device.write_block(offset, record)
+        self.ul_set_head(value)          # BAD: payload never persisted

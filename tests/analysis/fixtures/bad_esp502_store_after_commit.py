@@ -1,0 +1,24 @@
+"""ESP502 fixture: a trailing store after the transaction committed.
+
+The first store is properly logged; the count update sneaks in after
+``commit`` closed the undo window, so it is unprotected.
+"""
+
+from repro.nvm.publish import durable_metadata
+
+COUNT = 8
+
+
+class LateStoreTable:
+    def __init__(self, device, txn, base):
+        self.device = device
+        self.txn = txn
+        self.base = base
+
+    @durable_metadata("late-store-table resize")
+    def ls_resize(self, index, value, count):
+        self.txn.begin()
+        self.txn.log_slot(self.base + index)
+        self.device.write(self.base + index, value)
+        self.txn.commit()
+        self.device.write(self.base + COUNT, count)   # BAD: outside txn

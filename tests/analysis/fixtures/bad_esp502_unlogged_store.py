@@ -1,0 +1,17 @@
+"""ESP502 fixture: durable-metadata store with no transaction at all.
+
+``ut_splice`` mutates structure-critical words directly — a crash
+mid-splice leaves the table half-rewritten with nothing to roll back.
+"""
+
+from repro.nvm.publish import durable_metadata
+
+
+class UnloggedTable:
+    def __init__(self, device, base):
+        self.device = device
+        self.base = base
+
+    @durable_metadata("unlogged-table splice")
+    def ut_splice(self, index, value):
+        self.device.write(self.base + index, value)   # BAD: no undo log

@@ -1,0 +1,18 @@
+"""ESP503 fixture: the fence is gated on non-parameter state.
+
+Unlike a ``fence=False`` API parameter (a caller-visible contract), the
+``self.mode`` test hides the fence-less path inside the object — async
+mode silently leaves the flush pending at exit.
+"""
+
+
+class ModalCache:
+    def __init__(self, pd, mode):
+        self.pd = pd
+        self.mode = mode
+
+    def mc_flush_maybe(self, address):
+        self.pd.clflush(address)
+        if self.mode == "sync":
+            self.pd.commit_epoch()
+        # BAD: async mode returns with the flush still pending

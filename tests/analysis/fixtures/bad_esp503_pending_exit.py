@@ -1,0 +1,13 @@
+"""ESP503 fixture: a flush enqueued and never fenced on any path.
+
+``lc_touch`` queues the line but returns without committing the epoch;
+the flush may sit in the queue forever.
+"""
+
+
+class LeakyCache:
+    def __init__(self, pd):
+        self.pd = pd
+
+    def lc_touch(self, address):
+        self.pd.clflush(address)          # BAD: never fenced

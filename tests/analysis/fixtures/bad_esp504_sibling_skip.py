@@ -1,0 +1,18 @@
+"""ESP504 fixture: one conditional arm persists, its sibling does not.
+
+Both arms store to the device, but only the ``durable`` arm follows up
+with ``persist`` — the other path silently skips durability.
+"""
+
+
+class SkewedStore:
+    def __init__(self, device, pd):
+        self.device = device
+        self.pd = pd
+
+    def sk_store(self, address, value, durable):
+        if durable:
+            self.device.write(address, value)
+            self.pd.persist(address)
+        else:
+            self.device.write(address, value)   # BAD: no persist here

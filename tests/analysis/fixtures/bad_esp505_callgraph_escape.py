@@ -1,0 +1,21 @@
+"""ESP505 fixture: a deferred fence that no caller ever drains.
+
+``ep_enqueue`` is a well-formed fence-parameter API (its own
+fence-less exit is the documented contract, not a finding), but the
+call-graph root ``ep_root`` asks for ``fence=False`` and then returns
+without ever committing an epoch — the pending flush escapes the
+analyzed world.
+"""
+
+
+class EscapingPool:
+    def __init__(self, pd):
+        self.pd = pd
+
+    def ep_enqueue(self, address, fence=True):
+        self.pd.clflush(address)
+        if fence:
+            self.pd.commit_epoch()
+
+    def ep_root(self, address):
+        self.ep_enqueue(address, fence=False)   # BAD: nobody fences

@@ -1,0 +1,24 @@
+"""Clean look-alike of the ESP501 fixtures: persist-then-publish.
+
+Same shape as the bad logs, but the payload is flushed *and* fenced
+(``persist``) before the head store — the textbook discipline.
+"""
+
+from repro.nvm.publish import publish_point
+
+HEAD = 0
+
+
+class GuardedLog:
+    def __init__(self, device, pd):
+        self.device = device
+        self.pd = pd
+
+    @publish_point("guarded-log head")
+    def gl_set_head(self, value):
+        self.device.write(HEAD, value)
+
+    def gl_append(self, offset, record, value):
+        self.device.write_block(offset, record)
+        self.pd.persist(offset)          # flush + fence dominate ...
+        self.gl_set_head(value)          # ... the publish: clean

@@ -1,0 +1,21 @@
+"""Clean look-alike of the ESP502 fixtures: every store is logged.
+
+Same splice as UnloggedTable, but wrapped in begin/log_slot/commit —
+the undo entry covers a crash at any point of the mutation.
+"""
+
+from repro.nvm.publish import durable_metadata
+
+
+class LoggedTable:
+    def __init__(self, device, txn, base):
+        self.device = device
+        self.txn = txn
+        self.base = base
+
+    @durable_metadata("logged-table splice")
+    def lt_splice(self, index, value):
+        self.txn.begin()
+        self.txn.log_slot(self.base + index)
+        self.device.write(self.base + index, value)
+        self.txn.commit()

@@ -1,0 +1,13 @@
+"""Clean look-alike of the ESP503 fixtures: flush immediately fenced.
+
+Identical to LeakyCache except the epoch is committed before return.
+"""
+
+
+class FencedCache:
+    def __init__(self, pd):
+        self.pd = pd
+
+    def fc_touch(self, address):
+        self.pd.clflush(address)
+        self.pd.commit_epoch()

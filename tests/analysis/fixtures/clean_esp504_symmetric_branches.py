@@ -1,0 +1,19 @@
+"""Clean look-alike of the ESP504 fixture: both arms persist.
+
+The conditional chooses *where* to store, not *whether* to persist —
+each sibling carries its own flush+fence, so neither skips durability.
+"""
+
+
+class BalancedStore:
+    def __init__(self, device, pd):
+        self.device = device
+        self.pd = pd
+
+    def bs_store(self, address, spare, value, primary):
+        if primary:
+            self.device.write(address, value)
+            self.pd.persist(address)
+        else:
+            self.device.write(spare, value)
+            self.pd.persist(spare)

@@ -1,0 +1,20 @@
+"""Clean look-alike of the ESP505 fixture: the root drains the fence.
+
+Same fence-parameter helper as EscapingPool, but the root batches the
+deferred flush and commits the epoch itself before returning.
+"""
+
+
+class DrainingPool:
+    def __init__(self, pd):
+        self.pd = pd
+
+    def dp_enqueue(self, address, fence=True):
+        self.pd.clflush(address)
+        if fence:
+            self.pd.commit_epoch()
+
+    def dp_root(self, address, spare):
+        self.dp_enqueue(address, fence=False)
+        self.dp_enqueue(spare, fence=False)
+        self.pd.commit_epoch()           # drains both deferred flushes

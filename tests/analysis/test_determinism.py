@@ -61,6 +61,51 @@ def test_closure_report_identical_across_runs(tmp_path):
     assert '"closure"' in first
 
 
+FIXTURES = REPO_ROOT / "tests" / "analysis" / "fixtures"
+
+
+def run_static_order_cli(hashseed=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if hashseed is not None:
+        env["PYTHONHASHSEED"] = str(hashseed)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--static-order",
+         "--paths", str(FIXTURES), "--rules", "ESP305", "--json"],
+        capture_output=True, text=True, env=env)
+
+
+def test_static_order_json_byte_identical_across_runs():
+    runs = [run_static_order_cli() for _ in range(2)]
+    assert runs[0].returncode == runs[1].returncode == 1
+    assert runs[0].stdout == runs[1].stdout
+    assert '"static_order"' in runs[0].stdout
+
+
+def test_static_order_json_stable_across_hashseed():
+    """Set iteration inside the engine (states, pending sets, summaries)
+    must never leak into the report: vary PYTHONHASHSEED explicitly."""
+    outputs = {run_static_order_cli(hashseed=s).stdout for s in (0, 1, 4242)}
+    assert len(outputs) == 1
+    assert '"ESP505"' in outputs.pop()
+
+
+def test_static_order_in_tree_report_identical_across_runs():
+    """The full interprocedural in-tree run (fixpoint over ~650
+    functions) serialises identically twice in-process."""
+    from repro.analysis.static_order import load_assumptions, analyze_paths
+
+    def report_json():
+        assumptions = load_assumptions(REPO_ROOT / "analysis-assumptions.json")
+        result = analyze_paths(repo_root=REPO_ROOT, assumptions=assumptions)
+        report = AnalysisReport()
+        report.add_pass("static_order", result.diagnostics(),
+                        result.summary())
+        return report.to_json()
+
+    assert report_json() == report_json()
+
+
 def test_certificate_fingerprint_reproducible(tmp_path):
     from repro.analysis.closure import certify_session
 

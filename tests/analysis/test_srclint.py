@@ -89,6 +89,10 @@ class TestEsp305ModuleState:
         assert self._lint(tmp_path, source, rel="repro/api.py") != []
         assert self._lint(tmp_path, source,
                           rel="repro/tools/lint_persist.py") != []
+        assert self._lint(tmp_path, source,
+                          rel="repro/workloads/concurrent_kv.py") != []
+        assert self._lint(tmp_path, source,
+                          rel="repro/bench/harness.py") != []
 
     def test_default_rules_include_esp305(self, tmp_path):
         write_tree(tmp_path, {self.CORE:
